@@ -1,0 +1,67 @@
+// EXP-B1 -- ALG vs classic switch-scheduling baselines across traffic
+// skew and load. The paper's motivation predicts the weight-aware,
+// contention-aware ALG to dominate weight-blind (FIFO, Rotor, iSLIP,
+// RandomMaximal) policies on skewed weighted traffic, with MaxWeight the
+// closest competitor.
+
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace rdcn;
+  using namespace rdcn::bench;
+
+  std::printf("EXP-B1: weighted latency vs scheduler, normalized to ALG = 1.00\n");
+  std::printf("(16 racks, 2x2 lasers/photodetectors, 12 seeds per cell; lower is better)\n");
+
+  const auto policies = scheduler_baselines();
+
+  for (const double zipf : {0.0, 0.8, 1.6}) {
+    Table table({"scheduler", "load 2/step", "load 4/step", "load 8/step"});
+    std::vector<std::vector<double>> cost(policies.size());
+    for (const double rate : {2.0, 4.0, 8.0}) {
+      std::vector<Summary> per_policy(policies.size());
+      for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        Rng rng(seed * 53 + static_cast<std::uint64_t>(zipf * 10));
+        TwoTierConfig net;
+        net.racks = 16;
+        net.lasers_per_rack = 2;
+        net.photodetectors_per_rack = 2;
+        net.density = 0.4;
+        net.max_edge_delay = 2;
+        const Topology topology = build_two_tier(net, rng);
+        WorkloadConfig traffic;
+        traffic.num_packets = 250;
+        traffic.arrival_rate = rate;
+        traffic.skew = zipf > 0 ? PairSkew::Zipf : PairSkew::Uniform;
+        traffic.zipf_exponent = zipf;
+        traffic.weights = WeightDist::UniformInt;
+        traffic.weight_max = 10;
+        traffic.seed = seed;
+        const Instance instance = generate_workload(topology, traffic);
+
+        std::vector<double> costs(policies.size());
+        parallel_for(policies.size(), [&](std::size_t p) {
+          costs[p] = run_policy_cost(instance, policies[p]);
+        });
+        for (std::size_t p = 0; p < policies.size(); ++p) per_policy[p].add(costs[p]);
+      }
+      for (std::size_t p = 0; p < policies.size(); ++p) {
+        cost[p].push_back(per_policy[p].mean());
+      }
+    }
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      table.add_row({policies[p].name, Table::fmt(cost[p][0] / cost[0][0], 2) + "x",
+                     Table::fmt(cost[p][1] / cost[0][1], 2) + "x",
+                     Table::fmt(cost[p][2] / cost[0][2], 2) + "x"});
+    }
+    table.print("traffic skew: zipf exponent " + Table::fmt(zipf, 1));
+  }
+
+  std::printf(
+      "\nExpected shape: ALG <= MaxWeight < iSLIP/RandomMaximal/FIFO << Rotor, with\n"
+      "ALG's margin growing with skew and load (weight-aware stable matchings win\n"
+      "exactly where the paper's motivation says they should).\n");
+  return 0;
+}

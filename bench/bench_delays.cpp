@@ -1,0 +1,60 @@
+// EXP-D1 -- heterogeneous link delays (the "different link delays" claim
+// of the abstract): sweeps the reconfigurable delay spread d(e) in
+// {1..D} and compares ALG against delay-blind dispatch; also verifies
+// chunking accounting (cost grows with the (d+1)/2 staircase, not d).
+
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace rdcn;
+  using namespace rdcn::bench;
+
+  std::printf("EXP-D1: heterogeneous reconfigurable delays, d(e) ~ U{1..D}\n");
+  std::printf("(10 racks, 2x2 per rack, zipf traffic, 12 seeds per row)\n");
+
+  const auto policies = dispatcher_ablations();
+  Table table({"max d(e)", "ALG cost", "random dispatch", "JSQ dispatch", "ALG advantage",
+               "ideal (staircase)"});
+  for (const Delay max_delay : {1, 2, 4, 8}) {
+    Summary alg_cost, random_cost, jsq_cost, ideal;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      Rng rng(seed * 7 + static_cast<std::uint64_t>(max_delay));
+      TwoTierConfig net;
+      net.racks = 10;
+      net.lasers_per_rack = 2;
+      net.photodetectors_per_rack = 2;
+      net.density = 0.5;
+      net.max_edge_delay = max_delay;
+      const Topology topology = build_two_tier(net, rng);
+      WorkloadConfig traffic;
+      traffic.num_packets = 150;
+      traffic.arrival_rate = 4.0;
+      traffic.skew = PairSkew::Zipf;
+      traffic.weights = WeightDist::UniformInt;
+      traffic.weight_max = 8;
+      traffic.seed = seed;
+      const Instance instance = generate_workload(topology, traffic);
+
+      alg_cost.add(run_policy_cost(instance, policies[0]));     // Impact
+      random_cost.add(run_policy_cost(instance, policies[1]));  // Random
+      jsq_cost.add(run_policy_cost(instance, policies[3]));     // JSQ
+      ideal.add(instance.ideal_cost());
+    }
+    const double best_blind = std::min(random_cost.mean(), jsq_cost.mean());
+    table.add_row({Table::fmt(static_cast<std::int64_t>(max_delay)),
+                   Table::fmt(alg_cost.mean(), 1), Table::fmt(random_cost.mean(), 1),
+                   Table::fmt(jsq_cost.mean(), 1),
+                   Table::fmt(best_blind / alg_cost.mean(), 2) + "x",
+                   Table::fmt(ideal.mean(), 1)});
+  }
+  table.print("delay-spread sweep (lower cost is better; advantage > 1x favours ALG)");
+
+  std::printf(
+      "\nExpected shape: with unit delays dispatchers differ little; as the delay\n"
+      "spread grows, the impact rule's Delta(e) -- which weighs d(e) both in the\n"
+      "staircase and in the blocking terms -- beats delay/queue-blind dispatch by a\n"
+      "growing margin.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// EXP-B2 -- dispatcher ablation: the paper's worst-case-impact dispatch
+// rule vs uninformed alternatives (random / round-robin / JSQ / min-delay
+// / direct-only), all under the same stable-matching scheduler. Isolates
+// the value of the dispatch half of ALG.
+
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace rdcn;
+  using namespace rdcn::bench;
+
+  std::printf("EXP-B2: dispatcher ablation under stable-matching scheduling\n");
+  std::printf("(weighted latency normalized to Impact = 1.00; 12 seeds per cell)\n");
+
+  const auto policies = dispatcher_ablations();
+
+  struct Scenario {
+    const char* name;
+    PairSkew skew;
+    Delay fixed_delay;
+    NodeIndex lasers;
+  };
+  const Scenario scenarios[] = {
+      {"uniform, pure optical", PairSkew::Uniform, 0, 2},
+      {"hotspot, pure optical", PairSkew::Hotspot, 0, 2},
+      {"hotspot, hybrid (dl=8)", PairSkew::Hotspot, 8, 2},
+      {"incast, parallel links", PairSkew::Incast, 0, 4},
+  };
+
+  Table table({"dispatcher", scenarios[0].name, scenarios[1].name, scenarios[2].name,
+               scenarios[3].name});
+  std::vector<std::vector<double>> cells(policies.size());
+
+  for (const Scenario& scenario : scenarios) {
+    std::vector<Summary> per_policy(policies.size());
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      Rng rng(seed * 19 + 3);
+      TwoTierConfig net;
+      net.racks = 10;
+      net.lasers_per_rack = scenario.lasers;
+      net.photodetectors_per_rack = scenario.lasers;
+      net.density = 0.5;
+      net.max_edge_delay = 3;
+      net.fixed_link_delay = scenario.fixed_delay;
+      const Topology topology = build_two_tier(net, rng);
+      WorkloadConfig traffic;
+      traffic.num_packets = 200;
+      traffic.arrival_rate = 5.0;
+      traffic.skew = scenario.skew;
+      traffic.weights = WeightDist::UniformInt;
+      traffic.weight_max = 10;
+      traffic.seed = seed;
+      const Instance instance = generate_workload(topology, traffic);
+
+      std::vector<double> costs(policies.size());
+      parallel_for(policies.size(), [&](std::size_t p) {
+        costs[p] = run_policy_cost(instance, policies[p]);
+      });
+      for (std::size_t p = 0; p < policies.size(); ++p) per_policy[p].add(costs[p]);
+    }
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      cells[p].push_back(per_policy[p].mean());
+    }
+  }
+
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    std::vector<std::string> row = {policies[p].name};
+    for (std::size_t s = 0; s < 4; ++s) {
+      row.push_back(Table::fmt(cells[p][s] / cells[0][s], 2) + "x");
+    }
+    table.add_row(row);
+  }
+  table.print("dispatch policy ablation (columns = scenarios)");
+
+  std::printf(
+      "\nExpected shape: the impact rule wins or ties everywhere; the gap is largest\n"
+      "with parallel links under skew (where greedy-queue-blind dispatch collides)\n"
+      "and in hybrid pods (where the Delta-vs-w*dl comparison offloads correctly).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// EXP-F3 -- Figure 3 of the paper: the primal LP relaxation P.
+// Builds and solves P on the Figure-1 instance and on random small
+// instances, across the eps sweep, and reports LP size, optimum, and its
+// position in the bound chain  trivial <= LP(eps) and LP monotone in eps.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "lp/paper_lps.hpp"
+#include "lp/simplex.hpp"
+#include "opt/brute_force.hpp"
+
+int main() {
+  using namespace rdcn;
+  using namespace rdcn::bench;
+
+  std::printf("EXP-F3: primal LP P (Figure 3), budget 1/(2+eps) per endpoint per step\n");
+
+  // --- Figure-1 instance across eps --------------------------------------
+  {
+    const Instance instance = figure1_instance();
+    const auto opt = brute_force_opt(instance);
+    Table table({"eps", "LP vars", "LP rows", "LP optimum", "trivial bound", "unit-speed OPT"});
+    for (const double eps : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      const PrimalLp primal = build_primal_lp(instance, PaperLpOptions{eps, 0});
+      const lp::Solution solution = lp::solve(primal.model);
+      table.add_row({Table::fmt(eps, 2),
+                     Table::fmt(static_cast<std::uint64_t>(primal.model.num_variables())),
+                     Table::fmt(static_cast<std::uint64_t>(primal.model.num_constraints())),
+                     solution.status == lp::SolveStatus::Optimal
+                         ? Table::fmt(solution.objective)
+                         : "FAILED",
+                     Table::fmt(instance.ideal_cost()),
+                     opt ? Table::fmt(opt->cost) : "n/a"});
+    }
+    table.print("Figure-1 instance: LP optimum vs eps (monotone non-decreasing)");
+  }
+
+  // --- Random small instances: LP vs exact OPT vs ALG ---------------------
+  {
+    Table table({"seed", "packets", "LP(eps=1)", "exact OPT (speed 1)", "ALG", "ALG/LP"});
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      Rng rng(seed * 977);
+      TwoTierConfig net;
+      net.racks = 3;
+      net.lasers_per_rack = 1;
+      net.photodetectors_per_rack = 1;
+      net.max_edge_delay = 1 + static_cast<Delay>(seed % 2);
+      if (seed % 2 == 0) net.fixed_link_delay = 5;
+      const Topology topology = build_two_tier(net, rng);
+      WorkloadConfig traffic;
+      traffic.num_packets = 5;
+      traffic.arrival_rate = 2.0;
+      traffic.weights = WeightDist::UniformInt;
+      traffic.weight_max = 4;
+      traffic.seed = seed;
+      const Instance instance = generate_workload(topology, traffic);
+
+      const double lp_value = lp_opt_lower_bound(instance, 1.0);
+      const auto opt = brute_force_opt(instance);
+      const double alg = run_policy_cost(instance, alg_policy());
+      table.add_row({Table::fmt(seed), Table::fmt(static_cast<std::uint64_t>(instance.num_packets())),
+                     Table::fmt(lp_value), opt ? Table::fmt(opt->cost) : "n/a",
+                     Table::fmt(alg), Table::fmt(alg / lp_value, 2)});
+    }
+    table.print("random 5-packet instances: LP lower bound vs exact OPT vs ALG");
+  }
+
+  std::printf("\nEXP-F3 done: the LP is the OPT stand-in of Theorem 1's analysis;\n"
+              "ALG/LP stays far below the worst-case bound 2(2/eps+1) = 6 at eps=1.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// EXP-MIG -- restricted migration ablation. The paper's ALG commits each
+// packet to one route forever (non-migratory); the OPT it competes against
+// is fully migratory. This experiment lets queued (not-yet-started)
+// packets re-run the dispatcher every step and measures how much of the
+// migratory advantage that recovers, across dispatchers.
+
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace rdcn;
+  using namespace rdcn::bench;
+
+  std::printf("EXP-MIG: re-dispatching queued packets every step (restricted migration)\n");
+  std::printf("(cost normalized to the non-migratory run; 12 seeds per cell)\n");
+
+  const auto policies = dispatcher_ablations();
+  Table table({"dispatcher", "uniform", "hotspot", "hotspot hybrid"});
+
+  struct Scenario {
+    PairSkew skew;
+    Delay fixed_delay;
+  };
+  const Scenario scenarios[] = {
+      {PairSkew::Uniform, 0}, {PairSkew::Hotspot, 0}, {PairSkew::Hotspot, 8}};
+
+  for (std::size_t p = 0; p < 4; ++p) {  // Impact, Random, RoundRobin, JSQ
+    std::vector<std::string> row = {policies[p].name};
+    for (const Scenario& scenario : scenarios) {
+      Summary ratio;
+      for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        Rng rng(seed * 577);
+        TwoTierConfig net;
+        net.racks = 8;
+        net.lasers_per_rack = 2;
+        net.photodetectors_per_rack = 2;
+        net.density = 0.5;
+        net.max_edge_delay = 2;
+        net.fixed_link_delay = scenario.fixed_delay;
+        const Topology topology = build_two_tier(net, rng);
+        WorkloadConfig traffic;
+        traffic.num_packets = 150;
+        traffic.arrival_rate = 5.0;
+        traffic.skew = scenario.skew;
+        traffic.weights = WeightDist::UniformInt;
+        traffic.weight_max = 8;
+        traffic.seed = seed;
+        const Instance instance = generate_workload(topology, traffic);
+
+        EngineOptions fixed_routes;
+        fixed_routes.record_trace = false;
+        const double base = run_policy_cost(instance, policies[p], fixed_routes);
+        EngineOptions migratory = fixed_routes;
+        migratory.redispatch_queued = true;
+        const double migrated = run_policy_cost(instance, policies[p], migratory);
+        ratio.add(migrated / base);
+      }
+      row.push_back(Table::fmt(ratio.mean(), 3) + "x");
+    }
+    table.add_row(row);
+  }
+  table.print("cost with queued-packet migration / without");
+
+  std::printf(
+      "\nExpected shape: the impact dispatcher gains little (its commitments were\n"
+      "already informed), while queue-blind dispatchers recover much of their gap --\n"
+      "evidence that ALG's worst-case-impact commitment loses almost nothing against\n"
+      "the restricted-migratory relaxation on stochastic traffic.\n");
+  return 0;
+}

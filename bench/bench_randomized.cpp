@@ -1,0 +1,86 @@
+// EXP-RND -- randomized scheduling (the paper's Section-VI future-work
+// question): does randomizing the stable-matching priorities help?
+// Compares deterministic ALG against log-normal priority perturbation
+// (several sigmas) and uniform random serial dictatorship, reporting the
+// mean and spread over scheduler coin flips.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/randomized.hpp"
+
+int main() {
+  using namespace rdcn;
+  using namespace rdcn::bench;
+
+  std::printf("EXP-RND: randomized scheduling vs deterministic ALG\n");
+  std::printf("(12 instance seeds x 8 coin seeds; cost normalized to deterministic ALG)\n");
+
+  Table table({"scheduler", "mean", "stddev over coins", "worst", "best"});
+
+  struct Variant {
+    std::string name;
+    double sigma;    // < 0 encodes the serial dictator
+  };
+  const Variant variants[] = {
+      {"deterministic ALG", 0.0},
+      {"perturbed sigma=0.1", 0.1},
+      {"perturbed sigma=0.5", 0.5},
+      {"perturbed sigma=2.0", 2.0},
+      {"random serial dictator", -1.0},
+  };
+
+  for (const Variant& variant : variants) {
+    Summary ratio;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      Rng rng(seed * 211);
+      TwoTierConfig net;
+      net.racks = 10;
+      net.lasers_per_rack = 2;
+      net.photodetectors_per_rack = 2;
+      net.density = 0.5;
+      const Topology topology = build_two_tier(net, rng);
+      WorkloadConfig traffic;
+      traffic.num_packets = 150;
+      traffic.arrival_rate = 5.0;
+      traffic.skew = PairSkew::Zipf;
+      traffic.weights = WeightDist::UniformInt;
+      traffic.weight_max = 9;
+      traffic.seed = seed;
+      const Instance instance = generate_workload(topology, traffic);
+
+      ImpactDispatcher reference_dispatcher;
+      StableMatchingScheduler reference;
+      const double baseline =
+          simulate(instance, reference_dispatcher, reference, {}).total_cost;
+
+      const std::size_t coins = variant.sigma == 0.0 ? 1 : 8;
+      for (std::uint64_t coin = 1; coin <= coins; ++coin) {
+        ImpactDispatcher dispatcher;
+        double cost = 0.0;
+        if (variant.sigma == 0.0) {
+          StableMatchingScheduler scheduler;
+          cost = simulate(instance, dispatcher, scheduler, {}).total_cost;
+        } else if (variant.sigma < 0) {
+          RandomSerialDictatorScheduler scheduler(coin * 7919);
+          cost = simulate(instance, dispatcher, scheduler, {}).total_cost;
+        } else {
+          PerturbedStableScheduler scheduler(variant.sigma, coin * 7919);
+          cost = simulate(instance, dispatcher, scheduler, {}).total_cost;
+        }
+        ratio.add(cost / baseline);
+      }
+    }
+    table.add_row({variant.name, Table::fmt(ratio.mean(), 3), Table::fmt(ratio.stddev(), 3),
+                   Table::fmt(ratio.max(), 3), Table::fmt(ratio.min(), 3)});
+  }
+  table.print("randomization ablation");
+
+  std::printf(
+      "\nExpected shape: small perturbations track deterministic ALG (near-ties are\n"
+      "interchangeable); heavy noise and weight-blind dictatorship lose ground --\n"
+      "evidence that the weight order, not tie-breaking, carries ALG's power. The\n"
+      "open question in Section VI is whether randomization can beat the 2(2/eps+1)\n"
+      "bound in the worst case; on average it does not help here.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// EXP-S1 -- algorithm-side speed augmentation ablation: Theorem 1 gives
+// ALG a (2+eps) speedup; here we realize integral speedups k = 1..4 as k
+// scheduling rounds per step and measure the cost reduction, next to the
+// theory's view (the same augmentation taken as an OPT slowdown).
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/dual_witness.hpp"
+
+int main() {
+  using namespace rdcn;
+  using namespace rdcn::bench;
+
+  std::printf("EXP-S1: integral algorithm-side speedup (k matchings per step)\n");
+  std::printf("(congested pod: 8 racks, 1x1 per rack, hotspot; 12 seeds per row)\n");
+
+  Table table({"speedup k", "ALG_k cost", "vs ALG_1", "theory bound at k=2+eps",
+               "certified ratio ALG_1/(D/2)"});
+  Summary base_cost;
+  std::vector<double> costs_k(5, 0.0);
+  Summary certified;
+
+  for (int k = 1; k <= 4; ++k) {
+    Summary cost_k;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      Rng rng(seed * 83);
+      TwoTierConfig net;
+      net.racks = 8;
+      net.lasers_per_rack = 1;
+      net.photodetectors_per_rack = 1;
+      net.density = 1.0;
+      net.max_edge_delay = 2;
+      const Topology topology = build_two_tier(net, rng);
+      WorkloadConfig traffic;
+      traffic.num_packets = 150;
+      traffic.arrival_rate = 6.0;
+      traffic.skew = PairSkew::Hotspot;
+      traffic.hotspot_fraction = 0.5;
+      traffic.weights = WeightDist::UniformInt;
+      traffic.weight_max = 8;
+      traffic.seed = seed;
+      const Instance instance = generate_workload(topology, traffic);
+
+      EngineOptions options;
+      options.speedup_rounds = k;
+      options.record_trace = false;
+      const double cost = run_policy_cost(instance, alg_policy(), options);
+      cost_k.add(cost);
+      if (k == 1) {
+        base_cost.add(cost);
+        const RunResult run = run_alg(instance);
+        const DualWitness witness = build_dual_witness(instance, run);
+        const double lb = witness.lower_bound(1.0);
+        if (lb > 0) certified.add(run.total_cost / lb);
+      }
+    }
+    costs_k[static_cast<std::size_t>(k)] = cost_k.mean();
+    const double eps = static_cast<double>(k) - 2.0;  // k = 2 + eps
+    const std::string bound =
+        eps > 0 ? Table::fmt(2.0 * (2.0 / eps + 1.0), 1) + "x OPT" : "n/a (needs k > 2)";
+    table.add_row({Table::fmt(static_cast<std::int64_t>(k)), Table::fmt(cost_k.mean(), 1),
+                   Table::fmt(costs_k[static_cast<std::size_t>(k)] / costs_k[1], 2) + "x",
+                   bound,
+                   k == 1 ? Table::fmt(certified.mean(), 2) + "x (mean)" : ""});
+  }
+  table.print("speedup ablation");
+
+  std::printf(
+      "\nExpected shape: cost decreases monotonically in k with diminishing returns;\n"
+      "k >= 3 (i.e. eps >= 1) is where Theorem 1's guarantee becomes nontrivial,\n"
+      "mirroring the impossibility result [22] for unaugmented algorithms.\n");
+  return 0;
+}

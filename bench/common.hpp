@@ -1,0 +1,122 @@
+#pragma once
+
+// Shared helpers for the experiment binaries: named policy factories,
+// workload-suite construction, and parallel seed sweeps. Every bench
+// prints paper-style ASCII tables via util/table.hpp so the rows in
+// EXPERIMENTS.md can be regenerated with `for b in build/bench/*; do $b; done`.
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "baseline/dispatchers.hpp"
+#include "baseline/schedulers.hpp"
+#include "core/alg.hpp"
+#include "net/builders.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/generator.hpp"
+
+namespace rdcn::bench {
+
+struct PolicyFactory {
+  std::string name;
+  std::function<std::unique_ptr<DispatchPolicy>()> dispatcher;
+  std::function<std::unique_ptr<SchedulePolicy>(const Topology&)> scheduler;
+};
+
+inline PolicyFactory alg_policy() {
+  return PolicyFactory{
+      "ALG",
+      [] { return std::make_unique<ImpactDispatcher>(); },
+      [](const Topology&) { return std::make_unique<StableMatchingScheduler>(); },
+  };
+}
+
+/// The baseline grid of EXP-B1 (scheduler alternatives under a sensible
+/// shared dispatcher).
+inline std::vector<PolicyFactory> scheduler_baselines() {
+  std::vector<PolicyFactory> policies;
+  policies.push_back(alg_policy());
+  policies.push_back({"MaxWeight",
+                      [] { return std::make_unique<JsqDispatcher>(); },
+                      [](const Topology&) { return std::make_unique<MaxWeightScheduler>(); }});
+  policies.push_back({"iSLIP",
+                      [] { return std::make_unique<JsqDispatcher>(); },
+                      [](const Topology&) { return std::make_unique<IslipScheduler>(); }});
+  policies.push_back({"Rotor",
+                      [] { return std::make_unique<JsqDispatcher>(); },
+                      [](const Topology& t) { return std::make_unique<RotorScheduler>(t); }});
+  policies.push_back({"RandomMaximal",
+                      [] { return std::make_unique<JsqDispatcher>(); },
+                      [](const Topology&) {
+                        return std::make_unique<RandomMaximalScheduler>(99);
+                      }});
+  policies.push_back({"FIFO",
+                      [] { return std::make_unique<JsqDispatcher>(); },
+                      [](const Topology&) { return std::make_unique<FifoScheduler>(); }});
+  return policies;
+}
+
+/// The dispatcher-ablation grid of EXP-B2 (all under stable matching).
+inline std::vector<PolicyFactory> dispatcher_ablations() {
+  std::vector<PolicyFactory> policies;
+  policies.push_back({"Impact (ALG)",
+                      [] { return std::make_unique<ImpactDispatcher>(); },
+                      [](const Topology&) {
+                        return std::make_unique<StableMatchingScheduler>();
+                      }});
+  policies.push_back({"Random",
+                      [] { return std::make_unique<RandomDispatcher>(5); },
+                      [](const Topology&) {
+                        return std::make_unique<StableMatchingScheduler>();
+                      }});
+  policies.push_back({"RoundRobin",
+                      [] { return std::make_unique<RoundRobinDispatcher>(); },
+                      [](const Topology&) {
+                        return std::make_unique<StableMatchingScheduler>();
+                      }});
+  policies.push_back({"JSQ",
+                      [] { return std::make_unique<JsqDispatcher>(); },
+                      [](const Topology&) {
+                        return std::make_unique<StableMatchingScheduler>();
+                      }});
+  policies.push_back({"MinDelay",
+                      [] { return std::make_unique<MinDelayDispatcher>(); },
+                      [](const Topology&) {
+                        return std::make_unique<StableMatchingScheduler>();
+                      }});
+  policies.push_back({"DirectOnly",
+                      [] { return std::make_unique<DirectOnlyDispatcher>(); },
+                      [](const Topology&) {
+                        return std::make_unique<StableMatchingScheduler>();
+                      }});
+  return policies;
+}
+
+inline double run_policy_cost(const Instance& instance, const PolicyFactory& policy,
+                              EngineOptions options = {}) {
+  auto dispatcher = policy.dispatcher();
+  auto scheduler = policy.scheduler(instance.topology());
+  return simulate(instance, *dispatcher, *scheduler, options).total_cost;
+}
+
+/// mean over seeds of metric(instance(seed)), computed in parallel.
+inline Summary sweep_seeds(std::size_t seeds,
+                           const std::function<double(std::uint64_t)>& metric) {
+  Summary summary;
+  std::mutex mutex;
+  parallel_for(seeds, [&](std::size_t i) {
+    const double value = metric(static_cast<std::uint64_t>(i + 1));
+    const std::lock_guard<std::mutex> lock(mutex);
+    summary.add(value);
+  });
+  return summary;
+}
+
+}  // namespace rdcn::bench

@@ -1,0 +1,62 @@
+// Flow-level API scenario: submit elephant and mouse FLOWS (multi-unit,
+// via the Section-II reduction), schedule with ALG, and inspect per-flow
+// completion times plus the schedule's Gantt chart.
+//
+//   $ ./examples/flow_scheduling
+
+#include <cstdio>
+
+#include "core/alg.hpp"
+#include "flow/flows.hpp"
+#include "net/builders.hpp"
+#include "sim/gantt.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rdcn;
+
+  // A small pod: 3 racks, one laser + photodetector each, full mesh.
+  Rng rng(7);
+  TwoTierConfig net;
+  net.racks = 3;
+  net.lasers_per_rack = 1;
+  net.photodetectors_per_rack = 1;
+  net.density = 1.0;
+  const Topology topology = build_two_tier(net, rng);
+
+  FlowSet flows(topology);
+  // A mouse, an elephant (weight 12 split over 6 units), and two more
+  // mice contending with the elephant's tail.
+  flows.add_flow(/*arrival=*/1, /*weight=*/1.0, /*size=*/1, /*src=*/0, /*dst=*/1);
+  flows.add_flow(/*arrival=*/1, /*weight=*/12.0, /*size=*/6, /*src=*/0, /*dst=*/2);
+  flows.add_flow(/*arrival=*/3, /*weight=*/1.0, /*size=*/1, /*src=*/1, /*dst=*/2);
+  flows.add_flow(/*arrival=*/4, /*weight=*/2.0, /*size=*/2, /*src=*/2, /*dst=*/1);
+
+  const Instance instance = flows.to_instance();
+  const RunResult run = run_alg(instance);
+  const FlowReport report = analyze_flows(flows, run);
+
+  Table table({"flow", "route", "size", "weight", "completion", "FCT", "weighted FCT"});
+  for (std::size_t f = 0; f < flows.flows().size(); ++f) {
+    const Flow& flow = flows.flows()[f];
+    const FlowOutcome& outcome = report.flows[f];
+    table.add_row({"f" + std::to_string(f),
+                   std::to_string(flow.source) + "->" + std::to_string(flow.destination),
+                   Table::fmt(flow.size), Table::fmt(flow.weight, 1),
+                   Table::fmt(static_cast<std::int64_t>(outcome.completion)),
+                   Table::fmt(outcome.fct, 0), Table::fmt(outcome.weighted_fct, 1)});
+  }
+  table.print("flow-level schedule (ALG)");
+
+  std::printf("\ntotal weighted FCT      : %.1f\n", report.total_weighted_fct);
+  std::printf("total fractional cost   : %.1f (the paper's objective)\n",
+              report.total_fractional_cost);
+  std::printf("mean / p99 FCT          : %.2f / %.1f\n\n", report.mean_fct, report.p99_fct);
+
+  std::printf("%s", render_gantt(instance, run, {.show_receivers = true}).c_str());
+  std::printf(
+      "\nNote how the elephant's 6 unit packets (glyphs 1-6) pipeline through the\n"
+      "0->2 link while mice slot into the remaining matchings -- the weight order\n"
+      "keeps the heavy flow moving without starving light ones.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Walk through the paper's own figures interactively: builds the Figure-1
+// and Figure-2 instances, runs ALG, renders the schedules as Gantt charts,
+// and prints the quantities the paper's captions cite. A guided tour of
+// the reproduction.
+//
+//   $ ./examples/paper_figures
+
+#include <cstdio>
+
+#include "core/alg.hpp"
+#include "core/charging.hpp"
+#include "net/builders.hpp"
+#include "opt/brute_force.hpp"
+#include "sim/gantt.hpp"
+
+int main() {
+  using namespace rdcn;
+
+  std::printf("================ Figure 1 ================\n");
+  std::printf("Two sources, three transmitters, four receivers, three destinations;\n");
+  std::printf("reconfigurable delays 1, fixed link (s2,d3) of delay 4; five unit packets.\n\n");
+  {
+    const Instance instance = figure1_instance();
+    const RunResult run = run_alg(instance);
+    std::printf("ALG's schedule (t0=t1, t1=t2, t2=t3 of the paper):\n%s\n",
+                render_gantt(instance, run, {.show_receivers = true}).c_str());
+    const auto opt = brute_force_opt(instance);
+    std::printf("paper's example schedule cost : 9\n");
+    std::printf("exact optimum (paper: 7)      : %.0f\n", opt ? opt->cost : -1.0);
+    std::printf("ALG's online cost             : %.0f", run.total_cost);
+    std::printf("  <- recovers the optimum: p5 waits one step for (t3,r4)\n");
+    std::printf("                                 instead of the delay-4 fixed link\n");
+  }
+
+  std::printf("\n================ Figure 2 ================\n");
+  std::printf("Each source one transmitter, each destination one receiver; weights 1..4.\n");
+  std::printf("The dispatch-time impact is an estimate; realized impacts shift when the\n");
+  std::printf("stable matching changes on p4's arrival:\n\n");
+  for (const bool with_p4 : {false, true}) {
+    const Instance instance = with_p4 ? figure2_instance_pi_prime() : figure2_instance_pi();
+    const RunResult run = run_alg(instance);
+    const ChargingAudit audit = audit_charging(instance, run);
+    std::printf("input %s:\n%s", with_p4 ? "Pi' = Pi + p4" : "Pi",
+                render_gantt(instance, run).c_str());
+    std::printf("realized impacts (paper: %s): ", with_p4 ? "1, 3, 3, 7" : "1, 2, 5");
+    for (std::size_t i = 0; i < audit.charge.size(); ++i) {
+      std::printf("%s%.0f", i ? ", " : "", audit.charge[i]);
+    }
+    std::printf("\n  alphas frozen at dispatch:  ");
+    for (std::size_t i = 0; i < run.outcomes.size(); ++i) {
+      std::printf("%s%.0f", i ? ", " : "", run.outcomes[i].route.alpha);
+    }
+    std::printf("   (Lemma 2: impact <= alpha)\n\n");
+  }
+
+  std::printf("On Pi, p2 is blocked by the later p3 (charged to p3, impact 5 = 3 + 2);\n");
+  std::printf("on Pi', p4's arrival flips the matching so p2 transmits first and now\n");
+  std::printf("blocks p1 -- exactly the caption's point about online impact estimation.\n");
+  return 0;
+}

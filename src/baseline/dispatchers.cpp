@@ -1,0 +1,107 @@
+#include "baseline/dispatchers.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace rdcn {
+
+namespace {
+
+RouteDecision fixed_route(const Engine& engine, const Packet& packet) {
+  if (!engine.topology().fixed_link_delay(packet.source, packet.destination)) {
+    throw std::logic_error("packet has no route");
+  }
+  RouteDecision decision;
+  decision.use_fixed = true;
+  return decision;
+}
+
+RouteDecision edge_route(EdgeIndex edge) {
+  RouteDecision decision;
+  decision.use_fixed = false;
+  decision.edge = edge;
+  return decision;
+}
+
+/// Pending chunks parked at an edge's endpoints (the JSQ load signal).
+std::int64_t endpoint_load(const Engine& engine, EdgeIndex e) {
+  const ReconfigEdge& edge = engine.topology().edge(e);
+  std::int64_t load = 0;
+  for (PacketIndex q : engine.pending_on_transmitter(edge.transmitter)) {
+    load += engine.remaining_chunks(q);
+  }
+  for (PacketIndex q : engine.pending_on_receiver(edge.receiver)) {
+    const ReconfigEdge& q_edge = engine.topology().edge(engine.assigned_edge(q));
+    if (q_edge.transmitter == edge.transmitter) continue;  // already counted
+    load += engine.remaining_chunks(q);
+  }
+  return load;
+}
+
+}  // namespace
+
+RouteDecision RandomDispatcher::dispatch(const Engine& engine, const Packet& packet) {
+  const auto candidates =
+      engine.topology().candidate_edges(packet.source, packet.destination);
+  if (candidates.empty()) return fixed_route(engine, packet);
+  return edge_route(candidates[rng_.next_below(candidates.size())]);
+}
+
+RouteDecision RoundRobinDispatcher::dispatch(const Engine& engine, const Packet& packet) {
+  const auto candidates =
+      engine.topology().candidate_edges(packet.source, packet.destination);
+  if (candidates.empty()) return fixed_route(engine, packet);
+  std::size_t& next = cursor_[{packet.source, packet.destination}];
+  const EdgeIndex edge = candidates[next % candidates.size()];
+  ++next;
+  return edge_route(edge);
+}
+
+RouteDecision JsqDispatcher::dispatch(const Engine& engine, const Packet& packet) {
+  const auto candidates =
+      engine.topology().candidate_edges(packet.source, packet.destination);
+  if (candidates.empty()) return fixed_route(engine, packet);
+  EdgeIndex best = candidates.front();
+  std::int64_t best_load = std::numeric_limits<std::int64_t>::max();
+  for (EdgeIndex e : candidates) {
+    const std::int64_t load = endpoint_load(engine, e);
+    if (load < best_load) {
+      best_load = load;
+      best = e;
+    }
+  }
+  return edge_route(best);
+}
+
+RouteDecision MinDelayDispatcher::dispatch(const Engine& engine, const Packet& packet) {
+  const Topology& topology = engine.topology();
+  const auto candidates = topology.candidate_edges(packet.source, packet.destination);
+  if (candidates.empty()) return fixed_route(engine, packet);
+  EdgeIndex best = candidates.front();
+  Delay best_delay = std::numeric_limits<Delay>::max();
+  for (EdgeIndex e : candidates) {
+    const Delay delay = topology.total_edge_delay(e);
+    if (delay < best_delay) {
+      best_delay = delay;
+      best = e;
+    }
+  }
+  // Prefer the fixed link only when it strictly beats the best edge's
+  // uncontended latency (mirrors the paper's comparison shape).
+  if (auto direct = topology.fixed_link_delay(packet.source, packet.destination)) {
+    if (*direct < best_delay) return fixed_route(engine, packet);
+  }
+  return edge_route(best);
+}
+
+RouteDecision DirectOnlyDispatcher::dispatch(const Engine& engine, const Packet& packet) {
+  const Topology& topology = engine.topology();
+  if (topology.fixed_link_delay(packet.source, packet.destination)) {
+    return fixed_route(engine, packet);
+  }
+  const auto candidates = topology.candidate_edges(packet.source, packet.destination);
+  if (candidates.empty()) throw std::logic_error("packet has no route");
+  return edge_route(candidates.front());
+}
+
+}  // namespace rdcn

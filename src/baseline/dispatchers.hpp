@@ -1,0 +1,57 @@
+#pragma once
+
+// Dispatch-policy baselines: alternatives to the paper's impact-minimizing
+// dispatcher, used by the EXP-B2 ablation. Each commits an arriving packet
+// to a route using progressively less information:
+//
+//   RandomDispatcher     -- uniform random candidate edge;
+//   RoundRobinDispatcher -- cycles through E_p per (source, destination);
+//   JsqDispatcher        -- joins the least-loaded edge (fewest pending
+//                           chunks at its transmitter + receiver);
+//   MinDelayDispatcher   -- ignores queues, picks the smallest d^(e);
+//   DirectOnlyDispatcher -- always the fixed link when one exists.
+//
+// All of them fall back sensibly when E_p is empty or no fixed link
+// exists, and set alpha = 0 (they give no dual certificate).
+
+#include <cstdint>
+#include <map>
+
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace rdcn {
+
+class RandomDispatcher final : public DispatchPolicy {
+ public:
+  explicit RandomDispatcher(std::uint64_t seed = 1) : rng_(seed) {}
+  RouteDecision dispatch(const Engine& engine, const Packet& packet) override;
+
+ private:
+  Rng rng_;
+};
+
+class RoundRobinDispatcher final : public DispatchPolicy {
+ public:
+  RouteDecision dispatch(const Engine& engine, const Packet& packet) override;
+
+ private:
+  std::map<std::pair<NodeIndex, NodeIndex>, std::size_t> cursor_;
+};
+
+class JsqDispatcher final : public DispatchPolicy {
+ public:
+  RouteDecision dispatch(const Engine& engine, const Packet& packet) override;
+};
+
+class MinDelayDispatcher final : public DispatchPolicy {
+ public:
+  RouteDecision dispatch(const Engine& engine, const Packet& packet) override;
+};
+
+class DirectOnlyDispatcher final : public DispatchPolicy {
+ public:
+  RouteDecision dispatch(const Engine& engine, const Packet& packet) override;
+};
+
+}  // namespace rdcn

@@ -1,0 +1,167 @@
+#include "baseline/schedulers.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "match/hungarian.hpp"
+#include "match/stable.hpp"
+
+namespace rdcn {
+
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+bool fifo_before(const Candidate& a, const Candidate& b) {
+  if (a.arrival != b.arrival) return a.arrival < b.arrival;
+  return a.packet < b.packet;
+}
+
+/// Greedy maximal matching taking candidates in the given index order.
+std::vector<std::size_t> greedy_in_order(const Engine& engine,
+                                         const std::vector<Candidate>& candidates,
+                                         const std::vector<std::size_t>& order) {
+  std::vector<MatchRequest> requests;
+  requests.reserve(order.size());
+  for (std::size_t idx : order) {
+    requests.push_back(MatchRequest{candidates[idx].transmitter, candidates[idx].receiver});
+  }
+  const auto accepted = greedy_stable_matching(
+      requests, static_cast<std::size_t>(engine.topology().num_transmitters()),
+      static_cast<std::size_t>(engine.topology().num_receivers()));
+  std::vector<std::size_t> selected;
+  selected.reserve(accepted.size());
+  for (std::size_t sorted_index : accepted) selected.push_back(order[sorted_index]);
+  return selected;
+}
+
+}  // namespace
+
+std::vector<std::size_t> MaxWeightScheduler::select(const Engine& engine, Time /*now*/,
+                                                    const std::vector<Candidate>& candidates) {
+  std::vector<WeightedBipartiteEdge> edges;
+  edges.reserve(candidates.size());
+  for (const Candidate& c : candidates) {
+    edges.push_back(WeightedBipartiteEdge{c.transmitter, c.receiver, c.chunk_weight});
+  }
+  const MatchingResult matching = max_weight_matching(
+      edges, static_cast<std::size_t>(engine.topology().num_transmitters()),
+      static_cast<std::size_t>(engine.topology().num_receivers()));
+  return matching.edges;  // indices into `edges` == indices into `candidates`
+}
+
+std::vector<std::size_t> IslipScheduler::select(const Engine& engine, Time /*now*/,
+                                                const std::vector<Candidate>& candidates) {
+  const auto num_t = static_cast<std::size_t>(engine.topology().num_transmitters());
+  const auto num_r = static_cast<std::size_t>(engine.topology().num_receivers());
+  grant_pointer_.resize(num_r, 0);
+  accept_pointer_.resize(num_t, 0);
+
+  // request[t][r] = head-of-line candidate for the (t, r) pair (FIFO).
+  std::vector<std::vector<std::size_t>> request(num_t, std::vector<std::size_t>(num_r, kNone));
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    auto& slot = request[static_cast<std::size_t>(candidates[i].transmitter)]
+                        [static_cast<std::size_t>(candidates[i].receiver)];
+    if (slot == kNone || fifo_before(candidates[i], candidates[slot])) slot = i;
+  }
+
+  std::vector<bool> t_matched(num_t, false), r_matched(num_r, false);
+  std::vector<std::size_t> selected;
+
+  const int max_rounds = iterations_ > 0
+                             ? iterations_
+                             : static_cast<int>(std::max<std::size_t>(num_t, num_r)) + 1;
+  for (int round = 0; round < max_rounds; ++round) {
+    // Grant: each unmatched receiver picks, round-robin from its pointer,
+    // one requesting unmatched transmitter. A receiver grants exactly one
+    // transmitter, but several receivers may grant the same transmitter.
+    std::vector<std::vector<std::size_t>> grants(num_t);
+    for (std::size_t r = 0; r < num_r; ++r) {
+      if (r_matched[r]) continue;
+      for (std::size_t k = 0; k < num_t; ++k) {
+        const std::size_t t = (grant_pointer_[r] + k) % num_t;
+        if (t_matched[t] || request[t][r] == kNone) continue;
+        grants[t].push_back(r);
+        break;
+      }
+    }
+    // Accept: each granted transmitter accepts round-robin from its pointer.
+    bool any_accept = false;
+    for (std::size_t t = 0; t < num_t; ++t) {
+      if (t_matched[t] || grants[t].empty()) continue;
+      std::size_t chosen = grants[t].front();
+      std::size_t best_rank = kNone;
+      for (std::size_t r : grants[t]) {
+        const std::size_t rank = (r + num_r - accept_pointer_[t] % num_r) % num_r;
+        if (rank < best_rank) {
+          best_rank = rank;
+          chosen = r;
+        }
+      }
+      t_matched[t] = true;
+      r_matched[chosen] = true;
+      selected.push_back(request[t][chosen]);
+      any_accept = true;
+      if (round == 0) {
+        // Pointer update only for first-iteration accepts (classic iSLIP
+        // desynchronization rule).
+        grant_pointer_[chosen] = (t + 1) % num_t;
+        accept_pointer_[t] = (chosen + 1) % num_r;
+      }
+    }
+    if (!any_accept) break;
+  }
+  return selected;
+}
+
+RotorScheduler::RotorScheduler(const Topology& topology) {
+  std::vector<BipartiteEdge> edges;
+  edges.reserve(static_cast<std::size_t>(topology.num_edges()));
+  for (const ReconfigEdge& edge : topology.edges()) {
+    edges.push_back(BipartiteEdge{edge.transmitter, edge.receiver});
+  }
+  coloring_ = color_bipartite_edges(edges, static_cast<std::size_t>(topology.num_transmitters()),
+                                    static_cast<std::size_t>(topology.num_receivers()));
+}
+
+std::vector<std::size_t> RotorScheduler::select(const Engine& /*engine*/, Time now,
+                                                const std::vector<Candidate>& candidates) {
+  if (coloring_.num_colors == 0) return {};
+  const std::int32_t active_color =
+      static_cast<std::int32_t>(now % static_cast<Time>(coloring_.num_colors));
+  // The active color class is a matching over (t, r); per active edge,
+  // transmit the FIFO head among the packets committed to it.
+  std::vector<std::size_t> head_per_edge(coloring_.color.size(), kNone);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto e = static_cast<std::size_t>(candidates[i].edge);
+    if (coloring_.color[e] != active_color) continue;
+    auto& slot = head_per_edge[e];
+    if (slot == kNone || fifo_before(candidates[i], candidates[slot])) slot = i;
+  }
+  std::vector<std::size_t> selected;
+  for (std::size_t slot : head_per_edge) {
+    if (slot != kNone) selected.push_back(slot);
+  }
+  return selected;
+}
+
+std::vector<std::size_t> RandomMaximalScheduler::select(
+    const Engine& engine, Time /*now*/, const std::vector<Candidate>& candidates) {
+  std::vector<std::size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng_.shuffle(order);
+  return greedy_in_order(engine, candidates, order);
+}
+
+std::vector<std::size_t> FifoScheduler::select(const Engine& engine, Time /*now*/,
+                                               const std::vector<Candidate>& candidates) {
+  std::vector<std::size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&candidates](std::size_t a, std::size_t b) {
+    return fifo_before(candidates[a], candidates[b]);
+  });
+  return greedy_in_order(engine, candidates, order);
+}
+
+}  // namespace rdcn

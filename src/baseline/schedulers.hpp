@@ -1,0 +1,74 @@
+#pragma once
+
+// Schedule-policy baselines from classic switch scheduling (the literature
+// the paper generalizes -- [20], [21], [49] -- plus the demand-oblivious
+// rotor design of [8]):
+//
+//   MaxWeightScheduler -- per step, a maximum-weight matching of the
+//                         head-of-line chunks (Hungarian);
+//   IslipScheduler     -- McKeown's iSLIP: iterative round-robin
+//                         request/grant/accept with pointer desynchronization;
+//   RotorScheduler     -- cycles through a fixed edge coloring of the
+//                         reconfigurable layer, demand-obliviously;
+//   RandomMaximalScheduler -- random-order greedy maximal matching;
+//   FifoScheduler      -- greedy maximal matching in arrival order
+//                         (weight-blind stable matching).
+
+#include <cstdint>
+#include <vector>
+
+#include "match/edge_coloring.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace rdcn {
+
+class MaxWeightScheduler final : public SchedulePolicy {
+ public:
+  std::vector<std::size_t> select(const Engine& engine, Time now,
+                                  const std::vector<Candidate>& candidates) override;
+};
+
+class IslipScheduler final : public SchedulePolicy {
+ public:
+  /// iterations = 0 runs request/grant/accept until convergence.
+  explicit IslipScheduler(int iterations = 0) : iterations_(iterations) {}
+  std::vector<std::size_t> select(const Engine& engine, Time now,
+                                  const std::vector<Candidate>& candidates) override;
+
+ private:
+  int iterations_;
+  std::vector<std::size_t> grant_pointer_;   ///< per receiver
+  std::vector<std::size_t> accept_pointer_;  ///< per transmitter
+};
+
+class RotorScheduler final : public SchedulePolicy {
+ public:
+  /// Precomputes the coloring of the topology's reconfigurable layer.
+  explicit RotorScheduler(const Topology& topology);
+  std::vector<std::size_t> select(const Engine& engine, Time now,
+                                  const std::vector<Candidate>& candidates) override;
+
+  std::int32_t cycle_length() const noexcept { return coloring_.num_colors; }
+
+ private:
+  EdgeColoring coloring_;
+};
+
+class RandomMaximalScheduler final : public SchedulePolicy {
+ public:
+  explicit RandomMaximalScheduler(std::uint64_t seed = 1) : rng_(seed) {}
+  std::vector<std::size_t> select(const Engine& engine, Time now,
+                                  const std::vector<Candidate>& candidates) override;
+
+ private:
+  Rng rng_;
+};
+
+class FifoScheduler final : public SchedulePolicy {
+ public:
+  std::vector<std::size_t> select(const Engine& engine, Time now,
+                                  const std::vector<Candidate>& candidates) override;
+};
+
+}  // namespace rdcn

@@ -1,0 +1,94 @@
+#include "core/alg.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/chunk_order.hpp"
+#include "core/impact.hpp"
+#include "match/capacitated.hpp"
+#include "match/stable.hpp"
+
+namespace rdcn {
+
+RouteDecision ImpactDispatcher::dispatch(const Engine& engine, const Packet& packet) {
+  const Topology& topology = engine.topology();
+  const std::vector<EdgeIndex> candidates =
+      topology.candidate_edges(packet.source, packet.destination);
+
+  double best_delta = std::numeric_limits<double>::infinity();
+  EdgeIndex best_edge = kInvalidEdge;
+  for (EdgeIndex e : candidates) {
+    const double delta = impact_of(engine, packet, e).delta;
+    if (delta < best_delta) {  // ties keep the lowest edge index
+      best_delta = delta;
+      best_edge = e;
+    }
+  }
+
+  const auto direct = topology.fixed_link_delay(packet.source, packet.destination);
+  RouteDecision decision;
+  if (best_edge == kInvalidEdge) {
+    if (!direct) throw std::logic_error("packet has no route");
+    decision.use_fixed = true;
+    decision.alpha = packet.weight * static_cast<double>(*direct);
+    return decision;
+  }
+  if (direct && packet.weight * static_cast<double>(*direct) <= best_delta) {
+    decision.use_fixed = true;
+    decision.alpha = packet.weight * static_cast<double>(*direct);
+    return decision;
+  }
+  decision.use_fixed = false;
+  decision.edge = best_edge;
+  decision.alpha = best_delta;
+  return decision;
+}
+
+std::vector<std::size_t> StableMatchingScheduler::select(
+    const Engine& engine, Time /*now*/, const std::vector<Candidate>& candidates) {
+  // Sort candidate indices by the paper's priority order, then accept
+  // greedily whenever both endpoints are still free (Section III-C).
+  std::vector<std::size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&candidates](std::size_t a, std::size_t b) {
+    return chunk_higher_priority(candidates[a], candidates[b]);
+  });
+
+  const auto num_t = static_cast<std::size_t>(engine.topology().num_transmitters());
+  const auto num_r = static_cast<std::size_t>(engine.topology().num_receivers());
+  std::vector<std::size_t> accepted;
+  if (engine.options().endpoint_capacity == 1) {
+    std::vector<MatchRequest> requests;
+    requests.reserve(order.size());
+    for (std::size_t idx : order) {
+      requests.push_back(MatchRequest{candidates[idx].transmitter, candidates[idx].receiver});
+    }
+    accepted = greedy_stable_matching(requests, num_t, num_r);
+  } else {
+    // b-matching extension: endpoints carry up to b edges per step.
+    std::vector<CapacitatedRequest> requests;
+    requests.reserve(order.size());
+    for (std::size_t idx : order) {
+      requests.push_back(CapacitatedRequest{candidates[idx].transmitter,
+                                            candidates[idx].receiver,
+                                            static_cast<std::int64_t>(candidates[idx].edge)});
+    }
+    accepted = greedy_stable_bmatching(requests, num_t, num_r,
+                                       engine.options().endpoint_capacity);
+  }
+
+  std::vector<std::size_t> selected;
+  selected.reserve(accepted.size());
+  for (std::size_t sorted_index : accepted) selected.push_back(order[sorted_index]);
+  return selected;
+}
+
+RunResult run_alg(const Instance& instance, EngineOptions options) {
+  ImpactDispatcher dispatcher;
+  StableMatchingScheduler scheduler;
+  return simulate(instance, dispatcher, scheduler, options);
+}
+
+}  // namespace rdcn

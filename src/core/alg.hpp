@@ -1,0 +1,36 @@
+#pragma once
+
+// The paper's online algorithm ALG (Section III):
+//  * ImpactDispatcher  -- the greedy-dispatch rule of Section III-B:
+//    commit each arriving packet to the route minimizing its worst-case
+//    impact, i.e. argmin_e Delta_p(e), or the fixed direct link when
+//    w_p * dl(p) <= min_e Delta_p(e);
+//  * StableMatchingScheduler -- the scheduler of Section III-C: per step,
+//    greedily build a stable matching of pending chunks, scanning them in
+//    decreasing weight / increasing arrival order.
+//
+// run_alg() wires both into the engine; its RouteDecision::alpha values
+// are exactly the dual variables alpha_p of Section IV-B.
+
+#include "sim/engine.hpp"
+
+namespace rdcn {
+
+class ImpactDispatcher final : public DispatchPolicy {
+ public:
+  RouteDecision dispatch(const Engine& engine, const Packet& packet) override;
+};
+
+class StableMatchingScheduler final : public SchedulePolicy {
+ public:
+  std::vector<std::size_t> select(const Engine& engine, Time now,
+                                  const std::vector<Candidate>& candidates) override;
+};
+
+/// Runs ALG on the instance. Trace recording is on by default so that the
+/// dual-fitting witness and charging audit can be built from the result.
+RunResult run_alg(const Instance& instance, EngineOptions options = {.speedup_rounds = 1,
+                                                                     .record_trace = true,
+                                                                     .max_steps = 0});
+
+}  // namespace rdcn

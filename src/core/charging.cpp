@@ -1,0 +1,227 @@
+#include "core/charging.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace rdcn {
+
+namespace {
+
+/// time -> (packet -> StepPacketRecord) lookup over the recorded trace.
+class TraceIndex {
+ public:
+  explicit TraceIndex(const RunResult& result) {
+    for (const StepRecord& step : result.trace) {
+      auto& by_packet = steps_[step.time];
+      for (const StepPacketRecord& rec : step.packets) by_packet.emplace(rec.packet, rec);
+    }
+  }
+
+  const StepPacketRecord& at(Time time, PacketIndex packet) const {
+    const auto step_it = steps_.find(time);
+    if (step_it == steps_.end()) {
+      throw std::logic_error("charging audit: no trace record for step " +
+                             std::to_string(time));
+    }
+    const auto rec_it = step_it->second.find(packet);
+    if (rec_it == step_it->second.end()) {
+      throw std::logic_error("charging audit: packet missing from step record");
+    }
+    return rec_it->second;
+  }
+
+ private:
+  std::unordered_map<Time, std::unordered_map<PacketIndex, StepPacketRecord>> steps_;
+};
+
+std::int64_t integer_weight(const Packet& packet) {
+  const double rounded = std::floor(packet.weight);
+  if (rounded != packet.weight || std::abs(packet.weight) > 1e15) {
+    throw std::invalid_argument("exact audit requires integer packet weights");
+  }
+  return static_cast<std::int64_t>(rounded);
+}
+
+/// Shared charging walk; Number is double or Rational.
+template <typename Number, typename MakeChunkWeight>
+void distribute_charges(const Instance& instance, const RunResult& result,
+                        const TraceIndex& trace, MakeChunkWeight make_chunk_weight,
+                        std::vector<Number>& charge) {
+  const Topology& topology = instance.topology();
+  charge.assign(instance.num_packets(), Number(0));
+
+  for (std::size_t i = 0; i < instance.num_packets(); ++i) {
+    const Packet& packet = instance.packets()[i];
+    const PacketOutcome& outcome = result.outcomes[i];
+
+    if (outcome.route.use_fixed) {
+      const auto direct = topology.fixed_link_delay(packet.source, packet.destination);
+      charge[i] += make_chunk_weight(packet, 1) * Number(static_cast<std::int64_t>(*direct));
+      continue;
+    }
+
+    const ReconfigEdge& edge = topology.edge(outcome.route.edge);
+    const Delay tail = topology.transmitter_attach_delay(edge.transmitter) +
+                       topology.receiver_attach_delay(edge.receiver);
+    const Number chunk_weight = make_chunk_weight(packet, edge.delay);
+
+    for (Time transmit : outcome.chunk_transmit_steps) {
+      // In-flight rounds [transmit, completion): charged to the packet.
+      charge[i] += chunk_weight * Number(static_cast<std::int64_t>(1 + tail));
+      // Waiting rounds [a_p, transmit): someone blocked the chunk.
+      for (Time tau = packet.arrival; tau < transmit; ++tau) {
+        const StepPacketRecord& rec = trace.at(tau, packet.id);
+        if (rec.transmitted) {
+          charge[i] += chunk_weight;  // blocked by the packet's own chunk
+          continue;
+        }
+        const PacketIndex blocker = rec.blocker;
+        if (blocker < 0) {
+          throw std::logic_error("charging audit: blocked chunk without blocker");
+        }
+        const Packet& blocker_packet =
+            instance.packets()[static_cast<std::size_t>(blocker)];
+        if (arrived_before(blocker_packet, packet)) {
+          charge[i] += chunk_weight;  // blocker was first: c' in H_p, p pays
+        } else {
+          charge[static_cast<std::size_t>(blocker)] += chunk_weight;  // c in L_q, q pays
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ChargingAudit audit_charging(const Instance& instance, const RunResult& result) {
+  if (result.trace.empty() && !instance.packets().empty()) {
+    throw std::invalid_argument("charging audit needs a run with record_trace=true");
+  }
+  const TraceIndex trace(result);
+  ChargingAudit audit;
+  distribute_charges<double>(
+      instance, result, trace,
+      [](const Packet& packet, Delay delay) {
+        return packet.weight / static_cast<double>(delay);
+      },
+      audit.charge);
+
+  for (std::size_t i = 0; i < instance.num_packets(); ++i) {
+    audit.total_charge += audit.charge[i];
+    audit.max_overcharge =
+        std::max(audit.max_overcharge, audit.charge[i] - result.outcomes[i].route.alpha);
+  }
+  audit.cover_gap = std::abs(audit.total_charge - result.total_cost);
+  return audit;
+}
+
+std::vector<Rational> exact_alphas(const Instance& instance, const RunResult& result) {
+  const Topology& topology = instance.topology();
+  const auto& packets = instance.packets();
+  std::vector<Rational> alphas(instance.num_packets(), Rational(0));
+
+  for (std::size_t i = 0; i < instance.num_packets(); ++i) {
+    const Packet& packet = packets[i];
+    const PacketOutcome& outcome = result.outcomes[i];
+    const std::int64_t weight = integer_weight(packet);
+
+    if (outcome.route.use_fixed) {
+      const auto direct = topology.fixed_link_delay(packet.source, packet.destination);
+      alphas[i] = Rational(weight) * Rational(static_cast<std::int64_t>(*direct));
+      continue;
+    }
+
+    const ReconfigEdge& edge = topology.edge(outcome.route.edge);
+    const Rational own_chunk_weight(weight, static_cast<std::int64_t>(edge.delay));
+    const Rational base =
+        Rational(weight) *
+        (Rational(static_cast<std::int64_t>(topology.transmitter_attach_delay(edge.transmitter))) +
+         Rational(static_cast<std::int64_t>(edge.delay) + 1, 2) +
+         Rational(static_cast<std::int64_t>(topology.receiver_attach_delay(edge.receiver))));
+
+    // Reconstruct the dispatch-time pending state: packets earlier in the
+    // input sequence, routed via an adjacent edge, with the chunks they
+    // had not yet transmitted strictly before step a_p (the dispatcher
+    // runs before the step's scheduling round).
+    std::int64_t h_count = 0;
+    Rational l_weight(0);
+    for (std::size_t j = 0; j < i; ++j) {
+      const PacketOutcome& other = result.outcomes[j];
+      if (other.route.use_fixed) continue;
+      const ReconfigEdge& other_edge = topology.edge(other.route.edge);
+      if (other_edge.transmitter != edge.transmitter && other_edge.receiver != edge.receiver) {
+        continue;
+      }
+      std::int64_t remaining = other_edge.delay;
+      for (Time transmit : other.chunk_transmit_steps) {
+        if (transmit < packet.arrival) --remaining;
+      }
+      if (remaining <= 0) continue;
+      const Rational other_chunk_weight(integer_weight(packets[j]),
+                                        static_cast<std::int64_t>(other_edge.delay));
+      if (other_chunk_weight >= own_chunk_weight) {
+        h_count += remaining;
+      } else {
+        l_weight += other_chunk_weight * Rational(remaining);
+      }
+    }
+    alphas[i] = base + Rational(weight) * Rational(h_count) +
+                Rational(static_cast<std::int64_t>(edge.delay)) * l_weight;
+  }
+  return alphas;
+}
+
+ExactChargingAudit audit_charging_exact(const Instance& instance, const RunResult& result) {
+  if (!instance.has_integer_weights()) {
+    throw std::invalid_argument("exact audit requires integer weights");
+  }
+  if (result.trace.empty() && !instance.packets().empty()) {
+    throw std::invalid_argument("charging audit needs a run with record_trace=true");
+  }
+  const TraceIndex trace(result);
+  const Topology& topology = instance.topology();
+
+  ExactChargingAudit audit;
+  distribute_charges<Rational>(
+      instance, result, trace,
+      [](const Packet& packet, Delay delay) {
+        return Rational(integer_weight(packet), static_cast<std::int64_t>(delay));
+      },
+      audit.charge);
+  audit.alpha = exact_alphas(instance, result);
+
+  // Recompute ALG's cost exactly from the outcomes.
+  audit.total_cost = Rational(0);
+  for (std::size_t i = 0; i < instance.num_packets(); ++i) {
+    const Packet& packet = instance.packets()[i];
+    const PacketOutcome& outcome = result.outcomes[i];
+    if (outcome.route.use_fixed) {
+      const auto direct = topology.fixed_link_delay(packet.source, packet.destination);
+      audit.total_cost += Rational(integer_weight(packet)) *
+                          Rational(static_cast<std::int64_t>(*direct));
+      continue;
+    }
+    const ReconfigEdge& edge = topology.edge(outcome.route.edge);
+    const Delay tail = topology.transmitter_attach_delay(edge.transmitter) +
+                       topology.receiver_attach_delay(edge.receiver);
+    const Rational chunk_weight(integer_weight(packet), static_cast<std::int64_t>(edge.delay));
+    for (Time transmit : outcome.chunk_transmit_steps) {
+      const Time completion = transmit + 1 + tail;
+      audit.total_cost +=
+          chunk_weight * Rational(static_cast<std::int64_t>(completion - packet.arrival));
+    }
+  }
+
+  Rational total_charge(0);
+  audit.within_alpha = true;
+  for (std::size_t i = 0; i < instance.num_packets(); ++i) {
+    total_charge += audit.charge[i];
+    if (audit.charge[i] > audit.alpha[i]) audit.within_alpha = false;
+  }
+  audit.charges_cover_cost = (total_charge == audit.total_cost);
+  return audit;
+}
+
+}  // namespace rdcn

@@ -1,0 +1,62 @@
+#pragma once
+
+// The dual-fitting witness of Section IV-B, built from a completed ALG run:
+//   alpha_p  = the dispatcher's frozen worst-case impact (RouteDecision::alpha),
+//   beta_t,tau / beta_r,tau = total weight of chunks assigned to an edge at
+//   transmitter t / receiver r that are active at tau (arrived, not yet at
+//   their destination).
+//
+// The witness supports:
+//   * objective(eps) -- the dual objective of Figure 4,
+//   * lower_bound(eps) = objective(eps) / 2 -- a certified lower bound on
+//     OPT with transmission budget 1/(2+eps) (Lemma 5 / weak duality),
+//   * check_feasibility -- machine-checks Lemma 4/5: the witness halved
+//     satisfies every constraint of the dual program D.
+
+#include <vector>
+
+#include "net/instance.hpp"
+#include "sim/engine.hpp"
+
+namespace rdcn {
+
+struct DualWitness {
+  std::vector<double> alpha;                ///< per packet
+  std::vector<std::vector<double>> beta_t;  ///< [transmitter][tau], tau < horizon
+  std::vector<std::vector<double>> beta_r;  ///< [receiver][tau]
+  Time horizon = 0;  ///< exclusive: beta_*[..][tau] == 0 for tau >= horizon
+  double sum_alpha = 0.0;
+  double sum_beta_t = 0.0;
+  double sum_beta_r = 0.0;
+
+  /// Dual objective of Figure 4 for the given eps (OPT budget 1/(2+eps)).
+  double objective(double eps) const;
+  /// Certified lower bound on OPT(1/(2+eps)-speed): objective of the
+  /// halved (feasible, by Lemma 5) witness.
+  double lower_bound(double eps) const { return objective(eps) / 2.0; }
+};
+
+/// Builds the witness from an ALG run (requires RouteDecision::alpha to be
+/// populated, i.e. the run used ImpactDispatcher).
+DualWitness build_dual_witness(const Instance& instance, const RunResult& result);
+
+struct DualFeasibilityReport {
+  /// max over all x_{p,e,tau} constraints of
+  ///   (alpha_p - d(e) (beta_{t,tau}+beta_{r,tau})) / (w_p (tau + d^(e) - a_p));
+  /// Lemma 4 asserts this is < 2.
+  double max_violation_ratio = 0.0;
+  /// True iff the halved witness satisfies every dual constraint
+  /// (x-constraints with factor-2 slack above, and alpha_p <= w_p dl(p)).
+  bool halved_feasible = true;
+  std::size_t constraints_checked = 0;
+};
+
+DualFeasibilityReport check_dual_feasibility(const Instance& instance,
+                                             const DualWitness& witness,
+                                             double tolerance = 1e-9);
+
+/// Lemma 1: sum_t,tau beta - sum_r,tau beta == 0 and both equal the
+/// reconfigurable share of ALG's cost. Returns the max absolute gap.
+double lemma1_gap(const DualWitness& witness, const RunResult& result);
+
+}  // namespace rdcn

@@ -1,0 +1,43 @@
+#include "core/impact.hpp"
+
+namespace rdcn {
+
+ImpactBreakdown impact_of(const Engine& engine, const Packet& packet, EdgeIndex e) {
+  const Topology& topology = engine.topology();
+  const ReconfigEdge& edge = topology.edge(e);
+  const double d = static_cast<double>(edge.delay);
+  const double du = static_cast<double>(topology.transmitter_attach_delay(edge.transmitter));
+  const double dv = static_cast<double>(topology.receiver_attach_delay(edge.receiver));
+  const double own_chunk_weight = packet.weight / d;
+
+  ImpactBreakdown breakdown;
+  breakdown.base = packet.weight * (du + (d + 1.0) / 2.0 + dv);
+
+  auto account = [&](PacketIndex q) {
+    // All pending packets arrived (in sequence order) before `packet`,
+    // because the dispatcher runs at arrival time before enqueueing it;
+    // so every pending chunk is in B_p. Ties in weight therefore go to H.
+    const double q_chunk_weight = engine.chunk_weight(q);
+    const std::int64_t q_remaining = engine.remaining_chunks(q);
+    if (q_chunk_weight >= own_chunk_weight) {
+      breakdown.h_count += q_remaining;
+    } else {
+      breakdown.l_weight += static_cast<double>(q_remaining) * q_chunk_weight;
+    }
+  };
+
+  for (PacketIndex q : engine.pending_on_transmitter(edge.transmitter)) account(q);
+  for (PacketIndex q : engine.pending_on_receiver(edge.receiver)) {
+    // Skip packets already counted through the transmitter side (their
+    // assigned edge shares both endpoints with e, e.g. a parallel edge).
+    const ReconfigEdge& q_edge = topology.edge(engine.assigned_edge(q));
+    if (q_edge.transmitter == edge.transmitter) continue;
+    account(q);
+  }
+
+  breakdown.delta = breakdown.base + packet.weight * static_cast<double>(breakdown.h_count) +
+                    d * breakdown.l_weight;
+  return breakdown;
+}
+
+}  // namespace rdcn

@@ -1,0 +1,64 @@
+#include "core/randomized.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "match/stable.hpp"
+
+namespace rdcn {
+
+namespace {
+
+std::vector<std::size_t> greedy_over_order(const Engine& engine,
+                                           const std::vector<Candidate>& candidates,
+                                           const std::vector<std::size_t>& order) {
+  std::vector<MatchRequest> requests;
+  requests.reserve(order.size());
+  for (std::size_t idx : order) {
+    requests.push_back(MatchRequest{candidates[idx].transmitter, candidates[idx].receiver});
+  }
+  const auto accepted = greedy_stable_matching(
+      requests, static_cast<std::size_t>(engine.topology().num_transmitters()),
+      static_cast<std::size_t>(engine.topology().num_receivers()));
+  std::vector<std::size_t> selected;
+  selected.reserve(accepted.size());
+  for (std::size_t sorted_index : accepted) selected.push_back(order[sorted_index]);
+  return selected;
+}
+
+}  // namespace
+
+std::vector<std::size_t> PerturbedStableScheduler::select(
+    const Engine& engine, Time /*now*/, const std::vector<Candidate>& candidates) {
+  // Log-normal multiplicative noise keeps weights positive and preserves
+  // large weight gaps while shuffling near-ties.
+  std::vector<double> noisy(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double u1 = rng_.next_double();
+    const double u2 = rng_.next_double();
+    const double normal =
+        std::sqrt(-2.0 * std::log(u1 + 1e-300)) * std::cos(6.283185307179586 * u2);
+    noisy[i] = candidates[i].chunk_weight * std::exp(sigma_ * normal);
+  }
+  std::vector<std::size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (noisy[a] != noisy[b]) return noisy[a] > noisy[b];
+    if (candidates[a].arrival != candidates[b].arrival) {
+      return candidates[a].arrival < candidates[b].arrival;
+    }
+    return candidates[a].packet < candidates[b].packet;
+  });
+  return greedy_over_order(engine, candidates, order);
+}
+
+std::vector<std::size_t> RandomSerialDictatorScheduler::select(
+    const Engine& engine, Time /*now*/, const std::vector<Candidate>& candidates) {
+  std::vector<std::size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng_.shuffle(order);
+  return greedy_over_order(engine, candidates, order);
+}
+
+}  // namespace rdcn

@@ -1,0 +1,78 @@
+#include "flow/flows.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rdcn {
+
+FlowIndex FlowSet::add_flow(Time arrival, double weight, std::int64_t size,
+                            NodeIndex source, NodeIndex destination) {
+  if (size < 1) throw std::invalid_argument("flow size must be >= 1");
+  if (!(weight > 0)) throw std::invalid_argument("flow weight must be positive");
+  if (!flows_.empty() && flows_.back().arrival > arrival) {
+    throw std::invalid_argument("flows must be added in arrival order");
+  }
+  Flow flow;
+  flow.id = static_cast<FlowIndex>(flows_.size());
+  flow.arrival = arrival;
+  flow.weight = weight;
+  flow.size = size;
+  flow.source = source;
+  flow.destination = destination;
+  flows_.push_back(flow);
+  return flow.id;
+}
+
+Instance FlowSet::to_instance() const {
+  Instance instance(topology_, {});
+  packet_to_flow_.clear();
+  for (const Flow& flow : flows_) {
+    const double unit_weight = flow.weight / static_cast<double>(flow.size);
+    for (std::int64_t k = 0; k < flow.size; ++k) {
+      instance.add_packet(flow.arrival, unit_weight, flow.source, flow.destination);
+      packet_to_flow_.push_back(flow.id);
+    }
+  }
+  return instance;
+}
+
+FlowReport analyze_flows(const FlowSet& flows, const RunResult& result) {
+  const auto& mapping = flows.packet_to_flow();
+  std::int64_t expected_packets = 0;
+  for (const Flow& flow : flows.flows()) expected_packets += flow.size;
+  if (mapping.size() != result.outcomes.size() ||
+      mapping.size() != static_cast<std::size_t>(expected_packets)) {
+    throw std::invalid_argument(
+        "run result does not match this FlowSet's expansion (call to_instance first)");
+  }
+  FlowReport report;
+  report.flows.resize(flows.flows().size());
+  for (std::size_t i = 0; i < mapping.size(); ++i) {
+    FlowOutcome& outcome = report.flows[static_cast<std::size_t>(mapping[i])];
+    outcome.completion = std::max(outcome.completion, result.outcomes[i].completion);
+    outcome.fractional_cost += result.outcomes[i].weighted_latency;
+  }
+  std::vector<double> fcts;
+  fcts.reserve(report.flows.size());
+  for (std::size_t f = 0; f < report.flows.size(); ++f) {
+    const Flow& flow = flows.flows()[f];
+    FlowOutcome& outcome = report.flows[f];
+    outcome.fct = static_cast<double>(outcome.completion - flow.arrival);
+    outcome.weighted_fct = flow.weight * outcome.fct;
+    report.total_weighted_fct += outcome.weighted_fct;
+    report.total_fractional_cost += outcome.fractional_cost;
+    fcts.push_back(outcome.fct);
+  }
+  if (!fcts.empty()) {
+    double sum = 0.0;
+    for (double f : fcts) sum += f;
+    report.mean_fct = sum / static_cast<double>(fcts.size());
+    std::sort(fcts.begin(), fcts.end());
+    const auto rank =
+        static_cast<std::size_t>(0.99 * static_cast<double>(fcts.size() - 1) + 0.5);
+    report.p99_fct = fcts[std::min(rank, fcts.size() - 1)];
+  }
+  return report;
+}
+
+}  // namespace rdcn

@@ -1,0 +1,33 @@
+#pragma once
+
+// Exact-rational builder for the paper's primal LP (Figure 3): with
+// integer packet weights and rational eps = num/den, every coefficient of
+// P is rational (the capacity budget is den/(2*den + num)), so its optimum
+// is an exact rational lower bound on OPT. Combined with the exact dual
+// witness (core/exact_certificate.hpp) this lets the test-suite verify the
+// inequality chain of Lemmas 3-5 with zero floating-point slack.
+
+#include "lp/exact_simplex.hpp"
+#include "net/instance.hpp"
+
+namespace rdcn {
+
+struct ExactEps {
+  std::int64_t num = 1;
+  std::int64_t den = 1;
+
+  Rational value() const { return Rational(num, den); }
+  /// 1 / (2 + eps) as an exact rational.
+  Rational budget() const { return Rational(den, 2 * den + num); }
+};
+
+/// Builds Figure 3's program P with exact coefficients. Requires integer
+/// packet weights. horizon = 0 derives the feasibility horizon.
+lp::ExactModel build_primal_lp_exact(const Instance& instance, ExactEps eps,
+                                     Time horizon = 0);
+
+/// Solves P exactly; throws std::runtime_error unless the solver reaches
+/// optimality (including on rational overflow).
+Rational exact_lp_opt(const Instance& instance, ExactEps eps, Time horizon = 0);
+
+}  // namespace rdcn

@@ -1,0 +1,68 @@
+#pragma once
+
+// Exact LP solving over rational arithmetic: a two-phase tableau simplex
+// with Bland's rule (guaranteed termination) and zero tolerances. Used to
+// produce CERTIFICATE-GRADE values of the paper's LPs on small instances:
+// with integer packet weights and rational eps, the optimum of Figure 3's
+// program P -- and hence the lower bound on OPT -- is an exact rational,
+// and the dual-witness inequality D/2 <= OPT can be checked with no
+// floating-point slack at all.
+//
+// Rationals can overflow on long pivot chains; the solver reports
+// ExactStatus::Overflow in that case (callers fall back to the double
+// solver). Intended for the test-suite and small certified runs.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rational.hpp"
+
+namespace rdcn::lp {
+
+enum class ExactRelation { LessEq, GreaterEq, Equal };
+
+struct ExactTerm {
+  std::size_t variable = 0;
+  Rational coefficient;
+};
+
+class ExactModel {
+ public:
+  std::size_t add_variable(Rational objective_coefficient);
+  void add_constraint(std::vector<ExactTerm> terms, ExactRelation relation, Rational rhs);
+  void set_maximize(bool maximize) noexcept { maximize_ = maximize; }
+  bool maximize() const noexcept { return maximize_; }
+
+  std::size_t num_variables() const noexcept { return objective_.size(); }
+  std::size_t num_constraints() const noexcept { return constraints_.size(); }
+  const std::vector<Rational>& objective() const noexcept { return objective_; }
+
+  struct Constraint {
+    std::vector<ExactTerm> terms;
+    ExactRelation relation;
+    Rational rhs;
+  };
+  const std::vector<Constraint>& constraints() const noexcept { return constraints_; }
+
+  /// Exact feasibility check of an assignment.
+  bool is_feasible(const std::vector<Rational>& values) const;
+  Rational objective_value(const std::vector<Rational>& values) const;
+
+ private:
+  std::vector<Rational> objective_;
+  std::vector<Constraint> constraints_;
+  bool maximize_ = false;
+};
+
+enum class ExactStatus { Optimal, Infeasible, Unbounded, IterationLimit, Overflow };
+
+struct ExactSolution {
+  ExactStatus status = ExactStatus::IterationLimit;
+  Rational objective;
+  std::vector<Rational> values;
+  std::size_t iterations = 0;
+};
+
+ExactSolution solve_exact(const ExactModel& model, std::size_t max_iterations = 100000);
+
+}  // namespace rdcn::lp

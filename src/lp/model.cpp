@@ -1,0 +1,54 @@
+#include "lp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rdcn::lp {
+
+std::size_t Model::add_variable(double objective_coefficient, std::string name) {
+  objective_.push_back(objective_coefficient);
+  if (name.empty()) name = "x" + std::to_string(objective_.size() - 1);
+  names_.push_back(std::move(name));
+  return objective_.size() - 1;
+}
+
+void Model::add_constraint(std::vector<Term> terms, Relation relation, double rhs) {
+  for (const Term& term : terms) {
+    if (term.variable >= objective_.size()) {
+      throw std::out_of_range("constraint references unknown variable");
+    }
+  }
+  constraints_.push_back(Constraint{std::move(terms), relation, rhs});
+}
+
+double Model::objective_value(const std::vector<double>& values) const {
+  double total = 0.0;
+  for (std::size_t v = 0; v < objective_.size(); ++v) total += objective_[v] * values.at(v);
+  return total;
+}
+
+double Model::max_violation(const std::vector<double>& values) const {
+  double worst = 0.0;
+  for (std::size_t v = 0; v < objective_.size(); ++v) {
+    worst = std::max(worst, -values.at(v));
+  }
+  for (const Constraint& constraint : constraints_) {
+    double lhs = 0.0;
+    for (const Term& term : constraint.terms) lhs += term.coefficient * values.at(term.variable);
+    switch (constraint.relation) {
+      case Relation::LessEq:
+        worst = std::max(worst, lhs - constraint.rhs);
+        break;
+      case Relation::GreaterEq:
+        worst = std::max(worst, constraint.rhs - lhs);
+        break;
+      case Relation::Equal:
+        worst = std::max(worst, std::abs(lhs - constraint.rhs));
+        break;
+    }
+  }
+  return worst;
+}
+
+}  // namespace rdcn::lp

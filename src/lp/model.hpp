@@ -1,0 +1,57 @@
+#pragma once
+
+// A small linear-programming model container: nonnegative variables, a
+// linear objective (min or max), and <=, >=, == row constraints. Kept
+// deliberately simple -- it only needs to express the paper's programs P
+// (Figure 3) and D (Figure 4) and the random LPs of the test-suite.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rdcn::lp {
+
+enum class Relation { LessEq, GreaterEq, Equal };
+
+struct Term {
+  std::size_t variable = 0;
+  double coefficient = 0.0;
+};
+
+struct Constraint {
+  std::vector<Term> terms;
+  Relation relation = Relation::LessEq;
+  double rhs = 0.0;
+};
+
+class Model {
+ public:
+  /// Adds a nonnegative variable with the given objective coefficient.
+  std::size_t add_variable(double objective_coefficient, std::string name = {});
+
+  void add_constraint(std::vector<Term> terms, Relation relation, double rhs);
+
+  void set_maximize(bool maximize) noexcept { maximize_ = maximize; }
+  bool maximize() const noexcept { return maximize_; }
+
+  std::size_t num_variables() const noexcept { return objective_.size(); }
+  std::size_t num_constraints() const noexcept { return constraints_.size(); }
+  const std::vector<double>& objective() const noexcept { return objective_; }
+  const std::vector<Constraint>& constraints() const noexcept { return constraints_; }
+  const std::string& variable_name(std::size_t v) const { return names_.at(v); }
+
+  /// Objective value of an assignment (no feasibility check).
+  double objective_value(const std::vector<double>& values) const;
+
+  /// Max constraint violation of an assignment (0 when feasible);
+  /// includes negativity of variables.
+  double max_violation(const std::vector<double>& values) const;
+
+ private:
+  std::vector<double> objective_;
+  std::vector<std::string> names_;
+  std::vector<Constraint> constraints_;
+  bool maximize_ = false;
+};
+
+}  // namespace rdcn::lp

@@ -1,0 +1,71 @@
+#pragma once
+
+// Builders for the paper's linear programs.
+//
+// Figure 3 (primal P): variables x_{p,e,tau} (fraction of packet p sent
+// over edge e at step tau) and y_p (fraction over the fixed link), with
+//   min  sum w_p x_{p,e,tau} (tau + d^(e) - a_p) + sum w_p y_p dl(p)
+//   s.t. every packet fully sent; per-(transmitter, tau) and
+//        per-(receiver, tau) transmission-time budget 1/(2+eps).
+// Its optimum lower-bounds the cost of ANY (preemptive, migratory)
+// schedule whose transmission speed is 1/(2+eps) -- the OPT the paper's
+// Theorem 1 compares against.
+//
+// Figure 4 (dual D): variables alpha_p, beta_{t,tau}, beta_{r,tau} with
+//   max  sum alpha_p - 1/(2+eps) (sum beta_t + sum beta_r)
+//   s.t. alpha_p - d(e)(beta_{t,tau}+beta_{r,tau}) <= w_p (tau + d^(e) - a_p),
+//        alpha_p <= w_p dl(p).
+// Solving both and checking the objectives coincide machine-checks strong
+// duality for the pair (the test-suite does this on random instances).
+
+#include <vector>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+#include "net/instance.hpp"
+
+namespace rdcn {
+
+struct PaperLpOptions {
+  double eps = 1.0;   ///< OPT budget is 1/(2+eps) per endpoint per step
+  Time horizon = 0;   ///< 0 = derive a horizon that keeps P feasible
+};
+
+/// A built primal program plus the variable bookkeeping needed to read a
+/// solution back as a schedule.
+struct PrimalLp {
+  lp::Model model;
+  Time horizon = 0;
+  /// x-variable metadata, parallel to the LP variable indices in `x_vars`.
+  struct XVar {
+    PacketIndex packet;
+    EdgeIndex edge;
+    Time tau;
+  };
+  std::vector<XVar> x_vars;
+  std::vector<std::size_t> x_indices;
+  /// y_p variable index per packet (SIZE_MAX when no fixed link exists).
+  std::vector<std::size_t> y_index;
+};
+
+/// Horizon sufficient for feasibility at budget 1/(2+eps):
+/// max arrival + ceil((2+eps) * |Pi| * max d(e)) + 1.
+Time default_lp_horizon(const Instance& instance, double eps);
+
+PrimalLp build_primal_lp(const Instance& instance, const PaperLpOptions& options = {});
+
+struct DualLp {
+  lp::Model model;
+  Time horizon = 0;
+  std::vector<std::size_t> alpha_index;                 ///< per packet
+  std::vector<std::vector<std::size_t>> beta_t_index;   ///< [t][tau]
+  std::vector<std::vector<std::size_t>> beta_r_index;   ///< [r][tau]
+};
+
+DualLp build_dual_lp(const Instance& instance, const PaperLpOptions& options = {});
+
+/// Convenience: builds and solves P, returning its optimal value (a lower
+/// bound on OPT at budget 1/(2+eps)). Throws if the solver fails.
+double lp_opt_lower_bound(const Instance& instance, double eps, Time horizon = 0);
+
+}  // namespace rdcn

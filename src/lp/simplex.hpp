@@ -1,0 +1,34 @@
+#pragma once
+
+// Two-phase dense tableau simplex with Dantzig pricing and a Bland's-rule
+// fallback for anti-cycling. Written from scratch (no external solver is
+// available offline); adequate for the few-thousand-nonzero LPs the
+// reproduction needs. Returns primal variable values on optimality.
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace rdcn::lp {
+
+enum class SolveStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+struct SolveOptions {
+  std::size_t max_iterations = 200000;
+  double tolerance = 1e-9;
+  /// Switch from Dantzig to Bland pivoting after this many iterations
+  /// (guarantees termination on degenerate problems).
+  std::size_t bland_after = 20000;
+};
+
+struct Solution {
+  SolveStatus status = SolveStatus::IterationLimit;
+  double objective = 0.0;            ///< in the model's sense (max or min)
+  std::vector<double> values;        ///< per model variable
+  std::size_t iterations = 0;
+};
+
+Solution solve(const Model& model, const SolveOptions& options = {});
+
+}  // namespace rdcn::lp

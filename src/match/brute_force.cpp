@@ -1,0 +1,68 @@
+#include "match/brute_force.hpp"
+
+#include <algorithm>
+
+namespace rdcn {
+
+namespace {
+
+struct SearchState {
+  const std::vector<WeightedBipartiteEdge>* edges = nullptr;
+  std::vector<bool> left_busy;
+  std::vector<bool> right_busy;
+};
+
+double search_weight(SearchState& state, std::size_t index) {
+  const auto& edges = *state.edges;
+  if (index == edges.size()) return 0.0;
+  // Skip this edge.
+  double best = search_weight(state, index + 1);
+  const auto left = static_cast<std::size_t>(edges[index].left);
+  const auto right = static_cast<std::size_t>(edges[index].right);
+  if (!state.left_busy[left] && !state.right_busy[right]) {
+    state.left_busy[left] = true;
+    state.right_busy[right] = true;
+    best = std::max(best, edges[index].weight + search_weight(state, index + 1));
+    state.left_busy[left] = false;
+    state.right_busy[right] = false;
+  }
+  return best;
+}
+
+std::size_t search_cardinality(SearchState& state, std::size_t index) {
+  const auto& edges = *state.edges;
+  if (index == edges.size()) return 0;
+  std::size_t best = search_cardinality(state, index + 1);
+  const auto left = static_cast<std::size_t>(edges[index].left);
+  const auto right = static_cast<std::size_t>(edges[index].right);
+  if (!state.left_busy[left] && !state.right_busy[right]) {
+    state.left_busy[left] = true;
+    state.right_busy[right] = true;
+    best = std::max(best, 1 + search_cardinality(state, index + 1));
+    state.left_busy[left] = false;
+    state.right_busy[right] = false;
+  }
+  return best;
+}
+
+}  // namespace
+
+double brute_force_max_weight_matching(const std::vector<WeightedBipartiteEdge>& edges,
+                                       std::size_t num_left, std::size_t num_right) {
+  SearchState state;
+  state.edges = &edges;
+  state.left_busy.assign(num_left, false);
+  state.right_busy.assign(num_right, false);
+  return search_weight(state, 0);
+}
+
+std::size_t brute_force_max_cardinality(const std::vector<WeightedBipartiteEdge>& edges,
+                                        std::size_t num_left, std::size_t num_right) {
+  SearchState state;
+  state.edges = &edges;
+  state.left_busy.assign(num_left, false);
+  state.right_busy.assign(num_right, false);
+  return search_cardinality(state, 0);
+}
+
+}  // namespace rdcn

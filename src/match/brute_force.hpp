@@ -1,0 +1,21 @@
+#pragma once
+
+// Exponential-time matching oracles used only by the test-suite to verify
+// the polynomial algorithms on small random graphs.
+
+#include <vector>
+
+#include "match/hungarian.hpp"
+
+namespace rdcn {
+
+/// Exact maximum-weight matching by branching on each edge (include /
+/// exclude). Intended for <= ~24 edges.
+double brute_force_max_weight_matching(const std::vector<WeightedBipartiteEdge>& edges,
+                                       std::size_t num_left, std::size_t num_right);
+
+/// Exact maximum-cardinality matching size by the same branching.
+std::size_t brute_force_max_cardinality(const std::vector<WeightedBipartiteEdge>& edges,
+                                        std::size_t num_left, std::size_t num_right);
+
+}  // namespace rdcn

@@ -1,0 +1,34 @@
+#pragma once
+
+// Gale-Shapley deferred acceptance (the paper's reference [23]) on
+// preference lists. Included as the classical substrate the paper's
+// symmetric-priority greedy specializes: with symmetric edge weights the
+// proposer-optimal and receiver-optimal stable matchings coincide and the
+// greedy of match/stable.hpp computes them directly.
+
+#include <cstdint>
+#include <vector>
+
+namespace rdcn {
+
+/// preferences_left[i] = ordered list of right-indices i prefers (best
+/// first); analogously for preferences_right. Agents may have partial
+/// lists; unlisted pairs are unacceptable.
+struct StableMarriageInput {
+  std::vector<std::vector<std::int32_t>> preferences_left;
+  std::vector<std::vector<std::int32_t>> preferences_right;
+};
+
+/// match_of_left[i] = matched right index or -1; proposer (left) optimal.
+struct StableMarriageResult {
+  std::vector<std::int32_t> match_of_left;
+  std::vector<std::int32_t> match_of_right;
+};
+
+StableMarriageResult gale_shapley(const StableMarriageInput& input);
+
+/// True iff no blocking pair exists: a mutually acceptable (i, j) where i
+/// prefers j to its match (or is unmatched) and j prefers i to its match.
+bool is_stable_marriage(const StableMarriageInput& input, const StableMarriageResult& result);
+
+}  // namespace rdcn

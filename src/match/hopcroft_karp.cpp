@@ -1,0 +1,77 @@
+#include "match/hopcroft_karp.hpp"
+
+#include <functional>
+#include <limits>
+#include <queue>
+
+namespace rdcn {
+
+namespace {
+constexpr std::int32_t kFree = -1;
+constexpr std::int32_t kInfDist = std::numeric_limits<std::int32_t>::max();
+}  // namespace
+
+std::vector<std::int32_t> hopcroft_karp(const std::vector<std::vector<std::int32_t>>& adjacency,
+                                        std::size_t num_right) {
+  const std::size_t num_left = adjacency.size();
+  std::vector<std::int32_t> match_left(num_left, kFree);
+  std::vector<std::int32_t> match_right(num_right, kFree);
+  std::vector<std::int32_t> dist(num_left);
+
+  auto bfs = [&]() -> bool {
+    std::queue<std::int32_t> frontier;
+    bool reachable_free_right = false;
+    for (std::size_t i = 0; i < num_left; ++i) {
+      if (match_left[i] == kFree) {
+        dist[i] = 0;
+        frontier.push(static_cast<std::int32_t>(i));
+      } else {
+        dist[i] = kInfDist;
+      }
+    }
+    while (!frontier.empty()) {
+      const std::int32_t i = frontier.front();
+      frontier.pop();
+      for (std::int32_t j : adjacency[static_cast<std::size_t>(i)]) {
+        const std::int32_t next = match_right[static_cast<std::size_t>(j)];
+        if (next == kFree) {
+          reachable_free_right = true;
+        } else if (dist[static_cast<std::size_t>(next)] == kInfDist) {
+          dist[static_cast<std::size_t>(next)] = dist[static_cast<std::size_t>(i)] + 1;
+          frontier.push(next);
+        }
+      }
+    }
+    return reachable_free_right;
+  };
+
+  std::function<bool(std::int32_t)> dfs = [&](std::int32_t i) -> bool {
+    for (std::int32_t j : adjacency[static_cast<std::size_t>(i)]) {
+      const std::int32_t next = match_right[static_cast<std::size_t>(j)];
+      if (next == kFree ||
+          (dist[static_cast<std::size_t>(next)] == dist[static_cast<std::size_t>(i)] + 1 &&
+           dfs(next))) {
+        match_left[static_cast<std::size_t>(i)] = j;
+        match_right[static_cast<std::size_t>(j)] = i;
+        return true;
+      }
+    }
+    dist[static_cast<std::size_t>(i)] = kInfDist;
+    return false;
+  };
+
+  while (bfs()) {
+    for (std::size_t i = 0; i < num_left; ++i) {
+      if (match_left[i] == kFree) dfs(static_cast<std::int32_t>(i));
+    }
+  }
+  return match_left;
+}
+
+std::size_t matching_size(const std::vector<std::int32_t>& match_of_left) {
+  std::size_t count = 0;
+  for (std::int32_t m : match_of_left) count += (m != kFree) ? 1 : 0;
+  return count;
+}
+
+}  // namespace rdcn

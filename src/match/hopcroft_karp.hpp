@@ -1,0 +1,19 @@
+#pragma once
+
+// Hopcroft-Karp maximum-cardinality bipartite matching, O(E sqrt(V)).
+// Substrate for throughput-oriented baselines and for sizing rotor phases.
+
+#include <cstdint>
+#include <vector>
+
+namespace rdcn {
+
+/// adjacency[i] = right neighbours of left vertex i.
+/// Returns match_of_left (right index or -1 per left vertex).
+std::vector<std::int32_t> hopcroft_karp(const std::vector<std::vector<std::int32_t>>& adjacency,
+                                        std::size_t num_right);
+
+/// Cardinality helper.
+std::size_t matching_size(const std::vector<std::int32_t>& match_of_left);
+
+}  // namespace rdcn

@@ -1,0 +1,108 @@
+#include "match/hungarian.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace rdcn {
+
+std::vector<std::int32_t> min_cost_assignment(const std::vector<std::vector<double>>& cost) {
+  const std::size_t n = cost.size();
+  if (n == 0) return {};
+  for (const auto& row : cost) {
+    if (row.size() != n) throw std::invalid_argument("assignment matrix must be square");
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Classic O(n^3) Hungarian with 1-based row/column potentials
+  // (see e.g. e-maxx); p[j] = row matched to column j.
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<std::size_t> p(n + 1, 0), way(n + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = p[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<std::int32_t> assignment(n, -1);
+  for (std::size_t j = 1; j <= n; ++j) {
+    assignment[p[j] - 1] = static_cast<std::int32_t>(j - 1);
+  }
+  return assignment;
+}
+
+MatchingResult max_weight_matching(const std::vector<WeightedBipartiteEdge>& edges,
+                                   std::size_t num_left, std::size_t num_right) {
+  MatchingResult result;
+  if (edges.empty() || num_left == 0 || num_right == 0) return result;
+
+  // Pad to a square matrix where cell (i, j) holds the best (heaviest)
+  // edge between i and j; absent pairs cost 0, so the perfect assignment
+  // on the padded matrix restricted to positive-weight cells is exactly a
+  // maximum-weight matching.
+  const std::size_t n = std::max(num_left, num_right);
+  std::vector<std::vector<double>> gain(n, std::vector<double>(n, 0.0));
+  std::vector<std::vector<std::size_t>> best_edge(
+      n, std::vector<std::size_t>(n, std::numeric_limits<std::size_t>::max()));
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    const auto& e = edges[k];
+    assert(e.left >= 0 && static_cast<std::size_t>(e.left) < num_left);
+    assert(e.right >= 0 && static_cast<std::size_t>(e.right) < num_right);
+    const auto i = static_cast<std::size_t>(e.left);
+    const auto j = static_cast<std::size_t>(e.right);
+    if (e.weight > gain[i][j]) {
+      gain[i][j] = e.weight;
+      best_edge[i][j] = k;
+    }
+  }
+
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) cost[i][j] = -gain[i][j];
+  }
+  const auto assignment = min_cost_assignment(cost);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto j = static_cast<std::size_t>(assignment[i]);
+    if (gain[i][j] > 0.0 && best_edge[i][j] != std::numeric_limits<std::size_t>::max()) {
+      result.edges.push_back(best_edge[i][j]);
+      result.total_weight += gain[i][j];
+    }
+  }
+  return result;
+}
+
+}  // namespace rdcn

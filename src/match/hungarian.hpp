@@ -1,0 +1,35 @@
+#pragma once
+
+// Maximum-weight bipartite matching via the Hungarian algorithm (O(n^3)
+// Jonker-Volgenant style with potentials). Substrate for the MaxWeight
+// baseline scheduler, which transmits a maximum-weight matching per step
+// (the classic crossbar-throughput policy of McKeown et al. [49]).
+
+#include <cstdint>
+#include <vector>
+
+namespace rdcn {
+
+struct WeightedBipartiteEdge {
+  std::int32_t left = 0;
+  std::int32_t right = 0;
+  double weight = 0.0;
+};
+
+struct MatchingResult {
+  std::vector<std::size_t> edges;  ///< indices into the input edge list
+  double total_weight = 0.0;
+};
+
+/// Maximum-weight (not necessarily perfect, not necessarily maximum-
+/// cardinality) matching: only edges with positive weight contribute, and
+/// the matching maximizes the total weight. Negative-weight edges are never
+/// selected. O((L+R)^3).
+MatchingResult max_weight_matching(const std::vector<WeightedBipartiteEdge>& edges,
+                                   std::size_t num_left, std::size_t num_right);
+
+/// Minimum-cost assignment on a dense square matrix: returns, for each row,
+/// the assigned column. cost[i][j] may be any finite double. O(n^3).
+std::vector<std::int32_t> min_cost_assignment(const std::vector<std::vector<double>>& cost);
+
+}  // namespace rdcn

@@ -1,0 +1,77 @@
+#include "match/stable.hpp"
+
+#include <cstdint>
+#include <limits>
+
+namespace rdcn {
+
+std::vector<std::size_t> greedy_stable_matching(std::span<const MatchRequest> requests,
+                                                std::size_t num_left,
+                                                std::size_t num_right) {
+  std::vector<bool> left_busy(num_left, false);
+  std::vector<bool> right_busy(num_right, false);
+  std::vector<std::size_t> accepted;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto left = static_cast<std::size_t>(requests[i].left);
+    const auto right = static_cast<std::size_t>(requests[i].right);
+    if (!left_busy[left] && !right_busy[right]) {
+      left_busy[left] = true;
+      right_busy[right] = true;
+      accepted.push_back(i);
+    }
+  }
+  return accepted;
+}
+
+std::vector<std::size_t> blocking_witness(std::span<const MatchRequest> requests,
+                                          std::span<const std::size_t> accepted,
+                                          std::size_t num_left, std::size_t num_right) {
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  // owner_of_left/right[x] = accepted request index occupying endpoint x.
+  std::vector<std::size_t> owner_left(num_left, kNone);
+  std::vector<std::size_t> owner_right(num_right, kNone);
+  std::vector<bool> is_accepted(requests.size(), false);
+  for (std::size_t idx : accepted) {
+    is_accepted[idx] = true;
+    owner_left[static_cast<std::size_t>(requests[idx].left)] = idx;
+    owner_right[static_cast<std::size_t>(requests[idx].right)] = idx;
+  }
+  std::vector<std::size_t> witness(requests.size(), kNone);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (is_accepted[i]) continue;
+    const std::size_t via_left = owner_left[static_cast<std::size_t>(requests[i].left)];
+    const std::size_t via_right = owner_right[static_cast<std::size_t>(requests[i].right)];
+    // Prefer the earlier (higher-priority) blocker; at least one must exist
+    // when `accepted` came from greedy_stable_matching.
+    witness[i] = std::min(via_left, via_right);
+  }
+  return witness;
+}
+
+bool is_stable_selection(std::span<const MatchRequest> requests,
+                         std::span<const std::size_t> accepted, std::size_t num_left,
+                         std::size_t num_right) {
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> owner_left(num_left, kNone);
+  std::vector<std::size_t> owner_right(num_right, kNone);
+  std::vector<bool> is_accepted(requests.size(), false);
+  for (std::size_t idx : accepted) {
+    if (idx >= requests.size()) return false;
+    const auto left = static_cast<std::size_t>(requests[idx].left);
+    const auto right = static_cast<std::size_t>(requests[idx].right);
+    if (owner_left[left] != kNone || owner_right[right] != kNone) return false;  // not a matching
+    owner_left[left] = idx;
+    owner_right[right] = idx;
+    is_accepted[idx] = true;
+  }
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (is_accepted[i]) continue;
+    const std::size_t via_left = owner_left[static_cast<std::size_t>(requests[i].left)];
+    const std::size_t via_right = owner_right[static_cast<std::size_t>(requests[i].right)];
+    const std::size_t blocker = std::min(via_left, via_right);
+    if (blocker == kNone || blocker > i) return false;  // no prior blocker: unstable
+  }
+  return true;
+}
+
+}  // namespace rdcn

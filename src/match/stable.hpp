@@ -1,0 +1,48 @@
+#pragma once
+
+// Greedy stable matching on bipartite conflict graphs (Section III-A).
+//
+// A matching M is stable w.r.t. symmetric priorities if every request not
+// in M is blocked by some request in M that shares an endpoint and has
+// priority at least as high. With symmetric (edge-weight) priorities the
+// greedy algorithm -- scan requests from highest to lowest priority, accept
+// whenever both endpoints are free -- produces a stable matching; this is
+// exactly the scheduler's per-step computation.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rdcn {
+
+/// One unit of work wanting to occupy (left, right) for the step.
+struct MatchRequest {
+  std::int32_t left = 0;   ///< e.g. transmitter index
+  std::int32_t right = 0;  ///< e.g. receiver index
+};
+
+/// Greedily accepts requests in the given order (the caller sorts by
+/// priority, highest first, with its own tie-breaking); a request is
+/// accepted iff neither endpoint is taken by an earlier accepted request.
+/// Returns the indices (into `requests`) of accepted requests, in order.
+std::vector<std::size_t> greedy_stable_matching(std::span<const MatchRequest> requests,
+                                                std::size_t num_left,
+                                                std::size_t num_right);
+
+/// For every rejected request, finds the accepted request that blocks it:
+/// the earliest accepted request (in priority order) sharing an endpoint.
+/// result[i] == accepted index for rejected i, or SIZE_MAX for accepted
+/// requests (they block themselves). Used by the charging auditor.
+std::vector<std::size_t> blocking_witness(std::span<const MatchRequest> requests,
+                                          std::span<const std::size_t> accepted,
+                                          std::size_t num_left, std::size_t num_right);
+
+/// Validates the defining property: `accepted` is a matching and every
+/// rejected request conflicts with an accepted request of lower index
+/// (i.e. priority at least as high under the caller's order).
+bool is_stable_selection(std::span<const MatchRequest> requests,
+                         std::span<const std::size_t> accepted, std::size_t num_left,
+                         std::size_t num_right);
+
+}  // namespace rdcn

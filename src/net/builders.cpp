@@ -1,0 +1,163 @@
+#include "net/builders.hpp"
+
+namespace rdcn {
+
+namespace {
+
+struct Figure1Parts {
+  Topology topology;
+  Figure1Ids ids;
+};
+
+Figure1Parts make_figure1() {
+  Figure1Parts parts;
+  Topology& g = parts.topology;
+  Figure1Ids& ids = parts.ids;
+
+  ids.s1 = g.add_sources(2);
+  ids.s2 = ids.s1 + 1;
+  ids.d1 = g.add_destinations(3);
+  ids.d2 = ids.d1 + 1;
+  ids.d3 = ids.d1 + 2;
+
+  ids.t1 = g.add_transmitter(ids.s1);
+  ids.t2 = g.add_transmitter(ids.s1);  // drawn in the figure, no dashed edges
+  ids.t3 = g.add_transmitter(ids.s2);
+
+  ids.r1 = g.add_receiver(ids.d1);
+  ids.r2 = g.add_receiver(ids.d2);
+  ids.r3 = g.add_receiver(ids.d2);
+  ids.r4 = g.add_receiver(ids.d3);
+
+  ids.t1r1 = g.add_edge(ids.t1, ids.r1, 1);
+  ids.t1r2 = g.add_edge(ids.t1, ids.r2, 1);
+  ids.t3r3 = g.add_edge(ids.t3, ids.r3, 1);
+  ids.t3r4 = g.add_edge(ids.t3, ids.r4, 1);
+
+  g.add_fixed_link(ids.s2, ids.d3, 4);
+  return parts;
+}
+
+}  // namespace
+
+Instance figure1_instance() {
+  Figure1Parts parts = make_figure1();
+  const Figure1Ids& ids = parts.ids;
+  Instance instance(std::move(parts.topology), {});
+  instance.add_packet(/*arrival=*/1, /*weight=*/1.0, ids.s1, ids.d1);  // p1
+  instance.add_packet(/*arrival=*/1, /*weight=*/1.0, ids.s1, ids.d2);  // p2
+  instance.add_packet(/*arrival=*/1, /*weight=*/1.0, ids.s2, ids.d2);  // p3
+  instance.add_packet(/*arrival=*/2, /*weight=*/1.0, ids.s2, ids.d2);  // p4
+  instance.add_packet(/*arrival=*/2, /*weight=*/1.0, ids.s2, ids.d3);  // p5
+  return instance;
+}
+
+Figure1Ids figure1_ids() { return make_figure1().ids; }
+
+Topology figure2_topology() {
+  Topology g;
+  const NodeIndex s1 = g.add_sources(2);
+  const NodeIndex s2 = s1 + 1;
+  const NodeIndex d1 = g.add_destinations(3);
+  const NodeIndex d2 = d1 + 1;
+  const NodeIndex d3 = d1 + 2;
+  const NodeIndex t1 = g.add_transmitter(s1);
+  const NodeIndex t2 = g.add_transmitter(s2);
+  const NodeIndex r1 = g.add_receiver(d1);
+  const NodeIndex r2 = g.add_receiver(d2);
+  const NodeIndex r3 = g.add_receiver(d3);
+  g.add_edge(t1, r1, 1);  // p1's edge
+  g.add_edge(t1, r2, 1);  // p2's edge
+  g.add_edge(t2, r2, 1);  // p3's edge
+  g.add_edge(t2, r3, 1);  // p4's edge
+  return g;
+}
+
+Instance figure2_instance_pi() {
+  Instance instance(figure2_topology(), {});
+  instance.add_packet(1, 1.0, /*s1=*/0, /*d1=*/0);  // p1
+  instance.add_packet(1, 2.0, /*s1=*/0, /*d2=*/1);  // p2
+  instance.add_packet(1, 3.0, /*s2=*/1, /*d2=*/1);  // p3
+  return instance;
+}
+
+Instance figure2_instance_pi_prime() {
+  Instance instance = figure2_instance_pi();
+  instance.add_packet(1, 4.0, /*s2=*/1, /*d3=*/2);  // p4
+  return instance;
+}
+
+Topology build_two_tier(const TwoTierConfig& config, Rng& rng) {
+  Topology g;
+  g.add_sources(config.racks);
+  g.add_destinations(config.racks);
+
+  std::vector<std::vector<NodeIndex>> rack_transmitters(
+      static_cast<std::size_t>(config.racks));
+  std::vector<std::vector<NodeIndex>> rack_receivers(static_cast<std::size_t>(config.racks));
+  for (NodeIndex rack = 0; rack < config.racks; ++rack) {
+    for (NodeIndex i = 0; i < config.lasers_per_rack; ++i) {
+      rack_transmitters[static_cast<std::size_t>(rack)].push_back(
+          g.add_transmitter(rack, config.attach_delay));
+    }
+    for (NodeIndex i = 0; i < config.photodetectors_per_rack; ++i) {
+      rack_receivers[static_cast<std::size_t>(rack)].push_back(
+          g.add_receiver(rack, config.attach_delay));
+    }
+  }
+
+  auto sample_delay = [&rng, &config]() -> Delay {
+    if (config.max_edge_delay <= 1) return 1;
+    return rng.next_int(1, config.max_edge_delay);
+  };
+
+  for (NodeIndex src_rack = 0; src_rack < config.racks; ++src_rack) {
+    for (NodeIndex dst_rack = 0; dst_rack < config.racks; ++dst_rack) {
+      if (src_rack == dst_rack && !config.allow_self_edges) continue;
+      bool any_edge = false;
+      for (NodeIndex t : rack_transmitters[static_cast<std::size_t>(src_rack)]) {
+        for (NodeIndex r : rack_receivers[static_cast<std::size_t>(dst_rack)]) {
+          if (rng.next_bool(config.density)) {
+            g.add_edge(t, r, sample_delay());
+            any_edge = true;
+          }
+        }
+      }
+      // Keep every ordered pair routable when there is no hybrid fallback.
+      if (!any_edge && config.fixed_link_delay <= 0 && src_rack != dst_rack &&
+          !rack_transmitters[static_cast<std::size_t>(src_rack)].empty() &&
+          !rack_receivers[static_cast<std::size_t>(dst_rack)].empty()) {
+        g.add_edge(rack_transmitters[static_cast<std::size_t>(src_rack)].front(),
+                   rack_receivers[static_cast<std::size_t>(dst_rack)].front(), sample_delay());
+      }
+    }
+  }
+
+  if (config.fixed_link_delay > 0) {
+    for (NodeIndex s = 0; s < config.racks; ++s) {
+      for (NodeIndex d = 0; d < config.racks; ++d) {
+        if (s == d) continue;
+        g.add_fixed_link(s, d, config.fixed_link_delay);
+      }
+    }
+  }
+  return g;
+}
+
+Topology build_crossbar(NodeIndex ports) {
+  Topology g;
+  g.add_sources(ports);
+  g.add_destinations(ports);
+  std::vector<NodeIndex> transmitters;
+  std::vector<NodeIndex> receivers;
+  transmitters.reserve(static_cast<std::size_t>(ports));
+  receivers.reserve(static_cast<std::size_t>(ports));
+  for (NodeIndex i = 0; i < ports; ++i) transmitters.push_back(g.add_transmitter(i));
+  for (NodeIndex i = 0; i < ports; ++i) receivers.push_back(g.add_receiver(i));
+  for (NodeIndex t : transmitters) {
+    for (NodeIndex r : receivers) g.add_edge(t, r, 1);
+  }
+  return g;
+}
+
+}  // namespace rdcn

@@ -1,0 +1,73 @@
+#pragma once
+
+// Topology/instance builders: the paper's worked examples (Figures 1 and 2)
+// plus parameterized families used throughout tests and benchmarks.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/instance.hpp"
+#include "util/rng.hpp"
+
+namespace rdcn {
+
+/// The exact instance of Figure 1: sources {s1, s2}, transmitters
+/// {t1, t2, t3} (t1, t2 on s1; t3 on s2), receivers {r1..r4} on
+/// destinations {d1, d2, d2, d3}, reconfigurable edges (t1,r1), (t1,r2),
+/// (t3,r3), (t3,r4) all with delay 1, a fixed link (s2,d3) with delay 4,
+/// and the five unit-weight packets of the table. The paper states the
+/// table's schedule costs 9 and the optimum costs 7.
+Instance figure1_instance();
+
+/// Node/edge indices of the Figure-1 instance, for readable tests.
+struct Figure1Ids {
+  NodeIndex s1, s2;
+  NodeIndex t1, t2, t3;
+  NodeIndex r1, r2, r3, r4;
+  NodeIndex d1, d2, d3;
+  EdgeIndex t1r1, t1r2, t3r3, t3r4;
+};
+Figure1Ids figure1_ids();
+
+/// The Figure-2 graph: sources {s1, s2} with one transmitter each,
+/// destinations {d1, d2, d3} with one receiver each, edges
+/// (t1,r1), (t1,r2), (t2,r2), (t2,r3), all delays 1, no fixed links.
+Topology figure2_topology();
+
+/// Figure 2's input Π: p1 (s1→d1, w=1), p2 (s1→d2, w=2), p3 (s2→d2, w=3),
+/// all arriving at time 1 in that order. Expected realized impacts 1, 2, 5.
+Instance figure2_instance_pi();
+
+/// Figure 2's input Π′ = Π plus p4 (s2→d3, w=4). Expected impacts 1,3,3,7.
+Instance figure2_instance_pi_prime();
+
+/// Parameterized two-tier datacenter (ProjecToR-style): `racks` racks, each
+/// both a source and a destination, with `lasers` transmitters and
+/// `photodetectors` receivers per rack. Each (transmitter, receiver) pair
+/// whose racks differ becomes a reconfigurable edge with probability
+/// `density`; delays drawn uniformly from [1, max_edge_delay]. When
+/// `fixed_link_delay > 0`, every ordered rack pair gets a fixed link of that
+/// delay (the hybrid electrical network).
+struct TwoTierConfig {
+  NodeIndex racks = 8;
+  NodeIndex lasers_per_rack = 2;
+  NodeIndex photodetectors_per_rack = 2;
+  double density = 1.0;          ///< probability an allowed edge exists
+  Delay max_edge_delay = 1;      ///< d(e) ~ Uniform{1..max_edge_delay}
+  Delay attach_delay = 0;        ///< delay of every attach edge
+  Delay fixed_link_delay = 0;    ///< 0 = no hybrid layer
+  bool allow_self_edges = false; ///< edges between a rack's own t and r
+};
+
+/// Builds the topology; guarantees every ordered rack pair (i != j) is
+/// routable (adds one deterministic edge when sampling left a pair empty
+/// and no fixed layer exists).
+Topology build_two_tier(const TwoTierConfig& config, Rng& rng);
+
+/// Classic single-tier crossbar switch (the model of [20], [21] that the
+/// paper generalizes): n input ports = n sources with one transmitter each,
+/// n output ports = n destinations with one receiver each, full bipartite
+/// reconfigurable layer with unit delays, no fixed links.
+Topology build_crossbar(NodeIndex ports);
+
+}  // namespace rdcn

@@ -1,0 +1,54 @@
+#pragma once
+
+// An Instance bundles a topology with an online packet sequence and is the
+// unit every scheduler, bound, and benchmark consumes. Includes a plain-text
+// serialization so workloads can be recorded and replayed bit-exactly.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/topology.hpp"
+
+namespace rdcn {
+
+class Instance {
+ public:
+  Instance() = default;
+  Instance(Topology topology, std::vector<Packet> packets);
+
+  const Topology& topology() const noexcept { return topology_; }
+  const std::vector<Packet>& packets() const noexcept { return packets_; }
+  std::size_t num_packets() const noexcept { return packets_.size(); }
+
+  /// Appends a packet (assigning its sequence id) and keeps arrival order.
+  void add_packet(Time arrival, Weight weight, NodeIndex source, NodeIndex destination);
+
+  /// Validates topology invariants, packet ranges, routability and that the
+  /// sequence is sorted by (arrival, id). Returns an error string or empty.
+  std::string validate() const;
+
+  /// True if every packet weight is integral (enables exact Rational audits).
+  bool has_integer_weights() const noexcept;
+
+  /// Sum over packets of the best-case weighted latency (min over routes of
+  /// w_p * path delay); a trivial lower bound on any schedule's cost.
+  double ideal_cost() const;
+
+  /// A safe horizon: by the argument in Section IV-A, all work finishes by
+  /// max arrival + |Π| * max total edge delay under any reasonable schedule.
+  Time horizon_bound() const;
+
+  // --- serialization ------------------------------------------------------
+  void save(std::ostream& out) const;
+  static Instance load(std::istream& in);
+  std::string to_string() const;
+  static Instance from_string(const std::string& text);
+
+ private:
+  Topology topology_;
+  std::vector<Packet> packets_;
+};
+
+}  // namespace rdcn

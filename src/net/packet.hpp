@@ -1,0 +1,35 @@
+#pragma once
+
+// Packets (Section II). Unit size, positive weight, integral arrival time
+// (the paper shifts fractional arrivals to the next transmission slot, so
+// we model arrivals as integers >= 1 directly). Multi-unit flows are
+// represented by the standard reduction: a flow of size L and weight w is
+// L unit packets of weight w/L (see workload::expand_flow).
+
+#include <cstdint>
+
+#include "net/topology.hpp"
+
+namespace rdcn {
+
+using PacketIndex = std::int64_t;
+using Time = std::int64_t;
+using Weight = double;
+
+struct Packet {
+  PacketIndex id = 0;     ///< position in the arrival sequence (tie order)
+  Time arrival = 1;       ///< a_p, integral, >= 1
+  Weight weight = 1.0;    ///< w_p > 0
+  NodeIndex source = 0;       ///< src(p)
+  NodeIndex destination = 0;  ///< dest(p)
+};
+
+/// Strict arrival order used throughout the paper's tie-breaking: packets
+/// are ordered by arrival time, then by their position in the input
+/// sequence ("p' arrived before p" in Section III-B).
+inline bool arrived_before(const Packet& a, const Packet& b) noexcept {
+  if (a.arrival != b.arrival) return a.arrival < b.arrival;
+  return a.id < b.id;
+}
+
+}  // namespace rdcn

@@ -1,0 +1,149 @@
+#include "net/topology.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace rdcn {
+
+NodeIndex Topology::add_sources(NodeIndex count) {
+  if (count < 0) throw std::invalid_argument("negative source count");
+  const NodeIndex first = num_sources_;
+  num_sources_ += count;
+  transmitters_of_source_.resize(static_cast<std::size_t>(num_sources_));
+  return first;
+}
+
+NodeIndex Topology::add_destinations(NodeIndex count) {
+  if (count < 0) throw std::invalid_argument("negative destination count");
+  const NodeIndex first = num_destinations_;
+  num_destinations_ += count;
+  receivers_of_destination_.resize(static_cast<std::size_t>(num_destinations_));
+  return first;
+}
+
+NodeIndex Topology::add_transmitter(NodeIndex source, Delay attach_delay) {
+  if (source < 0 || source >= num_sources_) throw std::out_of_range("bad source index");
+  if (attach_delay < 0) throw std::invalid_argument("negative attach delay");
+  const auto index = static_cast<NodeIndex>(transmitter_source_.size());
+  transmitter_source_.push_back(source);
+  transmitter_attach_delay_.push_back(attach_delay);
+  edges_of_transmitter_.emplace_back();
+  transmitters_of_source_[static_cast<std::size_t>(source)].push_back(index);
+  return index;
+}
+
+NodeIndex Topology::add_receiver(NodeIndex destination, Delay attach_delay) {
+  if (destination < 0 || destination >= num_destinations_) {
+    throw std::out_of_range("bad destination index");
+  }
+  if (attach_delay < 0) throw std::invalid_argument("negative attach delay");
+  const auto index = static_cast<NodeIndex>(receiver_destination_.size());
+  receiver_destination_.push_back(destination);
+  receiver_attach_delay_.push_back(attach_delay);
+  edges_of_receiver_.emplace_back();
+  receivers_of_destination_[static_cast<std::size_t>(destination)].push_back(index);
+  return index;
+}
+
+EdgeIndex Topology::add_edge(NodeIndex transmitter, NodeIndex receiver, Delay delay) {
+  if (transmitter < 0 || transmitter >= num_transmitters()) {
+    throw std::out_of_range("bad transmitter index");
+  }
+  if (receiver < 0 || receiver >= num_receivers()) throw std::out_of_range("bad receiver index");
+  if (delay < 1) throw std::invalid_argument("reconfigurable edge delay must be >= 1");
+  const auto index = static_cast<EdgeIndex>(edges_.size());
+  edges_.push_back(ReconfigEdge{transmitter, receiver, delay});
+  edges_of_transmitter_[static_cast<std::size_t>(transmitter)].push_back(index);
+  edges_of_receiver_[static_cast<std::size_t>(receiver)].push_back(index);
+  return index;
+}
+
+void Topology::add_fixed_link(NodeIndex source, NodeIndex destination, Delay delay) {
+  if (source < 0 || source >= num_sources_) throw std::out_of_range("bad source index");
+  if (destination < 0 || destination >= num_destinations_) {
+    throw std::out_of_range("bad destination index");
+  }
+  if (delay < 1) throw std::invalid_argument("fixed link delay must be >= 1");
+  for (auto& link : fixed_links_) {
+    if (link.source == source && link.destination == destination) {
+      link.delay = std::min(link.delay, delay);
+      return;
+    }
+  }
+  fixed_links_.push_back(FixedLink{source, destination, delay});
+}
+
+Delay Topology::total_edge_delay(EdgeIndex e) const {
+  const ReconfigEdge& edge_ref = edge(e);
+  return transmitter_attach_delay_.at(edge_ref.transmitter) + edge_ref.delay +
+         receiver_attach_delay_.at(edge_ref.receiver);
+}
+
+std::vector<EdgeIndex> Topology::candidate_edges(NodeIndex source,
+                                                 NodeIndex destination) const {
+  std::vector<EdgeIndex> result;
+  for (NodeIndex t : transmitters_of_source_.at(source)) {
+    for (EdgeIndex e : edges_of_transmitter_[static_cast<std::size_t>(t)]) {
+      const ReconfigEdge& edge_ref = edges_[static_cast<std::size_t>(e)];
+      if (receiver_destination_[static_cast<std::size_t>(edge_ref.receiver)] == destination) {
+        result.push_back(e);
+      }
+    }
+  }
+  return result;
+}
+
+std::optional<Delay> Topology::fixed_link_delay(NodeIndex source,
+                                                NodeIndex destination) const {
+  for (const auto& link : fixed_links_) {
+    if (link.source == source && link.destination == destination) return link.delay;
+  }
+  return std::nullopt;
+}
+
+bool Topology::routable(NodeIndex source, NodeIndex destination) const {
+  if (fixed_link_delay(source, destination).has_value()) return true;
+  return !candidate_edges(source, destination).empty();
+}
+
+std::string Topology::validate() const {
+  std::ostringstream error;
+  for (std::size_t t = 0; t < transmitter_source_.size(); ++t) {
+    if (transmitter_source_[t] < 0 || transmitter_source_[t] >= num_sources_) {
+      error << "transmitter " << t << " attached to invalid source";
+      return error.str();
+    }
+  }
+  for (std::size_t r = 0; r < receiver_destination_.size(); ++r) {
+    if (receiver_destination_[r] < 0 || receiver_destination_[r] >= num_destinations_) {
+      error << "receiver " << r << " attached to invalid destination";
+      return error.str();
+    }
+  }
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    const auto& edge_ref = edges_[e];
+    if (edge_ref.transmitter < 0 || edge_ref.transmitter >= num_transmitters() ||
+        edge_ref.receiver < 0 || edge_ref.receiver >= num_receivers()) {
+      error << "edge " << e << " has invalid endpoints";
+      return error.str();
+    }
+    if (edge_ref.delay < 1) {
+      error << "edge " << e << " has delay < 1";
+      return error.str();
+    }
+  }
+  for (const auto& link : fixed_links_) {
+    if (link.source < 0 || link.source >= num_sources_ || link.destination < 0 ||
+        link.destination >= num_destinations_) {
+      error << "fixed link has invalid endpoints";
+      return error.str();
+    }
+    if (link.delay < 1) {
+      error << "fixed link has delay < 1";
+      return error.str();
+    }
+  }
+  return {};
+}
+
+}  // namespace rdcn

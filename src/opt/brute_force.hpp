@@ -1,0 +1,38 @@
+#pragma once
+
+// Exact offline optimum for tiny instances, by exhaustive search:
+//  * enumerate every route assignment (each packet -> one candidate edge
+//    or the fixed link), the paper's non-migratory integral schedules;
+//  * for each assignment, find the cost-minimal schedule by DFS over
+//    per-step matchings of pending chunks, memoized on (time, remaining).
+// Transmitting more never hurts (chunks are independent and per-step
+// matchings do not constrain the future), so only maximal matchings are
+// branched on.
+//
+// This verifies Figure 1's "the optimal solution of this instance is 7"
+// claim, and anchors the LP lower bound tests.
+
+#include <cstdint>
+#include <optional>
+
+#include "net/instance.hpp"
+
+namespace rdcn {
+
+struct BruteForceLimits {
+  std::size_t max_packets = 10;
+  std::uint64_t max_states = 50'000'000;  ///< search-node guard
+};
+
+struct BruteForceResult {
+  double cost = 0.0;
+  std::uint64_t states_explored = 0;
+  std::uint64_t assignments_tried = 0;
+};
+
+/// Exact minimum total weighted fractional latency over all non-migratory
+/// integral schedules at unit speed. Returns nullopt if limits are hit.
+std::optional<BruteForceResult> brute_force_opt(const Instance& instance,
+                                                const BruteForceLimits& limits = {});
+
+}  // namespace rdcn

@@ -1,0 +1,39 @@
+#pragma once
+
+// Facade over the three OPT lower bounds used by the benchmark harness.
+//
+//  * lp_bound          -- optimum of primal LP P at budget 1/(2+eps)
+//                         (exact value of the relaxation; small instances);
+//  * dual_witness_bound-- D/2 from an ALG run's dual-fitting witness
+//                         (Lemma 5; cheap, scales to large instances);
+//  * trivial_bound     -- sum of per-packet best-case path latencies.
+//
+// All three lower-bound the cost of any schedule with transmission budget
+// 1/(2+eps); with eps' <= eps the bound only weakens, so they are also
+// valid against slower optima.
+
+#include <optional>
+
+#include "net/instance.hpp"
+
+namespace rdcn {
+
+struct LowerBounds {
+  std::optional<double> lp_bound;  ///< set when the LP was attempted and solved
+  double dual_witness_bound = 0.0;
+  double trivial_bound = 0.0;
+
+  /// The strongest available bound (>= 0).
+  double best() const;
+};
+
+struct LowerBoundOptions {
+  double eps = 1.0;
+  /// Solve the LP only when the estimated variable count stays below this
+  /// (the dense simplex is cubic-ish); 0 disables the LP entirely.
+  std::size_t max_lp_variables = 4000;
+};
+
+LowerBounds compute_lower_bounds(const Instance& instance, const LowerBoundOptions& options);
+
+}  // namespace rdcn

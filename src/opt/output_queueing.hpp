@@ -1,0 +1,31 @@
+#pragma once
+
+// Output-queueing relaxation -- the single-tier yardstick of Chuang, Goel,
+// McKeown, Prabhakar [21] ("matching output queueing with a CIOQ switch").
+//
+// Drop every constraint except the destination's: at each step, a
+// destination can absorb at most (number of its receivers) x capacity
+// packets, each completing one step after service starts. For unit
+// packets, serving the heaviest pending packet first is optimal for
+// weighted flow time on such a uniform server (exchange argument), so the
+// per-destination heaviest-first schedule is an exact optimum of the
+// relaxation -- hence a valid lower bound on every real schedule,
+// including ALG's with any matching constraints on top.
+
+#include "net/instance.hpp"
+
+namespace rdcn {
+
+struct OutputQueueingOptions {
+  /// Packets a destination absorbs per step per attached receiver; 1 is
+  /// the base model, k models a k-speed switch fabric.
+  int service_per_receiver = 1;
+};
+
+/// Lower bound on the weighted fractional latency of ANY unit-speed
+/// schedule of the instance (ignores transmitter contention, matching
+/// constraints, and all path delays beyond the minimal 1-step service).
+double output_queueing_bound(const Instance& instance,
+                             const OutputQueueingOptions& options = {});
+
+}  // namespace rdcn

@@ -1,0 +1,165 @@
+#pragma once
+
+// Time-stepped simulation engine for the model of Section II.
+//
+// Timeline per integral step tau:
+//   1. every packet with arrival == tau is dispatched (in sequence order)
+//      and its chunks join the pending pool;
+//   2. `speedup_rounds` scheduling rounds run; each transmits a matching of
+//      pending chunks (one chunk per busy transmitter/receiver per round);
+//   3. transmitted chunks complete at tau + 1 + d(src,t) + d(r,dest) and
+//      their weighted latency w_c * (completion - a_p) is accounted.
+//
+// speedup_rounds = 1 is the paper's unit-speed algorithm (the analysis puts
+// the 1/(2+eps) slowdown on OPT instead); k > 1 realizes an integral
+// algorithm-side speedup for the ablation experiments.
+
+#include <memory>
+#include <vector>
+
+#include "net/instance.hpp"
+#include "sim/policy.hpp"
+
+namespace rdcn {
+
+struct EngineOptions {
+  int speedup_rounds = 1;
+  /// Record per-step blocking information (needed by the charging auditor
+  /// and the figure benches). Only meaningful with speedup_rounds == 1,
+  /// endpoint_capacity == 1 and reconfig_delay == 0 (the analysis model).
+  bool record_trace = false;
+  /// Hard stop (0 = derive from Instance::horizon_bound()); exceeding it
+  /// throws, catching schedulers that starve packets.
+  Time max_steps = 0;
+  /// b-matching extension: each transmitter/receiver may carry up to this
+  /// many simultaneous edges per step (each edge still carries one chunk).
+  /// 1 = the paper's matching model.
+  int endpoint_capacity = 1;
+  /// Reconfiguration-delay extension: retargeting an endpoint to a new
+  /// edge keeps it dark for this many steps (0 = the paper's free
+  /// reconfiguration). Requires endpoint_capacity == 1.
+  Delay reconfig_delay = 0;
+  /// Restricted-migration ablation: every step, packets that have not yet
+  /// transmitted ANY chunk are handed back to the dispatcher (in their
+  /// original order) and may change route. The paper's ALG is
+  /// non-migratory (false); OPT in the analysis is fully migratory -- this
+  /// probes the gap for queued packets. Incompatible with record_trace.
+  bool redispatch_queued = false;
+};
+
+/// Per-packet outcome of a run.
+struct PacketOutcome {
+  RouteDecision route;
+  /// Transmit step of chunk i (reconfigurable route only), size d(e_p).
+  std::vector<Time> chunk_transmit_steps;
+  Time completion = 0;          ///< time the last fraction reaches dest(p)
+  double weighted_latency = 0;  ///< sum over fractions of w*x*(finish - a_p)
+};
+
+/// Per-step record used by the charging auditor: for every packet pending
+/// at the step, whether one of its chunks was transmitted, and if not,
+/// which packet's transmitted chunk blocked it.
+struct StepPacketRecord {
+  PacketIndex packet = 0;
+  bool transmitted = false;
+  PacketIndex blocker = -1;  ///< valid iff !transmitted
+};
+
+struct StepRecord {
+  Time time = 0;
+  std::vector<StepPacketRecord> packets;
+  std::size_t matching_size = 0;
+};
+
+struct RunResult {
+  std::vector<PacketOutcome> outcomes;
+  double total_cost = 0.0;     ///< total weighted fractional latency
+  double reconfig_cost = 0.0;  ///< share routed over the reconfigurable layer
+  double fixed_cost = 0.0;     ///< share routed over fixed direct links
+  Time makespan = 0;           ///< last completion time
+  Time steps_simulated = 0;
+  std::vector<StepRecord> trace;  ///< nonempty iff record_trace
+};
+
+class Engine {
+ public:
+  Engine(const Instance& instance, DispatchPolicy& dispatcher, SchedulePolicy& scheduler,
+         EngineOptions options = {});
+
+  /// Runs the full simulation to completion and returns the result.
+  RunResult run();
+
+  // --- read-only view for policies ---------------------------------------
+
+  const Instance& instance() const noexcept { return *instance_; }
+  const Topology& topology() const noexcept { return instance_->topology(); }
+  const EngineOptions& options() const noexcept { return options_; }
+  Time now() const noexcept { return now_; }
+
+  /// Packets committed to a reconfigurable edge at transmitter t / receiver
+  /// r that still have untransmitted chunks, in dispatch order.
+  const std::vector<PacketIndex>& pending_on_transmitter(NodeIndex t) const {
+    return pending_by_transmitter_.at(static_cast<std::size_t>(t));
+  }
+  const std::vector<PacketIndex>& pending_on_receiver(NodeIndex r) const {
+    return pending_by_receiver_.at(static_cast<std::size_t>(r));
+  }
+
+  EdgeIndex assigned_edge(PacketIndex p) const {
+    return state_.at(static_cast<std::size_t>(p)).route.edge;
+  }
+  std::int64_t remaining_chunks(PacketIndex p) const {
+    return state_.at(static_cast<std::size_t>(p)).remaining;
+  }
+  Weight chunk_weight(PacketIndex p) const {
+    return state_.at(static_cast<std::size_t>(p)).chunk_weight;
+  }
+
+ private:
+  struct PacketState {
+    RouteDecision route;
+    std::int64_t remaining = 0;   ///< untransmitted chunks
+    Weight chunk_weight = 0.0;
+    bool dispatched = false;
+  };
+
+  void dispatch_arrivals();
+  /// Applies a dispatch decision to a packet (enqueue on edge or fixed).
+  void apply_route(const Packet& packet, const RouteDecision& route);
+  /// Removes a not-yet-started packet from the pending structures.
+  void unlist_pending(PacketIndex packet);
+  /// Restricted migration: re-dispatches packets with no transmitted chunk.
+  void redispatch_queued_packets();
+  /// One scheduling round; returns number of chunks transmitted.
+  std::size_t schedule_round(bool record);
+  bool work_left() const;
+
+  const Instance* instance_;
+  DispatchPolicy* dispatcher_;
+  SchedulePolicy* scheduler_;
+  EngineOptions options_;
+
+  /// Reconfiguration-delay state: what each endpoint is tuned (or tuning)
+  /// to, and when it becomes usable. Only consulted when reconfig_delay > 0.
+  struct EndpointConfig {
+    EdgeIndex target = kInvalidEdge;
+    Time ready = 0;
+  };
+  std::vector<EndpointConfig> transmitter_config_;
+  std::vector<EndpointConfig> receiver_config_;
+
+  Time now_ = 0;
+  std::size_t next_arrival_ = 0;  ///< first not-yet-dispatched packet
+  std::vector<PacketState> state_;
+  std::vector<PacketIndex> pending_;  ///< reconfig packets with remaining > 0
+  std::vector<std::vector<PacketIndex>> pending_by_transmitter_;
+  std::vector<std::vector<PacketIndex>> pending_by_receiver_;
+
+  RunResult result_;
+};
+
+/// Convenience wrapper: build an engine, run, return the result.
+RunResult simulate(const Instance& instance, DispatchPolicy& dispatcher,
+                   SchedulePolicy& scheduler, EngineOptions options = {});
+
+}  // namespace rdcn

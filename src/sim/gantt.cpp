@@ -1,0 +1,71 @@
+#include "sim/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace rdcn {
+
+namespace {
+
+char packet_glyph(PacketIndex packet) {
+  static constexpr char kAlphabet[] =
+      "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  return kAlphabet[static_cast<std::size_t>(packet) % 62];
+}
+
+}  // namespace
+
+std::string render_gantt(const Instance& instance, const RunResult& result,
+                         const GanttOptions& options) {
+  const Topology& topology = instance.topology();
+
+  Time from = options.from;
+  if (from <= 0) {
+    from = instance.num_packets() ? instance.packets().front().arrival : 1;
+  }
+  Time until = options.until;
+  if (until <= 0) until = std::max<Time>(result.makespan, from);
+  until = std::min<Time>(until, from + static_cast<Time>(options.max_width) - 1);
+  const auto width = static_cast<std::size_t>(until - from + 1);
+
+  std::vector<std::string> t_rows(static_cast<std::size_t>(topology.num_transmitters()),
+                                  std::string(width, '.'));
+  std::vector<std::string> r_rows(static_cast<std::size_t>(topology.num_receivers()),
+                                  std::string(width, '.'));
+
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    const PacketOutcome& outcome = result.outcomes[i];
+    if (outcome.route.use_fixed) continue;
+    const ReconfigEdge& edge = topology.edge(outcome.route.edge);
+    for (Time transmit : outcome.chunk_transmit_steps) {
+      if (transmit < from || transmit > until) continue;
+      const auto column = static_cast<std::size_t>(transmit - from);
+      t_rows[static_cast<std::size_t>(edge.transmitter)][column] =
+          packet_glyph(static_cast<PacketIndex>(i));
+      r_rows[static_cast<std::size_t>(edge.receiver)][column] =
+          packet_glyph(static_cast<PacketIndex>(i));
+    }
+  }
+
+  std::ostringstream out;
+  out << "time " << from << " .. " << until << " (glyph = packet id mod 62)\n";
+  for (NodeIndex t = 0; t < topology.num_transmitters(); ++t) {
+    out << "t" << t << "\t|" << t_rows[static_cast<std::size_t>(t)] << "|\n";
+  }
+  if (options.show_receivers) {
+    for (NodeIndex r = 0; r < topology.num_receivers(); ++r) {
+      out << "r" << r << "\t|" << r_rows[static_cast<std::size_t>(r)] << "|\n";
+    }
+  }
+  if (options.show_fixed) {
+    for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+      if (!result.outcomes[i].route.use_fixed) continue;
+      out << "fixed p" << i << ": " << instance.packets()[i].arrival << " .. "
+          << result.outcomes[i].completion << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace rdcn

@@ -1,0 +1,34 @@
+#pragma once
+
+// ASCII Gantt rendering of schedules: one row per transmitter (and
+// optionally per fixed-routed packet), one column per time step, showing
+// which packet's chunk crossed each reconfigurable edge when. Used by the
+// quickstart-style examples and the CLI `show` subcommand to make
+// schedules inspectable at a glance.
+//
+//   t0 |.012..|
+//   t1 |.3.3..|        <- packet 3 (delay 2) occupies two steps
+//   fixed p4: 2..6
+//
+// Cells show the packet id modulo 62 in base-62 (0-9a-zA-Z); '.' = idle.
+
+#include <string>
+
+#include "net/instance.hpp"
+#include "sim/engine.hpp"
+
+namespace rdcn {
+
+struct GanttOptions {
+  Time from = 0;        ///< first step shown (0 = first arrival)
+  Time until = 0;       ///< last step shown, inclusive (0 = makespan)
+  bool show_receivers = false;  ///< add per-receiver rows too
+  bool show_fixed = true;       ///< list fixed-routed packets below
+  std::size_t max_width = 160;  ///< clip long horizons
+};
+
+/// Renders the run as an ASCII chart.
+std::string render_gantt(const Instance& instance, const RunResult& result,
+                         const GanttOptions& options = {});
+
+}  // namespace rdcn

@@ -1,0 +1,139 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace rdcn {
+
+double recompute_cost(const Instance& instance, const RunResult& result) {
+  const Topology& topology = instance.topology();
+  double total = 0.0;
+  for (std::size_t i = 0; i < instance.num_packets(); ++i) {
+    const Packet& packet = instance.packets()[i];
+    const PacketOutcome& outcome = result.outcomes[i];
+    if (outcome.route.use_fixed) {
+      const auto direct = topology.fixed_link_delay(packet.source, packet.destination);
+      total += packet.weight * static_cast<double>(*direct);
+      continue;
+    }
+    const ReconfigEdge& edge = topology.edge(outcome.route.edge);
+    const Delay tail = topology.transmitter_attach_delay(edge.transmitter) +
+                       topology.receiver_attach_delay(edge.receiver);
+    const double chunk_weight = packet.weight / static_cast<double>(edge.delay);
+    for (Time transmit : outcome.chunk_transmit_steps) {
+      total += chunk_weight * static_cast<double>(transmit + 1 + tail - packet.arrival);
+    }
+  }
+  return total;
+}
+
+double recompute_cost_active_form(const Instance& instance, const RunResult& result) {
+  // Integrate, step by step, the total weight of not-yet-delivered
+  // fractions: packet p contributes (1 - X_tau) * w_p at every tau >= a_p
+  // (Section II's continuous interpretation). We accumulate each chunk's
+  // weight over its active window via difference arrays.
+  const Topology& topology = instance.topology();
+  std::map<Time, double> delta;  // weight entering/leaving at each step
+  for (std::size_t i = 0; i < instance.num_packets(); ++i) {
+    const Packet& packet = instance.packets()[i];
+    const PacketOutcome& outcome = result.outcomes[i];
+    if (outcome.route.use_fixed) {
+      delta[packet.arrival] += packet.weight;
+      delta[outcome.completion] -= packet.weight;
+      continue;
+    }
+    const ReconfigEdge& edge = topology.edge(outcome.route.edge);
+    const Delay tail = topology.transmitter_attach_delay(edge.transmitter) +
+                       topology.receiver_attach_delay(edge.receiver);
+    const double chunk_weight = packet.weight / static_cast<double>(edge.delay);
+    for (Time transmit : outcome.chunk_transmit_steps) {
+      delta[packet.arrival] += chunk_weight;
+      delta[transmit + 1 + tail] -= chunk_weight;
+    }
+  }
+  double total = 0.0;
+  double active = 0.0;
+  Time previous = 0;
+  for (const auto& [time, change] : delta) {
+    total += active * static_cast<double>(time - previous);
+    active += change;
+    previous = time;
+  }
+  return total;
+}
+
+bool all_delivered(const Instance& instance, const RunResult& result) {
+  if (result.outcomes.size() != instance.num_packets()) return false;
+  const Topology& topology = instance.topology();
+  for (std::size_t i = 0; i < instance.num_packets(); ++i) {
+    const PacketOutcome& outcome = result.outcomes[i];
+    if (outcome.completion <= 0) return false;
+    if (outcome.route.use_fixed) {
+      if (!topology.fixed_link_delay(instance.packets()[i].source,
+                                     instance.packets()[i].destination)) {
+        return false;
+      }
+      continue;
+    }
+    const ReconfigEdge& edge = topology.edge(outcome.route.edge);
+    if (outcome.chunk_transmit_steps.size() != static_cast<std::size_t>(edge.delay)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<LinkStats> link_stats(const Instance& instance, const RunResult& result) {
+  std::vector<LinkStats> stats(static_cast<std::size_t>(instance.topology().num_edges()));
+  Time span_start = instance.num_packets() ? instance.packets().front().arrival : 1;
+  const Time span = std::max<Time>(1, result.makespan - span_start);
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    const PacketOutcome& outcome = result.outcomes[i];
+    if (outcome.route.use_fixed) continue;
+    LinkStats& entry = stats[static_cast<std::size_t>(outcome.route.edge)];
+    for (Time transmit : outcome.chunk_transmit_steps) {
+      ++entry.chunks_carried;
+      if (entry.first_busy == 0 || transmit < entry.first_busy) entry.first_busy = transmit;
+      entry.last_busy = std::max(entry.last_busy, transmit);
+    }
+  }
+  for (LinkStats& entry : stats) {
+    entry.utilization = static_cast<double>(entry.chunks_carried) / static_cast<double>(span);
+  }
+  return stats;
+}
+
+double load_concentration(const Instance& instance, const RunResult& result) {
+  const std::vector<LinkStats> stats = link_stats(instance, result);
+  double total = 0.0;
+  for (const LinkStats& entry : stats) total += static_cast<double>(entry.chunks_carried);
+  if (total <= 0.0) return 0.0;
+  double herfindahl = 0.0;
+  for (const LinkStats& entry : stats) {
+    const double share = static_cast<double>(entry.chunks_carried) / total;
+    herfindahl += share * share;
+  }
+  return herfindahl;
+}
+
+ScheduleSummary summarize(const Instance& instance, const RunResult& result) {
+  ScheduleSummary summary;
+  summary.total_cost = result.total_cost;
+  summary.makespan = result.makespan;
+  if (instance.num_packets() == 0) return summary;
+  std::size_t reconfig = 0;
+  for (std::size_t i = 0; i < instance.num_packets(); ++i) {
+    const Packet& packet = instance.packets()[i];
+    const PacketOutcome& outcome = result.outcomes[i];
+    summary.max_latency =
+        std::max(summary.max_latency, static_cast<double>(outcome.completion - packet.arrival));
+    if (!outcome.route.use_fixed) ++reconfig;
+  }
+  summary.mean_weighted_latency =
+      summary.total_cost / static_cast<double>(instance.num_packets());
+  summary.reconfig_fraction =
+      static_cast<double>(reconfig) / static_cast<double>(instance.num_packets());
+  return summary;
+}
+
+}  // namespace rdcn

@@ -1,0 +1,49 @@
+#pragma once
+
+// Metric helpers over RunResults: recompute costs from first principles
+// (used to cross-check the engine's incremental accounting), and summarize
+// schedules for the benchmark tables.
+
+#include "net/instance.hpp"
+#include "sim/engine.hpp"
+
+namespace rdcn {
+
+/// Recomputes the total weighted fractional latency from the per-chunk
+/// transmit steps / fixed routes alone (independent of the engine's
+/// incremental accounting).
+double recompute_cost(const Instance& instance, const RunResult& result);
+
+/// Equivalent continuous-form accounting (Section II): every active
+/// fraction of a packet pays its weight each step. Equals recompute_cost.
+double recompute_cost_active_form(const Instance& instance, const RunResult& result);
+
+/// True iff every packet completed and chunk counts match route delays.
+bool all_delivered(const Instance& instance, const RunResult& result);
+
+struct ScheduleSummary {
+  double total_cost = 0.0;
+  double mean_weighted_latency = 0.0;  ///< cost / num packets
+  double max_latency = 0.0;            ///< max packet (completion - arrival)
+  Time makespan = 0;
+  double reconfig_fraction = 0.0;  ///< share of packets routed reconfigurably
+};
+
+ScheduleSummary summarize(const Instance& instance, const RunResult& result);
+
+/// Per-reconfigurable-edge usage statistics over a run.
+struct LinkStats {
+  std::int64_t chunks_carried = 0;  ///< chunks transmitted on the edge
+  Time first_busy = 0;              ///< first transmit step (0 = never used)
+  Time last_busy = 0;               ///< last transmit step
+  double utilization = 0.0;  ///< busy steps / steps in [first arrival, makespan)
+};
+
+/// One entry per topology edge; utilization relative to the run's span.
+std::vector<LinkStats> link_stats(const Instance& instance, const RunResult& result);
+
+/// Herfindahl-style load concentration over edges in [1/E, 1]: 1 = all
+/// traffic on one link, 1/E = perfectly spread. Useful for skew studies.
+double load_concentration(const Instance& instance, const RunResult& result);
+
+}  // namespace rdcn

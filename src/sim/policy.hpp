@@ -1,0 +1,60 @@
+#pragma once
+
+// Policy interfaces for the time-stepped engine. Every scheduler in this
+// repo -- the paper's ALG and all baselines -- is a (DispatchPolicy,
+// SchedulePolicy) pair:
+//
+//  * the dispatcher runs once per packet, at its (integral) arrival, and
+//    irrevocably commits the packet to either the fixed direct link or to
+//    one transmitter-receiver edge (the paper's non-migratory routing);
+//  * the schedule policy runs once per transmission step and picks which
+//    pending chunks cross the reconfigurable layer; the engine enforces
+//    that the picked edges form a matching.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/instance.hpp"
+
+namespace rdcn {
+
+class Engine;
+
+/// Routing commitment for one packet.
+struct RouteDecision {
+  bool use_fixed = false;
+  EdgeIndex edge = kInvalidEdge;  ///< valid iff !use_fixed
+  /// The dispatcher's a-priori bound on the packet's charge (the paper's
+  /// alpha_p = Delta_p(e_p) or w_p*dl(p)); baselines may leave it 0.
+  double alpha = 0.0;
+};
+
+/// One pending packet's head-of-line chunk at the current step.
+struct Candidate {
+  PacketIndex packet = 0;
+  EdgeIndex edge = kInvalidEdge;
+  NodeIndex transmitter = 0;
+  NodeIndex receiver = 0;
+  Weight chunk_weight = 0.0;  ///< w_p / d(e_p)
+  Time arrival = 0;           ///< a_p
+  std::int64_t remaining = 0; ///< untransmitted chunks of the packet
+};
+
+class DispatchPolicy {
+ public:
+  virtual ~DispatchPolicy() = default;
+  /// Called once per packet, in arrival order, at time == packet.arrival,
+  /// after all earlier packets of the same step were dispatched.
+  virtual RouteDecision dispatch(const Engine& engine, const Packet& packet) = 0;
+};
+
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+  /// Returns indices into `candidates` to transmit this step. The engine
+  /// checks the selection occupies each transmitter/receiver at most once.
+  virtual std::vector<std::size_t> select(const Engine& engine, Time now,
+                                          const std::vector<Candidate>& candidates) = 0;
+};
+
+}  // namespace rdcn

@@ -1,0 +1,102 @@
+#include "util/rational.hpp"
+
+#include <numeric>
+#include <ostream>
+
+namespace rdcn {
+
+namespace {
+
+std::int64_t checked(__int128 value) {
+  if (value > INT64_MAX || value < INT64_MIN) throw RationalOverflow();
+  return static_cast<std::int64_t>(value);
+}
+
+}  // namespace
+
+Rational::Rational(std::int64_t numerator, std::int64_t denominator)
+    : num_(numerator), den_(denominator) {
+  if (den_ == 0) throw std::invalid_argument("rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    if (den_ == INT64_MIN || num_ == INT64_MIN) throw RationalOverflow();
+    den_ = -den_;
+    num_ = -num_;
+  }
+  if (num_ == 0) {
+    den_ = 1;
+    return;
+  }
+  const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  num_ /= g;
+  den_ /= g;
+}
+
+Rational Rational::operator-() const {
+  if (num_ == INT64_MIN) throw RationalOverflow();
+  Rational result;
+  result.num_ = -num_;
+  result.den_ = den_;
+  return result;
+}
+
+Rational Rational::operator+(const Rational& other) const {
+  // a/b + c/d with d' = lcm reduction via g = gcd(b, d).
+  const std::int64_t g = std::gcd(den_, other.den_);
+  const __int128 lhs = static_cast<__int128>(num_) * (other.den_ / g);
+  const __int128 rhs = static_cast<__int128>(other.num_) * (den_ / g);
+  const __int128 den = static_cast<__int128>(den_) * (other.den_ / g);
+  return Rational(checked(lhs + rhs), checked(den));
+}
+
+Rational Rational::operator-(const Rational& other) const { return *this + (-other); }
+
+Rational Rational::operator*(const Rational& other) const {
+  // Cross-reduce before multiplying to delay overflow.
+  const std::int64_t g1 = std::gcd(num_ < 0 ? -num_ : num_, other.den_);
+  const std::int64_t g2 = std::gcd(other.num_ < 0 ? -other.num_ : other.num_, den_);
+  const __int128 num = static_cast<__int128>(num_ / g1) * (other.num_ / g2);
+  const __int128 den = static_cast<__int128>(den_ / g2) * (other.den_ / g1);
+  return Rational(checked(num), checked(den));
+}
+
+Rational Rational::operator/(const Rational& other) const {
+  if (other.num_ == 0) throw std::invalid_argument("rational division by zero");
+  if (other.num_ == INT64_MIN || other.den_ == INT64_MIN) throw RationalOverflow();
+  return *this * Rational(other.den_, other.num_);
+}
+
+Rational& Rational::operator+=(const Rational& other) { return *this = *this + other; }
+Rational& Rational::operator-=(const Rational& other) { return *this = *this - other; }
+Rational& Rational::operator*=(const Rational& other) { return *this = *this * other; }
+Rational& Rational::operator/=(const Rational& other) { return *this = *this / other; }
+
+bool Rational::operator==(const Rational& other) const noexcept {
+  return num_ == other.num_ && den_ == other.den_;
+}
+
+std::strong_ordering Rational::operator<=>(const Rational& other) const {
+  const __int128 lhs = static_cast<__int128>(num_) * other.den_;
+  const __int128 rhs = static_cast<__int128>(other.num_) * den_;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+double Rational::to_double() const noexcept {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& value) {
+  return os << value.to_string();
+}
+
+}  // namespace rdcn

@@ -1,0 +1,63 @@
+#pragma once
+
+// Exact rational arithmetic on 64-bit numerator/denominator with overflow
+// checking. Used by the duality test-suite: chunk weights are w_p/d(e), so
+// latency ledgers, the dual witness and the Lemma-1/2 identities are exact
+// rationals whenever packet weights are integers. Checking those identities
+// exactly (instead of with epsilons) is what makes the property tests
+// trustworthy. Throws rdcn::RationalOverflow when a value leaves the
+// representable range, which in practice never happens at the instance
+// sizes the tests use.
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+namespace rdcn {
+
+class RationalOverflow : public std::runtime_error {
+ public:
+  RationalOverflow() : std::runtime_error("rational overflow") {}
+};
+
+class Rational {
+ public:
+  constexpr Rational() noexcept : num_(0), den_(1) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): integers embed naturally.
+  constexpr Rational(std::int64_t value) noexcept : num_(value), den_(1) {}
+  Rational(std::int64_t numerator, std::int64_t denominator);
+
+  std::int64_t numerator() const noexcept { return num_; }
+  std::int64_t denominator() const noexcept { return den_; }
+
+  Rational operator-() const;
+  Rational operator+(const Rational& other) const;
+  Rational operator-(const Rational& other) const;
+  Rational operator*(const Rational& other) const;
+  Rational operator/(const Rational& other) const;
+  Rational& operator+=(const Rational& other);
+  Rational& operator-=(const Rational& other);
+  Rational& operator*=(const Rational& other);
+  Rational& operator/=(const Rational& other);
+
+  bool operator==(const Rational& other) const noexcept;
+  std::strong_ordering operator<=>(const Rational& other) const;
+
+  bool is_zero() const noexcept { return num_ == 0; }
+  bool is_negative() const noexcept { return num_ < 0; }
+
+  double to_double() const noexcept;
+  std::string to_string() const;
+
+ private:
+  void normalize();
+
+  std::int64_t num_;
+  std::int64_t den_;  // invariant: den_ > 0, gcd(|num_|, den_) == 1
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& value);
+
+}  // namespace rdcn

@@ -1,0 +1,43 @@
+#pragma once
+
+// Lightweight summary statistics used by the benchmark harness to report
+// mean / stddev / percentiles / confidence intervals over repeated runs.
+
+#include <cstddef>
+#include <vector>
+
+namespace rdcn {
+
+/// Accumulates scalar samples and answers summary queries. Percentile
+/// queries sort a copy lazily; the accumulator is meant for at most a few
+/// million samples (experiment sweeps), not streaming telemetry.
+class Summary {
+ public:
+  void add(double sample);
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double stddev() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+  /// Linear-interpolated percentile, q in [0, 100].
+  double percentile(double q) const;
+  double median() const { return percentile(50.0); }
+  /// Half-width of the normal-approximation 95% confidence interval.
+  double ci95_halfwidth() const noexcept;
+
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+};
+
+/// Geometric mean of strictly positive samples (competitive-ratio tables).
+double geometric_mean(const std::vector<double>& samples);
+
+}  // namespace rdcn

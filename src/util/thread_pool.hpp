@@ -1,0 +1,56 @@
+#pragma once
+
+// Minimal fixed-size thread pool plus a parallel_for helper. The library's
+// algorithms are sequential by construction (the online model is a single
+// time loop), but experiment sweeps (seeds x epsilons x workloads) are
+// embarrassingly parallel; bench binaries use parallel_for to keep
+// wall-clock reasonable on laptop-class machines.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rdcn {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; tasks must not throw (std::terminate otherwise).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, count) across the pool, blocking until done.
+/// Iterations must be independent; exceptions must not escape the body.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+/// One-shot convenience that owns a temporary pool.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+}  // namespace rdcn

@@ -1,0 +1,97 @@
+#include "workload/adversarial.hpp"
+
+namespace rdcn {
+
+Instance adversarial_single_edge_batch(std::size_t packets, double weight) {
+  Topology g;
+  g.add_sources(1);
+  g.add_destinations(1);
+  const NodeIndex t = g.add_transmitter(0);
+  const NodeIndex r = g.add_receiver(0);
+  g.add_edge(t, r, 1);
+  Instance instance(std::move(g), {});
+  for (std::size_t i = 0; i < packets; ++i) {
+    instance.add_packet(1, weight, 0, 0);
+  }
+  return instance;
+}
+
+Instance adversarial_weight_gradient(std::size_t packets) {
+  // One source with one transmitter, `packets` destinations with one
+  // receiver each; packet i (arriving at step i+1) is heavier than all
+  // previous ones, so each arrival preempts the whole backlog.
+  Topology g;
+  g.add_sources(1);
+  const auto n = static_cast<NodeIndex>(packets);
+  g.add_destinations(n);
+  const NodeIndex t = g.add_transmitter(0);
+  for (NodeIndex d = 0; d < n; ++d) {
+    const NodeIndex r = g.add_receiver(d);
+    g.add_edge(t, r, 1);
+  }
+  Instance instance(std::move(g), {});
+  for (std::size_t i = 0; i < packets; ++i) {
+    instance.add_packet(static_cast<Time>(i + 1), static_cast<double>(i + 1), 0,
+                        static_cast<NodeIndex>(i));
+  }
+  return instance;
+}
+
+Instance adversarial_delay_trap(std::size_t waves) {
+  // Each source has two candidate edges to the destination: a delay-1 edge
+  // through a SHARED receiver (contended) and a delay-4 edge through a
+  // private receiver. Waves of simultaneous arrivals make the shared edge
+  // a trap; the impact rule must start diverting to the slow edges.
+  constexpr NodeIndex kSources = 4;
+  Topology g;
+  g.add_sources(kSources);
+  g.add_destinations(1);
+  const NodeIndex shared_r = g.add_receiver(0);
+  std::vector<NodeIndex> transmitters;
+  for (NodeIndex s = 0; s < kSources; ++s) {
+    const NodeIndex t = g.add_transmitter(s);
+    transmitters.push_back(t);
+    g.add_edge(t, shared_r, 1);
+    const NodeIndex private_r = g.add_receiver(0);
+    g.add_edge(t, private_r, 4);
+  }
+  Instance instance(std::move(g), {});
+  for (std::size_t wave = 0; wave < waves; ++wave) {
+    for (NodeIndex s = 0; s < kSources; ++s) {
+      instance.add_packet(static_cast<Time>(wave + 1), 2.0, s, 0);
+    }
+  }
+  return instance;
+}
+
+Instance adversarial_burst_storm(std::size_t bursts, Rng& rng) {
+  constexpr NodeIndex kRacks = 6;
+  Topology g;
+  g.add_sources(kRacks);
+  g.add_destinations(2);
+  std::vector<NodeIndex> transmitters;
+  for (NodeIndex s = 0; s < kRacks; ++s) transmitters.push_back(g.add_transmitter(s));
+  const NodeIndex r0 = g.add_receiver(0);
+  const NodeIndex r1 = g.add_receiver(1);
+  for (NodeIndex t : transmitters) {
+    g.add_edge(t, r0, 1);
+    g.add_edge(t, r1, 2);
+  }
+  Instance instance(std::move(g), {});
+  Time now = 1;
+  for (std::size_t burst = 0; burst < bursts; ++burst) {
+    const NodeIndex target = (burst % 2 == 0) ? 0 : 1;
+    for (NodeIndex s = 0; s < kRacks; ++s) {
+      instance.add_packet(now, 1.0 + static_cast<double>(rng.next_below(3)), s, target);
+    }
+    if (burst % 3 == 1) {
+      // Elephant in the middle of the storm.
+      instance.add_packet(now, 12.0, static_cast<NodeIndex>(rng.next_below(kRacks)),
+                          target);
+    }
+    now += 1 + static_cast<Time>(rng.next_below(2));
+  }
+  return instance;
+}
+
+}  // namespace rdcn

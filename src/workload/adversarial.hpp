@@ -1,0 +1,32 @@
+#pragma once
+
+// Structured adversarial instances that stress the algorithm's guarantees
+// -- the shapes lower-bound constructions in this literature use
+// (Dinitz-Moseley [22] style load concentration, staggered weight
+// gradients, head-of-line traps). Used by the tightness experiment to
+// probe how close ALG gets to the 2(2/eps+1) analysis bound.
+
+#include "net/instance.hpp"
+#include "util/rng.hpp"
+
+namespace rdcn {
+
+/// Single (t, r) pair, n equal-weight packets arriving together: maximal
+/// serialization; ALG is forced into the 1 + 2 + ... + n staircase.
+Instance adversarial_single_edge_batch(std::size_t packets, double weight = 1.0);
+
+/// Weight gradient through a shared transmitter: at every step a slightly
+/// heavier packet arrives for a different receiver, repeatedly bumping the
+/// queue -- stresses the H_p accounting.
+Instance adversarial_weight_gradient(std::size_t packets);
+
+/// Two-tier trap: packets can choose between a short contended edge and a
+/// long private edge; greedy-by-delay is bad, greedy-by-queue is bad, the
+/// impact rule must trade them off.
+Instance adversarial_delay_trap(std::size_t waves);
+
+/// Hotspot burst storm: alternating incast bursts into two destinations
+/// sharing receivers, with a heavy elephant arriving mid-burst.
+Instance adversarial_burst_storm(std::size_t bursts, Rng& rng);
+
+}  // namespace rdcn

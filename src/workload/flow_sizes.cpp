@@ -1,0 +1,103 @@
+#include "workload/flow_sizes.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace rdcn {
+
+namespace {
+
+struct CdfPoint {
+  double probability;  ///< P(size <= this bucket)
+  std::int64_t size;   ///< bucket size in packets
+};
+
+// Coarse piecewise CDFs (packets of ~1 KB). Web search: ~50% of flows
+// under 10 packets but a visible tail; data mining: ~80% tiny, the rest
+// enormous (most bytes live in the top few percent).
+constexpr CdfPoint kWebSearch[] = {
+    {0.15, 1}, {0.30, 2}, {0.50, 6}, {0.65, 15}, {0.80, 40},
+    {0.90, 120}, {0.96, 400}, {0.99, 1000}, {1.00, 2000},
+};
+constexpr CdfPoint kDataMining[] = {
+    {0.50, 1}, {0.70, 2}, {0.80, 4}, {0.88, 20}, {0.93, 150},
+    {0.97, 1000}, {0.99, 5000}, {1.00, 20000},
+};
+
+std::int64_t sample_from_cdf(const CdfPoint* table, std::size_t count, Rng& rng) {
+  const double u = rng.next_double();
+  double previous_p = 0.0;
+  std::int64_t previous_size = 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (u <= table[i].probability) {
+      // Interpolate within the bucket (log-ish via linear on sizes).
+      const double span = table[i].probability - previous_p;
+      const double frac = span > 0 ? (u - previous_p) / span : 1.0;
+      const auto size = static_cast<std::int64_t>(
+          static_cast<double>(previous_size) +
+          frac * static_cast<double>(table[i].size - previous_size));
+      return std::max<std::int64_t>(1, size);
+    }
+    previous_p = table[i].probability;
+    previous_size = table[i].size;
+  }
+  return table[count - 1].size;
+}
+
+}  // namespace
+
+std::int64_t sample_flow_size(FlowSizeProfile profile, Rng& rng) {
+  switch (profile) {
+    case FlowSizeProfile::WebSearch:
+      return sample_from_cdf(kWebSearch, std::size(kWebSearch), rng);
+    case FlowSizeProfile::DataMining:
+      return sample_from_cdf(kDataMining, std::size(kDataMining), rng);
+    case FlowSizeProfile::UniformTiny:
+      return rng.next_int(1, 4);
+  }
+  return 1;
+}
+
+FlowSet generate_flow_workload(const Topology& topology, const FlowWorkloadConfig& config) {
+  if (config.max_size < 1) throw std::invalid_argument("max_size must be >= 1");
+  Rng rng(config.seed);
+
+  std::vector<std::pair<NodeIndex, NodeIndex>> pairs;
+  for (NodeIndex s = 0; s < topology.num_sources(); ++s) {
+    for (NodeIndex d = 0; d < topology.num_destinations(); ++d) {
+      if (s == d && topology.num_sources() == topology.num_destinations()) continue;
+      if (topology.routable(s, d)) pairs.emplace_back(s, d);
+    }
+  }
+  if (pairs.empty()) throw std::invalid_argument("topology has no routable pairs");
+
+  FlowSet flows(topology);
+  Time step = 1;
+  std::size_t generated = 0;
+  while (generated < config.num_flows) {
+    const std::uint64_t arrivals = rng.next_poisson(config.flow_arrival_rate);
+    for (std::uint64_t k = 0; k < arrivals && generated < config.num_flows; ++k) {
+      const auto [source, destination] = pairs[rng.next_below(pairs.size())];
+      const std::int64_t size =
+          std::min(config.max_size, sample_flow_size(config.profile, rng));
+      const double weight =
+          config.weight_by_size ? static_cast<double>(size) : 1.0;
+      flows.add_flow(step, weight, size, source, destination);
+      ++generated;
+    }
+    ++step;
+  }
+  return flows;
+}
+
+const char* to_string(FlowSizeProfile profile) {
+  switch (profile) {
+    case FlowSizeProfile::WebSearch: return "web-search";
+    case FlowSizeProfile::DataMining: return "data-mining";
+    case FlowSizeProfile::UniformTiny: return "uniform-tiny";
+  }
+  return "?";
+}
+
+}  // namespace rdcn

@@ -1,0 +1,48 @@
+#pragma once
+
+// Empirical flow-size distributions used throughout the datacenter
+// networking literature (and matching the skew/burstiness studies the
+// paper cites [17]-[19]): the "web search" (DCTCP, Alizadeh et al.) and
+// "data mining" (VL2/ProjecToR-style) size CDFs, quantized to unit packets
+// of this model. Sizes are in packets; the tables are coarse piecewise
+// approximations of the published CDFs -- what matters for the scheduler
+// is the heavy tail (most flows tiny, most BYTES in a few elephants),
+// which these preserve.
+
+#include <cstdint>
+
+#include "flow/flows.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace rdcn {
+
+enum class FlowSizeProfile {
+  WebSearch,   ///< DCTCP web-search: mice-dominated, tail to ~2k packets
+  DataMining,  ///< data-mining: extreme tail, most bytes in huge flows
+  UniformTiny, ///< control: 1-4 packets uniform
+};
+
+/// Samples a flow size (in unit packets) from the profile.
+std::int64_t sample_flow_size(FlowSizeProfile profile, Rng& rng);
+
+struct FlowWorkloadConfig {
+  std::size_t num_flows = 100;
+  double flow_arrival_rate = 1.0;  ///< Poisson flows per step
+  FlowSizeProfile profile = FlowSizeProfile::WebSearch;
+  /// Cap on a single flow's size (keeps simulations laptop-sized while
+  /// preserving the tail shape below the cap).
+  std::int64_t max_size = 256;
+  /// Flow weight: proportional to size ("bytes matter") or unit.
+  bool weight_by_size = true;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a FlowSet over the topology's routable rack pairs (uniform
+/// pair choice; compose with skewed Instances via workload/generator.hpp
+/// when pair skew is wanted).
+FlowSet generate_flow_workload(const Topology& topology, const FlowWorkloadConfig& config);
+
+const char* to_string(FlowSizeProfile profile);
+
+}  // namespace rdcn

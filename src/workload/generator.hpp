@@ -1,0 +1,67 @@
+#pragma once
+
+// Synthetic workload generators. The paper motivates demand-aware
+// scheduling with the skewed, bursty structure of measured datacenter
+// traffic ([17]-[19]); these generators expose exactly those knobs:
+// arrival burstiness (Poisson vs ON/OFF-modulated), rack-pair skew
+// (uniform / Zipf / hotspot / permutation / incast), and weight
+// distributions (unit / uniform-integer / Pareto-derived / bimodal
+// "elephant-vs-mouse" priorities).
+
+#include <cstdint>
+#include <vector>
+
+#include "net/instance.hpp"
+#include "util/rng.hpp"
+
+namespace rdcn {
+
+enum class PairSkew {
+  Uniform,      ///< (src, dst) uniform over routable pairs
+  Zipf,         ///< rack popularity Zipf-distributed on both sides
+  Hotspot,      ///< a fraction of traffic pinned to one hot pair
+  Permutation,  ///< dst = fixed random permutation of src
+  Incast,       ///< all destinations funnel into one rack
+};
+
+enum class WeightDist {
+  Unit,        ///< all weights 1
+  UniformInt,  ///< uniform integer in [1, weight_max] (exact-audit friendly)
+  Pareto,      ///< heavy-tailed, rounded up to an integer
+  Bimodal,     ///< mice weight 1, elephants weight weight_max
+};
+
+struct WorkloadConfig {
+  std::size_t num_packets = 100;
+  /// Mean packets per step (Poisson); smaller = lighter load.
+  double arrival_rate = 2.0;
+  PairSkew skew = PairSkew::Uniform;
+  double zipf_exponent = 1.2;
+  double hotspot_fraction = 0.5;  ///< Hotspot: share sent on the hot pair
+  WeightDist weights = WeightDist::UniformInt;
+  std::int64_t weight_max = 10;
+  double pareto_shape = 1.3;
+  double elephant_fraction = 0.1;  ///< Bimodal: share of heavy packets
+  /// ON/OFF burst modulation: with probability burst_off_prob a step
+  /// contributes no arrivals; ON steps are proportionally hotter so the
+  /// mean rate is preserved.
+  bool bursty = false;
+  double burst_off_prob = 0.7;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a packet sequence over the topology's routable rack pairs.
+/// Deterministic in (topology, config): all randomness flows from
+/// config.seed.
+Instance generate_workload(const Topology& topology, const WorkloadConfig& config);
+
+/// The standard multi-unit reduction (Section II): appends `size` unit
+/// packets of weight total_weight / size, all arriving at `arrival`.
+void append_flow(Instance& instance, Time arrival, double total_weight, std::int64_t size,
+                 NodeIndex source, NodeIndex destination);
+
+/// Human-readable labels for the benchmark tables.
+const char* to_string(PairSkew skew);
+const char* to_string(WeightDist weights);
+
+}  // namespace rdcn

@@ -1,0 +1,138 @@
+// Tests for the empirical flow-size profiles and the flow workload
+// generator: tail shapes, caps, determinism, expansion consistency.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/alg.hpp"
+#include "flow/flows.hpp"
+#include "net/builders.hpp"
+#include "sim/metrics.hpp"
+#include "workload/flow_sizes.hpp"
+
+namespace rdcn {
+namespace {
+
+TEST(FlowSizes, SamplesArePositiveAndBounded) {
+  Rng rng(5);
+  for (const FlowSizeProfile profile :
+       {FlowSizeProfile::WebSearch, FlowSizeProfile::DataMining,
+        FlowSizeProfile::UniformTiny}) {
+    for (int i = 0; i < 2000; ++i) {
+      const std::int64_t size = sample_flow_size(profile, rng);
+      EXPECT_GE(size, 1);
+      EXPECT_LE(size, 20000);
+    }
+  }
+}
+
+TEST(FlowSizes, DataMiningHasHeavierTailThanWebSearch) {
+  Rng rng_a(7), rng_b(7);
+  std::vector<std::int64_t> web, mining;
+  for (int i = 0; i < 5000; ++i) {
+    web.push_back(sample_flow_size(FlowSizeProfile::WebSearch, rng_a));
+    mining.push_back(sample_flow_size(FlowSizeProfile::DataMining, rng_b));
+  }
+  auto median = [](std::vector<std::int64_t>& v) {
+    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2),
+                     v.end());
+    return v[v.size() / 2];
+  };
+  auto max_of = [](const std::vector<std::int64_t>& v) {
+    return *std::max_element(v.begin(), v.end());
+  };
+  // Mining: tiny median, giant max; web: moderate median, smaller max.
+  EXPECT_LT(median(mining), median(web));
+  EXPECT_GT(max_of(mining), max_of(web));
+}
+
+TEST(FlowSizes, UniformTinyStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const auto size = sample_flow_size(FlowSizeProfile::UniformTiny, rng);
+    EXPECT_GE(size, 1);
+    EXPECT_LE(size, 4);
+  }
+}
+
+TEST(FlowWorkload, GeneratesRunnableFlowSets) {
+  Rng rng(11);
+  TwoTierConfig net;
+  net.racks = 4;
+  const Topology topology = build_two_tier(net, rng);
+
+  FlowWorkloadConfig config;
+  config.num_flows = 30;
+  config.profile = FlowSizeProfile::WebSearch;
+  config.max_size = 16;
+  config.seed = 3;
+  const FlowSet flows = generate_flow_workload(topology, config);
+  EXPECT_EQ(flows.flows().size(), 30u);
+  for (const Flow& flow : flows.flows()) {
+    EXPECT_GE(flow.size, 1);
+    EXPECT_LE(flow.size, 16);
+    EXPECT_DOUBLE_EQ(flow.weight, static_cast<double>(flow.size));  // weight_by_size
+  }
+
+  const Instance instance = flows.to_instance();
+  EXPECT_EQ(instance.validate(), "");
+  const RunResult run = run_alg(instance);
+  EXPECT_TRUE(all_delivered(instance, run));
+  const FlowReport report = analyze_flows(flows, run);
+  EXPECT_DOUBLE_EQ(report.total_fractional_cost, run.total_cost);
+}
+
+TEST(FlowWorkload, DeterministicAndSeedSensitive) {
+  Rng rng(13);
+  TwoTierConfig net;
+  net.racks = 4;
+  const Topology topology = build_two_tier(net, rng);
+  FlowWorkloadConfig config;
+  config.num_flows = 20;
+  config.seed = 5;
+  const FlowSet a = generate_flow_workload(topology, config);
+  const FlowSet b = generate_flow_workload(topology, config);
+  ASSERT_EQ(a.flows().size(), b.flows().size());
+  for (std::size_t i = 0; i < a.flows().size(); ++i) {
+    EXPECT_EQ(a.flows()[i].size, b.flows()[i].size);
+    EXPECT_EQ(a.flows()[i].arrival, b.flows()[i].arrival);
+  }
+  config.seed = 6;
+  const FlowSet c = generate_flow_workload(topology, config);
+  bool any_difference = c.flows().size() != a.flows().size();
+  for (std::size_t i = 0; !any_difference && i < std::min(a.flows().size(), c.flows().size());
+       ++i) {
+    any_difference = a.flows()[i].size != c.flows()[i].size ||
+                     a.flows()[i].source != c.flows()[i].source;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FlowWorkload, UnitWeightModeInvertsChunkWeights) {
+  Rng rng(17);
+  TwoTierConfig net;
+  net.racks = 3;
+  const Topology topology = build_two_tier(net, rng);
+  FlowWorkloadConfig config;
+  config.num_flows = 10;
+  config.weight_by_size = false;
+  config.seed = 8;
+  const FlowSet flows = generate_flow_workload(topology, config);
+  for (const Flow& flow : flows.flows()) EXPECT_DOUBLE_EQ(flow.weight, 1.0);
+  const Instance instance = flows.to_instance();
+  for (std::size_t i = 0; i < instance.num_packets(); ++i) {
+    const FlowIndex f = flows.packet_to_flow()[i];
+    EXPECT_NEAR(instance.packets()[i].weight,
+                1.0 / static_cast<double>(flows.flows()[static_cast<std::size_t>(f)].size),
+                1e-12);
+  }
+}
+
+TEST(FlowSizes, Labels) {
+  EXPECT_STREQ(to_string(FlowSizeProfile::WebSearch), "web-search");
+  EXPECT_STREQ(to_string(FlowSizeProfile::DataMining), "data-mining");
+}
+
+}  // namespace
+}  // namespace rdcn

@@ -1,0 +1,86 @@
+// Tests of the ASCII Gantt renderer: glyph placement, windows, receiver
+// rows, fixed-route listing, and width clipping.
+
+#include <gtest/gtest.h>
+
+#include "core/alg.hpp"
+#include "net/builders.hpp"
+#include "sim/gantt.hpp"
+
+namespace rdcn {
+namespace {
+
+TEST(Gantt, PlacesChunksAtTransmitSteps) {
+  // One packet, edge delay 3: chunks at steps 1, 2, 3 on transmitter 0.
+  Topology g;
+  g.add_sources(1);
+  g.add_destinations(1);
+  const NodeIndex t = g.add_transmitter(0);
+  const NodeIndex r = g.add_receiver(0);
+  g.add_edge(t, r, 3);
+  Instance instance(std::move(g), {});
+  instance.add_packet(1, 1.0, 0, 0);
+  const RunResult run = run_alg(instance);
+
+  const std::string chart = render_gantt(instance, run);
+  EXPECT_NE(chart.find("t0\t|000"), std::string::npos) << chart;
+}
+
+TEST(Gantt, ReceiverRowsOptional) {
+  const Instance instance = figure2_instance_pi();
+  const RunResult run = run_alg(instance);
+  const std::string without = render_gantt(instance, run);
+  EXPECT_EQ(without.find("r0\t"), std::string::npos);
+  const std::string with = render_gantt(instance, run, {.show_receivers = true});
+  EXPECT_NE(with.find("r0\t"), std::string::npos);
+}
+
+TEST(Gantt, ListsFixedRoutedPackets) {
+  const Instance instance = figure1_instance();
+  Topology g;  // build an all-fixed variant to force a fixed route
+  g.add_sources(1);
+  g.add_destinations(1);
+  g.add_fixed_link(0, 0, 4);
+  Instance fixed_only(std::move(g), {});
+  fixed_only.add_packet(1, 1.0, 0, 0);
+  const RunResult run = run_alg(fixed_only);
+  const std::string chart = render_gantt(fixed_only, run);
+  EXPECT_NE(chart.find("fixed p0: 1 .. 5"), std::string::npos) << chart;
+  const std::string hidden = render_gantt(fixed_only, run, {.show_fixed = false});
+  EXPECT_EQ(hidden.find("fixed p0"), std::string::npos);
+}
+
+TEST(Gantt, WindowAndClipping) {
+  Topology g;
+  g.add_sources(1);
+  g.add_destinations(1);
+  const NodeIndex t = g.add_transmitter(0);
+  const NodeIndex r = g.add_receiver(0);
+  g.add_edge(t, r, 1);
+  Instance instance(std::move(g), {});
+  for (int i = 0; i < 10; ++i) instance.add_packet(1, 1.0, 0, 0);
+  const RunResult run = run_alg(instance);
+
+  GanttOptions window;
+  window.from = 3;
+  window.until = 5;
+  const std::string chart = render_gantt(instance, run, window);
+  EXPECT_NE(chart.find("time 3 .. 5"), std::string::npos);
+
+  GanttOptions clipped;
+  clipped.max_width = 4;
+  const std::string short_chart = render_gantt(instance, run, clipped);
+  EXPECT_NE(short_chart.find("time 1 .. 4"), std::string::npos);
+}
+
+TEST(Gantt, Figure2MatchingVisible) {
+  // On Pi', step 1 transmits p2 (glyph '1') on t1 and p4 ('3') on t2.
+  const Instance instance = figure2_instance_pi_prime();
+  const RunResult run = run_alg(instance);
+  const std::string chart = render_gantt(instance, run);
+  EXPECT_NE(chart.find("t0\t|10."), std::string::npos) << chart;  // p2 then p1
+  EXPECT_NE(chart.find("t1\t|32."), std::string::npos) << chart;  // p4 then p3
+}
+
+}  // namespace
+}  // namespace rdcn

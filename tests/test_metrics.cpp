@@ -1,0 +1,117 @@
+// Tests of the metric helpers: link statistics, load concentration, and a
+// large integration "soak" run asserting every invariant at once on a
+// 2000-packet instance.
+
+#include <gtest/gtest.h>
+
+#include "core/alg.hpp"
+#include "core/charging.hpp"
+#include "core/dual_witness.hpp"
+#include "helpers.hpp"
+#include "net/builders.hpp"
+#include "sim/metrics.hpp"
+
+namespace rdcn {
+namespace {
+
+TEST(LinkStats, CountsChunksAndWindows) {
+  Topology g;
+  g.add_sources(1);
+  g.add_destinations(1);
+  const NodeIndex t = g.add_transmitter(0);
+  const NodeIndex r = g.add_receiver(0);
+  const EdgeIndex e = g.add_edge(t, r, 2);
+  Instance instance(std::move(g), {});
+  instance.add_packet(1, 2.0, 0, 0);
+
+  const RunResult run = run_alg(instance);
+  const auto stats = link_stats(instance, run);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[static_cast<std::size_t>(e)].chunks_carried, 2);
+  EXPECT_EQ(stats[static_cast<std::size_t>(e)].first_busy, 1);
+  EXPECT_EQ(stats[static_cast<std::size_t>(e)].last_busy, 2);
+  EXPECT_GT(stats[static_cast<std::size_t>(e)].utilization, 0.0);
+}
+
+TEST(LinkStats, FixedPacketsDoNotCount) {
+  Topology g;
+  g.add_sources(1);
+  g.add_destinations(1);
+  g.add_fixed_link(0, 0, 3);
+  Instance instance(std::move(g), {});
+  instance.add_packet(1, 1.0, 0, 0);
+  const RunResult run = run_alg(instance);
+  EXPECT_TRUE(link_stats(instance, run).empty());  // no edges at all
+  EXPECT_DOUBLE_EQ(load_concentration(instance, run), 0.0);
+}
+
+TEST(LoadConcentration, HotspotBeatsUniform) {
+  Rng rng(91);
+  TwoTierConfig net;
+  net.racks = 6;
+  net.lasers_per_rack = 2;
+  net.photodetectors_per_rack = 2;
+  const Topology topology = build_two_tier(net, rng);
+
+  WorkloadConfig traffic;
+  traffic.num_packets = 300;
+  traffic.arrival_rate = 3.0;
+  traffic.seed = 4;
+  traffic.skew = PairSkew::Uniform;
+  const Instance uniform_instance = generate_workload(topology, traffic);
+  const RunResult uniform_run = run_alg(uniform_instance);
+
+  traffic.skew = PairSkew::Hotspot;
+  traffic.hotspot_fraction = 0.8;
+  const Instance hotspot = generate_workload(topology, traffic);
+  const RunResult hotspot_run = run_alg(hotspot);
+
+  EXPECT_GT(load_concentration(hotspot, hotspot_run),
+            load_concentration(uniform_instance, uniform_run));
+}
+
+TEST(Soak, TwoThousandPacketsAllInvariants) {
+  Rng rng(2024);
+  TwoTierConfig net;
+  net.racks = 16;
+  net.lasers_per_rack = 2;
+  net.photodetectors_per_rack = 2;
+  net.density = 0.4;
+  net.max_edge_delay = 3;
+  net.fixed_link_delay = 20;
+  const Topology topology = build_two_tier(net, rng);
+  WorkloadConfig traffic;
+  traffic.num_packets = 2000;
+  traffic.arrival_rate = 8.0;
+  traffic.skew = PairSkew::Zipf;
+  traffic.weights = WeightDist::UniformInt;
+  traffic.weight_max = 20;
+  traffic.bursty = true;
+  traffic.seed = 99;
+  const Instance instance = generate_workload(topology, traffic);
+  ASSERT_EQ(instance.validate(), "");
+
+  const RunResult run = run_alg(instance);
+  EXPECT_TRUE(all_delivered(instance, run));
+  EXPECT_NEAR(run.total_cost, recompute_cost(instance, run), 1e-5);
+  EXPECT_NEAR(run.total_cost, recompute_cost_active_form(instance, run), 1e-5);
+
+  const DualWitness witness = build_dual_witness(instance, run);
+  EXPECT_LT(lemma1_gap(witness, run), 1e-5);
+  EXPECT_LE(run.total_cost, witness.sum_alpha + 1e-5);
+
+  const ChargingAudit audit = audit_charging(instance, run);
+  EXPECT_LE(audit.max_overcharge, 1e-6);
+  EXPECT_LT(audit.cover_gap, 1e-5);
+
+  const ExactChargingAudit exact = audit_charging_exact(instance, run);
+  EXPECT_TRUE(exact.charges_cover_cost);
+  EXPECT_TRUE(exact.within_alpha);
+
+  // Serialization of a big instance round-trips too.
+  const Instance reloaded = Instance::from_string(instance.to_string());
+  EXPECT_EQ(reloaded.to_string(), instance.to_string());
+}
+
+}  // namespace
+}  // namespace rdcn

@@ -1,0 +1,194 @@
+// Tests of the network model: topology invariants, candidate-edge lookup,
+// fixed links, instance validation, serialization round-trips, and the
+// parameterized builders.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/builders.hpp"
+#include "net/instance.hpp"
+#include "util/rng.hpp"
+
+namespace rdcn {
+namespace {
+
+TEST(Topology, BasicConstruction) {
+  Topology g;
+  EXPECT_EQ(g.add_sources(2), 0);
+  EXPECT_EQ(g.add_destinations(2), 0);
+  const NodeIndex t0 = g.add_transmitter(0, 1);
+  const NodeIndex t1 = g.add_transmitter(1);
+  const NodeIndex r0 = g.add_receiver(0);
+  const NodeIndex r1 = g.add_receiver(1, 2);
+  const EdgeIndex e = g.add_edge(t0, r1, 3);
+
+  EXPECT_EQ(g.num_transmitters(), 2);
+  EXPECT_EQ(g.num_receivers(), 2);
+  EXPECT_EQ(g.source_of(t1), 1);
+  EXPECT_EQ(g.destination_of(r0), 0);
+  EXPECT_EQ(g.transmitter_attach_delay(t0), 1);
+  EXPECT_EQ(g.receiver_attach_delay(r1), 2);
+  EXPECT_EQ(g.total_edge_delay(e), 1 + 3 + 2);
+  EXPECT_EQ(g.validate(), "");
+}
+
+TEST(Topology, CandidateEdgesFilterBySourceAndDestination) {
+  const Instance instance = figure1_instance();
+  const Figure1Ids ids = figure1_ids();
+  const auto& g = instance.topology();
+  EXPECT_EQ(g.candidate_edges(ids.s1, ids.d1), (std::vector<EdgeIndex>{ids.t1r1}));
+  EXPECT_EQ(g.candidate_edges(ids.s1, ids.d2), (std::vector<EdgeIndex>{ids.t1r2}));
+  EXPECT_EQ(g.candidate_edges(ids.s2, ids.d2), (std::vector<EdgeIndex>{ids.t3r3}));
+  EXPECT_EQ(g.candidate_edges(ids.s2, ids.d3), (std::vector<EdgeIndex>{ids.t3r4}));
+  EXPECT_TRUE(g.candidate_edges(ids.s1, ids.d3).empty());
+}
+
+TEST(Topology, FixedLinkKeepsMinimumDelay) {
+  Topology g;
+  g.add_sources(1);
+  g.add_destinations(1);
+  g.add_fixed_link(0, 0, 9);
+  g.add_fixed_link(0, 0, 4);
+  g.add_fixed_link(0, 0, 7);
+  EXPECT_EQ(g.fixed_link_delay(0, 0), std::optional<Delay>(4));
+  EXPECT_EQ(g.fixed_links().size(), 1u);
+}
+
+TEST(Topology, RejectsInvalidArguments) {
+  Topology g;
+  g.add_sources(1);
+  g.add_destinations(1);
+  EXPECT_THROW(g.add_transmitter(5), std::out_of_range);
+  EXPECT_THROW(g.add_receiver(-1), std::out_of_range);
+  const NodeIndex t = g.add_transmitter(0);
+  const NodeIndex r = g.add_receiver(0);
+  EXPECT_THROW(g.add_edge(t, r, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_fixed_link(0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_transmitter(0, -1), std::invalid_argument);
+}
+
+TEST(Instance, ValidateCatchesBrokenInputs) {
+  Topology g;
+  g.add_sources(1);
+  g.add_destinations(1);
+  const NodeIndex t = g.add_transmitter(0);
+  const NodeIndex r = g.add_receiver(0);
+  g.add_edge(t, r, 1);
+
+  {
+    Instance instance(g, {});
+    instance.add_packet(1, 1.0, 0, 0);
+    EXPECT_EQ(instance.validate(), "");
+  }
+  {
+    Instance instance(g, {});
+    instance.add_packet(0, 1.0, 0, 0);  // arrival < 1
+    EXPECT_NE(instance.validate(), "");
+  }
+  {
+    Instance instance(g, {});
+    instance.add_packet(1, 0.0, 0, 0);  // weight 0
+    EXPECT_NE(instance.validate(), "");
+  }
+  {
+    Instance instance(g, {});
+    instance.add_packet(2, 1.0, 0, 0);
+    EXPECT_THROW(instance.add_packet(1, 1.0, 0, 0), std::invalid_argument);  // out of order
+  }
+}
+
+TEST(Instance, SerializationRoundTrips) {
+  const Instance original = figure1_instance();
+  const std::string text = original.to_string();
+  const Instance loaded = Instance::from_string(text);
+  EXPECT_EQ(loaded.validate(), "");
+  EXPECT_EQ(loaded.num_packets(), original.num_packets());
+  EXPECT_EQ(loaded.topology().num_edges(), original.topology().num_edges());
+  EXPECT_EQ(loaded.to_string(), text);  // canonical form is a fixpoint
+}
+
+TEST(Instance, SerializationRejectsGarbage) {
+  std::istringstream bad("not-an-instance v1\n");
+  EXPECT_THROW(Instance::load(bad), std::runtime_error);
+}
+
+TEST(Instance, IdealCostOnFigure1) {
+  // p1..p4: best path latency 1 each; p5: min(reconfig 1, fixed 4) = 1.
+  EXPECT_DOUBLE_EQ(figure1_instance().ideal_cost(), 5.0);
+}
+
+TEST(Instance, IntegerWeightDetection) {
+  Instance instance = figure1_instance();
+  EXPECT_TRUE(instance.has_integer_weights());
+  instance.add_packet(5, 1.5, 0, 0);
+  EXPECT_FALSE(instance.has_integer_weights());
+}
+
+TEST(Builders, TwoTierKeepsPairsRoutable) {
+  Rng rng(17);
+  TwoTierConfig config;
+  config.racks = 5;
+  config.lasers_per_rack = 2;
+  config.photodetectors_per_rack = 2;
+  config.density = 0.3;  // sparse: forces the routability fallback
+  const Topology g = build_two_tier(config, rng);
+  EXPECT_EQ(g.validate(), "");
+  for (NodeIndex s = 0; s < 5; ++s) {
+    for (NodeIndex d = 0; d < 5; ++d) {
+      if (s == d) continue;
+      EXPECT_TRUE(g.routable(s, d)) << s << "->" << d;
+    }
+  }
+}
+
+TEST(Builders, TwoTierHybridAddsAllFixedLinks) {
+  Rng rng(18);
+  TwoTierConfig config;
+  config.racks = 4;
+  config.density = 0.0;  // no reconfigurable edges at all
+  config.fixed_link_delay = 8;
+  const Topology g = build_two_tier(config, rng);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.fixed_links().size(), 4u * 3u);
+  EXPECT_TRUE(g.routable(0, 3));
+}
+
+TEST(Builders, TwoTierDelaysInRange) {
+  Rng rng(19);
+  TwoTierConfig config;
+  config.racks = 4;
+  config.max_edge_delay = 5;
+  const Topology g = build_two_tier(config, rng);
+  for (const auto& edge : g.edges()) {
+    EXPECT_GE(edge.delay, 1);
+    EXPECT_LE(edge.delay, 5);
+  }
+}
+
+TEST(Builders, CrossbarIsCompleteBipartite) {
+  const Topology g = build_crossbar(4);
+  EXPECT_EQ(g.num_transmitters(), 4);
+  EXPECT_EQ(g.num_receivers(), 4);
+  EXPECT_EQ(g.num_edges(), 16);
+  EXPECT_EQ(g.validate(), "");
+  for (const auto& edge : g.edges()) EXPECT_EQ(edge.delay, 1);
+  // Port i's transmitter reaches every output.
+  EXPECT_EQ(g.candidate_edges(0, 3).size(), 1u);
+}
+
+TEST(Builders, Figure2TopologyShape) {
+  const Topology g = figure2_topology();
+  EXPECT_EQ(g.num_transmitters(), 2);
+  EXPECT_EQ(g.num_receivers(), 3);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_TRUE(g.fixed_links().empty());
+}
+
+TEST(Instance, HorizonBoundDominatesArrivalsAndWork) {
+  const Instance instance = figure1_instance();
+  EXPECT_GE(instance.horizon_bound(), 2 + 5 * 4);  // arrivals + n * max delay
+}
+
+}  // namespace
+}  // namespace rdcn

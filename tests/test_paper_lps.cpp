@@ -1,0 +1,101 @@
+// Tests of the Figure-3 / Figure-4 LP builders: strong duality between the
+// generated primal and dual models, feasibility of the LP relaxation
+// against known schedules, and sanity of the derived horizon.
+
+#include <gtest/gtest.h>
+
+#include "core/alg.hpp"
+#include "core/dual_witness.hpp"
+#include "helpers.hpp"
+#include "lp/paper_lps.hpp"
+#include "lp/simplex.hpp"
+#include "net/builders.hpp"
+
+namespace rdcn {
+namespace {
+
+TEST(PaperLps, HorizonCoversSerialSchedule) {
+  const Instance instance = figure1_instance();
+  const Time horizon = default_lp_horizon(instance, 1.0);
+  EXPECT_GE(horizon, 2 + 3 * 5);  // max arrival + (2+eps) * n * max d(e)
+}
+
+TEST(PaperLps, PrimalSolvesOnFigure1) {
+  const Instance instance = figure1_instance();
+  const PrimalLp primal = build_primal_lp(instance, PaperLpOptions{1.0, 0});
+  const lp::Solution solution = lp::solve(primal.model);
+  ASSERT_EQ(solution.status, lp::SolveStatus::Optimal);
+  EXPECT_GT(solution.objective, 0.0);
+  // A relaxation of a speed-limited OPT: at eps=1 OPT is 3x slower than
+  // unit speed, but fractional; it must still pay at least the trivial
+  // per-packet path latency.
+  EXPECT_GE(solution.objective, instance.ideal_cost() - 1e-6);
+  EXPECT_LE(primal.model.max_violation(solution.values), 1e-7);
+}
+
+TEST(PaperLps, StrongDualityBetweenFigure3And4) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    testing::RandomInstanceSpec spec;
+    spec.seed = seed;
+    spec.racks = 3;
+    spec.lasers = 1;
+    spec.photodetectors = 1;
+    spec.packets = 4;
+    spec.max_edge_delay = 1 + static_cast<Delay>(seed % 2);
+    spec.fixed_link_delay = (seed % 2 == 0) ? 4 : 0;
+    const Instance instance = testing::make_random_instance(spec);
+
+    const PaperLpOptions options{1.0, 0};
+    const PrimalLp primal = build_primal_lp(instance, options);
+    const DualLp dual = build_dual_lp(instance, options);
+    const lp::Solution primal_solution = lp::solve(primal.model);
+    const lp::Solution dual_solution = lp::solve(dual.model);
+    ASSERT_EQ(primal_solution.status, lp::SolveStatus::Optimal) << "seed " << seed;
+    ASSERT_EQ(dual_solution.status, lp::SolveStatus::Optimal) << "seed " << seed;
+    EXPECT_NEAR(primal_solution.objective, dual_solution.objective,
+                1e-5 * (1.0 + primal_solution.objective))
+        << "Figure 3 vs Figure 4 strong duality, seed " << seed;
+  }
+}
+
+TEST(PaperLps, WitnessValueBelowDualOptimum) {
+  // The witness is one (half-)feasible dual point; the dual LP optimum
+  // dominates its value.
+  const Instance instance = figure1_instance();
+  const RunResult run = run_alg(instance);
+  const DualWitness witness = build_dual_witness(instance, run);
+  const double eps = 1.0;
+  const DualLp dual = build_dual_lp(instance, PaperLpOptions{eps, 0});
+  const lp::Solution dual_solution = lp::solve(dual.model);
+  ASSERT_EQ(dual_solution.status, lp::SolveStatus::Optimal);
+  EXPECT_LE(witness.lower_bound(eps), dual_solution.objective + 1e-6);
+}
+
+TEST(PaperLps, BudgetTightensWithEps) {
+  const Instance instance = figure1_instance();
+  // Same horizon for comparability.
+  const Time horizon = default_lp_horizon(instance, 4.0);
+  const double v_half = lp_opt_lower_bound(instance, 0.5, horizon);
+  const double v_two = lp_opt_lower_bound(instance, 2.0, horizon);
+  const double v_four = lp_opt_lower_bound(instance, 4.0, horizon);
+  EXPECT_LE(v_half, v_two + 1e-7);
+  EXPECT_LE(v_two, v_four + 1e-7);
+}
+
+TEST(PaperLps, XVarBookkeepingConsistent) {
+  const Instance instance = figure1_instance();
+  const PrimalLp primal = build_primal_lp(instance, PaperLpOptions{1.0, 0});
+  ASSERT_EQ(primal.x_vars.size(), primal.x_indices.size());
+  for (std::size_t k = 0; k < primal.x_vars.size(); ++k) {
+    const auto& x = primal.x_vars[k];
+    EXPECT_GE(x.tau, instance.packets()[static_cast<std::size_t>(x.packet)].arrival);
+    EXPECT_LE(x.tau, primal.horizon);
+    EXPECT_LT(primal.x_indices[k], primal.model.num_variables());
+  }
+  // p5 has a fixed link; p1 does not.
+  EXPECT_NE(primal.y_index[4], std::numeric_limits<std::size_t>::max());
+  EXPECT_EQ(primal.y_index[0], std::numeric_limits<std::size_t>::max());
+}
+
+}  // namespace
+}  // namespace rdcn

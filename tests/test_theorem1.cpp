@@ -1,0 +1,90 @@
+// End-to-end validation of Theorem 1: for every eps > 0,
+//   ALG <= 2 (2/eps + 1) * OPT(1/(2+eps)-speed),
+// using the primal LP of Figure 3 as the (exact) value of the relaxed OPT
+// and the dual witness as the scalable certificate. Also checks the chain
+//   D/2 <= LP-OPT  and  LP-OPT(eps) is monotone in eps.
+
+#include <gtest/gtest.h>
+
+#include "core/alg.hpp"
+#include "core/dual_witness.hpp"
+#include "helpers.hpp"
+#include "lp/paper_lps.hpp"
+#include "net/builders.hpp"
+#include "opt/brute_force.hpp"
+
+namespace rdcn {
+namespace {
+
+Instance small_instance(std::uint64_t seed) {
+  testing::RandomInstanceSpec spec;
+  spec.seed = seed;
+  spec.racks = 3;
+  spec.lasers = 1 + static_cast<NodeIndex>(seed % 2);
+  spec.photodetectors = 1;
+  spec.density = 1.0;
+  spec.max_edge_delay = 1 + static_cast<Delay>(seed % 2);
+  spec.fixed_link_delay = (seed % 2 == 0) ? 5 : 0;
+  spec.packets = 5;
+  spec.arrival_rate = 2.0;
+  spec.weights = WeightDist::UniformInt;
+  spec.weight_max = 4;
+  return testing::make_random_instance(spec);
+}
+
+class Theorem1Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem1Property, CompetitiveBoundAgainstLp) {
+  const Instance instance = small_instance(GetParam());
+  const RunResult run = run_alg(instance);
+  const DualWitness witness = build_dual_witness(instance, run);
+
+  for (const double eps : {0.5, 1.0, 2.0}) {
+    const double opt_lp = lp_opt_lower_bound(instance, eps);
+    ASSERT_GT(opt_lp, 0.0);
+    const double bound = 2.0 * (2.0 / eps + 1.0);
+    EXPECT_LE(run.total_cost, bound * opt_lp + 1e-6)
+        << "Theorem 1 violated at eps=" << eps;
+    // Lemma 5: the halved witness is dual-feasible, so D/2 <= LP optimum.
+    EXPECT_LE(witness.lower_bound(eps), opt_lp + 1e-6) << "weak duality at eps=" << eps;
+  }
+}
+
+TEST_P(Theorem1Property, LpOptMonotoneInEps) {
+  // A slower OPT (larger eps) can only cost more.
+  const Instance instance = small_instance(GetParam());
+  const double lp_half = lp_opt_lower_bound(instance, 0.5);
+  const double lp_one = lp_opt_lower_bound(instance, 1.0);
+  const double lp_two = lp_opt_lower_bound(instance, 2.0);
+  EXPECT_LE(lp_half, lp_one + 1e-7);
+  EXPECT_LE(lp_one, lp_two + 1e-7);
+}
+
+TEST_P(Theorem1Property, BruteForceDominatesLp) {
+  // The LP (speed-1, i.e. eps -> -1 limit is not modeled; use budget with
+  // eps giving 1/(2+eps) <= 1): any integral unit-speed schedule is
+  // feasible for P only when its per-step usage is within budget, so we
+  // check the weaker, always-valid chain: LP(eps) <= brute-force OPT *
+  // anything >= 1 is NOT generally true; instead we verify the brute
+  // force equals or exceeds the trivial bound and ALG >= OPT.
+  const Instance instance = small_instance(GetParam());
+  const auto opt = brute_force_opt(instance);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_GE(opt->cost, instance.ideal_cost() - 1e-9);
+  const RunResult run = run_alg(instance);
+  EXPECT_GE(run.total_cost, opt->cost - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem1Property, ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(Theorem1Figure1, BoundHoldsOnPaperInstance) {
+  const Instance instance = figure1_instance();
+  const RunResult run = run_alg(instance);
+  for (const double eps : {0.5, 1.0, 2.0, 4.0}) {
+    const double opt_lp = lp_opt_lower_bound(instance, eps);
+    EXPECT_LE(run.total_cost, 2.0 * (2.0 / eps + 1.0) * opt_lp + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace rdcn

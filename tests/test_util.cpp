@@ -1,0 +1,251 @@
+// Tests for the utility substrate: RNG determinism and distribution
+// sanity, summary statistics, table rendering, thread pool, and exact
+// rational arithmetic.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "util/rational.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rdcn {
+namespace {
+
+// ------------------------------------------------------------------- rng --
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next_u64() == b.next_u64()) ? 1 : 0;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const auto v = rng.next_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, NextIntCoversRange) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_int(1, 6));
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, DoublesInHalfOpenUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, PoissonMeanApproximatelyCorrect) {
+  Rng rng(5);
+  for (const double mean : {0.5, 3.0, 50.0}) {
+    double total = 0.0;
+    const int samples = 20000;
+    for (int i = 0; i < samples; ++i) total += static_cast<double>(rng.next_poisson(mean));
+    EXPECT_NEAR(total / samples, mean, mean * 0.1 + 0.05) << "mean " << mean;
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(6);
+  double total = 0.0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) total += rng.next_exponential(2.0);
+  EXPECT_NEAR(total / samples, 0.5, 0.03);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.next_pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ForkStreamsAreIndependentAndDeterministic) {
+  Rng parent(99);
+  Rng fork_a = parent.fork(0);
+  Rng fork_b = parent.fork(1);
+  Rng fork_a_again = Rng(99).fork(0);
+  EXPECT_EQ(fork_a.next_u64(), fork_a_again.next_u64());
+  EXPECT_NE(fork_a.next_u64(), fork_b.next_u64());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(12);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(ZipfSampler, SkewsTowardLowRanks) {
+  Rng rng(13);
+  ZipfSampler zipf(100, 1.5);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 20000 / 10);  // rank 0 carries a large share
+}
+
+TEST(ZipfSampler, ZeroExponentIsUniform) {
+  Rng rng(14);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 500);
+}
+
+// ----------------------------------------------------------------- stats --
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.stddev(), 1.29099, 1e-4);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 4.0);
+}
+
+TEST(Summary, PercentileInterpolates) {
+  Summary s;
+  for (double v : {0.0, 10.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 2.5);
+}
+
+TEST(Summary, EmptyThrowsOnPercentile) {
+  Summary s;
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(GeometricMean, MatchesHandValue) {
+  EXPECT_NEAR(geometric_mean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_THROW(geometric_mean({1.0, 0.0}), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- table --
+
+TEST(Table, AsciiAlignsColumns) {
+  Table table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  const std::string ascii = table.to_ascii();
+  EXPECT_NE(ascii.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(ascii.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table table({"a", "b"});
+  table.add_row({"has,comma", "has\"quote"});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, FmtFormats) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(static_cast<std::int64_t>(-7)), "-7");
+}
+
+// ----------------------------------------------------------- thread pool --
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  ThreadPool pool(4);
+  parallel_for(pool, hits.size(), [&hits](std::size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  parallel_for(pool, 10, [&counter](std::size_t) { ++counter; });
+  parallel_for(pool, 5, [&counter](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 15);
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+// -------------------------------------------------------------- rational --
+
+TEST(Rational, NormalizesSignAndGcd) {
+  const Rational r(6, -4);
+  EXPECT_EQ(r.numerator(), -3);
+  EXPECT_EQ(r.denominator(), 2);
+  EXPECT_EQ(Rational(0, 5), Rational(0));
+}
+
+TEST(Rational, Arithmetic) {
+  const Rational half(1, 2), third(1, 3);
+  EXPECT_EQ(half + third, Rational(5, 6));
+  EXPECT_EQ(half - third, Rational(1, 6));
+  EXPECT_EQ(half * third, Rational(1, 6));
+  EXPECT_EQ(half / third, Rational(3, 2));
+  EXPECT_EQ(-half, Rational(-1, 2));
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(7, 2), Rational(3));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+}
+
+TEST(Rational, ThrowsOnZeroDenominatorAndDivZero) {
+  EXPECT_THROW(Rational(1, 0), std::invalid_argument);
+  EXPECT_THROW(Rational(1) / Rational(0), std::invalid_argument);
+}
+
+TEST(Rational, DetectsOverflow) {
+  const Rational huge(INT64_MAX, 1);
+  EXPECT_THROW(huge + huge, RationalOverflow);
+  EXPECT_THROW(huge * Rational(2), RationalOverflow);
+}
+
+TEST(Rational, ExactAccumulationOfChunks) {
+  // Sum of 7 chunks of weight 3/7 equals exactly 3 -- the property the
+  // exact charging audit relies on.
+  Rational total(0);
+  for (int i = 0; i < 7; ++i) total += Rational(3, 7);
+  EXPECT_EQ(total, Rational(3));
+}
+
+TEST(Rational, ToStringAndDouble) {
+  EXPECT_EQ(Rational(3, 2).to_string(), "3/2");
+  EXPECT_EQ(Rational(4, 2).to_string(), "2");
+  EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+}
+
+}  // namespace
+}  // namespace rdcn

@@ -1,0 +1,271 @@
+// rdcn — command-line front end for the library.
+//
+// Subcommands:
+//   gen   <out.inst> [--racks N] [--lasers N] [--pds N] [--density F]
+//         [--max-delay D] [--fixed-dl D] [--packets N] [--rate F]
+//         [--skew uniform|zipf|hotspot|permutation|incast] [--zipf F]
+//         [--weights unit|uniform-int|pareto|bimodal] [--wmax N]
+//         [--bursty] [--seed S]
+//       Generates a workload over a two-tier pod and writes an instance file.
+//   run   <in.inst> [--policy alg|maxweight|islip|rotor|random|fifo]
+//         [--capacity B] [--speedup K] [--reconfig D]
+//       Replays an instance under a policy and prints the schedule summary.
+//   certify <in.inst> [--eps F]
+//       Runs ALG, builds the dual witness, verifies Lemmas 1-5 and prints
+//       the certified OPT lower bound and ratio.
+//   show  <in.inst> [--receivers] [--width N]
+//       Runs ALG and renders the schedule as an ASCII Gantt chart.
+//   info  <in.inst>
+//       Prints topology/workload statistics.
+//
+// Instance files use the rdcn-instance v1 text format (Instance::save).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "baseline/dispatchers.hpp"
+#include "baseline/schedulers.hpp"
+#include "core/alg.hpp"
+#include "core/charging.hpp"
+#include "core/dual_witness.hpp"
+#include "net/builders.hpp"
+#include "sim/gantt.hpp"
+#include "sim/metrics.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace rdcn;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: rdcn_cli <gen|run|certify|info> <file> [options]\n"
+               "run with no options for defaults; see source header for flags\n");
+  std::exit(2);
+}
+
+struct Args {
+  std::string command;
+  std::string file;
+  std::vector<std::string> rest;
+
+  bool has(const std::string& flag) const {
+    for (const auto& a : rest) {
+      if (a == flag) return true;
+    }
+    return false;
+  }
+  std::string value(const std::string& flag, const std::string& fallback) const {
+    for (std::size_t i = 0; i + 1 < rest.size(); ++i) {
+      if (rest[i] == flag) return rest[i + 1];
+    }
+    return fallback;
+  }
+  double number(const std::string& flag, double fallback) const {
+    const std::string v = value(flag, "");
+    return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
+  }
+};
+
+Instance load_instance(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  return Instance::load(in);
+}
+
+int cmd_gen(const Args& args) {
+  Rng rng(static_cast<std::uint64_t>(args.number("--seed", 1)));
+  TwoTierConfig net;
+  net.racks = static_cast<NodeIndex>(args.number("--racks", 8));
+  net.lasers_per_rack = static_cast<NodeIndex>(args.number("--lasers", 2));
+  net.photodetectors_per_rack = static_cast<NodeIndex>(args.number("--pds", 2));
+  net.density = args.number("--density", 0.6);
+  net.max_edge_delay = static_cast<Delay>(args.number("--max-delay", 2));
+  net.fixed_link_delay = static_cast<Delay>(args.number("--fixed-dl", 0));
+  const Topology topology = build_two_tier(net, rng);
+
+  WorkloadConfig traffic;
+  traffic.num_packets = static_cast<std::size_t>(args.number("--packets", 200));
+  traffic.arrival_rate = args.number("--rate", 4.0);
+  const std::string skew = args.value("--skew", "zipf");
+  traffic.skew = skew == "uniform"       ? PairSkew::Uniform
+                 : skew == "hotspot"     ? PairSkew::Hotspot
+                 : skew == "permutation" ? PairSkew::Permutation
+                 : skew == "incast"      ? PairSkew::Incast
+                                         : PairSkew::Zipf;
+  traffic.zipf_exponent = args.number("--zipf", 1.2);
+  const std::string weights = args.value("--weights", "uniform-int");
+  traffic.weights = weights == "unit"     ? WeightDist::Unit
+                    : weights == "pareto" ? WeightDist::Pareto
+                    : weights == "bimodal" ? WeightDist::Bimodal
+                                           : WeightDist::UniformInt;
+  traffic.weight_max = static_cast<std::int64_t>(args.number("--wmax", 10));
+  traffic.bursty = args.has("--bursty");
+  traffic.seed = static_cast<std::uint64_t>(args.number("--seed", 1));
+
+  const Instance instance = generate_workload(topology, traffic);
+  std::ofstream out(args.file);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", args.file.c_str());
+    return 1;
+  }
+  instance.save(out);
+  std::printf("wrote %zu packets / %d racks / %d edges to %s\n", instance.num_packets(),
+              instance.topology().num_sources(), instance.topology().num_edges(),
+              args.file.c_str());
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  const Instance instance = load_instance(args.file);
+  const std::string policy = args.value("--policy", "alg");
+
+  std::unique_ptr<DispatchPolicy> dispatcher;
+  std::unique_ptr<SchedulePolicy> scheduler;
+  if (policy == "alg") {
+    dispatcher = std::make_unique<ImpactDispatcher>();
+    scheduler = std::make_unique<StableMatchingScheduler>();
+  } else {
+    dispatcher = std::make_unique<JsqDispatcher>();
+    if (policy == "maxweight") {
+      scheduler = std::make_unique<MaxWeightScheduler>();
+    } else if (policy == "islip") {
+      scheduler = std::make_unique<IslipScheduler>();
+    } else if (policy == "rotor") {
+      scheduler = std::make_unique<RotorScheduler>(instance.topology());
+    } else if (policy == "random") {
+      scheduler = std::make_unique<RandomMaximalScheduler>(1);
+    } else if (policy == "fifo") {
+      scheduler = std::make_unique<FifoScheduler>();
+    } else {
+      std::fprintf(stderr, "unknown policy '%s'\n", policy.c_str());
+      return 2;
+    }
+  }
+
+  EngineOptions options;
+  options.endpoint_capacity = static_cast<int>(args.number("--capacity", 1));
+  options.speedup_rounds = static_cast<int>(args.number("--speedup", 1));
+  options.reconfig_delay = static_cast<Delay>(args.number("--reconfig", 0));
+  options.record_trace = false;
+
+  const RunResult run = simulate(instance, *dispatcher, *scheduler, options);
+  const ScheduleSummary summary = summarize(instance, run);
+
+  Table table({"metric", "value"});
+  table.add_row({"policy", policy});
+  table.add_row({"total weighted latency", Table::fmt(summary.total_cost, 3)});
+  table.add_row({"mean weighted latency", Table::fmt(summary.mean_weighted_latency, 3)});
+  table.add_row({"max latency", Table::fmt(summary.max_latency, 0)});
+  table.add_row({"makespan", Table::fmt(static_cast<std::int64_t>(summary.makespan))});
+  table.add_row({"reconfigurable share",
+                 Table::fmt(100.0 * summary.reconfig_fraction, 1) + "%"});
+  table.add_row({"steps simulated",
+                 Table::fmt(static_cast<std::int64_t>(run.steps_simulated))});
+  table.print("run summary: " + args.file);
+  return 0;
+}
+
+int cmd_certify(const Args& args) {
+  const Instance instance = load_instance(args.file);
+  const double eps = args.number("--eps", 1.0);
+  const RunResult run = run_alg(instance);
+  const DualWitness witness = build_dual_witness(instance, run);
+  const ChargingAudit audit = audit_charging(instance, run);
+  const DualFeasibilityReport feasibility = check_dual_feasibility(instance, witness);
+
+  Table table({"certificate", "value", "requirement", "status"});
+  table.add_row({"ALG cost", Table::fmt(run.total_cost, 3), "", ""});
+  table.add_row({"Lemma 1 ledger gap", Table::fmt(lemma1_gap(witness, run), 9), "= 0",
+                 lemma1_gap(witness, run) < 1e-6 ? "PASS" : "FAIL"});
+  table.add_row({"Lemma 2 max overcharge", Table::fmt(audit.max_overcharge, 9), "<= 0",
+                 audit.max_overcharge <= 1e-7 ? "PASS" : "FAIL"});
+  table.add_row({"Lemma 4 violation factor", Table::fmt(feasibility.max_violation_ratio, 4),
+                 "< 2", feasibility.max_violation_ratio < 2.0 ? "PASS" : "FAIL"});
+  table.add_row({"Lemma 5 halved feasible", feasibility.halved_feasible ? "yes" : "no",
+                 "yes", feasibility.halved_feasible ? "PASS" : "FAIL"});
+  const double lower = witness.lower_bound(eps);
+  table.add_row({"certified OPT(1/(2+eps)) >=", Table::fmt(lower, 3), "", ""});
+  table.add_row({"Theorem 1 bound", Table::fmt(2.0 * (2.0 / eps + 1.0), 2) + "x", "", ""});
+  if (lower > 0) {
+    table.add_row({"measured ratio", Table::fmt(run.total_cost / lower, 3) + "x",
+                   "<= bound",
+                   run.total_cost / lower <= 2.0 * (2.0 / eps + 1.0) ? "PASS" : "FAIL"});
+  }
+  table.print("dual-fitting certificate (eps = " + Table::fmt(eps, 2) + ")");
+  return 0;
+}
+
+int cmd_show(const Args& args) {
+  const Instance instance = load_instance(args.file);
+  const RunResult run = run_alg(instance);
+  GanttOptions options;
+  options.show_receivers = args.has("--receivers");
+  options.max_width = static_cast<std::size_t>(args.number("--width", 160));
+  std::printf("%s", render_gantt(instance, run, options).c_str());
+  std::printf("total weighted latency %.3f, makespan %lld\n", run.total_cost,
+              static_cast<long long>(run.makespan));
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const Instance instance = load_instance(args.file);
+  const Topology& topology = instance.topology();
+  double total_weight = 0.0;
+  Time first = instance.num_packets() ? instance.packets().front().arrival : 0;
+  Time last = instance.num_packets() ? instance.packets().back().arrival : 0;
+  for (const Packet& p : instance.packets()) total_weight += p.weight;
+
+  Table table({"property", "value"});
+  table.add_row({"sources / destinations", Table::fmt(static_cast<std::int64_t>(
+                                               topology.num_sources())) +
+                                               " / " +
+                                               Table::fmt(static_cast<std::int64_t>(
+                                                   topology.num_destinations()))});
+  table.add_row({"transmitters / receivers",
+                 Table::fmt(static_cast<std::int64_t>(topology.num_transmitters())) + " / " +
+                     Table::fmt(static_cast<std::int64_t>(topology.num_receivers()))});
+  table.add_row({"reconfigurable edges",
+                 Table::fmt(static_cast<std::int64_t>(topology.num_edges()))});
+  table.add_row({"fixed links",
+                 Table::fmt(static_cast<std::uint64_t>(topology.fixed_links().size()))});
+  table.add_row({"packets", Table::fmt(static_cast<std::uint64_t>(instance.num_packets()))});
+  table.add_row({"total weight", Table::fmt(total_weight, 1)});
+  table.add_row({"arrival span", Table::fmt(static_cast<std::int64_t>(first)) + " .. " +
+                                     Table::fmt(static_cast<std::int64_t>(last))});
+  table.add_row({"integer weights", instance.has_integer_weights() ? "yes" : "no"});
+  table.add_row({"trivial cost bound", Table::fmt(instance.ideal_cost(), 2)});
+  table.add_row({"validation", instance.validate().empty() ? "ok" : instance.validate()});
+  table.print("instance info: " + args.file);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) usage();
+  Args args;
+  args.command = argv[1];
+  args.file = argv[2];
+  for (int i = 3; i < argc; ++i) args.rest.emplace_back(argv[i]);
+
+  try {
+    if (args.command == "gen") return cmd_gen(args);
+    if (args.command == "run") return cmd_run(args);
+    if (args.command == "certify") return cmd_certify(args);
+    if (args.command == "show") return cmd_show(args);
+    if (args.command == "info") return cmd_info(args);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  usage();
+}
