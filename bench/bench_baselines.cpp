@@ -16,45 +16,37 @@ int main() {
   std::printf("(16 racks, 2x2 lasers/photodetectors, 12 seeds per cell; lower is better)\n");
 
   const auto policies = scheduler_baselines();
+  const double rates[] = {2.0, 4.0, 8.0};
+  BenchReport report("baselines");
 
   for (const double zipf : {0.0, 0.8, 1.6}) {
-    Table table({"scheduler", "load 2/step", "load 4/step", "load 8/step"});
-    std::vector<std::vector<double>> cost(policies.size());
-    for (const double rate : {2.0, 4.0, 8.0}) {
-      std::vector<Summary> per_policy(policies.size());
-      for (std::uint64_t seed = 1; seed <= 12; ++seed) {
-        Rng rng(seed * 53 + static_cast<std::uint64_t>(zipf * 10));
-        TwoTierConfig net;
-        net.racks = 16;
-        net.lasers_per_rack = 2;
-        net.photodetectors_per_rack = 2;
-        net.density = 0.4;
-        net.max_edge_delay = 2;
-        const Topology topology = build_two_tier(net, rng);
-        WorkloadConfig traffic;
-        traffic.num_packets = 250;
-        traffic.arrival_rate = rate;
-        traffic.skew = zipf > 0 ? PairSkew::Zipf : PairSkew::Uniform;
-        traffic.zipf_exponent = zipf;
-        traffic.weights = WeightDist::UniformInt;
-        traffic.weight_max = 10;
-        traffic.seed = seed;
-        const Instance instance = generate_workload(topology, traffic);
-
-        std::vector<double> costs(policies.size());
-        parallel_for(policies.size(), [&](std::size_t p) {
-          costs[p] = run_policy_cost(instance, policies[p]);
-        });
-        for (std::size_t p = 0; p < policies.size(); ++p) per_policy[p].add(costs[p]);
-      }
-      for (std::size_t p = 0; p < policies.size(); ++p) {
-        cost[p].push_back(per_policy[p].mean());
-      }
+    BatchRunner batch;
+    for (const double rate : rates) {
+      ScenarioSpec spec = two_tier_scenario(
+          "zipf" + Table::fmt(zipf, 1) + "-load" + Table::fmt(rate, 0), 16, 2, 0.4);
+      spec.topology.seed_salt = static_cast<std::uint64_t>(zipf * 10);
+      spec.workload.num_packets = 250;
+      spec.workload.arrival_rate = rate;
+      spec.workload.skew = zipf > 0 ? PairSkew::Zipf : PairSkew::Uniform;
+      spec.workload.zipf_exponent = zipf;
+      spec.workload.weights = WeightDist::UniformInt;
+      spec.workload.weight_max = 10;
+      spec.repetitions = 12;
+      batch.add_grid(spec, policies);
     }
+    const auto results = batch.run();  // rate-major: results[rate][policy]
+    auto cell = [&](std::size_t r, std::size_t p) -> const ScenarioResult& {
+      return results[r * policies.size() + p];
+    };
+
+    Table table({"scheduler", "load 2/step", "load 4/step", "load 8/step"});
     for (std::size_t p = 0; p < policies.size(); ++p) {
-      table.add_row({policies[p].name, Table::fmt(cost[p][0] / cost[0][0], 2) + "x",
-                     Table::fmt(cost[p][1] / cost[0][1], 2) + "x",
-                     Table::fmt(cost[p][2] / cost[0][2], 2) + "x"});
+      std::vector<std::string> row = {policies[p].name};
+      for (std::size_t r = 0; r < 3; ++r) {
+        row.push_back(Table::fmt(cell(r, p).cost.mean() / cell(r, 0).cost.mean(), 2) + "x");
+        report.add(cell(r, p)).param("zipf", zipf).param("rate", rates[r]);
+      }
+      table.add_row(row);
     }
     table.print("traffic skew: zipf exponent " + Table::fmt(zipf, 1));
   }
@@ -63,5 +55,6 @@ int main() {
       "\nExpected shape: ALG <= MaxWeight < iSLIP/RandomMaximal/FIFO << Rotor, with\n"
       "ALG's margin growing with skew and load (weight-aware stable matchings win\n"
       "exactly where the paper's motivation says they should).\n");
+  report.print();
   return 0;
 }

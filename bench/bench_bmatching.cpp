@@ -14,43 +14,33 @@ int main() {
   std::printf("EXP-X1: endpoint capacity (b-matching) extension\n");
   std::printf("(incast-heavy pod: 8 racks, 2x2 per rack; 12 seeds per row)\n");
 
+  BenchReport report("bmatching");
   Table table({"capacity b", "ALG_b cost", "vs b=1", "makespan", "marginal gain"});
   std::vector<double> costs;
   for (int b = 1; b <= 4; ++b) {
-    Summary cost, makespan;
-    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
-      Rng rng(seed * 101);
-      TwoTierConfig net;
-      net.racks = 8;
-      net.lasers_per_rack = 2;
-      net.photodetectors_per_rack = 2;
-      net.density = 0.6;
-      net.max_edge_delay = 2;
-      const Topology topology = build_two_tier(net, rng);
-      WorkloadConfig traffic;
-      traffic.num_packets = 200;
-      traffic.arrival_rate = 6.0;
-      traffic.skew = PairSkew::Incast;
-      traffic.weights = WeightDist::UniformInt;
-      traffic.weight_max = 8;
-      traffic.seed = seed;
-      const Instance instance = generate_workload(topology, traffic);
+    ScenarioSpec spec = two_tier_scenario("incast-b" + std::to_string(b), 8, 2, 0.6);
+    spec.workload.num_packets = 200;
+    spec.workload.arrival_rate = 6.0;
+    spec.workload.skew = PairSkew::Incast;
+    spec.workload.weights = WeightDist::UniformInt;
+    spec.workload.weight_max = 8;
+    spec.engine.endpoint_capacity = b;
+    spec.repetitions = 12;
 
-      ImpactDispatcher dispatcher;
-      StableMatchingScheduler scheduler;
-      EngineOptions options;
-      options.endpoint_capacity = b;
-      const RunResult run = simulate(instance, dispatcher, scheduler, options);
-      cost.add(run.total_cost);
-      makespan.add(static_cast<double>(run.makespan));
+    const ScenarioResult result = ScenarioRunner(spec).run(alg_policy());
+    Summary makespan;
+    for (const RepetitionOutcome& rep : result.repetitions) {
+      makespan.add(static_cast<double>(rep.makespan));
     }
-    costs.push_back(cost.mean());
+
+    costs.push_back(result.cost.mean());
     const double marginal =
         costs.size() > 1 ? costs[costs.size() - 2] / costs.back() : 1.0;
-    table.add_row({Table::fmt(static_cast<std::int64_t>(b)), Table::fmt(cost.mean(), 1),
-                   Table::fmt(cost.mean() / costs.front(), 2) + "x",
-                   Table::fmt(makespan.mean(), 1),
-                   Table::fmt(marginal, 2) + "x"});
+    table.add_row({Table::fmt(static_cast<std::int64_t>(b)),
+                   Table::fmt(result.cost.mean(), 1),
+                   Table::fmt(result.cost.mean() / costs.front(), 2) + "x",
+                   Table::fmt(makespan.mean(), 1), Table::fmt(marginal, 2) + "x"});
+    report.add(result).param("capacity", static_cast<std::int64_t>(b));
   }
   table.print("capacity sweep under incast");
 
@@ -58,5 +48,6 @@ int main() {
       "\nExpected shape: cost drops steeply from b=1 to b=2 (the incast receiver is\n"
       "the bottleneck) and flattens once capacity exceeds the fan-in pressure --\n"
       "diminishing returns on extra lasers per rack.\n");
+  report.print();
   return 0;
 }

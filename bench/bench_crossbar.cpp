@@ -18,6 +18,7 @@ int main() {
   std::printf("EXP-C1: crossbar special case -- ALG vs output queueing ([21])\n");
   std::printf("(16-port crossbar, 12 seeds per cell; ratio = cost / OQ bound)\n");
 
+  BenchReport report("crossbar");
   Table table({"workload", "k=1", "k=2", "k=3", "expected"});
   struct Load {
     const char* name;
@@ -34,26 +35,27 @@ int main() {
   for (const Load& load : loads) {
     std::vector<std::string> row = {load.name};
     for (int k = 1; k <= 3; ++k) {
-      Summary ratio;
-      for (std::uint64_t seed = 1; seed <= 12; ++seed) {
-        const Topology topology = build_crossbar(16);
-        WorkloadConfig traffic;
-        traffic.num_packets = 300;
-        traffic.arrival_rate = load.rate;
-        traffic.skew = load.skew;
-        traffic.weights = WeightDist::UniformInt;
-        traffic.weight_max = 8;
-        traffic.seed = seed * 17;
-        const Instance instance = generate_workload(topology, traffic);
+      ScenarioSpec spec;
+      spec.name = std::string(load.name) + "-k" + std::to_string(k);
+      spec.topology.kind = TopologySpec::Kind::Crossbar;
+      spec.topology.crossbar_ports = 16;
+      spec.workload.num_packets = 300;
+      spec.workload.arrival_rate = load.rate;
+      spec.workload.skew = load.skew;
+      spec.workload.weights = WeightDist::UniformInt;
+      spec.workload.weight_max = 8;
+      spec.engine.speedup_rounds = k;
+      spec.repetitions = 12;
 
-        EngineOptions options;
-        options.speedup_rounds = k;
-        options.record_trace = false;
-        const double alg_cost = run_policy_cost(instance, alg_policy(), options);
-        const double oq = output_queueing_bound(instance);
-        ratio.add(alg_cost / oq);
-      }
-      row.push_back(Table::fmt(ratio.mean(), 3) + "x");
+      const ScenarioResult result = ScenarioRunner(spec).run(
+          alg_policy(), [](const Instance& instance, const RunResult& run) {
+            return run.total_cost / output_queueing_bound(instance);
+          });
+      row.push_back(Table::fmt(result.metric.mean(), 3) + "x");
+      report.add(result)
+          .param("workload", load.name)
+          .param("speedup", static_cast<std::int64_t>(k))
+          .value("oq_ratio", result.metric.mean());
     }
     row.push_back("k=1 >= 1x, k=2 <= 1x");
     table.add_row(row);
@@ -65,5 +67,6 @@ int main() {
       "(exactly 1x on contention-free permutations); at k=2 the ratio drops below 1\n"
       "-- a 2-speed CIOQ matches output queueing, the emulation threshold of [21] --\n"
       "and further speedup only buys surplus over the unit-speed OQ reference.\n");
+  report.print();
   return 0;
 }

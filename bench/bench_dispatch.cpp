@@ -29,46 +29,31 @@ int main() {
       {"incast, parallel links", PairSkew::Incast, 0, 4},
   };
 
+  BenchReport report("dispatch");
+  BatchRunner batch;
+  for (const Scenario& scenario : scenarios) {
+    ScenarioSpec spec = two_tier_scenario(scenario.name, 10, scenario.lasers, 0.5, 3);
+    spec.topology.two_tier.fixed_link_delay = scenario.fixed_delay;
+    spec.workload.num_packets = 200;
+    spec.workload.arrival_rate = 5.0;
+    spec.workload.skew = scenario.skew;
+    spec.workload.weights = WeightDist::UniformInt;
+    spec.workload.weight_max = 10;
+    spec.repetitions = 12;
+    batch.add_grid(spec, policies);
+  }
+  const auto results = batch.run();  // scenario-major: results[scenario][policy]
+  auto cell = [&](std::size_t s, std::size_t p) -> const ScenarioResult& {
+    return results[s * policies.size() + p];
+  };
+
   Table table({"dispatcher", scenarios[0].name, scenarios[1].name, scenarios[2].name,
                scenarios[3].name});
-  std::vector<std::vector<double>> cells(policies.size());
-
-  for (const Scenario& scenario : scenarios) {
-    std::vector<Summary> per_policy(policies.size());
-    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
-      Rng rng(seed * 19 + 3);
-      TwoTierConfig net;
-      net.racks = 10;
-      net.lasers_per_rack = scenario.lasers;
-      net.photodetectors_per_rack = scenario.lasers;
-      net.density = 0.5;
-      net.max_edge_delay = 3;
-      net.fixed_link_delay = scenario.fixed_delay;
-      const Topology topology = build_two_tier(net, rng);
-      WorkloadConfig traffic;
-      traffic.num_packets = 200;
-      traffic.arrival_rate = 5.0;
-      traffic.skew = scenario.skew;
-      traffic.weights = WeightDist::UniformInt;
-      traffic.weight_max = 10;
-      traffic.seed = seed;
-      const Instance instance = generate_workload(topology, traffic);
-
-      std::vector<double> costs(policies.size());
-      parallel_for(policies.size(), [&](std::size_t p) {
-        costs[p] = run_policy_cost(instance, policies[p]);
-      });
-      for (std::size_t p = 0; p < policies.size(); ++p) per_policy[p].add(costs[p]);
-    }
-    for (std::size_t p = 0; p < policies.size(); ++p) {
-      cells[p].push_back(per_policy[p].mean());
-    }
-  }
-
   for (std::size_t p = 0; p < policies.size(); ++p) {
     std::vector<std::string> row = {policies[p].name};
     for (std::size_t s = 0; s < 4; ++s) {
-      row.push_back(Table::fmt(cells[p][s] / cells[0][s], 2) + "x");
+      row.push_back(Table::fmt(cell(s, p).cost.mean() / cell(s, 0).cost.mean(), 2) + "x");
+      report.add(cell(s, p)).param("workload", scenarios[s].name);
     }
     table.add_row(row);
   }
@@ -78,5 +63,6 @@ int main() {
       "\nExpected shape: the impact rule wins or ties everywhere; the gap is largest\n"
       "with parallel links under skew (where greedy-queue-blind dispatch collides)\n"
       "and in hybrid pods (where the Delta-vs-w*dl comparison offloads correctly).\n");
+  report.print();
   return 0;
 }

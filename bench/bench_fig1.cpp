@@ -14,8 +14,16 @@
 
 int main() {
   using namespace rdcn;
+  using namespace rdcn::bench;
 
-  const Instance instance = figure1_instance();
+  // The figure's fixed instance, routed through the scenario layer like
+  // every other bench (record_trace mirrors run_alg's analysis default).
+  ScenarioSpec spec;
+  spec.name = "figure1";
+  spec.make_instance = [](std::uint64_t) { return figure1_instance(); };
+  spec.engine.record_trace = true;
+  ScenarioRunner runner(spec);
+  const Instance instance = runner.instance(1);
   std::printf("EXP-F1: Figure 1 worked example\n");
   std::printf("graph: S={s1,s2}, T={t1,t2,t3}, R={r1..r4}, D={d1,d2,d3}; "
               "d(e)=1 on dashed edges, d(s2,d3)=4 on the fixed link\n");
@@ -30,7 +38,7 @@ int main() {
   paper.print("paper's example schedule (cost 9)");
 
   const auto opt = brute_force_opt(instance);
-  const RunResult alg = run_alg(instance);
+  const RunResult alg = runner.run_once(alg_policy(), 1);
 
   const Figure1Ids ids = figure1_ids();
   auto edge_name = [&ids](EdgeIndex e) -> std::string {
@@ -68,5 +76,10 @@ int main() {
   const bool ok = opt.has_value() && std::abs(opt->cost - 7.0) < 1e-9 &&
                   alg.total_cost >= 7.0 - 1e-9 && alg.total_cost <= 9.0 + 1e-9;
   std::printf("\nEXP-F1 %s\n", ok ? "REPRODUCED" : "MISMATCH");
+
+  BenchReport report("fig1");
+  report.add("alg", alg.total_cost, 0.0).param("instance", "figure1");
+  if (opt) report.add("brute-force-opt", opt->cost, 0.0).param("instance", "figure1");
+  report.print();
   return ok ? 0 : 1;
 }

@@ -10,6 +10,67 @@
 #include "flow/flows.hpp"
 #include "workload/flow_sizes.hpp"
 
+namespace {
+
+using namespace rdcn;
+
+/// The elephant/mice mix of the headline table, deterministic per seed.
+FlowSet elephant_mice_flows(std::uint64_t seed) {
+  Rng rng(seed * 401);
+  TwoTierConfig net;
+  net.racks = 12;
+  net.lasers_per_rack = 2;
+  net.photodetectors_per_rack = 2;
+  net.density = 0.5;
+  const Topology topology = build_two_tier(net, rng);
+
+  FlowSet flows(topology);
+  Rng traffic(seed * 13);
+  Time step = 1;
+  std::size_t mice = 0, elephants = 0;
+  while (mice + elephants < 75) {
+    const auto src = static_cast<NodeIndex>(traffic.next_below(12));
+    auto dst = static_cast<NodeIndex>(traffic.next_below(12));
+    if (dst == src) dst = static_cast<NodeIndex>((dst + 1) % 12);
+    if (elephants < 15 && traffic.next_bool(0.2)) {
+      flows.add_flow(step, 16.0, 8, src, dst);  // elephant: heavy, long
+      ++elephants;
+    } else {
+      flows.add_flow(step, 1.0, 1, src, dst);  // mouse
+      ++mice;
+    }
+    if (traffic.next_bool(0.5)) ++step;
+  }
+  return flows;
+}
+
+/// The canonical empirical size profiles, deterministic per seed.
+FlowSet profile_flows(FlowSizeProfile profile, std::uint64_t seed) {
+  Rng rng(seed * 709);
+  TwoTierConfig net;
+  net.racks = 8;
+  net.lasers_per_rack = 2;
+  net.photodetectors_per_rack = 2;
+  net.density = 0.6;
+  const Topology topology = build_two_tier(net, rng);
+
+  FlowWorkloadConfig config;
+  config.num_flows = 60;
+  config.flow_arrival_rate = 1.5;
+  config.profile = profile;
+  config.max_size = 64;  // keep the expansion laptop-sized
+  // Equal flow importance: weight 1 per flow -> unit packets of
+  // weight 1/size, so short flows carry heavier chunks (the
+  // SRPT-flavoured regime where weight-awareness pays; with
+  // weight-by-size all chunks weigh 1 and every work-conserving
+  // order coincides).
+  config.weight_by_size = false;
+  config.seed = seed;
+  return generate_flow_workload(topology, config);
+}
+
+}  // namespace
+
 int main() {
   using namespace rdcn;
   using namespace rdcn::bench;
@@ -18,49 +79,29 @@ int main() {
   std::printf("(12 racks, 2x2; 60 mice (1 unit) : 15 elephants (8 units); 10 seeds)\n");
 
   const auto policies = scheduler_baselines();
+  BenchReport report("flows");
   Table table({"scheduler", "weighted FCT", "vs ALG", "mean FCT", "p99 FCT",
                "fractional cost"});
 
+  ScenarioSpec spec;
+  spec.name = "elephant-mice";
+  spec.make_instance = [](std::uint64_t seed) {
+    return elephant_mice_flows(seed).to_instance();
+  };
+  spec.repetitions = 10;
+  const ScenarioRunner runner(spec);
+
   std::vector<Summary> wfct(policies.size()), mean_fct(policies.size()),
       p99(policies.size()), frac(policies.size());
-
-  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
-    Rng rng(seed * 401);
-    TwoTierConfig net;
-    net.racks = 12;
-    net.lasers_per_rack = 2;
-    net.photodetectors_per_rack = 2;
-    net.density = 0.5;
-    const Topology topology = build_two_tier(net, rng);
-
-    FlowSet flows(topology);
-    Rng traffic(seed * 13);
-    Time step = 1;
-    std::size_t mice = 0, elephants = 0;
-    while (mice + elephants < 75) {
-      const auto src = static_cast<NodeIndex>(traffic.next_below(12));
-      auto dst = static_cast<NodeIndex>(traffic.next_below(12));
-      if (dst == src) dst = static_cast<NodeIndex>((dst + 1) % 12);
-      if (elephants < 15 && traffic.next_bool(0.2)) {
-        flows.add_flow(step, 16.0, 8, src, dst);  // elephant: heavy, long
-        ++elephants;
-      } else {
-        flows.add_flow(step, 1.0, 1, src, dst);  // mouse
-        ++mice;
-      }
-      if (traffic.next_bool(0.5)) ++step;
-    }
-    const Instance instance = flows.to_instance();
-
+  for (const std::uint64_t seed : runner.seeds()) {
+    const FlowSet flows = elephant_mice_flows(seed);
+    flows.to_instance();  // populate the packet -> flow map for analyze_flows
     for (std::size_t p = 0; p < policies.size(); ++p) {
-      auto dispatcher = policies[p].dispatcher();
-      auto scheduler = policies[p].scheduler(topology);
-      const RunResult run = simulate(instance, *dispatcher, *scheduler, {});
-      const FlowReport report = analyze_flows(flows, run);
-      wfct[p].add(report.total_weighted_fct);
-      mean_fct[p].add(report.mean_fct);
-      p99[p].add(report.p99_fct);
-      frac[p].add(report.total_fractional_cost);
+      const FlowReport flow_report = analyze_flows(flows, runner.run_once(policies[p], seed));
+      wfct[p].add(flow_report.total_weighted_fct);
+      mean_fct[p].add(flow_report.mean_fct);
+      p99[p].add(flow_report.p99_fct);
+      frac[p].add(flow_report.total_fractional_cost);
     }
   }
 
@@ -69,6 +110,10 @@ int main() {
                    Table::fmt(wfct[p].mean() / wfct[0].mean(), 2) + "x",
                    Table::fmt(mean_fct[p].mean(), 2), Table::fmt(p99[p].mean(), 1),
                    Table::fmt(frac[p].mean(), 1)});
+    report.add(policies[p].name, frac[p].mean(), 0.0)
+        .param("workload", "elephant-mice")
+        .value("weighted_fct", wfct[p].mean())
+        .value("p99_fct", p99[p].mean());
   }
   table.print("flow completion times (lower is better)");
 
@@ -84,49 +129,36 @@ int main() {
     for (const FlowSizeProfile profile :
          {FlowSizeProfile::WebSearch, FlowSizeProfile::DataMining,
           FlowSizeProfile::UniformTiny}) {
-      Summary alg_wfct, mw_wfct, fifo_wfct, sizes;
-      for (std::uint64_t seed = 1; seed <= 6; ++seed) {
-        Rng rng(seed * 709);
-        TwoTierConfig net;
-        net.racks = 8;
-        net.lasers_per_rack = 2;
-        net.photodetectors_per_rack = 2;
-        net.density = 0.6;
-        const Topology topology = build_two_tier(net, rng);
+      ScenarioSpec profile_spec;
+      profile_spec.name = std::string("profile-") + to_string(profile);
+      profile_spec.make_instance = [profile](std::uint64_t seed) {
+        return profile_flows(profile, seed).to_instance();
+      };
+      profile_spec.repetitions = 6;
+      const ScenarioRunner profile_runner(profile_spec);
 
-        FlowWorkloadConfig config;
-        config.num_flows = 60;
-        config.flow_arrival_rate = 1.5;
-        config.profile = profile;
-        config.max_size = 64;  // keep the expansion laptop-sized
-        // Equal flow importance: weight 1 per flow -> unit packets of
-        // weight 1/size, so short flows carry heavier chunks (the
-        // SRPT-flavoured regime where weight-awareness pays; with
-        // weight-by-size all chunks weigh 1 and every work-conserving
-        // order coincides).
-        config.weight_by_size = false;
-        config.seed = seed;
-        const FlowSet flows = generate_flow_workload(topology, config);
-        const Instance instance = flows.to_instance();
+      Summary alg_wfct, mw_wfct, fifo_wfct, sizes;
+      for (const std::uint64_t seed : profile_runner.seeds()) {
+        const FlowSet flows = profile_flows(profile, seed);
+        flows.to_instance();  // populate the packet -> flow map
         for (const Flow& flow : flows.flows()) {
           sizes.add(static_cast<double>(flow.size));
         }
-
-        auto run_one = [&](const PolicyFactory& policy) {
-          auto dispatcher = policy.dispatcher();
-          auto scheduler = policy.scheduler(topology);
-          const RunResult run = simulate(instance, *dispatcher, *scheduler, {});
-          return analyze_flows(flows, run).total_weighted_fct;
+        auto wfct_of = [&](const PolicyFactory& policy) {
+          return analyze_flows(flows, profile_runner.run_once(policy, seed))
+              .total_weighted_fct;
         };
-        const auto grid = scheduler_baselines();
-        alg_wfct.add(run_one(grid[0]));
-        mw_wfct.add(run_one(grid[1]));
-        fifo_wfct.add(run_one(grid[5]));
+        alg_wfct.add(wfct_of(policies[0]));
+        mw_wfct.add(wfct_of(policies[1]));
+        fifo_wfct.add(wfct_of(policies[5]));
       }
       profile_table.add_row({to_string(profile), "1.00x",
                              Table::fmt(mw_wfct.mean() / alg_wfct.mean(), 2) + "x",
                              Table::fmt(fifo_wfct.mean() / alg_wfct.mean(), 2) + "x",
                              Table::fmt(sizes.mean(), 1)});
+      report.add("alg", alg_wfct.mean(), 0.0).param("profile", to_string(profile));
+      report.add("maxweight", mw_wfct.mean(), 0.0).param("profile", to_string(profile));
+      report.add("fifo", fifo_wfct.mean(), 0.0).param("profile", to_string(profile));
     }
     profile_table.print("empirical size profiles (weighted FCT normalized to ALG)");
     std::printf(
@@ -135,5 +167,6 @@ int main() {
         "size-blindness costs (2.08x vs 1.56x vs parity) while ALG stays within a few\n"
         "percent of the Hungarian MaxWeight at a fraction of its per-step cost.\n");
   }
+  report.print();
   return 0;
 }

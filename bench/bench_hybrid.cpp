@@ -4,6 +4,7 @@
 // of the two degenerate policies (pure-optical dispatch, direct-only
 // dispatch) on the same instances.
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common.hpp"
@@ -15,56 +16,49 @@ int main() {
   std::printf("EXP-H1: value of the hybrid fixed layer (elephants/mice on 8 racks,\n");
   std::printf("1 laser+photodetector per rack; 12 seeds per row)\n");
 
+  BenchReport report("hybrid");
   Table table({"fixed dl", "ALG cost", "ALG offload %", "optical-only cost", "direct-only cost",
                "ALG vs best degenerate"});
 
   // dl = 0 encodes "no fixed layer" (optical-only by construction).
   for (const Delay dl : {0, 2, 4, 8, 16, 32}) {
-    Summary alg_cost, offload, optical_cost, direct_cost;
-    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
-      Rng rng(seed * 67 + static_cast<std::uint64_t>(dl));
-      TwoTierConfig net;
-      net.racks = 8;
-      net.lasers_per_rack = 1;
-      net.photodetectors_per_rack = 1;
-      net.density = 1.0;
-      net.max_edge_delay = 2;
-      net.fixed_link_delay = dl;
-      const Topology topology = build_two_tier(net, rng);
+    ScenarioSpec spec = two_tier_scenario("fixed-dl" + std::to_string(dl), 8, 1, 1.0);
+    spec.topology.two_tier.fixed_link_delay = dl;
+    spec.topology.seed_salt = static_cast<std::uint64_t>(dl);
+    spec.workload.num_packets = 200;
+    spec.workload.arrival_rate = 6.0;
+    spec.workload.skew = PairSkew::Hotspot;
+    spec.workload.hotspot_fraction = 0.5;
+    spec.workload.weights = WeightDist::Bimodal;
+    spec.workload.weight_max = 20;
+    spec.repetitions = 12;
 
-      WorkloadConfig traffic;
-      traffic.num_packets = 200;
-      traffic.arrival_rate = 6.0;
-      traffic.skew = PairSkew::Hotspot;
-      traffic.hotspot_fraction = 0.5;
-      traffic.weights = WeightDist::Bimodal;
-      traffic.weight_max = 20;
-      traffic.seed = seed;
-      const Instance instance = generate_workload(topology, traffic);
-
-      const RunResult run = run_alg(instance);
-      alg_cost.add(run.total_cost);
+    // Metric on the ALG cell: share of packets offloaded to fixed links.
+    const RepMetric offload_share = [](const Instance& instance, const RunResult& run) {
       std::size_t via_fixed = 0;
       for (const PacketOutcome& outcome : run.outcomes) {
         via_fixed += outcome.route.use_fixed ? 1 : 0;
       }
-      offload.add(100.0 * static_cast<double>(via_fixed) /
-                  static_cast<double>(instance.num_packets()));
+      return 100.0 * static_cast<double>(via_fixed) /
+             static_cast<double>(instance.num_packets());
+    };
+    BatchRunner batch;
+    batch.add(spec, alg_policy(), offload_share);
+    batch.add(spec, named_policy("min-delay"));    // degenerate: optical-leaning
+    batch.add(spec, named_policy("direct-only"));  // degenerate: always fixed
+    const auto results = batch.run();
 
-      // Degenerate comparisons: ignore the fixed layer entirely / always
-      // use it when available.
-      {
-        MinDelayDispatcher pure_optical_like;  // prefers edges unless dl smaller
-        auto policies = dispatcher_ablations();
-        optical_cost.add(run_policy_cost(instance, policies[4]));  // MinDelay
-        direct_cost.add(run_policy_cost(instance, policies[5]));   // DirectOnly
-      }
-    }
-    const double best_degenerate = std::min(optical_cost.mean(), direct_cost.mean());
+    const double alg = results[0].cost.mean();
+    const double optical = results[1].cost.mean();
+    const double direct = results[2].cost.mean();
+    const double best_degenerate = std::min(optical, direct);
     table.add_row({dl == 0 ? "none" : Table::fmt(static_cast<std::int64_t>(dl)),
-                   Table::fmt(alg_cost.mean(), 1), Table::fmt(offload.mean(), 1) + "%",
-                   Table::fmt(optical_cost.mean(), 1), Table::fmt(direct_cost.mean(), 1),
-                   Table::fmt(alg_cost.mean() / best_degenerate, 2) + "x"});
+                   Table::fmt(alg, 1), Table::fmt(results[0].metric.mean(), 1) + "%",
+                   Table::fmt(optical, 1), Table::fmt(direct, 1),
+                   Table::fmt(alg / best_degenerate, 2) + "x"});
+    for (const ScenarioResult& result : results) {
+      report.add(result).param("fixed_dl", static_cast<std::int64_t>(dl));
+    }
   }
   table.print("fixed-link delay sweep");
 
@@ -73,5 +67,6 @@ int main() {
       "crushes optical-only; as dl grows the offload share decays to ~0 and ALG\n"
       "converges to the optical-only cost -- the dispatcher's w*dl <= Delta rule\n"
       "finds the crossover automatically.\n");
+  report.print();
   return 0;
 }

@@ -16,6 +16,7 @@ int main() {
   std::printf("EXP-RND: randomized scheduling vs deterministic ALG\n");
   std::printf("(12 instance seeds x 8 coin seeds; cost normalized to deterministic ALG)\n");
 
+  BenchReport report("randomized");
   Table table({"scheduler", "mean", "stddev over coins", "worst", "best"});
 
   struct Variant {
@@ -30,49 +31,47 @@ int main() {
       {"random serial dictator", -1.0},
   };
 
+  ScenarioSpec spec = two_tier_scenario("randomized", 10, 2, 0.5);
+  spec.topology.seed_salt = 211;
+  spec.workload.num_packets = 150;
+  spec.workload.arrival_rate = 5.0;
+  spec.workload.skew = PairSkew::Zipf;
+  spec.workload.weights = WeightDist::UniformInt;
+  spec.workload.weight_max = 9;
+  spec.repetitions = 12;
+  const ScenarioRunner runner(spec);
+
   for (const Variant& variant : variants) {
+    // One policy factory per coin flip: same dispatcher, reseeded scheduler.
+    auto coin_policy = [&variant](std::uint64_t coin) {
+      PolicyFactory policy = alg_policy();
+      policy.name = variant.name;
+      if (variant.sigma < 0) {
+        policy.scheduler = [coin](const Topology&) {
+          return std::make_unique<RandomSerialDictatorScheduler>(coin * 7919);
+        };
+      } else if (variant.sigma > 0) {
+        const double sigma = variant.sigma;
+        policy.scheduler = [sigma, coin](const Topology&) {
+          return std::make_unique<PerturbedStableScheduler>(sigma, coin * 7919);
+        };
+      }
+      return policy;
+    };
+
     Summary ratio;
-    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
-      Rng rng(seed * 211);
-      TwoTierConfig net;
-      net.racks = 10;
-      net.lasers_per_rack = 2;
-      net.photodetectors_per_rack = 2;
-      net.density = 0.5;
-      const Topology topology = build_two_tier(net, rng);
-      WorkloadConfig traffic;
-      traffic.num_packets = 150;
-      traffic.arrival_rate = 5.0;
-      traffic.skew = PairSkew::Zipf;
-      traffic.weights = WeightDist::UniformInt;
-      traffic.weight_max = 9;
-      traffic.seed = seed;
-      const Instance instance = generate_workload(topology, traffic);
-
-      ImpactDispatcher reference_dispatcher;
-      StableMatchingScheduler reference;
-      const double baseline =
-          simulate(instance, reference_dispatcher, reference, {}).total_cost;
-
+    for (const std::uint64_t seed : runner.seeds()) {
+      const double baseline = runner.run_once(alg_policy(), seed).total_cost;
       const std::size_t coins = variant.sigma == 0.0 ? 1 : 8;
       for (std::uint64_t coin = 1; coin <= coins; ++coin) {
-        ImpactDispatcher dispatcher;
-        double cost = 0.0;
-        if (variant.sigma == 0.0) {
-          StableMatchingScheduler scheduler;
-          cost = simulate(instance, dispatcher, scheduler, {}).total_cost;
-        } else if (variant.sigma < 0) {
-          RandomSerialDictatorScheduler scheduler(coin * 7919);
-          cost = simulate(instance, dispatcher, scheduler, {}).total_cost;
-        } else {
-          PerturbedStableScheduler scheduler(variant.sigma, coin * 7919);
-          cost = simulate(instance, dispatcher, scheduler, {}).total_cost;
-        }
-        ratio.add(cost / baseline);
+        ratio.add(runner.run_once(coin_policy(coin), seed).total_cost / baseline);
       }
     }
     table.add_row({variant.name, Table::fmt(ratio.mean(), 3), Table::fmt(ratio.stddev(), 3),
                    Table::fmt(ratio.max(), 3), Table::fmt(ratio.min(), 3)});
+    report.add(variant.name, ratio.mean(), 0.0)
+        .param("sigma", variant.sigma)
+        .value("stddev", ratio.stddev());
   }
   table.print("randomization ablation");
 
@@ -82,5 +81,6 @@ int main() {
       "evidence that the weight order, not tie-breaking, carries ALG's power. The\n"
       "open question in Section VI is whether randomization can beat the 2(2/eps+1)\n"
       "bound in the worst case; on average it does not help here.\n");
+  report.print();
   return 0;
 }

@@ -16,49 +16,43 @@ int main() {
   std::printf("EXP-R1: reconfiguration delay delta (endpoint dark while retuning)\n");
   std::printf("(10 racks, 2x2, zipf traffic; 10 seeds per cell; cost normalized to delta=0)\n");
 
-  struct Policy {
-    const char* name;
-    PolicyFactory factory;
-  };
-  std::vector<Policy> policies;
-  policies.push_back({"ALG", alg_policy()});
+  std::vector<PolicyFactory> policies;
+  policies.push_back(alg_policy());
+  policies.back().name = "ALG";
   {
     auto grid = scheduler_baselines();
-    policies.push_back({"MaxWeight", grid[1]});
-    policies.push_back({"FIFO", grid[5]});
+    policies.push_back(grid[1]);  // MaxWeight
+    policies.push_back(grid[5]);  // FIFO
   }
 
-  Table table({"policy", "delta=0", "delta=1", "delta=2", "delta=4"});
-  for (const Policy& policy : policies) {
-    std::vector<std::string> row = {policy.name};
-    double base = 0.0;
-    for (const Delay delta : {0, 1, 2, 4}) {
-      Summary cost;
-      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
-        Rng rng(seed * 163);
-        TwoTierConfig net;
-        net.racks = 10;
-        net.lasers_per_rack = 2;
-        net.photodetectors_per_rack = 2;
-        net.density = 0.5;
-        net.max_edge_delay = 2;
-        const Topology topology = build_two_tier(net, rng);
-        WorkloadConfig traffic;
-        traffic.num_packets = 120;
-        traffic.arrival_rate = 4.0;
-        traffic.skew = PairSkew::Zipf;
-        traffic.weights = WeightDist::UniformInt;
-        traffic.weight_max = 8;
-        traffic.seed = seed;
-        const Instance instance = generate_workload(topology, traffic);
+  const Delay deltas[] = {0, 1, 2, 4};
+  BatchRunner batch;
+  for (const PolicyFactory& policy : policies) {
+    for (const Delay delta : deltas) {
+      ScenarioSpec spec =
+          two_tier_scenario("reconfig-delta" + std::to_string(delta), 10, 2, 0.5);
+      spec.topology.seed_salt = 163;
+      spec.workload.num_packets = 120;
+      spec.workload.arrival_rate = 4.0;
+      spec.workload.skew = PairSkew::Zipf;
+      spec.workload.weights = WeightDist::UniformInt;
+      spec.workload.weight_max = 8;
+      spec.engine.reconfig_delay = delta;
+      spec.repetitions = 10;
+      batch.add(spec, policy);
+    }
+  }
+  const auto results = batch.run();
 
-        EngineOptions options;
-        options.reconfig_delay = delta;
-        options.record_trace = false;
-        cost.add(run_policy_cost(instance, policy.factory, options));
-      }
-      if (delta == 0) base = cost.mean();
-      row.push_back(Table::fmt(cost.mean() / base, 2) + "x");
+  BenchReport report("reconfig");
+  Table table({"policy", "delta=0", "delta=1", "delta=2", "delta=4"});
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    std::vector<std::string> row = {policies[p].name};
+    const double base = results[p * 4].cost.mean();
+    for (std::size_t d = 0; d < 4; ++d) {
+      const ScenarioResult& result = results[p * 4 + d];
+      row.push_back(Table::fmt(result.cost.mean() / base, 2) + "x");
+      report.add(result).param("delta", static_cast<std::int64_t>(deltas[d]));
     }
     table.add_row(row);
   }
@@ -68,5 +62,6 @@ int main() {
       "\nExpected shape: every policy degrades with delta; once retuning costs a few\n"
       "steps, sticky configurations win -- the regime where rotor-style designs [8]\n"
       "and the offline circuit-scheduling line [15], [48] become the right tools.\n");
+  report.print();
   return 0;
 }

@@ -5,45 +5,64 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
+#include "baseline/schedulers.hpp"
 #include "common.hpp"
+#include "core/alg.hpp"
 #include "core/dual_witness.hpp"
 #include "lp/paper_lps.hpp"
 #include "lp/simplex.hpp"
 #include "opt/brute_force.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
 using namespace rdcn;
 using namespace rdcn::bench;
 
+ScenarioRunner scaled_runner(NodeIndex racks, std::size_t packets) {
+  // Bespoke instance hook reproducing the historical generation exactly,
+  // so throughput numbers stay comparable across the BENCH_*.json trail.
+  ScenarioSpec spec;
+  spec.name = "scalability";
+  spec.base_seed = 5;
+  spec.make_instance = [racks, packets](std::uint64_t seed) {
+    Rng rng(seed);
+    TwoTierConfig net;
+    net.racks = racks;
+    net.lasers_per_rack = 2;
+    net.photodetectors_per_rack = 2;
+    net.density = 0.4;
+    net.max_edge_delay = 2;
+    const Topology topology = build_two_tier(net, rng);
+    WorkloadConfig traffic;
+    traffic.num_packets = packets;
+    traffic.arrival_rate = static_cast<double>(racks) / 2.0;
+    traffic.skew = PairSkew::Zipf;
+    traffic.weights = WeightDist::UniformInt;
+    traffic.seed = seed;
+    return generate_workload(topology, traffic);
+  };
+  return ScenarioRunner(std::move(spec));
+}
+
 Instance scaled_instance(NodeIndex racks, std::size_t packets, std::uint64_t seed = 5) {
-  Rng rng(seed);
-  TwoTierConfig net;
-  net.racks = racks;
-  net.lasers_per_rack = 2;
-  net.photodetectors_per_rack = 2;
-  net.density = 0.4;
-  net.max_edge_delay = 2;
-  const Topology topology = build_two_tier(net, rng);
-  WorkloadConfig traffic;
-  traffic.num_packets = packets;
-  traffic.arrival_rate = static_cast<double>(racks) / 2.0;
-  traffic.skew = PairSkew::Zipf;
-  traffic.weights = WeightDist::UniformInt;
-  traffic.seed = seed;
-  return generate_workload(topology, traffic);
+  return scaled_runner(racks, packets).instance(seed);
 }
 
 void BM_AlgEndToEnd(benchmark::State& state) {
   const auto racks = static_cast<NodeIndex>(state.range(0));
   const auto packets = static_cast<std::size_t>(state.range(1));
-  const Instance instance = scaled_instance(racks, packets);
-  EngineOptions options;
-  options.record_trace = false;
+  const ScenarioRunner runner = scaled_runner(racks, packets);
+  const Instance instance = runner.instance(5);
+  const PolicyFactory policy = alg_policy();
+  EngineOptions options = runner.spec().engine;
   for (auto _ : state) {
-    ImpactDispatcher dispatcher;
-    StableMatchingScheduler scheduler;
-    benchmark::DoNotOptimize(simulate(instance, dispatcher, scheduler, options).total_cost);
+    auto dispatcher = policy.dispatcher();
+    auto scheduler = policy.scheduler(instance.topology());
+    benchmark::DoNotOptimize(
+        simulate(instance, *dispatcher, *scheduler, options).total_cost);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(packets));
@@ -55,16 +74,16 @@ BENCHMARK(BM_AlgEndToEnd)
     ->Args({64, 2000})
     ->Unit(benchmark::kMillisecond);
 
-void BM_StableMatchingStep(benchmark::State& state) {
-  // Isolated per-step cost at a given pending-queue depth.
-  const auto depth = static_cast<std::size_t>(state.range(0));
-  const Topology topology = build_crossbar(32);
+/// Random candidates at a given depth, pre-sorted by chunk priority (the
+/// engine's SchedulePolicy contract).
+std::vector<Candidate> step_candidates(const Topology& topology, std::size_t depth) {
   Rng rng(9);
   std::vector<Candidate> candidates;
   for (std::size_t i = 0; i < depth; ++i) {
     Candidate c;
     c.packet = static_cast<PacketIndex>(i);
-    c.edge = static_cast<EdgeIndex>(rng.next_below(static_cast<std::uint64_t>(topology.num_edges())));
+    c.edge = static_cast<EdgeIndex>(
+        rng.next_below(static_cast<std::uint64_t>(topology.num_edges())));
     c.transmitter = topology.edge(c.edge).transmitter;
     c.receiver = topology.edge(c.edge).receiver;
     c.chunk_weight = rng.next_double(0.1, 10.0);
@@ -72,6 +91,15 @@ void BM_StableMatchingStep(benchmark::State& state) {
     c.remaining = 1;
     candidates.push_back(c);
   }
+  std::sort(candidates.begin(), candidates.end(), chunk_higher_priority);
+  return candidates;
+}
+
+void BM_StableMatchingStep(benchmark::State& state) {
+  // Isolated per-step cost at a given pending-queue depth.
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  const Topology topology = build_crossbar(32);
+  const std::vector<Candidate> candidates = step_candidates(topology, depth);
   Instance instance(topology, {});
   ImpactDispatcher dispatcher;
   StableMatchingScheduler scheduler;
@@ -88,19 +116,7 @@ void BM_MaxWeightStep(benchmark::State& state) {
   // The Hungarian baseline's per-step cost, for contrast with greedy.
   const auto depth = static_cast<std::size_t>(state.range(0));
   const Topology topology = build_crossbar(32);
-  Rng rng(9);
-  std::vector<Candidate> candidates;
-  for (std::size_t i = 0; i < depth; ++i) {
-    Candidate c;
-    c.packet = static_cast<PacketIndex>(i);
-    c.edge = static_cast<EdgeIndex>(rng.next_below(static_cast<std::uint64_t>(topology.num_edges())));
-    c.transmitter = topology.edge(c.edge).transmitter;
-    c.receiver = topology.edge(c.edge).receiver;
-    c.chunk_weight = rng.next_double(0.1, 10.0);
-    c.arrival = 1;
-    c.remaining = 1;
-    candidates.push_back(c);
-  }
+  const std::vector<Candidate> candidates = step_candidates(topology, depth);
   Instance instance(topology, {});
   ImpactDispatcher dispatcher;
   MaxWeightScheduler scheduler;
@@ -131,7 +147,8 @@ BENCHMARK(BM_BruteForceOpt)->Arg(4)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecon
 
 void BM_DualWitnessBuild(benchmark::State& state) {
   const auto packets = static_cast<std::size_t>(state.range(0));
-  const Instance instance = scaled_instance(16, packets);
+  ScenarioRunner runner = scaled_runner(16, packets);
+  const Instance instance = runner.instance(5);
   const RunResult run = run_alg(instance);
   for (auto _ : state) {
     benchmark::DoNotOptimize(build_dual_witness(instance, run).sum_alpha);

@@ -8,27 +8,49 @@
 // measured ratio must stay below the theorem's bound -- and in practice
 // sits far below it (the bound is worst-case).
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
 #include "common.hpp"
-#include "core/dual_witness.hpp"
 #include "opt/brute_force.hpp"
 #include "opt/lower_bounds.hpp"
 
-int main() {
-  using namespace rdcn;
-  using namespace rdcn::bench;
+namespace {
 
+using namespace rdcn;
+using namespace rdcn::bench;
+
+struct Family {
+  const char* name;
+  PairSkew skew;
+  WeightDist weights;
+  bool bursty;
+};
+
+/// The small-instance family (3 racks, 5 packets) every Theorem-1 sweep
+/// uses; even seeds carry deeper delays and a hybrid fixed layer.
+ScenarioRunner family_runner(const Family& family, bool deep) {
+  ScenarioSpec spec = two_tier_scenario(family.name, 3, 1, 0.8, deep ? 2 : 1);
+  if (deep) spec.topology.two_tier.fixed_link_delay = 6;
+  spec.topology.seed_salt = 31;
+  spec.workload.num_packets = 5;
+  spec.workload.arrival_rate = 2.0;
+  spec.workload.skew = family.skew;
+  spec.workload.weights = family.weights;
+  spec.workload.weight_max = 6;
+  spec.workload.bursty = family.bursty;
+  spec.engine.record_trace = true;  // the dual-witness certificate needs it
+  spec.repetitions = 24;
+  return ScenarioRunner(std::move(spec));
+}
+
+}  // namespace
+
+int main() {
   std::printf("EXP-T1: Theorem 1 -- ALG <= 2(2/eps+1) x OPT(1/(2+eps)-speed)\n");
   std::printf("ratios are geometric means over 24 seeds; 'max' is the worst seed\n");
 
-  struct Family {
-    const char* name;
-    PairSkew skew;
-    WeightDist weights;
-    bool bursty;
-  };
   const Family families[] = {
       {"uniform", PairSkew::Uniform, WeightDist::UniformInt, false},
       {"zipf-skewed", PairSkew::Zipf, WeightDist::UniformInt, false},
@@ -36,34 +58,20 @@ int main() {
       {"permutation-elephants", PairSkew::Permutation, WeightDist::Bimodal, false},
   };
 
+  BenchReport report("theorem1");
   bool all_ok = true;
   for (const double eps : {0.25, 0.5, 1.0, 2.0, 4.0}) {
     const double bound = 2.0 * (2.0 / eps + 1.0);
     Table table({"workload", "geo-mean ratio", "max ratio", "bound 2(2/eps+1)", "within"});
     for (const Family& family : families) {
+      const ScenarioRunner shallow = family_runner(family, false);
+      const ScenarioRunner deep = family_runner(family, true);
       std::vector<double> ratios(24);
       parallel_for(ratios.size(), [&](std::size_t i) {
         const std::uint64_t seed = i + 1;
-        Rng rng(seed * 31 + 7);
-        TwoTierConfig net;
-        net.racks = 3;
-        net.lasers_per_rack = 1;
-        net.photodetectors_per_rack = 1;
-        net.max_edge_delay = 1 + static_cast<Delay>(seed % 2);
-        if (seed % 2 == 0) net.fixed_link_delay = 6;
-        const Topology topology = build_two_tier(net, rng);
-
-        WorkloadConfig traffic;
-        traffic.num_packets = 5;
-        traffic.arrival_rate = 2.0;
-        traffic.skew = family.skew;
-        traffic.weights = family.weights;
-        traffic.weight_max = 6;
-        traffic.bursty = family.bursty;
-        traffic.seed = seed;
-        const Instance instance = generate_workload(topology, traffic);
-
-        const double alg_cost = run_policy_cost(instance, alg_policy());
+        const ScenarioRunner& runner = (seed % 2 == 0) ? deep : shallow;
+        const Instance instance = runner.instance(seed);
+        const double alg_cost = runner.run_once(alg_policy(), instance).total_cost;
         LowerBoundOptions options;
         options.eps = eps;
         const LowerBounds bounds = compute_lower_bounds(instance, options);
@@ -76,6 +84,10 @@ int main() {
       all_ok = all_ok && within;
       table.add_row({family.name, Table::fmt(geo, 3), Table::fmt(max_ratio, 3),
                      Table::fmt(bound, 2), within ? "yes" : "NO"});
+      report.add(family.name, geo, 0.0)
+          .param("eps", eps)
+          .value("max_ratio", max_ratio)
+          .value("bound", bound);
     }
     table.print("eps = " + Table::fmt(eps, 2) + "  (OPT budget 1/" +
                 Table::fmt(2.0 + eps, 2) + ")");
@@ -88,40 +100,26 @@ int main() {
   {
     Table table({"workload", "geo-mean ALG/OPT", "max ALG/OPT", "OPT solved"});
     for (const Family& family : families) {
-      std::vector<double> ratios;
-      std::size_t solved = 0;
-      std::mutex mutex;
-      parallel_for(24, [&](std::size_t i) {
+      const ScenarioRunner shallow = family_runner(family, false);
+      const ScenarioRunner deep = family_runner(family, true);
+      std::vector<double> per_seed(24, 0.0);
+      parallel_for(per_seed.size(), [&](std::size_t i) {
         const std::uint64_t seed = i + 1;
-        Rng rng(seed * 31 + 7);
-        TwoTierConfig net;
-        net.racks = 3;
-        net.lasers_per_rack = 1;
-        net.photodetectors_per_rack = 1;
-        net.max_edge_delay = 1 + static_cast<Delay>(seed % 2);
-        if (seed % 2 == 0) net.fixed_link_delay = 6;
-        const Topology topology = build_two_tier(net, rng);
-        WorkloadConfig traffic;
-        traffic.num_packets = 5;
-        traffic.arrival_rate = 2.0;
-        traffic.skew = family.skew;
-        traffic.weights = family.weights;
-        traffic.weight_max = 6;
-        traffic.bursty = family.bursty;
-        traffic.seed = seed;
-        const Instance instance = generate_workload(topology, traffic);
+        const ScenarioRunner& runner = (seed % 2 == 0) ? deep : shallow;
+        const Instance instance = runner.instance(seed);
         const auto opt = brute_force_opt(instance);
         if (!opt || opt->cost <= 0) return;
-        const double alg_cost = run_policy_cost(instance, alg_policy());
-        const std::lock_guard<std::mutex> lock(mutex);
-        ratios.push_back(alg_cost / opt->cost);
-        ++solved;
+        per_seed[i] = runner.run_once(alg_policy(), instance).total_cost / opt->cost;
       });
+      std::vector<double> ratios;
+      for (double r : per_seed) {
+        if (r > 0) ratios.push_back(r);
+      }
       double max_ratio = 0.0;
       for (double r : ratios) max_ratio = std::max(max_ratio, r);
       table.add_row({family.name, Table::fmt(geometric_mean(ratios), 3),
                      Table::fmt(max_ratio, 3),
-                     Table::fmt(static_cast<std::uint64_t>(solved)) + "/24"});
+                     Table::fmt(static_cast<std::uint64_t>(ratios.size())) + "/24"});
     }
     table.print("companion: ALG vs exact unit-speed OPT (no augmentation)");
   }
@@ -130,5 +128,6 @@ int main() {
               "every eps,\nand shrink as eps grows (more augmentation -> easier bound), "
               "matching the theory's shape.\n",
               all_ok ? "REPRODUCED" : "MISMATCH");
+  report.print();
   return all_ok ? 0 : 1;
 }

@@ -1,104 +1,48 @@
 #pragma once
 
-// Shared helpers for the experiment binaries: named policy factories,
-// workload-suite construction, and parallel seed sweeps. Every bench
-// prints paper-style ASCII tables via util/table.hpp so the rows in
+// Shared harness for the experiment binaries. Scenario construction,
+// policy wiring, repetition and aggregation all live in the library's
+// run/ subsystem (ScenarioSpec / ScenarioRunner / BatchRunner and the
+// policy registry); this header only adds presentation: the paper-style
+// ASCII tables of util/table.hpp plus a machine-readable JSON report so
+// every bench's rows land in the BENCH_*.json perf trajectory. Rows in
 // EXPERIMENTS.md can be regenerated with `for b in build/bench/*; do $b; done`.
 
-#include <functional>
-#include <memory>
-#include <mutex>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "baseline/dispatchers.hpp"
-#include "baseline/schedulers.hpp"
-#include "core/alg.hpp"
-#include "net/builders.hpp"
-#include "sim/engine.hpp"
-#include "util/rng.hpp"
+#include "run/batch.hpp"
+#include "run/policies.hpp"
+#include "run/scenario.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
-#include "workload/generator.hpp"
 
 namespace rdcn::bench {
 
-struct PolicyFactory {
-  std::string name;
-  std::function<std::unique_ptr<DispatchPolicy>()> dispatcher;
-  std::function<std::unique_ptr<SchedulePolicy>(const Topology&)> scheduler;
-};
-
-inline PolicyFactory alg_policy() {
-  return PolicyFactory{
-      "ALG",
-      [] { return std::make_unique<ImpactDispatcher>(); },
-      [](const Topology&) { return std::make_unique<StableMatchingScheduler>(); },
-  };
+/// The recurring experiment shape: a two-tier pod with symmetric
+/// lasers/photodetectors per rack. Traffic, engine options, seeds and
+/// repetitions are set on the returned spec.
+inline ScenarioSpec two_tier_scenario(std::string name, NodeIndex racks,
+                                      NodeIndex per_rack, double density,
+                                      Delay max_edge_delay = 2) {
+  ScenarioSpec spec;
+  spec.name = std::move(name);
+  auto& net = spec.topology.two_tier;
+  net.racks = racks;
+  net.lasers_per_rack = per_rack;
+  net.photodetectors_per_rack = per_rack;
+  net.density = density;
+  net.max_edge_delay = max_edge_delay;
+  return spec;
 }
 
-/// The baseline grid of EXP-B1 (scheduler alternatives under a sensible
-/// shared dispatcher).
-inline std::vector<PolicyFactory> scheduler_baselines() {
-  std::vector<PolicyFactory> policies;
-  policies.push_back(alg_policy());
-  policies.push_back({"MaxWeight",
-                      [] { return std::make_unique<JsqDispatcher>(); },
-                      [](const Topology&) { return std::make_unique<MaxWeightScheduler>(); }});
-  policies.push_back({"iSLIP",
-                      [] { return std::make_unique<JsqDispatcher>(); },
-                      [](const Topology&) { return std::make_unique<IslipScheduler>(); }});
-  policies.push_back({"Rotor",
-                      [] { return std::make_unique<JsqDispatcher>(); },
-                      [](const Topology& t) { return std::make_unique<RotorScheduler>(t); }});
-  policies.push_back({"RandomMaximal",
-                      [] { return std::make_unique<JsqDispatcher>(); },
-                      [](const Topology&) {
-                        return std::make_unique<RandomMaximalScheduler>(99);
-                      }});
-  policies.push_back({"FIFO",
-                      [] { return std::make_unique<JsqDispatcher>(); },
-                      [](const Topology&) { return std::make_unique<FifoScheduler>(); }});
-  return policies;
-}
-
-/// The dispatcher-ablation grid of EXP-B2 (all under stable matching).
-inline std::vector<PolicyFactory> dispatcher_ablations() {
-  std::vector<PolicyFactory> policies;
-  policies.push_back({"Impact (ALG)",
-                      [] { return std::make_unique<ImpactDispatcher>(); },
-                      [](const Topology&) {
-                        return std::make_unique<StableMatchingScheduler>();
-                      }});
-  policies.push_back({"Random",
-                      [] { return std::make_unique<RandomDispatcher>(5); },
-                      [](const Topology&) {
-                        return std::make_unique<StableMatchingScheduler>();
-                      }});
-  policies.push_back({"RoundRobin",
-                      [] { return std::make_unique<RoundRobinDispatcher>(); },
-                      [](const Topology&) {
-                        return std::make_unique<StableMatchingScheduler>();
-                      }});
-  policies.push_back({"JSQ",
-                      [] { return std::make_unique<JsqDispatcher>(); },
-                      [](const Topology&) {
-                        return std::make_unique<StableMatchingScheduler>();
-                      }});
-  policies.push_back({"MinDelay",
-                      [] { return std::make_unique<MinDelayDispatcher>(); },
-                      [](const Topology&) {
-                        return std::make_unique<StableMatchingScheduler>();
-                      }});
-  policies.push_back({"DirectOnly",
-                      [] { return std::make_unique<DirectOnlyDispatcher>(); },
-                      [](const Topology&) {
-                        return std::make_unique<StableMatchingScheduler>();
-                      }});
-  return policies;
-}
-
+/// Cost of one scenario repetition under a policy (convenience for
+/// benches that feed a bespoke, already-built instance).
 inline double run_policy_cost(const Instance& instance, const PolicyFactory& policy,
                               EngineOptions options = {}) {
   auto dispatcher = policy.dispatcher();
@@ -110,13 +54,118 @@ inline double run_policy_cost(const Instance& instance, const PolicyFactory& pol
 inline Summary sweep_seeds(std::size_t seeds,
                            const std::function<double(std::uint64_t)>& metric) {
   Summary summary;
-  std::mutex mutex;
+  std::vector<double> values(seeds);
   parallel_for(seeds, [&](std::size_t i) {
-    const double value = metric(static_cast<std::uint64_t>(i + 1));
-    const std::lock_guard<std::mutex> lock(mutex);
-    summary.add(value);
+    values[i] = metric(static_cast<std::uint64_t>(i + 1));
   });
+  for (double value : values) summary.add(value);
   return summary;
 }
+
+// --- machine-readable output ------------------------------------------------
+
+inline std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+inline std::string json_number(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+/// Accumulates one bench's results and prints them as JSON lines -- one
+/// object per row, greppable via '^{':
+///   {"bench":"baselines","name":"ALG","params":{"zipf":0.8,"rate":2},
+///    "total_cost":123.4,"wall_ms":5.67}
+class BenchReport {
+ public:
+  class Row {
+   public:
+    Row& param(const std::string& key, const std::string& value) {
+      params_.emplace_back(key, "\"" + json_escape(value) + "\"");
+      return *this;
+    }
+    Row& param(const std::string& key, double value) {
+      params_.emplace_back(key, json_number(value));
+      return *this;
+    }
+    Row& param(const std::string& key, std::int64_t value) {
+      params_.emplace_back(key, std::to_string(value));
+      return *this;
+    }
+    /// Extra top-level metric next to total_cost / wall_ms.
+    Row& value(const std::string& key, double metric) {
+      extra_.emplace_back(key, metric);
+      return *this;
+    }
+
+   private:
+    friend class BenchReport;
+    std::string name_;
+    std::vector<std::pair<std::string, std::string>> params_;
+    double total_cost_ = 0.0;
+    double wall_ms_ = 0.0;
+    std::vector<std::pair<std::string, double>> extra_;
+  };
+
+  explicit BenchReport(std::string bench) : bench_(std::move(bench)) {}
+
+  Row& add(const std::string& name, double total_cost, double wall_ms) {
+    rows_.emplace_back();
+    rows_.back().name_ = name;
+    rows_.back().total_cost_ = total_cost;
+    rows_.back().wall_ms_ = wall_ms;
+    return rows_.back();
+  }
+
+  /// Standard row from an aggregated scenario x policy result: mean cost
+  /// and mean per-repetition wall clock.
+  Row& add(const ScenarioResult& result) {
+    Row& row = add(result.policy, result.cost.mean(), result.wall_ms.mean());
+    row.param("scenario", result.scenario);
+    row.param("reps", static_cast<std::int64_t>(result.repetitions.size()));
+    return row;
+  }
+
+  /// Prints every row as one JSON object per line.
+  void print() const {
+    std::printf("\n--- machine-readable (JSON lines) ---\n");
+    for (const Row& row : rows_) {
+      std::string line = "{\"bench\":\"" + json_escape(bench_) + "\"";
+      line += ",\"name\":\"" + json_escape(row.name_) + "\"";
+      if (!row.params_.empty()) {
+        line += ",\"params\":{";
+        for (std::size_t i = 0; i < row.params_.size(); ++i) {
+          if (i) line += ",";
+          line += "\"" + json_escape(row.params_[i].first) + "\":" + row.params_[i].second;
+        }
+        line += "}";
+      }
+      line += ",\"total_cost\":" + json_number(row.total_cost_);
+      line += ",\"wall_ms\":" + json_number(row.wall_ms_);
+      for (const auto& [key, value] : row.extra_) {
+        line += ",\"" + json_escape(key) + "\":" + json_number(value);
+      }
+      line += "}";
+      std::printf("%s\n", line.c_str());
+    }
+  }
+
+ private:
+  std::string bench_;
+  std::deque<Row> rows_;  ///< deque: add() hands out stable Row references
+};
 
 }  // namespace rdcn::bench

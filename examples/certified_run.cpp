@@ -7,43 +7,44 @@
 //
 //   $ ./examples/certified_run [seed]
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/alg.hpp"
 #include "core/charging.hpp"
 #include "core/dual_witness.hpp"
-#include "net/builders.hpp"
+#include "run/scenario.hpp"
 #include "sim/metrics.hpp"
-#include "workload/generator.hpp"
 
 int main(int argc, char** argv) {
   using namespace rdcn;
 
   const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
-  Rng rng(seed);
-  TwoTierConfig net;
+
+  ScenarioSpec spec;
+  spec.name = "certified-run";
+  auto& net = spec.topology.two_tier;
   net.racks = 6;
   net.lasers_per_rack = 2;
   net.photodetectors_per_rack = 2;
   net.density = 0.7;
   net.max_edge_delay = 3;
   net.fixed_link_delay = 10;
-  const Topology topology = build_two_tier(net, rng);
+  spec.workload.num_packets = 60;
+  spec.workload.arrival_rate = 4.0;
+  spec.workload.skew = PairSkew::Zipf;
+  spec.workload.weights = WeightDist::UniformInt;
+  spec.workload.weight_max = 9;
+  spec.engine.record_trace = true;  // the audits below need the step trace
+  spec.base_seed = seed;
+  const ScenarioRunner runner(spec);
 
-  WorkloadConfig traffic;
-  traffic.num_packets = 60;
-  traffic.arrival_rate = 4.0;
-  traffic.skew = PairSkew::Zipf;
-  traffic.weights = WeightDist::UniformInt;
-  traffic.weight_max = 9;
-  traffic.seed = seed;
-  const Instance instance = generate_workload(topology, traffic);
-
+  const Instance instance = runner.instance(seed);
+  const Topology& topology = instance.topology();
   std::printf("instance: %zu packets on %d racks (%d edges, hybrid)\n",
               instance.num_packets(), topology.num_sources(), topology.num_edges());
 
-  const RunResult run = run_alg(instance);
+  const RunResult run = runner.run_once(alg_policy(), instance);
   std::printf("ALG cost: %.3f (reconfig %.3f + fixed %.3f), makespan %lld\n\n",
               run.total_cost, run.reconfig_cost, run.fixed_cost,
               static_cast<long long>(run.makespan));

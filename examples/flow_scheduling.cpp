@@ -1,20 +1,22 @@
 // Flow-level API scenario: submit elephant and mouse FLOWS (multi-unit,
-// via the Section-II reduction), schedule with ALG, and inspect per-flow
-// completion times plus the schedule's Gantt chart.
+// via the Section-II reduction), schedule with ALG through the
+// ScenarioRunner, and inspect per-flow completion times plus the
+// schedule's Gantt chart.
 //
 //   $ ./examples/flow_scheduling
 
 #include <cstdio>
 
-#include "core/alg.hpp"
 #include "flow/flows.hpp"
-#include "net/builders.hpp"
+#include "run/scenario.hpp"
 #include "sim/gantt.hpp"
 #include "util/table.hpp"
 
-int main() {
-  using namespace rdcn;
+namespace {
 
+using namespace rdcn;
+
+FlowSet make_flows() {
   // A small pod: 3 racks, one laser + photodetector each, full mesh.
   Rng rng(7);
   TwoTierConfig net;
@@ -31,9 +33,22 @@ int main() {
   flows.add_flow(/*arrival=*/1, /*weight=*/12.0, /*size=*/6, /*src=*/0, /*dst=*/2);
   flows.add_flow(/*arrival=*/3, /*weight=*/1.0, /*size=*/1, /*src=*/1, /*dst=*/2);
   flows.add_flow(/*arrival=*/4, /*weight=*/2.0, /*size=*/2, /*src=*/2, /*dst=*/1);
+  return flows;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rdcn;
+
+  const FlowSet flows = make_flows();
+  ScenarioSpec spec;
+  spec.name = "flow-scheduling";
+  spec.make_instance = [](std::uint64_t) { return make_flows().to_instance(); };
+  const ScenarioRunner runner(spec);
 
   const Instance instance = flows.to_instance();
-  const RunResult run = run_alg(instance);
+  const RunResult run = runner.run_once(alg_policy(), 1);
   const FlowReport report = analyze_flows(flows, run);
 
   Table table({"flow", "route", "size", "weight", "completion", "FCT", "weighted FCT"});

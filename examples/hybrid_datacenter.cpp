@@ -8,11 +8,8 @@
 
 #include <cstdio>
 
-#include "core/alg.hpp"
-#include "net/builders.hpp"
-#include "sim/metrics.hpp"
+#include "run/scenario.hpp"
 #include "util/table.hpp"
-#include "workload/generator.hpp"
 
 int main() {
   using namespace rdcn;
@@ -21,26 +18,27 @@ int main() {
                "weighted latency"});
 
   for (const double rate : {1.0, 2.0, 4.0, 8.0, 16.0}) {
-    Rng rng(11);
-    TwoTierConfig net;
+    ScenarioSpec spec;
+    spec.name = "hybrid-rate" + Table::fmt(rate, 0);
+    auto& net = spec.topology.two_tier;
     net.racks = 8;
     net.lasers_per_rack = 1;  // scarce opportunistic links
     net.photodetectors_per_rack = 1;
     net.density = 1.0;
     net.fixed_link_delay = 6;  // slow electrical fallback everywhere
-    const Topology topology = build_two_tier(net, rng);
+    spec.topology.fixed_wiring = true;  // one pod wiring for the whole sweep
+    spec.topology.seed_salt = 11;
+    spec.workload.num_packets = 300;
+    spec.workload.arrival_rate = rate;
+    spec.workload.skew = PairSkew::Hotspot;  // congest a few optical links
+    spec.workload.hotspot_fraction = 0.4;
+    spec.workload.weights = WeightDist::UniformInt;
+    spec.workload.weight_max = 8;
+    spec.base_seed = 23;
+    const ScenarioRunner runner(spec);
 
-    WorkloadConfig traffic;
-    traffic.num_packets = 300;
-    traffic.arrival_rate = rate;
-    traffic.skew = PairSkew::Hotspot;  // congest a few optical links
-    traffic.hotspot_fraction = 0.4;
-    traffic.weights = WeightDist::UniformInt;
-    traffic.weight_max = 8;
-    traffic.seed = 23;
-    const Instance instance = generate_workload(topology, traffic);
-
-    const RunResult run = run_alg(instance);
+    const Instance instance = runner.instance(23);
+    const RunResult run = runner.run_once(alg_policy(), instance);
     std::size_t via_fixed = 0;
     for (const PacketOutcome& outcome : run.outcomes) {
       via_fixed += outcome.route.use_fixed ? 1 : 0;

@@ -7,11 +7,26 @@
 
 #include <cstdio>
 
-#include "core/alg.hpp"
 #include "core/charging.hpp"
 #include "net/builders.hpp"
 #include "opt/brute_force.hpp"
+#include "run/scenario.hpp"
 #include "sim/gantt.hpp"
+
+namespace {
+
+using namespace rdcn;
+
+/// One runner per fixed figure instance (the bespoke-instance hook).
+ScenarioRunner figure_runner(Instance (*make)()) {
+  ScenarioSpec spec;
+  spec.name = "paper-figure";
+  spec.make_instance = [make](std::uint64_t) { return make(); };
+  spec.engine.record_trace = true;
+  return ScenarioRunner(std::move(spec));
+}
+
+}  // namespace
 
 int main() {
   using namespace rdcn;
@@ -20,8 +35,9 @@ int main() {
   std::printf("Two sources, three transmitters, four receivers, three destinations;\n");
   std::printf("reconfigurable delays 1, fixed link (s2,d3) of delay 4; five unit packets.\n\n");
   {
-    const Instance instance = figure1_instance();
-    const RunResult run = run_alg(instance);
+    const ScenarioRunner runner = figure_runner(&figure1_instance);
+    const Instance instance = runner.instance(1);
+    const RunResult run = runner.run_once(alg_policy(), instance);
     std::printf("ALG's schedule (t0=t1, t1=t2, t2=t3 of the paper):\n%s\n",
                 render_gantt(instance, run, {.show_receivers = true}).c_str());
     const auto opt = brute_force_opt(instance);
@@ -37,8 +53,10 @@ int main() {
   std::printf("The dispatch-time impact is an estimate; realized impacts shift when the\n");
   std::printf("stable matching changes on p4's arrival:\n\n");
   for (const bool with_p4 : {false, true}) {
-    const Instance instance = with_p4 ? figure2_instance_pi_prime() : figure2_instance_pi();
-    const RunResult run = run_alg(instance);
+    const ScenarioRunner runner =
+        figure_runner(with_p4 ? &figure2_instance_pi_prime : &figure2_instance_pi);
+    const Instance instance = runner.instance(1);
+    const RunResult run = runner.run_once(alg_policy(), instance);
     const ChargingAudit audit = audit_charging(instance, run);
     std::printf("input %s:\n%s", with_p4 ? "Pi' = Pi + p4" : "Pi",
                 render_gantt(instance, run).c_str());

@@ -2,21 +2,16 @@
 // [11]): 16 racks, each with a handful of lasers/photodetectors, serving
 // skewed rack-to-rack traffic with elephant and mouse flows. Compares the
 // paper's ALG against classic switch-scheduling baselines on the same
-// workload.
+// workload, all through the shared scenario layer.
 //
 //   $ ./examples/projector_racks [num_packets] [zipf_exponent]
 
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
 
-#include "baseline/dispatchers.hpp"
-#include "baseline/schedulers.hpp"
-#include "core/alg.hpp"
-#include "net/builders.hpp"
+#include "run/scenario.hpp"
 #include "sim/metrics.hpp"
 #include "util/table.hpp"
-#include "workload/generator.hpp"
 
 int main(int argc, char** argv) {
   using namespace rdcn;
@@ -25,27 +20,29 @@ int main(int argc, char** argv) {
   const double zipf = argc > 2 ? std::strtod(argv[2], nullptr) : 1.2;
 
   // A free-space-optics pod: every laser can hit every remote photodetector.
-  Rng rng(2021);
-  TwoTierConfig net;
+  ScenarioSpec spec;
+  spec.name = "projector-pod";
+  auto& net = spec.topology.two_tier;
   net.racks = 16;
   net.lasers_per_rack = 3;
   net.photodetectors_per_rack = 3;
   net.density = 0.35;  // line-of-sight blockage prunes combinations
   net.max_edge_delay = 2;
-  const Topology topology = build_two_tier(net, rng);
+  spec.topology.fixed_wiring = true;  // one pod, every policy on the same wiring
+  spec.topology.seed_salt = 2021;
+  spec.workload.num_packets = num_packets;
+  spec.workload.arrival_rate = 6.0;
+  spec.workload.skew = PairSkew::Zipf;
+  spec.workload.zipf_exponent = zipf;
+  spec.workload.weights = WeightDist::Bimodal;  // elephants vs mice
+  spec.workload.weight_max = 20;
+  spec.workload.elephant_fraction = 0.1;
+  spec.workload.bursty = true;
+  spec.base_seed = 7;
+  const ScenarioRunner runner(spec);
 
-  WorkloadConfig traffic;
-  traffic.num_packets = num_packets;
-  traffic.arrival_rate = 6.0;
-  traffic.skew = PairSkew::Zipf;
-  traffic.zipf_exponent = zipf;
-  traffic.weights = WeightDist::Bimodal;  // elephants vs mice
-  traffic.weight_max = 20;
-  traffic.elephant_fraction = 0.1;
-  traffic.bursty = true;
-  traffic.seed = 7;
-  const Instance instance = generate_workload(topology, traffic);
-
+  const Instance instance = runner.instance(7);
+  const Topology& topology = instance.topology();
   std::printf("ProjecToR pod: %d racks, %d lasers, %d photodetectors, %d opportunistic links\n",
               topology.num_sources(), topology.num_transmitters(), topology.num_receivers(),
               topology.num_edges());
@@ -54,25 +51,20 @@ int main(int argc, char** argv) {
 
   struct Row {
     const char* name;
-    std::unique_ptr<DispatchPolicy> dispatcher;
-    std::unique_ptr<SchedulePolicy> scheduler;
+    const char* policy;
   };
-  std::vector<Row> rows;
-  rows.push_back({"ALG (impact + stable matching)", std::make_unique<ImpactDispatcher>(),
-                  std::make_unique<StableMatchingScheduler>()});
-  rows.push_back({"MaxWeight matching", std::make_unique<JsqDispatcher>(),
-                  std::make_unique<MaxWeightScheduler>()});
-  rows.push_back({"iSLIP", std::make_unique<JsqDispatcher>(),
-                  std::make_unique<IslipScheduler>()});
-  rows.push_back({"Rotor (demand-oblivious)", std::make_unique<JsqDispatcher>(),
-                  std::make_unique<RotorScheduler>(topology)});
-  rows.push_back({"FIFO greedy", std::make_unique<JsqDispatcher>(),
-                  std::make_unique<FifoScheduler>()});
+  const Row rows[] = {
+      {"ALG (impact + stable matching)", "alg"},
+      {"MaxWeight matching", "maxweight"},
+      {"iSLIP", "islip"},
+      {"Rotor (demand-oblivious)", "rotor"},
+      {"FIFO greedy", "fifo"},
+  };
 
   Table table({"policy", "weighted latency", "vs ALG", "makespan", "mean latency"});
   double alg_cost = 0.0;
-  for (auto& row : rows) {
-    const RunResult run = simulate(instance, *row.dispatcher, *row.scheduler, {});
+  for (const Row& row : rows) {
+    const RunResult run = runner.run_once(named_policy(row.policy), instance);
     const ScheduleSummary summary = summarize(instance, run);
     if (alg_cost == 0.0) alg_cost = summary.total_cost;
     table.add_row({row.name, Table::fmt(summary.total_cost, 1),

@@ -1,25 +1,26 @@
 // Quickstart: build a tiny two-tiered reconfigurable datacenter, submit a
 // handful of packets online, run the paper's algorithm (impact dispatcher
-// + stable-matching scheduler), and inspect the resulting schedule and its
-// dual-fitting certificate.
+// + stable-matching scheduler) through the ScenarioRunner, and inspect the
+// resulting schedule and its dual-fitting certificate.
 //
 //   $ ./examples/quickstart
 
 #include <cstdio>
 
-#include "core/alg.hpp"
 #include "core/dual_witness.hpp"
-#include "net/builders.hpp"
+#include "run/scenario.hpp"
 #include "sim/metrics.hpp"
 #include "util/table.hpp"
 
-int main() {
-  using namespace rdcn;
+namespace {
 
-  // --- 1. Describe the network -------------------------------------------
-  // Two racks, each with a laser (transmitter) and a photodetector
-  // (receiver); cross-rack reconfigurable links of delay 1 and 2, and a
-  // slow fixed link from rack 0 to rack 1 (delay 5).
+using namespace rdcn;
+
+// --- 1. Describe the network and the online packet sequence --------------
+// Two racks, each with a laser (transmitter) and a photodetector
+// (receiver); cross-rack reconfigurable links of delay 1 and 2, and a
+// slow fixed link from rack 0 to rack 1 (delay 5).
+Instance make_quickstart_instance() {
   Topology topology;
   topology.add_sources(2);
   topology.add_destinations(2);
@@ -31,15 +32,30 @@ int main() {
   topology.add_edge(laser1, pd0, /*delay=*/2);
   topology.add_fixed_link(/*source=*/0, /*destination=*/1, /*delay=*/5);
 
-  // --- 2. Describe the online packet sequence ----------------------------
   Instance instance(std::move(topology), {});
   instance.add_packet(/*arrival=*/1, /*weight=*/4.0, /*src=*/0, /*dst=*/1);
   instance.add_packet(/*arrival=*/1, /*weight=*/1.0, /*src=*/0, /*dst=*/1);
   instance.add_packet(/*arrival=*/2, /*weight=*/2.0, /*src=*/1, /*dst=*/0);
   instance.add_packet(/*arrival=*/3, /*weight=*/1.0, /*src=*/0, /*dst=*/1);
+  return instance;
+}
 
-  // --- 3. Run ALG ---------------------------------------------------------
-  const RunResult run = run_alg(instance);
+}  // namespace
+
+int main() {
+  using namespace rdcn;
+
+  // --- 2. Wrap it in a scenario and run ALG -------------------------------
+  // Bespoke instances plug into the same runner the benches use; the
+  // trace enables the dual-fitting certificate below.
+  ScenarioSpec spec;
+  spec.name = "quickstart";
+  spec.make_instance = [](std::uint64_t) { return make_quickstart_instance(); };
+  spec.engine.record_trace = true;
+  const ScenarioRunner runner(spec);
+
+  const Instance instance = runner.instance(1);
+  const RunResult run = runner.run_once(alg_policy(), instance);
 
   Table table({"packet", "route", "alpha", "transmit steps", "completion", "latency"});
   for (std::size_t i = 0; i < instance.num_packets(); ++i) {
@@ -63,7 +79,7 @@ int main() {
   std::printf("makespan               : %lld\n", static_cast<long long>(summary.makespan));
   std::printf("reconfigurable share   : %.0f%%\n", 100.0 * summary.reconfig_fraction);
 
-  // --- 4. Certify with the paper's dual-fitting witness -------------------
+  // --- 3. Certify with the paper's dual-fitting witness -------------------
   const DualWitness witness = build_dual_witness(instance, run);
   const double eps = 1.0;  // compare against an OPT at 1/(2+eps) speed
   std::printf("\ndual certificate (eps=%.1f):\n", eps);

@@ -2,13 +2,10 @@
 
 #include <algorithm>
 #include <limits>
-#include <numeric>
 #include <stdexcept>
 
-#include "core/chunk_order.hpp"
 #include "core/impact.hpp"
 #include "match/capacitated.hpp"
-#include "match/stable.hpp"
 
 namespace rdcn {
 
@@ -48,41 +45,40 @@ RouteDecision ImpactDispatcher::dispatch(const Engine& engine, const Packet& pac
 
 std::vector<std::size_t> StableMatchingScheduler::select(
     const Engine& engine, Time /*now*/, const std::vector<Candidate>& candidates) {
-  // Sort candidate indices by the paper's priority order, then accept
-  // greedily whenever both endpoints are still free (Section III-C).
-  std::vector<std::size_t> order(candidates.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [&candidates](std::size_t a, std::size_t b) {
-    return chunk_higher_priority(candidates[a], candidates[b]);
-  });
-
+  // The engine hands candidates in the paper's priority order (see
+  // SchedulePolicy::select), so the greedy stable matching of Section
+  // III-C is a single scan: accept whenever both endpoints are free.
   const auto num_t = static_cast<std::size_t>(engine.topology().num_transmitters());
   const auto num_r = static_cast<std::size_t>(engine.topology().num_receivers());
-  std::vector<std::size_t> accepted;
+
   if (engine.options().endpoint_capacity == 1) {
-    std::vector<MatchRequest> requests;
-    requests.reserve(order.size());
-    for (std::size_t idx : order) {
-      requests.push_back(MatchRequest{candidates[idx].transmitter, candidates[idx].receiver});
+    transmitter_taken_.assign(num_t, 0);
+    receiver_taken_.assign(num_r, 0);
+    const std::size_t limit = std::min(num_t, num_r);
+    std::vector<std::size_t> selected;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const Candidate& c = candidates[i];
+      auto& t_taken = transmitter_taken_[static_cast<std::size_t>(c.transmitter)];
+      auto& r_taken = receiver_taken_[static_cast<std::size_t>(c.receiver)];
+      if (t_taken || r_taken) continue;
+      t_taken = 1;
+      r_taken = 1;
+      selected.push_back(i);
+      if (selected.size() == limit) break;  // every further chunk is blocked
     }
-    accepted = greedy_stable_matching(requests, num_t, num_r);
-  } else {
-    // b-matching extension: endpoints carry up to b edges per step.
-    std::vector<CapacitatedRequest> requests;
-    requests.reserve(order.size());
-    for (std::size_t idx : order) {
-      requests.push_back(CapacitatedRequest{candidates[idx].transmitter,
-                                            candidates[idx].receiver,
-                                            static_cast<std::int64_t>(candidates[idx].edge)});
-    }
-    accepted = greedy_stable_bmatching(requests, num_t, num_r,
-                                       engine.options().endpoint_capacity);
+    return selected;
   }
 
-  std::vector<std::size_t> selected;
-  selected.reserve(accepted.size());
-  for (std::size_t sorted_index : accepted) selected.push_back(order[sorted_index]);
-  return selected;
+  // b-matching extension: endpoints carry up to b edges per step; the
+  // capacitated greedy consumes the candidates in the given (priority)
+  // order, so accepted indices are candidate indices directly.
+  std::vector<CapacitatedRequest> requests;
+  requests.reserve(candidates.size());
+  for (const Candidate& c : candidates) {
+    requests.push_back(
+        CapacitatedRequest{c.transmitter, c.receiver, static_cast<std::int64_t>(c.edge)});
+  }
+  return greedy_stable_bmatching(requests, num_t, num_r, engine.options().endpoint_capacity);
 }
 
 RunResult run_alg(const Instance& instance, EngineOptions options) {

@@ -25,6 +25,11 @@ class StableMatchingScheduler final : public SchedulePolicy {
  public:
   std::vector<std::size_t> select(const Engine& engine, Time now,
                                   const std::vector<Candidate>& candidates) override;
+
+ private:
+  // Reused per-step scratch (endpoint-taken flags); sized on first use.
+  std::vector<char> transmitter_taken_;
+  std::vector<char> receiver_taken_;
 };
 
 /// Runs ALG on the instance. Trace recording is on by default so that the

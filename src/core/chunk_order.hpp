@@ -1,21 +1,8 @@
 #pragma once
 
-// The single total order on chunks used everywhere in the paper:
-// decreasing chunk weight, then increasing packet arrival, then input
-// sequence position. Section III-B's requirement that "from two chunks of
-// the same weight, the chunk of the earlier arriving packet is preferred"
-// and Section III-C's scheduler ordering are both instances of this order;
-// using one comparator keeps the dispatcher's H/L classification and the
-// scheduler's blocking relation consistent (which Lemma 2 relies on).
+// chunk_higher_priority now lives in sim/policy.hpp next to Candidate: the
+// engine itself keeps its pending list in this order, so the comparator is
+// part of the scheduling contract rather than an ALG implementation detail.
+// This forwarding header keeps existing includes working.
 
 #include "sim/policy.hpp"
-
-namespace rdcn {
-
-inline bool chunk_higher_priority(const Candidate& a, const Candidate& b) noexcept {
-  if (a.chunk_weight != b.chunk_weight) return a.chunk_weight > b.chunk_weight;
-  if (a.arrival != b.arrival) return a.arrival < b.arrival;
-  return a.packet < b.packet;
-}
-
-}  // namespace rdcn

@@ -17,6 +17,30 @@ Instance::Instance(Topology topology, std::vector<Packet> packets)
   }
 }
 
+Instance::Instance(const Instance& other)
+    : topology_(other.topology_),
+      packets_(other.packets_),
+      validated_(other.validated_.load()) {}
+
+Instance& Instance::operator=(const Instance& other) {
+  topology_ = other.topology_;
+  packets_ = other.packets_;
+  validated_.store(other.validated_.load());
+  return *this;
+}
+
+Instance::Instance(Instance&& other) noexcept
+    : topology_(std::move(other.topology_)),
+      packets_(std::move(other.packets_)),
+      validated_(other.validated_.load()) {}
+
+Instance& Instance::operator=(Instance&& other) noexcept {
+  topology_ = std::move(other.topology_);
+  packets_ = std::move(other.packets_);
+  validated_.store(other.validated_.load());
+  return *this;
+}
+
 void Instance::add_packet(Time arrival, Weight weight, NodeIndex source,
                           NodeIndex destination) {
   Packet packet;
@@ -28,41 +52,40 @@ void Instance::add_packet(Time arrival, Weight weight, NodeIndex source,
   if (!packets_.empty() && packets_.back().arrival > arrival) {
     throw std::invalid_argument("packets must be appended in arrival order");
   }
+  validated_ = false;
   packets_.push_back(packet);
 }
 
 std::string Instance::validate() const {
+  // Every Engine validates its instance, and sweeps re-run the same
+  // instance under many policies, so a clean result is memoized (the only
+  // mutator, add_packet, resets the memo).
+  if (validated_) return {};
   std::string topo_error = topology_.validate();
   if (!topo_error.empty()) return topo_error;
+  auto fail = [](std::size_t i, const std::string& what) {
+    return "packet " + std::to_string(i) + " " + what;
+  };
   for (std::size_t i = 0; i < packets_.size(); ++i) {
     const Packet& p = packets_[i];
-    std::ostringstream error;
     if (p.id != static_cast<PacketIndex>(i)) {
-      error << "packet " << i << " has wrong id " << p.id;
-      return error.str();
+      return fail(i, "has wrong id " + std::to_string(p.id));
     }
-    if (p.arrival < 1) {
-      error << "packet " << i << " has arrival < 1";
-      return error.str();
-    }
-    if (!(p.weight > 0)) {
-      error << "packet " << i << " has non-positive weight";
-      return error.str();
-    }
+    if (p.arrival < 1) return fail(i, "has arrival < 1");
+    if (!(p.weight > 0)) return fail(i, "has non-positive weight");
     if (p.source < 0 || p.source >= topology_.num_sources() || p.destination < 0 ||
         p.destination >= topology_.num_destinations()) {
-      error << "packet " << i << " has out-of-range endpoints";
-      return error.str();
+      return fail(i, "has out-of-range endpoints");
     }
     if (!topology_.routable(p.source, p.destination)) {
-      error << "packet " << i << " has no route from " << p.source << " to " << p.destination;
-      return error.str();
+      return fail(i, "has no route from " + std::to_string(p.source) + " to " +
+                         std::to_string(p.destination));
     }
     if (i > 0 && arrived_before(p, packets_[i - 1])) {
-      error << "packet " << i << " out of arrival order";
-      return error.str();
+      return fail(i, "out of arrival order");
     }
   }
+  validated_ = true;
   return {};
 }
 

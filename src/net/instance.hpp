@@ -4,6 +4,7 @@
 // unit every scheduler, bound, and benchmark consumes. Includes a plain-text
 // serialization so workloads can be recorded and replayed bit-exactly.
 
+#include <atomic>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -17,6 +18,13 @@ class Instance {
  public:
   Instance() = default;
   Instance(Topology topology, std::vector<Packet> packets);
+
+  // Spelled out because the validation memo is atomic (not copyable);
+  // copies carry the same data, so they inherit the flag.
+  Instance(const Instance& other);
+  Instance& operator=(const Instance& other);
+  Instance(Instance&& other) noexcept;
+  Instance& operator=(Instance&& other) noexcept;
 
   const Topology& topology() const noexcept { return topology_; }
   const std::vector<Packet>& packets() const noexcept { return packets_; }
@@ -49,6 +57,10 @@ class Instance {
  private:
   Topology topology_;
   std::vector<Packet> packets_;
+  /// Memo for validate(): true once a full validation passed; reset by
+  /// add_packet. Atomic because distinct engines may validate one shared
+  /// const Instance from pool threads concurrently.
+  mutable std::atomic<bool> validated_{false};
 };
 
 }  // namespace rdcn

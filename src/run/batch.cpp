@@ -1,0 +1,78 @@
+#include "run/batch.hpp"
+
+#include <exception>
+#include <mutex>
+#include <utility>
+
+namespace rdcn {
+
+std::size_t BatchRunner::add(ScenarioSpec spec, PolicyFactory policy, RepMetric metric) {
+  cells_.push_back(Cell{ScenarioRunner(std::move(spec)), std::move(policy),
+                        std::move(metric)});
+  return cells_.size() - 1;
+}
+
+void BatchRunner::add_grid(const ScenarioSpec& spec,
+                           const std::vector<PolicyFactory>& policies) {
+  for (const PolicyFactory& policy : policies) add(spec, policy);
+}
+
+std::vector<ScenarioResult> BatchRunner::run() {
+  // Preassign every repetition a slot, then fan the (cell, repetition)
+  // tasks out; tasks only write their own slot, so no locking is needed.
+  std::vector<std::vector<RepetitionOutcome>> outcomes(cells_.size());
+  struct Task {
+    std::size_t cell;
+    std::size_t rep;
+    std::uint64_t seed;
+  };
+  std::vector<Task> tasks;
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    const auto seeds = cells_[c].runner.seeds();
+    outcomes[c].resize(seeds.size());
+    for (std::size_t r = 0; r < seeds.size(); ++r) {
+      tasks.push_back(Task{c, r, seeds[r]});
+    }
+  }
+  // Pool tasks must not throw (std::terminate otherwise), but engines do
+  // on documented paths (starvation guard, scheduler contract violations):
+  // capture the first failure and rethrow it to the caller.
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+  for (const Task& task : tasks) {
+    pool_.submit([this, task, &outcomes, &failure, &failure_mutex] {
+      try {
+        const Cell& cell = cells_[task.cell];
+        outcomes[task.cell][task.rep] =
+            cell.runner.run_repetition(cell.policy, task.seed, cell.metric);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(failure_mutex);
+        if (!failure) failure = std::current_exception();
+      }
+    });
+  }
+  pool_.wait_idle();
+  if (failure) {
+    cells_.clear();
+    std::rethrow_exception(failure);
+  }
+
+  std::vector<ScenarioResult> results;
+  results.reserve(cells_.size());
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    ScenarioResult result;
+    result.scenario = cells_[c].runner.spec().name;
+    result.policy = cells_[c].policy.name;
+    result.repetitions = std::move(outcomes[c]);
+    for (const RepetitionOutcome& rep : result.repetitions) {
+      result.cost.add(rep.total_cost);
+      result.metric.add(rep.metric);
+      result.wall_ms.add(rep.wall_ms);
+    }
+    results.push_back(std::move(result));
+  }
+  cells_.clear();
+  return results;
+}
+
+}  // namespace rdcn

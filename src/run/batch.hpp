@@ -1,0 +1,44 @@
+#pragma once
+
+// BatchRunner: fans a grid of (scenario x policy) cells out over the
+// shared thread pool, one task per repetition. Results are deterministic
+// and independent of worker scheduling: every repetition's outcome lands
+// in its preassigned slot, and aggregates are folded in seed order.
+
+#include <cstddef>
+#include <vector>
+
+#include "run/scenario.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rdcn {
+
+class BatchRunner {
+ public:
+  /// threads = 0 uses hardware concurrency.
+  explicit BatchRunner(std::size_t threads = 0) : pool_(threads) {}
+
+  /// Enqueues one cell; returns its index into run()'s result vector.
+  std::size_t add(ScenarioSpec spec, PolicyFactory policy, RepMetric metric = nullptr);
+
+  /// Convenience: one scenario against a whole policy grid.
+  void add_grid(const ScenarioSpec& spec, const std::vector<PolicyFactory>& policies);
+
+  std::size_t cells() const noexcept { return cells_.size(); }
+
+  /// Runs every repetition of every queued cell on the pool and clears
+  /// the queue. Results are in add() order.
+  std::vector<ScenarioResult> run();
+
+ private:
+  struct Cell {
+    ScenarioRunner runner;
+    PolicyFactory policy;
+    RepMetric metric;
+  };
+
+  ThreadPool pool_;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace rdcn

@@ -1,0 +1,116 @@
+#include "run/policies.hpp"
+
+#include <stdexcept>
+
+#include "baseline/dispatchers.hpp"
+#include "baseline/schedulers.hpp"
+#include "core/alg.hpp"
+
+namespace rdcn {
+
+namespace {
+
+PolicyFactory jsq_with(const std::string& name,
+                       std::function<std::unique_ptr<SchedulePolicy>(const Topology&)> make) {
+  return PolicyFactory{name, [] { return std::make_unique<JsqDispatcher>(); },
+                       std::move(make)};
+}
+
+PolicyFactory stable_with(const std::string& name,
+                          std::function<std::unique_ptr<DispatchPolicy>()> make) {
+  return PolicyFactory{name, std::move(make), [](const Topology&) {
+                         return std::make_unique<StableMatchingScheduler>();
+                       }};
+}
+
+}  // namespace
+
+PolicyFactory alg_policy() {
+  return PolicyFactory{
+      "alg",
+      [] { return std::make_unique<ImpactDispatcher>(); },
+      [](const Topology&) { return std::make_unique<StableMatchingScheduler>(); },
+  };
+}
+
+PolicyFactory named_policy(const std::string& name) {
+  if (name == "alg") return alg_policy();
+  // Baseline schedulers, all under JSQ dispatch (EXP-B1's pairing).
+  if (name == "maxweight") {
+    return jsq_with(name,
+                    [](const Topology&) { return std::make_unique<MaxWeightScheduler>(); });
+  }
+  if (name == "islip") {
+    return jsq_with(name, [](const Topology&) { return std::make_unique<IslipScheduler>(); });
+  }
+  if (name == "rotor") {
+    return jsq_with(name,
+                    [](const Topology& t) { return std::make_unique<RotorScheduler>(t); });
+  }
+  if (name == "random") {
+    return jsq_with(name, [](const Topology&) {
+      return std::make_unique<RandomMaximalScheduler>(99);
+    });
+  }
+  if (name == "fifo") {
+    return jsq_with(name, [](const Topology&) { return std::make_unique<FifoScheduler>(); });
+  }
+  // Dispatcher ablations, all under stable matching (EXP-B2's pairing).
+  if (name == "impact") {
+    return stable_with(name, [] { return std::make_unique<ImpactDispatcher>(); });
+  }
+  if (name == "random-dispatch") {
+    return stable_with(name, [] { return std::make_unique<RandomDispatcher>(5); });
+  }
+  if (name == "round-robin") {
+    return stable_with(name, [] { return std::make_unique<RoundRobinDispatcher>(); });
+  }
+  if (name == "jsq") {
+    return stable_with(name, [] { return std::make_unique<JsqDispatcher>(); });
+  }
+  if (name == "min-delay") {
+    return stable_with(name, [] { return std::make_unique<MinDelayDispatcher>(); });
+  }
+  if (name == "direct-only") {
+    return stable_with(name, [] { return std::make_unique<DirectOnlyDispatcher>(); });
+  }
+  throw std::invalid_argument("unknown policy '" + name + "'");
+}
+
+std::vector<std::string> policy_names() {
+  return {"alg",    "maxweight", "islip",          "rotor",       "random",
+          "fifo",   "impact",    "random-dispatch", "round-robin", "jsq",
+          "min-delay", "direct-only"};
+}
+
+std::vector<PolicyFactory> scheduler_baselines() {
+  std::vector<PolicyFactory> policies;
+  policies.push_back(alg_policy());
+  policies.back().name = "ALG";
+  for (const char* name : {"maxweight", "islip", "rotor", "random", "fifo"}) {
+    policies.push_back(named_policy(name));
+  }
+  policies[1].name = "MaxWeight";
+  policies[2].name = "iSLIP";
+  policies[3].name = "Rotor";
+  policies[4].name = "RandomMaximal";
+  policies[5].name = "FIFO";
+  return policies;
+}
+
+std::vector<PolicyFactory> dispatcher_ablations() {
+  std::vector<PolicyFactory> policies;
+  for (const char* name :
+       {"impact", "random-dispatch", "round-robin", "jsq", "min-delay", "direct-only"}) {
+    policies.push_back(named_policy(name));
+  }
+  policies[0].name = "Impact (ALG)";
+  policies[1].name = "Random";
+  policies[2].name = "RoundRobin";
+  policies[3].name = "JSQ";
+  policies[4].name = "MinDelay";
+  policies[5].name = "DirectOnly";
+  return policies;
+}
+
+}  // namespace rdcn

@@ -1,0 +1,49 @@
+#pragma once
+
+// Named (dispatcher, scheduler) policy factories. Every consumer -- the
+// bench drivers, the examples, the CLI, and the test-suite -- wires
+// policies through this registry instead of hand-rolling the pairing, so
+// "alg" means the same thing everywhere and new policies appear in every
+// front end at once.
+//
+// A PolicyFactory is a recipe, not an instance: schedulers are stateful
+// (iSLIP pointers, rotor colorings, rng streams), so each run materializes
+// fresh policy objects.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/policy.hpp"
+
+namespace rdcn {
+
+struct PolicyFactory {
+  std::string name;
+  std::function<std::unique_ptr<DispatchPolicy>()> dispatcher;
+  std::function<std::unique_ptr<SchedulePolicy>(const Topology&)> scheduler;
+};
+
+/// The paper's ALG: ImpactDispatcher + StableMatchingScheduler.
+PolicyFactory alg_policy();
+
+/// Looks up a policy by registry name. Known names: "alg", "maxweight",
+/// "islip", "rotor", "random", "fifo" (baseline schedulers under JSQ
+/// dispatch), and the dispatcher ablations "impact", "random-dispatch",
+/// "round-robin", "jsq", "min-delay", "direct-only" (under stable
+/// matching). Throws std::invalid_argument for unknown names.
+PolicyFactory named_policy(const std::string& name);
+
+/// Names accepted by named_policy, in presentation order.
+std::vector<std::string> policy_names();
+
+/// The baseline grid of EXP-B1: scheduler alternatives under a sensible
+/// shared dispatcher, ALG first (tables normalize against row 0).
+std::vector<PolicyFactory> scheduler_baselines();
+
+/// The dispatcher-ablation grid of EXP-B2 (all under stable matching),
+/// ALG's impact rule first.
+std::vector<PolicyFactory> dispatcher_ablations();
+
+}  // namespace rdcn

@@ -35,16 +35,30 @@ Engine::Engine(const Instance& instance, DispatchPolicy& dispatcher,
     options_.max_steps =
         instance.horizon_bound() * 64 * (options_.reconfig_delay + 1) + 64;
   }
+  const auto num_t = static_cast<std::size_t>(topology().num_transmitters());
+  const auto num_r = static_cast<std::size_t>(topology().num_receivers());
   state_.resize(instance.num_packets());
-  pending_by_transmitter_.resize(static_cast<std::size_t>(topology().num_transmitters()));
-  pending_by_receiver_.resize(static_cast<std::size_t>(topology().num_receivers()));
-  transmitter_config_.resize(static_cast<std::size_t>(topology().num_transmitters()));
-  receiver_config_.resize(static_cast<std::size_t>(topology().num_receivers()));
+  remaining_.assign(instance.num_packets(), 0);
+  chunk_weight_.assign(instance.num_packets(), 0.0);
+  pending_by_transmitter_.resize(num_t);
+  pending_by_receiver_.resize(num_r);
+  queue_pos_transmitter_.assign(instance.num_packets(), -1);
+  queue_pos_receiver_.assign(instance.num_packets(), -1);
+  transmitter_config_.resize(num_t);
+  receiver_config_.resize(num_r);
+  edge_used_round_.assign(static_cast<std::size_t>(topology().num_edges()), 0);
+  load_t_round_.assign(num_t, 0);
+  load_r_round_.assign(num_r, 0);
+  load_t_.assign(num_t, 0);
+  load_r_.assign(num_r, 0);
+  owner_t_.assign(num_t, -1);
+  owner_r_.assign(num_r, -1);
   result_.outcomes.resize(instance.num_packets());
 }
 
 bool Engine::work_left() const {
-  return next_arrival_ < instance_->num_packets() || !pending_.empty();
+  return next_arrival_ < instance_->num_packets() || !candidates_.empty() ||
+         !staged_.empty();
 }
 
 void Engine::apply_route(const Packet& packet, const RouteDecision& route) {
@@ -76,13 +90,42 @@ void Engine::apply_route(const Packet& packet, const RouteDecision& route) {
         topology().destination_of(edge.receiver) != packet.destination) {
       throw std::logic_error("dispatcher chose an edge outside E_p");
     }
-    ps.remaining = edge.delay;
-    ps.chunk_weight = packet.weight / static_cast<double>(edge.delay);
-    pending_.push_back(packet.id);
-    pending_by_transmitter_[static_cast<std::size_t>(edge.transmitter)].push_back(packet.id);
-    pending_by_receiver_[static_cast<std::size_t>(edge.receiver)].push_back(packet.id);
+    auto& remaining = remaining_[static_cast<std::size_t>(packet.id)];
+    auto& chunk_weight = chunk_weight_[static_cast<std::size_t>(packet.id)];
+    remaining = edge.delay;
+    chunk_weight = packet.weight / static_cast<double>(edge.delay);
+
+    auto& t_queue = pending_by_transmitter_[static_cast<std::size_t>(edge.transmitter)];
+    auto& r_queue = pending_by_receiver_[static_cast<std::size_t>(edge.receiver)];
+    queue_pos_transmitter_[static_cast<std::size_t>(packet.id)] =
+        static_cast<std::int32_t>(t_queue.size());
+    queue_pos_receiver_[static_cast<std::size_t>(packet.id)] =
+        static_cast<std::int32_t>(r_queue.size());
+    t_queue.push_back(packet.id);
+    r_queue.push_back(packet.id);
+
+    Candidate candidate;
+    candidate.packet = packet.id;
+    candidate.edge = route.edge;
+    candidate.transmitter = edge.transmitter;
+    candidate.receiver = edge.receiver;
+    candidate.chunk_weight = chunk_weight;
+    candidate.arrival = packet.arrival;
+    candidate.remaining = remaining;
+    staged_.push_back(candidate);
+
     outcome.chunk_transmit_steps.reserve(static_cast<std::size_t>(edge.delay));
   }
+}
+
+void Engine::merge_staged_candidates() {
+  if (staged_.empty()) return;
+  std::sort(staged_.begin(), staged_.end(), chunk_higher_priority);
+  const auto middle = static_cast<std::ptrdiff_t>(candidates_.size());
+  candidates_.insert(candidates_.end(), staged_.begin(), staged_.end());
+  std::inplace_merge(candidates_.begin(), candidates_.begin() + middle, candidates_.end(),
+                     chunk_higher_priority);
+  staged_.clear();
 }
 
 void Engine::dispatch_arrivals() {
@@ -94,22 +137,48 @@ void Engine::dispatch_arrivals() {
   }
 }
 
+void Engine::erase_from_queue(std::vector<PacketIndex>& queue,
+                              std::vector<std::int32_t>& position, PacketIndex packet) {
+  const auto index =
+      static_cast<std::size_t>(position[static_cast<std::size_t>(packet)]);
+  position[static_cast<std::size_t>(packet)] = -1;
+  queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
+  for (std::size_t i = index; i < queue.size(); ++i) {
+    position[static_cast<std::size_t>(queue[i])] = static_cast<std::int32_t>(i);
+  }
+}
+
 void Engine::unlist_pending(PacketIndex packet) {
   const auto& ps = state_[static_cast<std::size_t>(packet)];
   const ReconfigEdge& edge = topology().edge(ps.route.edge);
-  std::erase(pending_, packet);
-  std::erase(pending_by_transmitter_[static_cast<std::size_t>(edge.transmitter)], packet);
-  std::erase(pending_by_receiver_[static_cast<std::size_t>(edge.receiver)], packet);
+
+  // The priority key (chunk_weight, arrival, id) is immutable, so the
+  // candidate's slot is found by binary search instead of a full scan.
+  Candidate key;
+  key.packet = packet;
+  key.chunk_weight = chunk_weight_[static_cast<std::size_t>(packet)];
+  key.arrival = instance_->packets()[static_cast<std::size_t>(packet)].arrival;
+  const auto it =
+      std::lower_bound(candidates_.begin(), candidates_.end(), key, chunk_higher_priority);
+  if (it == candidates_.end() || it->packet != packet) {
+    throw std::logic_error("unlist_pending: packet is not pending");
+  }
+  candidates_.erase(it);
+
+  erase_from_queue(pending_by_transmitter_[static_cast<std::size_t>(edge.transmitter)],
+                   queue_pos_transmitter_, packet);
+  erase_from_queue(pending_by_receiver_[static_cast<std::size_t>(edge.receiver)],
+                   queue_pos_receiver_, packet);
 }
 
 void Engine::redispatch_queued_packets() {
+  merge_staged_candidates();
   // Packets with every chunk still untransmitted may change route; they
   // are re-offered to the dispatcher in arrival order, each temporarily
   // removed so it does not see itself as queue pressure.
   std::vector<PacketIndex> queued;
-  for (PacketIndex p : pending_) {
-    const auto& ps = state_[static_cast<std::size_t>(p)];
-    if (ps.remaining == topology().edge(ps.route.edge).delay) queued.push_back(p);
+  for (const Candidate& c : candidates_) {
+    if (c.remaining == topology().edge(c.edge).delay) queued.push_back(c.packet);
   }
   std::sort(queued.begin(), queued.end(), [this](PacketIndex a, PacketIndex b) {
     return arrived_before(instance_->packets()[static_cast<std::size_t>(a)],
@@ -118,60 +187,57 @@ void Engine::redispatch_queued_packets() {
   for (PacketIndex p : queued) {
     const Packet& packet = instance_->packets()[static_cast<std::size_t>(p)];
     unlist_pending(p);
-    auto& ps = state_[static_cast<std::size_t>(p)];
-    ps.remaining = 0;
+    remaining_[static_cast<std::size_t>(p)] = 0;
     apply_route(packet, dispatcher_->dispatch(*this, packet));
   }
+  merge_staged_candidates();
 }
 
 std::size_t Engine::schedule_round(bool record) {
-  std::vector<Candidate> candidates;
-  candidates.reserve(pending_.size());
-  for (PacketIndex p : pending_) {
-    const auto& ps = state_[static_cast<std::size_t>(p)];
-    const ReconfigEdge& edge = topology().edge(ps.route.edge);
-    Candidate candidate;
-    candidate.packet = p;
-    candidate.edge = ps.route.edge;
-    candidate.transmitter = edge.transmitter;
-    candidate.receiver = edge.receiver;
-    candidate.chunk_weight = ps.chunk_weight;
-    candidate.arrival = instance_->packets()[static_cast<std::size_t>(p)].arrival;
-    candidate.remaining = ps.remaining;
-    candidates.push_back(candidate);
-  }
-  if (candidates.empty()) {
+  merge_staged_candidates();
+  if (candidates_.empty()) {
     if (record) result_.trace.push_back(StepRecord{now_, {}, 0});
     return 0;
   }
 
-  std::vector<std::size_t> selected = scheduler_->select(*this, now_, candidates);
+  std::vector<std::size_t> selected = scheduler_->select(*this, now_, candidates_);
 
   // Validate the selection is a (b-)matching: per-endpoint load within
-  // capacity, each edge used at most once. owner_* additionally tracks the
+  // capacity, each edge used at most once. Scratch arrays are stamped with
+  // the round serial so nothing is re-zeroed per round. owner_* tracks the
   // single occupant for the trace path (capacity 1 there by construction).
-  std::vector<bool> chosen(candidates.size(), false);
-  std::vector<PacketIndex> owner_t(static_cast<std::size_t>(topology().num_transmitters()), -1);
-  std::vector<PacketIndex> owner_r(static_cast<std::size_t>(topology().num_receivers()), -1);
-  std::vector<int> load_t(static_cast<std::size_t>(topology().num_transmitters()), 0);
-  std::vector<int> load_r(static_cast<std::size_t>(topology().num_receivers()), 0);
-  std::vector<bool> edge_used(static_cast<std::size_t>(topology().num_edges()), false);
+  ++round_serial_;
+  const std::uint64_t round = round_serial_;
+  chosen_round_.resize(std::max(chosen_round_.size(), candidates_.size()), 0);
   for (std::size_t index : selected) {
-    if (index >= candidates.size() || chosen[index]) {
+    if (index >= candidates_.size() || chosen_round_[index] == round) {
       throw std::logic_error("scheduler returned an invalid candidate index");
     }
-    chosen[index] = true;
-    const Candidate& c = candidates[index];
-    if (edge_used[static_cast<std::size_t>(c.edge)]) {
+    chosen_round_[index] = round;
+    const Candidate& c = candidates_[index];
+    const auto e = static_cast<std::size_t>(c.edge);
+    const auto t = static_cast<std::size_t>(c.transmitter);
+    const auto r = static_cast<std::size_t>(c.receiver);
+    if (edge_used_round_[e] == round) {
       throw std::logic_error("scheduler selected one edge twice");
     }
-    edge_used[static_cast<std::size_t>(c.edge)] = true;
-    if (++load_t[static_cast<std::size_t>(c.transmitter)] > options_.endpoint_capacity ||
-        ++load_r[static_cast<std::size_t>(c.receiver)] > options_.endpoint_capacity) {
+    edge_used_round_[e] = round;
+    if (load_t_round_[t] != round) {
+      load_t_round_[t] = round;
+      load_t_[t] = 0;
+    }
+    if (load_r_round_[r] != round) {
+      load_r_round_[r] = round;
+      load_r_[r] = 0;
+    }
+    if (++load_t_[t] > options_.endpoint_capacity ||
+        ++load_r_[r] > options_.endpoint_capacity) {
       throw std::logic_error("scheduler selection exceeds endpoint capacity");
     }
-    owner_t[static_cast<std::size_t>(c.transmitter)] = c.packet;
-    owner_r[static_cast<std::size_t>(c.receiver)] = c.packet;
+    if (record) {
+      owner_t_[t] = c.packet;
+      owner_r_[r] = c.packet;
+    }
   }
 
   // Reconfiguration-delay extension: an endpoint only carries a chunk when
@@ -181,7 +247,7 @@ std::size_t Engine::schedule_round(bool record) {
     std::vector<std::size_t> usable;
     usable.reserve(selected.size());
     for (std::size_t index : selected) {
-      const Candidate& c = candidates[index];
+      const Candidate& c = candidates_[index];
       auto& tc = transmitter_config_[static_cast<std::size_t>(c.transmitter)];
       auto& rc = receiver_config_[static_cast<std::size_t>(c.receiver)];
       bool ready = true;
@@ -202,7 +268,7 @@ std::size_t Engine::schedule_round(bool record) {
       if (ready) {
         usable.push_back(index);
       } else {
-        chosen[index] = false;
+        chosen_round_[index] = 0;
       }
     }
     selected = std::move(usable);
@@ -211,13 +277,14 @@ std::size_t Engine::schedule_round(bool record) {
   StepRecord step;
   step.time = now_;
   step.matching_size = selected.size();
-  if (record) step.packets.reserve(candidates.size());
+  if (record) step.packets.reserve(candidates_.size());
 
-  // Transmit the selected chunks and account their latency.
-  std::vector<PacketIndex> finished;
+  // Transmit the selected chunks and account their latency. `remaining`
+  // is updated in place on both the packet state and its candidate entry.
+  std::vector<std::size_t> finished_slots;
   for (std::size_t index : selected) {
-    const Candidate& c = candidates[index];
-    auto& ps = state_[static_cast<std::size_t>(c.packet)];
+    Candidate& c = candidates_[index];
+    auto& remaining = remaining_[static_cast<std::size_t>(c.packet)];
     auto& outcome = result_.outcomes[static_cast<std::size_t>(c.packet)];
     const ReconfigEdge& edge = topology().edge(c.edge);
     const Time completion = now_ + 1 + topology().transmitter_attach_delay(edge.transmitter) +
@@ -227,11 +294,12 @@ std::size_t Engine::schedule_round(bool record) {
     outcome.weighted_latency += latency;
     result_.reconfig_cost += latency;
     result_.total_cost += latency;
-    --ps.remaining;
-    if (ps.remaining == 0) {
+    --remaining;
+    c.remaining = remaining;
+    if (remaining == 0) {
       outcome.completion = completion;
       result_.makespan = std::max(result_.makespan, completion);
-      finished.push_back(c.packet);
+      finished_slots.push_back(index);
     }
   }
 
@@ -239,43 +307,56 @@ std::size_t Engine::schedule_round(bool record) {
     // For every pending packet, note whether it transmitted and otherwise
     // which transmitted packet blocked it (the heaviest conflicting owner;
     // the charging auditor checks the priority relation separately).
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      const Candidate& c = candidates[i];
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+      const Candidate& c = candidates_[i];
       StepPacketRecord rec;
       rec.packet = c.packet;
-      rec.transmitted = chosen[i];
-      if (!chosen[i]) {
-        const PacketIndex via_t = owner_t[static_cast<std::size_t>(c.transmitter)];
-        const PacketIndex via_r = owner_r[static_cast<std::size_t>(c.receiver)];
-        PacketIndex blocker = -1;
+      rec.transmitted = chosen_round_[i] == round;
+      if (!rec.transmitted) {
+        const auto t = static_cast<std::size_t>(c.transmitter);
+        const auto r = static_cast<std::size_t>(c.receiver);
+        const PacketIndex via_t = load_t_round_[t] == round ? owner_t_[t] : -1;
+        const PacketIndex via_r = load_r_round_[r] == round ? owner_r_[r] : -1;
         auto better = [this](PacketIndex a, PacketIndex b) {
           // Prefer the blocker earlier in the chunk priority order:
           // heavier chunk first, then earlier arrival, then lower id.
           if (b == -1) return a;
           if (a == -1) return b;
-          const auto& sa = state_[static_cast<std::size_t>(a)];
-          const auto& sb = state_[static_cast<std::size_t>(b)];
-          if (sa.chunk_weight != sb.chunk_weight) {
-            return sa.chunk_weight > sb.chunk_weight ? a : b;
-          }
+          const Weight wa = chunk_weight_[static_cast<std::size_t>(a)];
+          const Weight wb = chunk_weight_[static_cast<std::size_t>(b)];
+          if (wa != wb) return wa > wb ? a : b;
           const auto& pa = instance_->packets()[static_cast<std::size_t>(a)];
           const auto& pb = instance_->packets()[static_cast<std::size_t>(b)];
           return arrived_before(pa, pb) ? a : b;
         };
-        blocker = better(via_t, via_r);
-        rec.blocker = blocker;
+        rec.blocker = better(via_t, via_r);
       }
       step.packets.push_back(rec);
     }
   }
   if (record) result_.trace.push_back(std::move(step));
 
-  for (PacketIndex p : finished) {
-    const auto& ps = state_[static_cast<std::size_t>(p)];
-    const ReconfigEdge& edge = topology().edge(ps.route.edge);
-    std::erase(pending_, p);
-    std::erase(pending_by_transmitter_[static_cast<std::size_t>(edge.transmitter)], p);
-    std::erase(pending_by_receiver_[static_cast<std::size_t>(edge.receiver)], p);
+  // Drop completed packets: one compaction pass over the candidate tail
+  // plus scan-free removal from the per-endpoint queues.
+  if (!finished_slots.empty()) {
+    std::sort(finished_slots.begin(), finished_slots.end());
+    for (std::size_t slot : finished_slots) {
+      const Candidate& c = candidates_[slot];
+      erase_from_queue(pending_by_transmitter_[static_cast<std::size_t>(c.transmitter)],
+                       queue_pos_transmitter_, c.packet);
+      erase_from_queue(pending_by_receiver_[static_cast<std::size_t>(c.receiver)],
+                       queue_pos_receiver_, c.packet);
+    }
+    std::size_t write = finished_slots.front();
+    std::size_t next_finished = 0;
+    for (std::size_t read = write; read < candidates_.size(); ++read) {
+      if (next_finished < finished_slots.size() && read == finished_slots[next_finished]) {
+        ++next_finished;
+        continue;
+      }
+      candidates_[write++] = candidates_[read];
+    }
+    candidates_.resize(write);
   }
   return selected.size();
 }
@@ -284,9 +365,9 @@ RunResult Engine::run() {
   const auto& packets = instance_->packets();
   now_ = 0;
   while (work_left()) {
-    if (pending_.empty() && next_arrival_ < packets.size() &&
+    if (candidates_.empty() && staged_.empty() && next_arrival_ < packets.size() &&
         packets[next_arrival_].arrival > now_ + 1) {
-      now_ = packets[next_arrival_].arrival;  // fast-forward over idle gaps
+      now_ = packets[next_arrival_].arrival;  // event-driven: jump idle gaps
     } else {
       ++now_;
     }
@@ -297,7 +378,7 @@ RunResult Engine::run() {
     dispatch_arrivals();
     if (options_.redispatch_queued) redispatch_queued_packets();
     for (int round = 0; round < options_.speedup_rounds; ++round) {
-      if (pending_.empty() && round > 0) break;
+      if (candidates_.empty() && staged_.empty() && round > 0) break;
       schedule_round(options_.record_trace);
     }
   }

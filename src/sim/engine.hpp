@@ -13,6 +13,21 @@
 // speedup_rounds = 1 is the paper's unit-speed algorithm (the analysis puts
 // the 1/(2+eps) slowdown on OPT instead); k > 1 realizes an integral
 // algorithm-side speedup for the ablation experiments.
+//
+// Hot-path design (the engine is the inner loop of every bench and the
+// ScenarioRunner fan-out):
+//  * the pending-candidate list is maintained incrementally in chunk
+//    priority order -- a packet's (chunk_weight, arrival, id) key never
+//    changes, so candidates are sorted once at dispatch (batch-merged per
+//    step) and handed to SchedulePolicy::select without per-step rebuild
+//    or re-sort;
+//  * per-endpoint queues carry index maps, so removing a finished packet
+//    costs the queue tail shift instead of a full scan, and completed
+//    candidates leave the global list in one compaction pass per round;
+//  * matching validation uses round-stamped scratch arrays instead of
+//    per-round allocations sized by the topology;
+//  * time advances event-driven: when no chunk is pending the clock jumps
+//    to the next arrival instead of simulating empty steps.
 
 #include <memory>
 #include <vector>
@@ -105,29 +120,37 @@ class Engine {
     return pending_by_receiver_.at(static_cast<std::size_t>(r));
   }
 
+  /// All pending reconfigurable-route candidates, in decreasing chunk
+  /// priority -- the exact list SchedulePolicy::select receives. Same-step
+  /// arrivals staged since the last scheduling round are not yet merged.
+  const std::vector<Candidate>& pending_candidates() const noexcept { return candidates_; }
+
   EdgeIndex assigned_edge(PacketIndex p) const {
     return state_.at(static_cast<std::size_t>(p)).route.edge;
   }
   std::int64_t remaining_chunks(PacketIndex p) const {
-    return state_.at(static_cast<std::size_t>(p)).remaining;
+    return remaining_.at(static_cast<std::size_t>(p));
   }
   Weight chunk_weight(PacketIndex p) const {
-    return state_.at(static_cast<std::size_t>(p)).chunk_weight;
+    return chunk_weight_.at(static_cast<std::size_t>(p));
   }
 
  private:
   struct PacketState {
     RouteDecision route;
-    std::int64_t remaining = 0;   ///< untransmitted chunks
-    Weight chunk_weight = 0.0;
     bool dispatched = false;
   };
 
   void dispatch_arrivals();
   /// Applies a dispatch decision to a packet (enqueue on edge or fixed).
   void apply_route(const Packet& packet, const RouteDecision& route);
+  /// Folds candidates staged by apply_route into the priority-sorted list.
+  void merge_staged_candidates();
   /// Removes a not-yet-started packet from the pending structures.
   void unlist_pending(PacketIndex packet);
+  /// Order-preserving removal from one per-endpoint queue via its index map.
+  static void erase_from_queue(std::vector<PacketIndex>& queue,
+                               std::vector<std::int32_t>& position, PacketIndex packet);
   /// Restricted migration: re-dispatches packets with no transmitted chunk.
   void redispatch_queued_packets();
   /// One scheduling round; returns number of chunks transmitted.
@@ -151,9 +174,33 @@ class Engine {
   Time now_ = 0;
   std::size_t next_arrival_ = 0;  ///< first not-yet-dispatched packet
   std::vector<PacketState> state_;
-  std::vector<PacketIndex> pending_;  ///< reconfig packets with remaining > 0
+  /// Dense per-packet mirrors of the fields the dispatch hot loops read
+  /// (impact_of / JSQ scan whole per-endpoint queues): separate arrays
+  /// keep those scans inside a few cache lines.
+  std::vector<std::int64_t> remaining_;  ///< untransmitted chunks
+  std::vector<Weight> chunk_weight_;
+
+  /// Pending candidates in decreasing chunk priority; the list handed to
+  /// the scheduler. Maintained incrementally: same-step dispatches stage
+  /// into staged_ and are batch-merged before the next scheduling round.
+  std::vector<Candidate> candidates_;
+  std::vector<Candidate> staged_;
+
+  /// Per-endpoint queues (dispatch order, as impact_of's accounting
+  /// expects) with per-packet index maps for scan-free removal.
   std::vector<std::vector<PacketIndex>> pending_by_transmitter_;
   std::vector<std::vector<PacketIndex>> pending_by_receiver_;
+  std::vector<std::int32_t> queue_pos_transmitter_;  ///< packet -> index
+  std::vector<std::int32_t> queue_pos_receiver_;
+
+  /// Round-stamped scratch for selection validation (replaces per-round
+  /// allocations sized by the topology).
+  std::uint64_t round_serial_ = 0;
+  std::vector<std::uint64_t> edge_used_round_;
+  std::vector<std::uint64_t> load_t_round_, load_r_round_;
+  std::vector<int> load_t_, load_r_;
+  std::vector<PacketIndex> owner_t_, owner_r_;  ///< valid iff round matches
+  std::vector<std::uint64_t> chosen_round_;     ///< per candidate index
 
   RunResult result_;
 };

@@ -40,6 +40,22 @@ struct Candidate {
   std::int64_t remaining = 0; ///< untransmitted chunks of the packet
 };
 
+/// The single total order on chunks used everywhere in the paper:
+/// decreasing chunk weight, then increasing packet arrival, then input
+/// sequence position. Section III-B's requirement that "from two chunks of
+/// the same weight, the chunk of the earlier arriving packet is preferred"
+/// and Section III-C's scheduler ordering are both instances of this order;
+/// using one comparator keeps the dispatcher's H/L classification and the
+/// scheduler's blocking relation consistent (which Lemma 2 relies on).
+///
+/// The engine maintains its pending-candidate list sorted by this order
+/// (see SchedulePolicy::select), so priority-driven schedulers never sort.
+inline bool chunk_higher_priority(const Candidate& a, const Candidate& b) noexcept {
+  if (a.chunk_weight != b.chunk_weight) return a.chunk_weight > b.chunk_weight;
+  if (a.arrival != b.arrival) return a.arrival < b.arrival;
+  return a.packet < b.packet;
+}
+
 class DispatchPolicy {
  public:
   virtual ~DispatchPolicy() = default;
@@ -53,6 +69,12 @@ class SchedulePolicy {
   virtual ~SchedulePolicy() = default;
   /// Returns indices into `candidates` to transmit this step. The engine
   /// checks the selection occupies each transmitter/receiver at most once.
+  ///
+  /// Contract: `candidates` is sorted by chunk_higher_priority (decreasing
+  /// chunk weight, then arrival, then packet id) -- the engine maintains
+  /// the list incrementally across steps, so priority-driven schedulers
+  /// can scan it in index order without sorting. Order-sensitive policies
+  /// (FIFO, randomized) impose their own order on top as before.
   virtual std::vector<std::size_t> select(const Engine& engine, Time now,
                                           const std::vector<Candidate>& candidates) = 0;
 };

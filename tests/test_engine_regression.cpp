@@ -1,0 +1,192 @@
+// Regression tests for the indexed engine core:
+//  * determinism -- the incrementally-maintained candidate list must
+//    reproduce the pre-refactor (rebuild-and-sort) engine's schedules
+//    bit-for-bit; the golden costs below were captured from the seed
+//    engine on the make_varied_instance family;
+//  * the SchedulePolicy contract -- candidates arrive priority-sorted at
+//    every round with consistent remaining counts;
+//  * EngineOptions edge interactions (reconfig_delay x endpoint_capacity,
+//    redispatch_queued / record_trace rejection matrix).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/alg.hpp"
+#include "helpers.hpp"
+#include "net/builders.hpp"
+#include "sim/metrics.hpp"
+
+namespace rdcn {
+namespace {
+
+struct Golden {
+  std::uint64_t seed;
+  double total_cost;
+  Time makespan;
+};
+
+// Captured from the seed engine (pre-refactor) at commit b07bcdf, %.17g.
+constexpr Golden kSeedEngineGoldens[] = {
+    {1ULL, 136, 12},
+    {2ULL, 146.5, 17},
+    {3ULL, 16, 6},
+    {4ULL, 263, 20},
+    {5ULL, 297.49999999999994, 12},
+    {7ULL, 152.5, 8},
+    {11ULL, 163.5, 11},
+    {101ULL, 2940.5, 32},
+    {103ULL, 5376.333333333333, 56},
+    {117ULL, 5024, 42},
+};
+
+TEST(EngineRegression, ReproducesSeedEngineCosts) {
+  for (const Golden& golden : kSeedEngineGoldens) {
+    const Instance instance = testing::make_varied_instance(golden.seed);
+    EngineOptions options;
+    options.record_trace = false;
+    const RunResult run = run_alg(instance, options);
+    EXPECT_NEAR(run.total_cost, golden.total_cost, 1e-9 * (1.0 + golden.total_cost))
+        << "seed " << golden.seed;
+    EXPECT_EQ(run.makespan, golden.makespan) << "seed " << golden.seed;
+  }
+}
+
+TEST(EngineRegression, RepeatedRunsAreIdentical) {
+  for (const std::uint64_t seed : {2ULL, 103ULL}) {
+    const Instance instance = testing::make_varied_instance(seed);
+    const RunResult a = run_alg(instance);
+    const RunResult b = run_alg(instance);
+    EXPECT_EQ(a.total_cost, b.total_cost);
+    EXPECT_EQ(a.makespan, b.makespan);
+    for (std::size_t i = 0; i < instance.num_packets(); ++i) {
+      EXPECT_EQ(a.outcomes[i].chunk_transmit_steps, b.outcomes[i].chunk_transmit_steps);
+    }
+  }
+}
+
+/// Delegating scheduler that asserts the engine's candidate contract.
+class ContractCheckingScheduler final : public SchedulePolicy {
+ public:
+  std::vector<std::size_t> select(const Engine& engine, Time now,
+                                  const std::vector<Candidate>& candidates) override {
+    EXPECT_TRUE(std::is_sorted(candidates.begin(), candidates.end(),
+                               [](const Candidate& a, const Candidate& b) {
+                                 return chunk_higher_priority(a, b);
+                               }));
+    EXPECT_EQ(&candidates, &engine.pending_candidates());
+    for (const Candidate& c : candidates) {
+      EXPECT_GT(c.remaining, 0);
+      EXPECT_EQ(c.remaining, engine.remaining_chunks(c.packet));
+      EXPECT_EQ(c.edge, engine.assigned_edge(c.packet));
+      EXPECT_DOUBLE_EQ(c.chunk_weight, engine.chunk_weight(c.packet));
+      // The per-endpoint queues and the candidate list agree.
+      const auto& queue = engine.pending_on_transmitter(c.transmitter);
+      EXPECT_NE(std::find(queue.begin(), queue.end(), c.packet), queue.end());
+    }
+    ++rounds_checked;
+    return inner_.select(engine, now, candidates);
+  }
+
+  int rounds_checked = 0;
+
+ private:
+  StableMatchingScheduler inner_;
+};
+
+TEST(EngineRegression, CandidateListStaysSortedAndConsistent) {
+  const Instance instance = testing::make_varied_instance(103);
+  ImpactDispatcher dispatcher;
+  ContractCheckingScheduler scheduler;
+  const RunResult run = simulate(instance, dispatcher, scheduler, {});
+  EXPECT_TRUE(all_delivered(instance, run));
+  EXPECT_GT(scheduler.rounds_checked, 10);
+}
+
+TEST(EngineRegression, ContractHoldsUnderMigrationAndCapacity) {
+  const Instance instance = testing::make_varied_instance(101);
+  {
+    ImpactDispatcher dispatcher;
+    ContractCheckingScheduler scheduler;
+    EngineOptions options;
+    options.redispatch_queued = true;
+    EXPECT_TRUE(all_delivered(instance, simulate(instance, dispatcher, scheduler, options)));
+  }
+  {
+    ImpactDispatcher dispatcher;
+    ContractCheckingScheduler scheduler;
+    EngineOptions options;
+    options.endpoint_capacity = 3;
+    EXPECT_TRUE(all_delivered(instance, simulate(instance, dispatcher, scheduler, options)));
+  }
+}
+
+// ------------------------------------------ EngineOptions interactions --
+
+TEST(EngineOptionsMatrix, ReconfigDelayRequiresUnitCapacity) {
+  const Instance instance = figure2_instance_pi();
+  ImpactDispatcher dispatcher;
+  StableMatchingScheduler scheduler;
+  EngineOptions options;
+  options.reconfig_delay = 2;
+  options.endpoint_capacity = 2;
+  EXPECT_THROW(Engine(instance, dispatcher, scheduler, options), std::invalid_argument);
+  // Each extension alone is accepted.
+  options.endpoint_capacity = 1;
+  EXPECT_NO_THROW(Engine(instance, dispatcher, scheduler, options));
+  options.reconfig_delay = 0;
+  options.endpoint_capacity = 2;
+  EXPECT_NO_THROW(Engine(instance, dispatcher, scheduler, options));
+}
+
+TEST(EngineOptionsMatrix, TraceRejectsEveryNonAnalysisExtension) {
+  const Instance instance = figure2_instance_pi();
+  ImpactDispatcher dispatcher;
+  StableMatchingScheduler scheduler;
+  const auto rejected = [&](EngineOptions options) {
+    options.record_trace = true;
+    EXPECT_THROW(Engine(instance, dispatcher, scheduler, options), std::invalid_argument);
+  };
+  rejected({.redispatch_queued = true});
+  rejected({.reconfig_delay = 1});
+  rejected({.endpoint_capacity = 2});
+  rejected({.speedup_rounds = 2});
+  // The analysis model itself records fine.
+  EngineOptions analysis;
+  analysis.record_trace = true;
+  EXPECT_NO_THROW(Engine(instance, dispatcher, scheduler, analysis));
+}
+
+TEST(EngineOptionsMatrix, ReconfigDelayAndMigrationCompose) {
+  // Both extensions together: queued packets may re-route while endpoints
+  // retune; delivery and accounting must survive the interaction.
+  for (const std::uint64_t seed : {1ULL, 4ULL}) {
+    const Instance instance = testing::make_varied_instance(seed);
+    ImpactDispatcher dispatcher;
+    StableMatchingScheduler scheduler;
+    EngineOptions options;
+    options.reconfig_delay = 2;
+    options.redispatch_queued = true;
+    const RunResult run = simulate(instance, dispatcher, scheduler, options);
+    EXPECT_TRUE(all_delivered(instance, run)) << "seed " << seed;
+    EXPECT_NEAR(run.total_cost, recompute_cost(instance, run), 1e-6);
+  }
+}
+
+TEST(EngineOptionsMatrix, ReconfigDelayNeverBeatsFreeRetuning) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Instance instance = testing::make_varied_instance(seed);
+    ImpactDispatcher d0, d1;
+    StableMatchingScheduler s0, s1;
+    EngineOptions free_retune;
+    free_retune.record_trace = false;
+    EngineOptions delayed = free_retune;
+    delayed.reconfig_delay = 3;
+    const double base = simulate(instance, d0, s0, free_retune).total_cost;
+    const double slowed = simulate(instance, d1, s1, delayed).total_cost;
+    EXPECT_GE(slowed, base - 1e-9) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rdcn

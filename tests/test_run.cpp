@@ -1,0 +1,204 @@
+// Tests for the run/ subsystem: the policy registry, ScenarioRunner
+// determinism and metric plumbing, the bespoke-instance hook, and
+// BatchRunner's deterministic fan-out over the thread pool.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "helpers.hpp"
+#include "run/batch.hpp"
+#include "run/policies.hpp"
+#include "run/scenario.hpp"
+
+namespace rdcn {
+namespace {
+
+ScenarioSpec small_spec() {
+  ScenarioSpec spec;
+  spec.name = "small";
+  auto& net = spec.topology.two_tier;
+  net.racks = 4;
+  net.lasers_per_rack = 2;
+  net.photodetectors_per_rack = 2;
+  net.density = 0.8;
+  net.max_edge_delay = 2;
+  spec.workload.num_packets = 30;
+  spec.workload.arrival_rate = 3.0;
+  spec.workload.weights = WeightDist::UniformInt;
+  spec.repetitions = 4;
+  return spec;
+}
+
+// ------------------------------------------------------ policy registry --
+
+TEST(PolicyRegistry, EveryNameResolvesAndRuns) {
+  const ScenarioRunner runner(small_spec());
+  for (const std::string& name : policy_names()) {
+    const PolicyFactory policy = named_policy(name);
+    EXPECT_EQ(policy.name, name);
+    ASSERT_TRUE(policy.dispatcher);
+    ASSERT_TRUE(policy.scheduler);
+    const RunResult run = runner.run_once(policy, 1);
+    EXPECT_GT(run.total_cost, 0.0) << name;
+  }
+}
+
+TEST(PolicyRegistry, UnknownNameThrows) {
+  EXPECT_THROW(named_policy("definitely-not-a-policy"), std::invalid_argument);
+}
+
+TEST(PolicyRegistry, GridsLeadWithAlg) {
+  EXPECT_EQ(scheduler_baselines().front().name, "ALG");
+  EXPECT_EQ(dispatcher_ablations().front().name, "Impact (ALG)");
+}
+
+// ------------------------------------------------------- ScenarioRunner --
+
+TEST(ScenarioRunner, InstancesAreDeterministicPerSeed) {
+  const ScenarioRunner runner(small_spec());
+  const Instance a = runner.instance(7);
+  const Instance b = runner.instance(7);
+  EXPECT_EQ(a.to_string(), b.to_string());
+  const Instance c = runner.instance(8);
+  EXPECT_NE(a.to_string(), c.to_string());
+}
+
+TEST(ScenarioRunner, SeedsEnumerateRepetitions) {
+  ScenarioSpec spec = small_spec();
+  spec.base_seed = 10;
+  spec.repetitions = 3;
+  EXPECT_EQ(ScenarioRunner(spec).seeds(),
+            (std::vector<std::uint64_t>{10, 11, 12}));
+}
+
+TEST(ScenarioRunner, RunAggregatesAllRepetitions) {
+  const ScenarioRunner runner(small_spec());
+  const ScenarioResult result = runner.run(alg_policy());
+  EXPECT_EQ(result.scenario, "small");
+  EXPECT_EQ(result.policy, "alg");
+  ASSERT_EQ(result.repetitions.size(), 4u);
+  double sum = 0.0;
+  for (const RepetitionOutcome& rep : result.repetitions) {
+    EXPECT_GT(rep.total_cost, 0.0);
+    EXPECT_GE(rep.wall_ms, 0.0);
+    EXPECT_NEAR(rep.total_cost, rep.reconfig_cost + rep.fixed_cost, 1e-9);
+    sum += rep.total_cost;
+  }
+  EXPECT_NEAR(result.cost.mean(), sum / 4.0, 1e-9);
+  // Default metric is total_cost.
+  EXPECT_DOUBLE_EQ(result.metric.mean(), result.cost.mean());
+}
+
+TEST(ScenarioRunner, RunsAreReproducible) {
+  const ScenarioRunner runner(small_spec());
+  const ScenarioResult a = runner.run(alg_policy());
+  const ScenarioResult b = runner.run(alg_policy());
+  for (std::size_t i = 0; i < a.repetitions.size(); ++i) {
+    EXPECT_EQ(a.repetitions[i].total_cost, b.repetitions[i].total_cost);
+    EXPECT_EQ(a.repetitions[i].makespan, b.repetitions[i].makespan);
+  }
+}
+
+TEST(ScenarioRunner, CustomMetricSeesInstanceAndRun) {
+  const ScenarioRunner runner(small_spec());
+  const ScenarioResult result =
+      runner.run(alg_policy(), [](const Instance& instance, const RunResult& run) {
+        return run.total_cost / instance.ideal_cost();
+      });
+  for (const RepetitionOutcome& rep : result.repetitions) {
+    EXPECT_GE(rep.metric, 1.0 - 1e-9);  // cost >= trivial bound
+  }
+}
+
+TEST(ScenarioRunner, BespokeInstanceHookBypassesGenerators) {
+  ScenarioSpec spec;
+  spec.name = "bespoke";
+  spec.make_instance = [](std::uint64_t seed) {
+    Topology g;
+    g.add_sources(1);
+    g.add_destinations(1);
+    const NodeIndex t = g.add_transmitter(0);
+    const NodeIndex r = g.add_receiver(0);
+    g.add_edge(t, r, 1);
+    Instance instance(std::move(g), {});
+    for (std::uint64_t i = 0; i < seed; ++i) instance.add_packet(1, 1.0, 0, 0);
+    return instance;
+  };
+  const ScenarioRunner runner(spec);
+  EXPECT_EQ(runner.instance(3).num_packets(), 3u);
+  // Serial drain of 3 unit packets: latencies 1 + 2 + 3.
+  EXPECT_DOUBLE_EQ(runner.run_once(alg_policy(), 3).total_cost, 6.0);
+}
+
+TEST(ScenarioRunner, EngineOptionsReachTheEngine) {
+  ScenarioSpec spec = small_spec();
+  spec.engine.speedup_rounds = 3;
+  const double fast = ScenarioRunner(spec).run(alg_policy()).cost.mean();
+  spec.engine.speedup_rounds = 1;
+  const double slow = ScenarioRunner(spec).run(alg_policy()).cost.mean();
+  EXPECT_LE(fast, slow + 1e-9);
+}
+
+TEST(ScenarioRunner, FixedWiringSharesTopologyAcrossSeeds) {
+  ScenarioSpec spec = small_spec();
+  spec.topology.fixed_wiring = true;
+  const ScenarioRunner runner(spec);
+  const Topology a = runner.instance(1).topology();
+  const Topology b = runner.instance(2).topology();
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeIndex e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).transmitter, b.edge(e).transmitter);
+    EXPECT_EQ(a.edge(e).receiver, b.edge(e).receiver);
+    EXPECT_EQ(a.edge(e).delay, b.edge(e).delay);
+  }
+}
+
+TEST(ScenarioRunner, RejectsZeroRepetitions) {
+  ScenarioSpec spec = small_spec();
+  spec.repetitions = 0;
+  EXPECT_THROW(ScenarioRunner{spec}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------- BatchRunner --
+
+TEST(BatchRunner, GridResultsMatchSequentialRuns) {
+  const auto policies = std::vector<PolicyFactory>{alg_policy(), named_policy("fifo")};
+  BatchRunner batch(2);
+  batch.add_grid(small_spec(), policies);
+  const auto results = batch.run();
+  ASSERT_EQ(results.size(), 2u);
+
+  const ScenarioRunner runner(small_spec());
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    EXPECT_EQ(results[p].policy, policies[p].name);
+    const ScenarioResult sequential = runner.run(policies[p]);
+    ASSERT_EQ(results[p].repetitions.size(), sequential.repetitions.size());
+    for (std::size_t i = 0; i < sequential.repetitions.size(); ++i) {
+      EXPECT_EQ(results[p].repetitions[i].seed, sequential.repetitions[i].seed);
+      EXPECT_EQ(results[p].repetitions[i].total_cost, sequential.repetitions[i].total_cost);
+    }
+  }
+}
+
+TEST(BatchRunner, RunClearsTheQueue) {
+  BatchRunner batch(1);
+  batch.add(small_spec(), alg_policy());
+  EXPECT_EQ(batch.cells(), 1u);
+  EXPECT_EQ(batch.run().size(), 1u);
+  EXPECT_EQ(batch.cells(), 0u);
+  EXPECT_TRUE(batch.run().empty());
+}
+
+TEST(BatchRunner, MetricsTravelThroughThePool) {
+  BatchRunner batch(2);
+  batch.add(small_spec(), alg_policy(),
+            [](const Instance& instance, const RunResult&) {
+              return static_cast<double>(instance.num_packets());
+            });
+  const auto results = batch.run();
+  EXPECT_DOUBLE_EQ(results.at(0).metric.mean(), 30.0);
+}
+
+}  // namespace
+}  // namespace rdcn

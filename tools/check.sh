@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Single entry point for local and CI verification:
+#   configure, build, run the full ctest suite, then one smoke bench.
+#
+#   $ tools/check.sh [build-dir]
+#
+# Exit code is nonzero if any stage fails.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+echo "== configure =="
+cmake -B "$build" -S "$repo"
+
+echo "== build =="
+cmake --build "$build" -j"$(nproc)"
+
+echo "== test =="
+ctest --test-dir "$build" --output-on-failure -j"$(nproc)"
+
+echo "== smoke bench =="
+if [ -x "$build/bench/bench_scalability" ]; then
+  "$build/bench/bench_scalability" --benchmark_filter='BM_AlgEndToEnd/8' \
+      --benchmark_min_time=0.05 >/dev/null
+else
+  # google-benchmark absent: any plain bench exercises the whole stack.
+  "$build/bench/bench_bmatching" >/dev/null
+fi
+echo "check.sh: all stages passed"

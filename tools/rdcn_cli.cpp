@@ -7,9 +7,12 @@
 //         [--weights unit|uniform-int|pareto|bimodal] [--wmax N]
 //         [--bursty] [--seed S]
 //       Generates a workload over a two-tier pod and writes an instance file.
-//   run   <in.inst> [--policy alg|maxweight|islip|rotor|random|fifo]
-//         [--capacity B] [--speedup K] [--reconfig D]
-//       Replays an instance under a policy and prints the schedule summary.
+//   run   <in.inst> [--policy <name>] [--capacity B] [--speedup K]
+//         [--reconfig D] [--reps N] [--seed S]
+//       Replays an instance under a registry policy and prints the schedule
+//       summary (any name from the policy registry: alg, maxweight, islip,
+//       rotor, random, fifo, impact, jsq, ...). Replays are deterministic;
+//       --reps > 1 repeats the identical run to aggregate wall-clock time.
 //   certify <in.inst> [--eps F]
 //       Runs ALG, builds the dual witness, verifies Lemmas 1-5 and prints
 //       the certified OPT lower bound and ratio.
@@ -19,6 +22,8 @@
 //       Prints topology/workload statistics.
 //
 // Instance files use the rdcn-instance v1 text format (Instance::save).
+// All execution routes through the run/ subsystem (the same ScenarioRunner
+// the benches use).
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,16 +32,12 @@
 #include <memory>
 #include <string>
 
-#include "baseline/dispatchers.hpp"
-#include "baseline/schedulers.hpp"
-#include "core/alg.hpp"
 #include "core/charging.hpp"
 #include "core/dual_witness.hpp"
-#include "net/builders.hpp"
+#include "run/scenario.hpp"
 #include "sim/gantt.hpp"
 #include "sim/metrics.hpp"
 #include "util/table.hpp"
-#include "workload/generator.hpp"
 
 namespace {
 
@@ -44,7 +45,7 @@ using namespace rdcn;
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: rdcn_cli <gen|run|certify|info> <file> [options]\n"
+               "usage: rdcn_cli <gen|run|certify|show|info> <file> [options]\n"
                "run with no options for defaults; see source header for flags\n");
   std::exit(2);
 }
@@ -81,18 +82,27 @@ Instance load_instance(const std::string& path) {
   return Instance::load(in);
 }
 
+/// Scenario replaying a saved instance file (every repetition identical).
+ScenarioSpec replay_scenario(const std::string& path) {
+  ScenarioSpec spec;
+  spec.name = path;
+  auto shared = std::make_shared<Instance>(load_instance(path));
+  spec.make_instance = [shared](std::uint64_t) { return *shared; };
+  return spec;
+}
+
 int cmd_gen(const Args& args) {
-  Rng rng(static_cast<std::uint64_t>(args.number("--seed", 1)));
-  TwoTierConfig net;
+  ScenarioSpec spec;
+  spec.name = args.file;
+  auto& net = spec.topology.two_tier;
   net.racks = static_cast<NodeIndex>(args.number("--racks", 8));
   net.lasers_per_rack = static_cast<NodeIndex>(args.number("--lasers", 2));
   net.photodetectors_per_rack = static_cast<NodeIndex>(args.number("--pds", 2));
   net.density = args.number("--density", 0.6);
   net.max_edge_delay = static_cast<Delay>(args.number("--max-delay", 2));
   net.fixed_link_delay = static_cast<Delay>(args.number("--fixed-dl", 0));
-  const Topology topology = build_two_tier(net, rng);
 
-  WorkloadConfig traffic;
+  auto& traffic = spec.workload;
   traffic.num_packets = static_cast<std::size_t>(args.number("--packets", 200));
   traffic.arrival_rate = args.number("--rate", 4.0);
   const std::string skew = args.value("--skew", "zipf");
@@ -109,9 +119,10 @@ int cmd_gen(const Args& args) {
                                            : WeightDist::UniformInt;
   traffic.weight_max = static_cast<std::int64_t>(args.number("--wmax", 10));
   traffic.bursty = args.has("--bursty");
-  traffic.seed = static_cast<std::uint64_t>(args.number("--seed", 1));
 
-  const Instance instance = generate_workload(topology, traffic);
+  const auto seed = static_cast<std::uint64_t>(args.number("--seed", 1));
+  spec.base_seed = seed;
+  const Instance instance = ScenarioRunner(spec).instance(seed);
   std::ofstream out(args.file);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", args.file.c_str());
@@ -125,43 +136,32 @@ int cmd_gen(const Args& args) {
 }
 
 int cmd_run(const Args& args) {
-  const Instance instance = load_instance(args.file);
-  const std::string policy = args.value("--policy", "alg");
-
-  std::unique_ptr<DispatchPolicy> dispatcher;
-  std::unique_ptr<SchedulePolicy> scheduler;
-  if (policy == "alg") {
-    dispatcher = std::make_unique<ImpactDispatcher>();
-    scheduler = std::make_unique<StableMatchingScheduler>();
-  } else {
-    dispatcher = std::make_unique<JsqDispatcher>();
-    if (policy == "maxweight") {
-      scheduler = std::make_unique<MaxWeightScheduler>();
-    } else if (policy == "islip") {
-      scheduler = std::make_unique<IslipScheduler>();
-    } else if (policy == "rotor") {
-      scheduler = std::make_unique<RotorScheduler>(instance.topology());
-    } else if (policy == "random") {
-      scheduler = std::make_unique<RandomMaximalScheduler>(1);
-    } else if (policy == "fifo") {
-      scheduler = std::make_unique<FifoScheduler>();
-    } else {
-      std::fprintf(stderr, "unknown policy '%s'\n", policy.c_str());
-      return 2;
-    }
+  const std::string policy_name = args.value("--policy", "alg");
+  PolicyFactory policy;
+  try {
+    policy = named_policy(policy_name);
+  } catch (const std::invalid_argument&) {
+    std::string known;
+    for (const std::string& name : policy_names()) known += " " + name;
+    std::fprintf(stderr, "unknown policy '%s'; known:%s\n", policy_name.c_str(),
+                 known.c_str());
+    return 2;
   }
 
-  EngineOptions options;
-  options.endpoint_capacity = static_cast<int>(args.number("--capacity", 1));
-  options.speedup_rounds = static_cast<int>(args.number("--speedup", 1));
-  options.reconfig_delay = static_cast<Delay>(args.number("--reconfig", 0));
-  options.record_trace = false;
+  ScenarioSpec spec = replay_scenario(args.file);
+  spec.engine.endpoint_capacity = static_cast<int>(args.number("--capacity", 1));
+  spec.engine.speedup_rounds = static_cast<int>(args.number("--speedup", 1));
+  spec.engine.reconfig_delay = static_cast<Delay>(args.number("--reconfig", 0));
+  spec.base_seed = static_cast<std::uint64_t>(args.number("--seed", 1));
+  spec.repetitions = static_cast<std::size_t>(args.number("--reps", 1));
+  const ScenarioRunner runner(spec);
 
-  const RunResult run = simulate(instance, *dispatcher, *scheduler, options);
+  const Instance instance = runner.instance(spec.base_seed);
+  const RunResult run = runner.run_once(policy, instance);
   const ScheduleSummary summary = summarize(instance, run);
 
   Table table({"metric", "value"});
-  table.add_row({"policy", policy});
+  table.add_row({"policy", policy_name});
   table.add_row({"total weighted latency", Table::fmt(summary.total_cost, 3)});
   table.add_row({"mean weighted latency", Table::fmt(summary.mean_weighted_latency, 3)});
   table.add_row({"max latency", Table::fmt(summary.max_latency, 0)});
@@ -170,14 +170,24 @@ int cmd_run(const Args& args) {
                  Table::fmt(100.0 * summary.reconfig_fraction, 1) + "%"});
   table.add_row({"steps simulated",
                  Table::fmt(static_cast<std::int64_t>(run.steps_simulated))});
+  if (spec.repetitions > 1) {
+    // Replaying a saved instance is bit-identical per repetition (same
+    // file, deterministic policies), so repeats only measure timing.
+    const ScenarioResult result = runner.run(policy);
+    table.add_row({"identical replays", std::to_string(spec.repetitions)});
+    table.add_row({"mean wall ms / replay", Table::fmt(result.wall_ms.mean(), 3)});
+  }
   table.print("run summary: " + args.file);
   return 0;
 }
 
 int cmd_certify(const Args& args) {
-  const Instance instance = load_instance(args.file);
+  ScenarioSpec spec = replay_scenario(args.file);
+  spec.engine.record_trace = true;
+  const ScenarioRunner runner(spec);
+  const Instance instance = runner.instance(1);
   const double eps = args.number("--eps", 1.0);
-  const RunResult run = run_alg(instance);
+  const RunResult run = runner.run_once(alg_policy(), instance);
   const DualWitness witness = build_dual_witness(instance, run);
   const ChargingAudit audit = audit_charging(instance, run);
   const DualFeasibilityReport feasibility = check_dual_feasibility(instance, witness);
@@ -205,8 +215,11 @@ int cmd_certify(const Args& args) {
 }
 
 int cmd_show(const Args& args) {
-  const Instance instance = load_instance(args.file);
-  const RunResult run = run_alg(instance);
+  ScenarioSpec spec = replay_scenario(args.file);
+  spec.engine.record_trace = true;
+  const ScenarioRunner runner(spec);
+  const Instance instance = runner.instance(1);
+  const RunResult run = runner.run_once(alg_policy(), instance);
   GanttOptions options;
   options.show_receivers = args.has("--receivers");
   options.max_width = static_cast<std::size_t>(args.number("--width", 160));
