@@ -1,0 +1,108 @@
+// EXP-S1 -- steady-state latency vs load: the classic open-loop queueing
+// curve the batch experiments cannot produce. Poisson arrivals at a target
+// utilization rho of the reconfigurable layer stream through the engine in
+// bounded memory (outcomes retire into a log-bucket histogram); after a
+// warmup cutoff, each (rho, policy) point reports steady-state latency
+// percentiles, throughput, and backlog over >= 100k served packets.
+//
+// Expected shape: every policy's percentiles blow up as rho -> 1, with the
+// weight/contention-aware ALG holding lower p99 deeper into the load range
+// than weight-blind baselines.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "run/stream.hpp"
+
+int main() {
+  using namespace rdcn;
+  using namespace rdcn::bench;
+
+  std::printf("EXP-S1: steady-state latency vs load (open-loop Poisson arrivals)\n");
+  std::printf(
+      "(8 racks, 2x2 lasers/photodetectors, uniform pairs, uniform-int weights;\n"
+      " 20k warmup + 100k measured packets per point; latencies in steps.\n"
+      " Overloaded (rho past a policy's capacity) points truncate at the step\n"
+      " cap; their histograms cover the measured packets that did retire.)\n");
+
+  const std::vector<PolicyFactory> policies = {
+      named_policy("alg"), named_policy("maxweight"), named_policy("fifo")};
+  const double rhos[] = {0.5, 0.7, 0.8, 0.9, 0.95};
+
+  StreamSpec base;
+  auto& net = base.topology.two_tier;
+  net.racks = 8;
+  net.lasers_per_rack = 2;
+  net.photodetectors_per_rack = 2;
+  net.density = 0.8;
+  net.max_edge_delay = 2;
+  base.traffic.process = ArrivalProcess::Poisson;
+  base.traffic.shape.skew = PairSkew::Uniform;
+  base.traffic.shape.weights = WeightDist::UniformInt;
+  base.traffic.shape.weight_max = 10;
+  base.warmup_packets = 20000;
+  base.measure_packets = 100000;
+  base.telemetry_window = 512;
+  base.repetitions = 1;
+  // Overloaded points grow backlog (and per-step scheduling cost) without
+  // bound; a tight cap keeps the whole sweep's wall clock sane while still
+  // serving >= 100k packets per point.
+  base.step_cap_factor = 2.0;
+
+  BatchRunner batch;
+  for (const double rho : rhos) {
+    StreamSpec spec = base;
+    spec.name = "rho" + Table::fmt(rho, 2);
+    spec.traffic.rho = rho;
+    batch.add_stream_grid(spec, policies);
+  }
+  const auto results = batch.run_streams();  // rho-major: results[rho][policy]
+  auto cell = [&](std::size_t r, std::size_t p) -> const StreamResult& {
+    return results[r * policies.size() + p];
+  };
+
+  BenchReport report("steady_state");
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    Table table({"rho", "measured", "p50", "p95", "p99", "p999", "mean", "backlog",
+                 "served/step", "peak resident"});
+    for (std::size_t r = 0; r < std::size(rhos); ++r) {
+      const StreamResult& result = cell(r, p);
+      const StreamRepOutcome& rep = result.repetitions.front();
+      // A fully-truncated overload point can measure nothing; report -1
+      // instead of querying an empty histogram.
+      auto pct = [&](double q) {
+        return result.latency.empty() ? std::int64_t{-1} : result.latency.percentile(q);
+      };
+      table.add_row({Table::fmt(rhos[r], 2), Table::fmt(result.measured_rho.mean(), 3),
+                     Table::fmt(pct(50)), Table::fmt(pct(95)), Table::fmt(pct(99)),
+                     Table::fmt(pct(99.9)),
+                     Table::fmt(result.latency.mean(), 1),
+                     Table::fmt(result.backlog.mean(), 1),
+                     Table::fmt(result.throughput.mean(), 2),
+                     Table::fmt(static_cast<std::int64_t>(rep.peak_resident)) +
+                         (rep.truncated ? " (truncated)" : "")});
+      report.add(result.policy, rep.total_cost, result.wall_ms.mean())
+          .param("rho", rhos[r])
+          .param("measured_rho", result.measured_rho.mean())
+          .param("served", static_cast<std::int64_t>(rep.served))
+          .param("measured", static_cast<std::int64_t>(rep.measured))
+          .param("truncated", static_cast<std::int64_t>(rep.truncated ? 1 : 0))
+          .param("peak_resident", static_cast<std::int64_t>(rep.peak_resident))
+          .value("p50", static_cast<double>(pct(50)))
+          .value("p95", static_cast<double>(pct(95)))
+          .value("p99", static_cast<double>(pct(99)))
+          .value("p999", static_cast<double>(pct(99.9)))
+          .value("mean_latency", result.latency.mean())
+          .value("throughput", result.throughput.mean())
+          .value("backlog", result.backlog.mean());
+    }
+    table.print("policy: " + policies[p].name);
+  }
+
+  std::printf(
+      "\nExpected shape: percentiles diverge as rho -> 1 (queueing-delay knee);\n"
+      "ALG sustains lower tails deeper into the load range than weight-blind\n"
+      "baselines. peak resident slots stay O(in-flight), far below served.\n");
+  report.print();
+  return 0;
+}

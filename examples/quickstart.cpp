@@ -65,7 +65,8 @@ int main() {
                             : "edge #" + std::to_string(outcome.route.edge);
     std::string steps;
     for (Time t : outcome.chunk_transmit_steps) {
-      steps += (steps.empty() ? "" : ",") + std::to_string(t);
+      if (!steps.empty()) steps += ',';
+      steps += std::to_string(t);
     }
     if (steps.empty()) steps = "-";
     table.add_row({"p" + std::to_string(i), route, Table::fmt(outcome.route.alpha, 2), steps,

@@ -75,4 +75,58 @@ std::vector<ScenarioResult> BatchRunner::run() {
   return results;
 }
 
+std::size_t BatchRunner::add_stream(StreamSpec spec, PolicyFactory policy) {
+  stream_cells_.push_back(StreamCell{StreamRunner(std::move(spec)), std::move(policy)});
+  return stream_cells_.size() - 1;
+}
+
+void BatchRunner::add_stream_grid(const StreamSpec& spec,
+                                  const std::vector<PolicyFactory>& policies) {
+  for (const PolicyFactory& policy : policies) add_stream(spec, policy);
+}
+
+std::vector<StreamResult> BatchRunner::run_streams() {
+  std::vector<std::vector<StreamRepOutcome>> outcomes(stream_cells_.size());
+  struct Task {
+    std::size_t cell;
+    std::size_t rep;
+    std::uint64_t seed;
+  };
+  std::vector<Task> tasks;
+  for (std::size_t c = 0; c < stream_cells_.size(); ++c) {
+    const auto seeds = stream_cells_[c].runner.seeds();
+    outcomes[c].resize(seeds.size());
+    for (std::size_t r = 0; r < seeds.size(); ++r) {
+      tasks.push_back(Task{c, r, seeds[r]});
+    }
+  }
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+  for (const Task& task : tasks) {
+    pool_.submit([this, task, &outcomes, &failure, &failure_mutex] {
+      try {
+        const StreamCell& cell = stream_cells_[task.cell];
+        outcomes[task.cell][task.rep] = cell.runner.run_repetition(cell.policy, task.seed);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(failure_mutex);
+        if (!failure) failure = std::current_exception();
+      }
+    });
+  }
+  pool_.wait_idle();
+  if (failure) {
+    stream_cells_.clear();
+    std::rethrow_exception(failure);
+  }
+
+  std::vector<StreamResult> results;
+  results.reserve(stream_cells_.size());
+  for (std::size_t c = 0; c < stream_cells_.size(); ++c) {
+    results.push_back(
+        stream_cells_[c].runner.aggregate(stream_cells_[c].policy, std::move(outcomes[c])));
+  }
+  stream_cells_.clear();
+  return results;
+}
+
 }  // namespace rdcn

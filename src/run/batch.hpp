@@ -4,11 +4,14 @@
 // shared thread pool, one task per repetition. Results are deterministic
 // and independent of worker scheduling: every repetition's outcome lands
 // in its preassigned slot, and aggregates are folded in seed order.
+// Streamed (open-loop) cells ride the same pool via add_stream /
+// run_streams, so latency-vs-load sweeps parallelize like batch grids.
 
 #include <cstddef>
 #include <vector>
 
 #include "run/scenario.hpp"
+#include "run/stream.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rdcn {
@@ -30,15 +33,36 @@ class BatchRunner {
   /// the queue. Results are in add() order.
   std::vector<ScenarioResult> run();
 
+  // --- streamed cells ----------------------------------------------------
+
+  /// Enqueues one streamed cell; returns its index into run_streams()'s
+  /// result vector. Stream and scenario queues are independent.
+  std::size_t add_stream(StreamSpec spec, PolicyFactory policy);
+
+  /// Convenience: one stream against a whole policy grid.
+  void add_stream_grid(const StreamSpec& spec, const std::vector<PolicyFactory>& policies);
+
+  std::size_t stream_cells() const noexcept { return stream_cells_.size(); }
+
+  /// Runs every repetition of every queued streamed cell on the pool and
+  /// clears the stream queue. Results are in add_stream() order and are
+  /// aggregated exactly like StreamRunner::run.
+  std::vector<StreamResult> run_streams();
+
  private:
   struct Cell {
     ScenarioRunner runner;
     PolicyFactory policy;
     RepMetric metric;
   };
+  struct StreamCell {
+    StreamRunner runner;
+    PolicyFactory policy;
+  };
 
   ThreadPool pool_;
   std::vector<Cell> cells_;
+  std::vector<StreamCell> stream_cells_;
 };
 
 }  // namespace rdcn

@@ -1,0 +1,193 @@
+#include "run/stream.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace rdcn {
+
+StreamRunner::StreamRunner(StreamSpec spec) : spec_(std::move(spec)) {
+  if (spec_.repetitions == 0) throw std::invalid_argument("stream needs >= 1 repetition");
+  if (spec_.measure_packets == 0) {
+    throw std::invalid_argument("stream needs measure_packets >= 1");
+  }
+  if (spec_.telemetry_window < 1) {
+    throw std::invalid_argument("telemetry_window must be >= 1");
+  }
+  if (spec_.step_cap_factor <= 0.0) {
+    throw std::invalid_argument("step_cap_factor must be > 0");
+  }
+  if (spec_.engine.record_trace || spec_.engine.redispatch_queued) {
+    throw std::invalid_argument(
+        "record_trace / redispatch_queued are unavailable when streaming");
+  }
+  if (spec_.engine.max_steps != 0) {
+    throw std::invalid_argument(
+        "set StreamSpec::max_steps (graceful truncation), not engine.max_steps "
+        "(which would throw mid-run)");
+  }
+}
+
+std::vector<std::uint64_t> StreamRunner::seeds() const {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(spec_.repetitions);
+  for (std::size_t i = 0; i < spec_.repetitions; ++i) {
+    seeds.push_back(spec_.base_seed + static_cast<std::uint64_t>(i));
+  }
+  return seeds;
+}
+
+StreamRepOutcome StreamRunner::run_repetition(const PolicyFactory& policy,
+                                              std::uint64_t rep_seed) const {
+  StreamRepOutcome out;
+  out.seed = rep_seed;
+
+  const bool replay = static_cast<bool>(spec_.make_trace);
+  Topology topology;
+  std::unique_ptr<TrafficSource> source;
+  Time max_steps = spec_.max_steps;
+
+  if (replay) {
+    Instance instance = spec_.make_trace(rep_seed);
+    const std::string error = instance.validate();
+    if (!error.empty()) throw std::invalid_argument("invalid trace: " + error);
+    if (max_steps == 0) {
+      max_steps = default_max_steps(instance, spec_.engine.reconfig_delay);
+    }
+    topology = instance.topology();
+    source = make_trace_source(instance.packets());
+  } else {
+    topology = make_topology(spec_.topology, rep_seed);
+    TrafficConfig traffic = spec_.traffic;
+    traffic.shape.seed = rep_seed;
+    traffic.speedup_rounds = spec_.engine.speedup_rounds;
+    out.target_rate = calibrate_rate(topology, traffic);
+    source = make_source(topology, traffic);
+    if (max_steps == 0) {
+      const auto total =
+          static_cast<double>(spec_.warmup_packets + spec_.measure_packets);
+      max_steps = static_cast<Time>(spec_.step_cap_factor * total /
+                                    std::max(out.target_rate, 1e-9)) +
+                  1024;
+    }
+  }
+
+  auto dispatcher = policy.dispatcher();
+  auto scheduler = policy.scheduler(topology);
+
+  const auto measure_begin = static_cast<PacketIndex>(spec_.warmup_packets);
+  const auto measure_end =
+      static_cast<PacketIndex>(spec_.warmup_packets + spec_.measure_packets);
+
+  double latency_sum = 0.0;
+  std::uint64_t served_this_step = 0;
+  const auto sink = [&](RetiredPacket&& retired) {
+    ++out.served;
+    ++served_this_step;
+    if (retired.id >= measure_begin && retired.id < measure_end) {
+      ++out.measured;
+      const Time latency = retired.outcome.completion - retired.arrival;
+      out.latency.add(latency);
+      latency_sum += static_cast<double>(latency);
+    }
+  };
+
+  // spec_.engine.max_steps is 0 (enforced by the constructor): the runner
+  // truncates gracefully at its own cap instead of letting the engine throw.
+  Engine engine(topology, *dispatcher, *scheduler, spec_.engine, sink);
+  StreamTelemetry telemetry(spec_.telemetry_window);
+
+  double offered_demand = 0.0;
+  Time first_arrival = 0;
+  Time last_arrival = 0;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::optional<Packet> pending = source->next();
+  while (true) {
+    if (replay ? (!pending && !engine.busy())
+               : out.measured >= spec_.measure_packets) {
+      break;
+    }
+    if (!pending && !engine.busy()) break;  // generative source dried up
+    if (out.steps >= max_steps) {
+      out.truncated = true;
+      break;
+    }
+    const Time* upcoming = pending ? &pending->arrival : nullptr;
+    engine.begin_step(upcoming);
+    ++out.steps;
+    served_this_step = 0;
+    std::uint64_t arrivals_this_step = 0;
+    while (pending && pending->arrival == engine.now()) {
+      if (out.offered == 0) first_arrival = pending->arrival;
+      last_arrival = pending->arrival;
+      offered_demand += static_cast<double>(
+          cheapest_demand(topology, pending->source, pending->destination));
+      ++out.offered;
+      ++arrivals_this_step;
+      engine.inject(*pending);
+      pending = source->next();
+    }
+    engine.finish_step();
+    telemetry.on_step(engine.now(), arrivals_this_step, served_this_step,
+                      engine.in_flight());
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  out.wall_ms = std::chrono::duration<double, std::milli>(stop - start).count();
+
+  out.series = telemetry.finish();
+  const RunResult& aggregates = engine.aggregates();
+  out.total_cost = aggregates.total_cost;
+  out.makespan = aggregates.makespan;
+  out.peak_resident = engine.peak_resident_slots();
+  out.peak_backlog = 0;
+  double backlog_weighted = 0.0;
+  for (const StreamWindow& window : out.series) {
+    backlog_weighted += window.mean_backlog * static_cast<double>(window.steps);
+    out.peak_backlog = std::max(out.peak_backlog, window.peak_backlog);
+  }
+  if (out.steps > 0) {
+    out.mean_backlog = backlog_weighted / static_cast<double>(out.steps);
+    out.throughput = static_cast<double>(out.served) / static_cast<double>(out.steps);
+  }
+  if (out.measured > 0) {
+    out.mean_latency = latency_sum / static_cast<double>(out.measured);
+  }
+  if (out.offered > 0) {
+    const auto span = static_cast<double>(last_arrival - first_arrival + 1);
+    out.offered_rate = static_cast<double>(out.offered) / span;
+    out.measured_rho =
+        offered_demand / (span * service_capacity(topology, spec_.engine.speedup_rounds));
+  }
+  return out;
+}
+
+StreamResult StreamRunner::aggregate(const PolicyFactory& policy,
+                                     std::vector<StreamRepOutcome> outcomes) const {
+  StreamResult result;
+  result.scenario = spec_.name;
+  result.policy = policy.name;
+  result.repetitions = std::move(outcomes);
+  for (const StreamRepOutcome& rep : result.repetitions) {
+    result.latency.merge(rep.latency);
+    result.throughput.add(rep.throughput);
+    result.backlog.add(rep.mean_backlog);
+    result.measured_rho.add(rep.measured_rho);
+    result.wall_ms.add(rep.wall_ms);
+  }
+  return result;
+}
+
+StreamResult StreamRunner::run(const PolicyFactory& policy) const {
+  std::vector<StreamRepOutcome> outcomes;
+  outcomes.reserve(spec_.repetitions);
+  for (const std::uint64_t seed : seeds()) {
+    outcomes.push_back(run_repetition(policy, seed));
+  }
+  return aggregate(policy, std::move(outcomes));
+}
+
+}  // namespace rdcn

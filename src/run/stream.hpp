@@ -1,0 +1,120 @@
+#pragma once
+
+// The streaming counterpart of the scenario layer: one declarative
+// description of "which network, which open-loop traffic at which rho,
+// which engine options, how long to warm up and measure" that every front
+// end (the steady-state bench, rdcn_cli stream, tests) feeds to a
+// StreamRunner. Like ScenarioSpec, a stream is deterministic given its
+// seeds: repetition i regenerates the identical arrival sequence, so
+// policies compared on the same spec see the same traffic packet for
+// packet. Unlike ScenarioRunner, nothing per-packet is retained: latencies
+// fold into a log-bucket histogram and throughput/backlog into fixed
+// windows, so a point can serve millions of packets in bounded memory.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "run/policies.hpp"
+#include "run/scenario.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "traffic/source.hpp"
+#include "util/stats.hpp"
+
+namespace rdcn {
+
+struct StreamSpec {
+  std::string name;
+  TopologySpec topology{};
+  TrafficConfig traffic{};
+  /// record_trace and redispatch_queued are unavailable when streaming;
+  /// max_steps == 0 lets the runner derive a generous starvation cap.
+  EngineOptions engine{};
+  /// Repetition seeds are base_seed, base_seed + 1, ... (each reseeds the
+  /// wiring and the traffic draws, mirroring ScenarioSpec).
+  std::uint64_t base_seed = 1;
+  std::size_t repetitions = 1;
+  /// Packets with id < warmup_packets are excluded from the latency
+  /// statistics (transient); ids [warmup, warmup + measure) are measured.
+  std::size_t warmup_packets = 1000;
+  std::size_t measure_packets = 10000;
+  /// Steps per StreamWindow of the throughput/backlog series.
+  Time telemetry_window = 256;
+  /// Hard step cap; 0 derives step_cap_factor x the expected arrival span
+  /// from the calibrated rate. Hitting it marks the repetition truncated
+  /// (overloaded runs keep growing backlog -- and per-step cost -- so the
+  /// cap is what bounds a point's wall clock; the latency histogram then
+  /// covers the measured packets that did retire).
+  Time max_steps = 0;
+  double step_cap_factor = 8.0;
+  /// Escape hatch for trace replay: when set, topology/traffic above are
+  /// ignored and this supplies (topology, recorded packets) for a
+  /// repetition seed; the run then drains the trace to completion.
+  std::function<Instance(std::uint64_t rep_seed)> make_trace;
+};
+
+/// One streamed repetition's folded outcome.
+struct StreamRepOutcome {
+  std::uint64_t seed = 0;
+  std::uint64_t offered = 0;   ///< packets injected
+  std::uint64_t served = 0;    ///< packets retired (fixed + reconfigurable)
+  std::uint64_t measured = 0;  ///< retired packets inside the measure range
+  bool truncated = false;      ///< hit the step cap before the target
+  Time steps = 0;
+  Time makespan = 0;
+  double target_rate = 0.0;    ///< calibrated lambda (packets/step); 0 for traces
+  double offered_rate = 0.0;   ///< injected packets / arrival span
+  double measured_rho = 0.0;   ///< offered chunk demand / (span * capacity)
+  double throughput = 0.0;     ///< served packets / step
+  double total_cost = 0.0;     ///< engine aggregate over the whole run
+  double mean_latency = 0.0;   ///< mean over measured packets
+  double mean_backlog = 0.0;
+  std::uint64_t peak_backlog = 0;
+  std::size_t peak_resident = 0;  ///< engine window peak: the memory bound
+  double wall_ms = 0.0;
+  LatencyHistogram latency;    ///< measured packets only (completion - arrival)
+  std::vector<StreamWindow> series;
+};
+
+/// Aggregated outcome of stream x policy.
+struct StreamResult {
+  std::string scenario;
+  std::string policy;
+  std::vector<StreamRepOutcome> repetitions;
+  LatencyHistogram latency;  ///< merged across repetitions
+  Summary throughput;
+  Summary backlog;     ///< mean_backlog across repetitions
+  Summary measured_rho;
+  Summary wall_ms;
+};
+
+/// Executes a StreamSpec: topology + source construction, the open-loop
+/// engine drive, warmup cutoff, and histogram/window folding.
+class StreamRunner {
+ public:
+  explicit StreamRunner(StreamSpec spec);
+
+  const StreamSpec& spec() const noexcept { return spec_; }
+
+  /// Repetition seeds of this spec, in order.
+  std::vector<std::uint64_t> seeds() const;
+
+  /// Runs one repetition (deterministic in rep_seed).
+  StreamRepOutcome run_repetition(const PolicyFactory& policy,
+                                  std::uint64_t rep_seed) const;
+
+  /// Runs every repetition under the policy and merges the statistics.
+  StreamResult run(const PolicyFactory& policy) const;
+
+  /// Folds repetition outcomes into a StreamResult (used by BatchRunner's
+  /// fan-out so pooled and sequential runs aggregate identically).
+  StreamResult aggregate(const PolicyFactory& policy,
+                         std::vector<StreamRepOutcome> outcomes) const;
+
+ private:
+  StreamSpec spec_;
+};
+
+}  // namespace rdcn

@@ -2,17 +2,46 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace rdcn {
 
 Engine::Engine(const Instance& instance, DispatchPolicy& dispatcher,
                SchedulePolicy& scheduler, EngineOptions options)
     : instance_(&instance),
+      topology_(&instance.topology()),
       dispatcher_(&dispatcher),
-      scheduler_(&scheduler),
-      options_(options) {
+      scheduler_(&scheduler) {
   const std::string error = instance.validate();
   if (!error.empty()) throw std::invalid_argument("invalid instance: " + error);
+  init(options);
+  if (options_.max_steps == 0) {
+    options_.max_steps = default_max_steps(instance, options_.reconfig_delay);
+  }
+  state_.reserve(instance.num_packets());
+  result_.outcomes.resize(instance.num_packets());
+}
+
+Engine::Engine(const Topology& topology, DispatchPolicy& dispatcher,
+               SchedulePolicy& scheduler, EngineOptions options, RetireSink sink)
+    : topology_(&topology),
+      dispatcher_(&dispatcher),
+      scheduler_(&scheduler),
+      sink_(std::move(sink)) {
+  const std::string error = topology.validate();
+  if (!error.empty()) throw std::invalid_argument("invalid topology: " + error);
+  if (!sink_) throw std::invalid_argument("streaming engine needs a retirement sink");
+  if (options.record_trace) {
+    throw std::invalid_argument("trace recording requires batch mode");
+  }
+  if (options.redispatch_queued) {
+    throw std::invalid_argument("queued redispatch requires batch mode");
+  }
+  init(options);
+}
+
+void Engine::init(EngineOptions options) {
+  options_ = options;
   if (options_.speedup_rounds < 1) throw std::invalid_argument("speedup_rounds must be >= 1");
   if (options_.endpoint_capacity < 1) {
     throw std::invalid_argument("endpoint_capacity must be >= 1");
@@ -28,32 +57,19 @@ Engine::Engine(const Instance& instance, DispatchPolicy& dispatcher,
         "trace recording requires the analysis model (speedup 1, capacity 1, no "
         "reconfiguration delay, non-migratory)");
   }
-  // Generous guard: demand-oblivious baselines (rotor) can take a full
-  // matching cycle per chunk, far beyond the paper's reasonable-schedule
-  // horizon, so the default only catches outright starvation.
-  if (options_.max_steps == 0) {
-    options_.max_steps =
-        instance.horizon_bound() * 64 * (options_.reconfig_delay + 1) + 64;
-  }
-  const auto num_t = static_cast<std::size_t>(topology().num_transmitters());
-  const auto num_r = static_cast<std::size_t>(topology().num_receivers());
-  state_.resize(instance.num_packets());
-  remaining_.assign(instance.num_packets(), 0);
-  chunk_weight_.assign(instance.num_packets(), 0.0);
+  const auto num_t = static_cast<std::size_t>(topology_->num_transmitters());
+  const auto num_r = static_cast<std::size_t>(topology_->num_receivers());
   pending_by_transmitter_.resize(num_t);
   pending_by_receiver_.resize(num_r);
-  queue_pos_transmitter_.assign(instance.num_packets(), -1);
-  queue_pos_receiver_.assign(instance.num_packets(), -1);
   transmitter_config_.resize(num_t);
   receiver_config_.resize(num_r);
-  edge_used_round_.assign(static_cast<std::size_t>(topology().num_edges()), 0);
+  edge_used_round_.assign(static_cast<std::size_t>(topology_->num_edges()), 0);
   load_t_round_.assign(num_t, 0);
   load_r_round_.assign(num_r, 0);
   load_t_.assign(num_t, 0);
   load_r_.assign(num_r, 0);
   owner_t_.assign(num_t, -1);
   owner_r_.assign(num_r, -1);
-  result_.outcomes.resize(instance.num_packets());
 }
 
 bool Engine::work_left() const {
@@ -61,15 +77,67 @@ bool Engine::work_left() const {
          !staged_.empty();
 }
 
+void Engine::append_slot(const Packet& packet) {
+  if (packet.id != window_base_ + static_cast<PacketIndex>(state_.size())) {
+    throw std::logic_error("packets must be dispatched in sequence-id order");
+  }
+  PacketState ps;
+  ps.arrival = packet.arrival;
+  ps.weight = packet.weight;
+  state_.push_back(ps);
+  remaining_.push_back(0);
+  chunk_weight_.push_back(0.0);
+  outcomes_.emplace_back();
+  queue_pos_transmitter_.push_back(-1);
+  queue_pos_receiver_.push_back(-1);
+  peak_resident_ = std::max(peak_resident_, state_.size());
+  ++in_flight_;
+  ++dispatched_count_;
+}
+
+void Engine::retire_packet(PacketIndex packet) {
+  const std::size_t s = slot(packet);
+  state_[s].retired = true;
+  --in_flight_;
+  ++retired_count_;
+  if (sink_) {
+    sink_(RetiredPacket{packet, state_[s].arrival, state_[s].weight,
+                        std::move(outcomes_[s])});
+  } else {
+    result_.outcomes[static_cast<std::size_t>(packet)] = std::move(outcomes_[s]);
+  }
+  compact_window();
+}
+
+void Engine::compact_window() {
+  while (front_retired_ < state_.size() && state_[front_retired_].retired) {
+    ++front_retired_;
+  }
+  // Amortized O(1) per packet: the prefix erase costs O(window) and only
+  // fires once the retired prefix covers half the (>= 128 slot) window.
+  if (front_retired_ < 64 || front_retired_ * 2 < state_.size()) return;
+  const auto n = static_cast<std::ptrdiff_t>(front_retired_);
+  state_.erase(state_.begin(), state_.begin() + n);
+  remaining_.erase(remaining_.begin(), remaining_.begin() + n);
+  chunk_weight_.erase(chunk_weight_.begin(), chunk_weight_.begin() + n);
+  outcomes_.erase(outcomes_.begin(), outcomes_.begin() + n);
+  queue_pos_transmitter_.erase(queue_pos_transmitter_.begin(),
+                               queue_pos_transmitter_.begin() + n);
+  queue_pos_receiver_.erase(queue_pos_receiver_.begin(), queue_pos_receiver_.begin() + n);
+  window_base_ += static_cast<PacketIndex>(front_retired_);
+  front_retired_ = 0;
+}
+
 void Engine::apply_route(const Packet& packet, const RouteDecision& route) {
-  auto& ps = state_[static_cast<std::size_t>(packet.id)];
-  auto& outcome = result_.outcomes[static_cast<std::size_t>(packet.id)];
+  const std::size_t s = slot(packet.id);
+  auto& ps = state_[s];
+  auto& outcome = outcomes_[s];
   ps.route = route;
   ps.dispatched = true;
   outcome.route = route;
 
   if (route.use_fixed) {
-    const auto delay = topology().fixed_link_delay(packet.source, packet.destination);
+    const auto delay = topology_->fixed_link_delay(packet.source, packet.destination);
     if (!delay) throw std::logic_error("dispatcher chose a non-existent fixed link");
     // Fixed links are uncapacitated: transmission starts at the decision
     // time (== arrival for the normal dispatch path; later when a queued
@@ -81,26 +149,25 @@ void Engine::apply_route(const Packet& packet, const RouteDecision& route) {
     result_.fixed_cost += outcome.weighted_latency;
     result_.total_cost += outcome.weighted_latency;
     result_.makespan = std::max(result_.makespan, outcome.completion);
+    retire_packet(packet.id);
   } else {
-    if (route.edge < 0 || route.edge >= topology().num_edges()) {
+    if (route.edge < 0 || route.edge >= topology_->num_edges()) {
       throw std::logic_error("dispatcher chose an invalid edge");
     }
-    const ReconfigEdge& edge = topology().edge(route.edge);
-    if (topology().source_of(edge.transmitter) != packet.source ||
-        topology().destination_of(edge.receiver) != packet.destination) {
+    const ReconfigEdge& edge = topology_->edge(route.edge);
+    if (topology_->source_of(edge.transmitter) != packet.source ||
+        topology_->destination_of(edge.receiver) != packet.destination) {
       throw std::logic_error("dispatcher chose an edge outside E_p");
     }
-    auto& remaining = remaining_[static_cast<std::size_t>(packet.id)];
-    auto& chunk_weight = chunk_weight_[static_cast<std::size_t>(packet.id)];
+    auto& remaining = remaining_[s];
+    auto& chunk_weight = chunk_weight_[s];
     remaining = edge.delay;
     chunk_weight = packet.weight / static_cast<double>(edge.delay);
 
     auto& t_queue = pending_by_transmitter_[static_cast<std::size_t>(edge.transmitter)];
     auto& r_queue = pending_by_receiver_[static_cast<std::size_t>(edge.receiver)];
-    queue_pos_transmitter_[static_cast<std::size_t>(packet.id)] =
-        static_cast<std::int32_t>(t_queue.size());
-    queue_pos_receiver_[static_cast<std::size_t>(packet.id)] =
-        static_cast<std::int32_t>(r_queue.size());
+    queue_pos_transmitter_[s] = static_cast<std::int32_t>(t_queue.size());
+    queue_pos_receiver_[s] = static_cast<std::int32_t>(r_queue.size());
     t_queue.push_back(packet.id);
     r_queue.push_back(packet.id);
 
@@ -132,32 +199,40 @@ void Engine::dispatch_arrivals() {
   const auto& packets = instance_->packets();
   while (next_arrival_ < packets.size() && packets[next_arrival_].arrival == now_) {
     const Packet& packet = packets[next_arrival_];
+    append_slot(packet);
     apply_route(packet, dispatcher_->dispatch(*this, packet));
     ++next_arrival_;
   }
 }
 
+void Engine::inject(const Packet& packet) {
+  if (packet.arrival != now_) {
+    throw std::logic_error("inject: packet.arrival must equal the current step");
+  }
+  append_slot(packet);
+  apply_route(packet, dispatcher_->dispatch(*this, packet));
+}
+
 void Engine::erase_from_queue(std::vector<PacketIndex>& queue,
                               std::vector<std::int32_t>& position, PacketIndex packet) {
-  const auto index =
-      static_cast<std::size_t>(position[static_cast<std::size_t>(packet)]);
-  position[static_cast<std::size_t>(packet)] = -1;
+  const auto index = static_cast<std::size_t>(position[slot(packet)]);
+  position[slot(packet)] = -1;
   queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
   for (std::size_t i = index; i < queue.size(); ++i) {
-    position[static_cast<std::size_t>(queue[i])] = static_cast<std::int32_t>(i);
+    position[slot(queue[i])] = static_cast<std::int32_t>(i);
   }
 }
 
 void Engine::unlist_pending(PacketIndex packet) {
-  const auto& ps = state_[static_cast<std::size_t>(packet)];
-  const ReconfigEdge& edge = topology().edge(ps.route.edge);
+  const auto& ps = state_[slot(packet)];
+  const ReconfigEdge& edge = topology_->edge(ps.route.edge);
 
   // The priority key (chunk_weight, arrival, id) is immutable, so the
   // candidate's slot is found by binary search instead of a full scan.
   Candidate key;
   key.packet = packet;
-  key.chunk_weight = chunk_weight_[static_cast<std::size_t>(packet)];
-  key.arrival = instance_->packets()[static_cast<std::size_t>(packet)].arrival;
+  key.chunk_weight = chunk_weight_[slot(packet)];
+  key.arrival = ps.arrival;
   const auto it =
       std::lower_bound(candidates_.begin(), candidates_.end(), key, chunk_higher_priority);
   if (it == candidates_.end() || it->packet != packet) {
@@ -178,16 +253,18 @@ void Engine::redispatch_queued_packets() {
   // removed so it does not see itself as queue pressure.
   std::vector<PacketIndex> queued;
   for (const Candidate& c : candidates_) {
-    if (c.remaining == topology().edge(c.edge).delay) queued.push_back(c.packet);
+    if (c.remaining == topology_->edge(c.edge).delay) queued.push_back(c.packet);
   }
   std::sort(queued.begin(), queued.end(), [this](PacketIndex a, PacketIndex b) {
-    return arrived_before(instance_->packets()[static_cast<std::size_t>(a)],
-                          instance_->packets()[static_cast<std::size_t>(b)]);
+    const Time aa = state_[slot(a)].arrival;
+    const Time ab = state_[slot(b)].arrival;
+    if (aa != ab) return aa < ab;
+    return a < b;
   });
   for (PacketIndex p : queued) {
     const Packet& packet = instance_->packets()[static_cast<std::size_t>(p)];
     unlist_pending(p);
-    remaining_[static_cast<std::size_t>(p)] = 0;
+    remaining_[slot(p)] = 0;
     apply_route(packet, dispatcher_->dispatch(*this, packet));
   }
   merge_staged_candidates();
@@ -284,11 +361,11 @@ std::size_t Engine::schedule_round(bool record) {
   std::vector<std::size_t> finished_slots;
   for (std::size_t index : selected) {
     Candidate& c = candidates_[index];
-    auto& remaining = remaining_[static_cast<std::size_t>(c.packet)];
-    auto& outcome = result_.outcomes[static_cast<std::size_t>(c.packet)];
-    const ReconfigEdge& edge = topology().edge(c.edge);
-    const Time completion = now_ + 1 + topology().transmitter_attach_delay(edge.transmitter) +
-                            topology().receiver_attach_delay(edge.receiver);
+    auto& remaining = remaining_[slot(c.packet)];
+    auto& outcome = outcomes_[slot(c.packet)];
+    const ReconfigEdge& edge = topology_->edge(c.edge);
+    const Time completion = now_ + 1 + topology_->transmitter_attach_delay(edge.transmitter) +
+                            topology_->receiver_attach_delay(edge.receiver);
     outcome.chunk_transmit_steps.push_back(now_);
     const double latency = c.chunk_weight * static_cast<double>(completion - c.arrival);
     outcome.weighted_latency += latency;
@@ -322,12 +399,13 @@ std::size_t Engine::schedule_round(bool record) {
           // heavier chunk first, then earlier arrival, then lower id.
           if (b == -1) return a;
           if (a == -1) return b;
-          const Weight wa = chunk_weight_[static_cast<std::size_t>(a)];
-          const Weight wb = chunk_weight_[static_cast<std::size_t>(b)];
+          const Weight wa = chunk_weight_[slot(a)];
+          const Weight wb = chunk_weight_[slot(b)];
           if (wa != wb) return wa > wb ? a : b;
-          const auto& pa = instance_->packets()[static_cast<std::size_t>(a)];
-          const auto& pb = instance_->packets()[static_cast<std::size_t>(b)];
-          return arrived_before(pa, pb) ? a : b;
+          const Time aa = state_[slot(a)].arrival;
+          const Time ab = state_[slot(b)].arrival;
+          if (aa != ab) return aa < ab ? a : b;
+          return a < b ? a : b;
         };
         rec.blocker = better(via_t, via_r);
       }
@@ -337,15 +415,17 @@ std::size_t Engine::schedule_round(bool record) {
   if (record) result_.trace.push_back(std::move(step));
 
   // Drop completed packets: one compaction pass over the candidate tail
-  // plus scan-free removal from the per-endpoint queues.
+  // plus scan-free removal from the per-endpoint queues, then retirement
+  // out of the per-packet window.
   if (!finished_slots.empty()) {
     std::sort(finished_slots.begin(), finished_slots.end());
-    for (std::size_t slot : finished_slots) {
-      const Candidate& c = candidates_[slot];
+    for (std::size_t index : finished_slots) {
+      const Candidate& c = candidates_[index];
       erase_from_queue(pending_by_transmitter_[static_cast<std::size_t>(c.transmitter)],
                        queue_pos_transmitter_, c.packet);
       erase_from_queue(pending_by_receiver_[static_cast<std::size_t>(c.receiver)],
                        queue_pos_receiver_, c.packet);
+      retire_packet(c.packet);
     }
     std::size_t write = finished_slots.front();
     std::size_t next_finished = 0;
@@ -361,26 +441,39 @@ std::size_t Engine::schedule_round(bool record) {
   return selected.size();
 }
 
+void Engine::begin_step(const Time* next_arrival) {
+  if (candidates_.empty() && staged_.empty() && next_arrival != nullptr &&
+      *next_arrival > now_ + 1) {
+    now_ = *next_arrival;  // event-driven: jump idle gaps
+  } else {
+    ++now_;
+  }
+  ++result_.steps_simulated;
+  if (options_.max_steps > 0 && result_.steps_simulated > options_.max_steps) {
+    throw std::runtime_error("engine exceeded max_steps; scheduler may be starving packets");
+  }
+}
+
+void Engine::finish_step() {
+  if (options_.redispatch_queued) redispatch_queued_packets();
+  for (int round = 0; round < options_.speedup_rounds; ++round) {
+    if (candidates_.empty() && staged_.empty() && round > 0) break;
+    schedule_round(options_.record_trace);
+  }
+}
+
 RunResult Engine::run() {
+  if (instance_ == nullptr) {
+    throw std::logic_error("run() requires batch mode; streaming engines are step-driven");
+  }
   const auto& packets = instance_->packets();
   now_ = 0;
   while (work_left()) {
-    if (candidates_.empty() && staged_.empty() && next_arrival_ < packets.size() &&
-        packets[next_arrival_].arrival > now_ + 1) {
-      now_ = packets[next_arrival_].arrival;  // event-driven: jump idle gaps
-    } else {
-      ++now_;
-    }
-    ++result_.steps_simulated;
-    if (result_.steps_simulated > options_.max_steps) {
-      throw std::runtime_error("engine exceeded max_steps; scheduler may be starving packets");
-    }
+    const Time* upcoming =
+        next_arrival_ < packets.size() ? &packets[next_arrival_].arrival : nullptr;
+    begin_step(upcoming);
     dispatch_arrivals();
-    if (options_.redispatch_queued) redispatch_queued_packets();
-    for (int round = 0; round < options_.speedup_rounds; ++round) {
-      if (candidates_.empty() && staged_.empty() && round > 0) break;
-      schedule_round(options_.record_trace);
-    }
+    finish_step();
   }
   return std::move(result_);
 }
@@ -389,6 +482,10 @@ RunResult simulate(const Instance& instance, DispatchPolicy& dispatcher,
                    SchedulePolicy& scheduler, EngineOptions options) {
   Engine engine(instance, dispatcher, scheduler, options);
   return engine.run();
+}
+
+Time default_max_steps(const Instance& instance, Delay reconfig_delay) {
+  return instance.horizon_bound() * 64 * (reconfig_delay + 1) + 64;
 }
 
 }  // namespace rdcn

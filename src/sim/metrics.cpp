@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <stdexcept>
 
 namespace rdcn {
 
@@ -134,6 +135,37 @@ ScheduleSummary summarize(const Instance& instance, const RunResult& result) {
   summary.reconfig_fraction =
       static_cast<double>(reconfig) / static_cast<double>(instance.num_packets());
   return summary;
+}
+
+StreamTelemetry::StreamTelemetry(Time window_steps) : window_steps_(window_steps) {
+  if (window_steps < 1) throw std::invalid_argument("window_steps must be >= 1");
+}
+
+void StreamTelemetry::on_step(Time now, std::uint64_t arrivals, std::uint64_t served,
+                              std::size_t in_flight) {
+  if (current_.steps == 0) current_.start = now;
+  ++current_.steps;
+  current_.arrivals += arrivals;
+  current_.served += served;
+  backlog_sum_ += static_cast<double>(in_flight);
+  current_.peak_backlog = std::max(current_.peak_backlog,
+                                   static_cast<std::uint64_t>(in_flight));
+  if (current_.steps >= window_steps_) {
+    current_.mean_backlog = backlog_sum_ / static_cast<double>(current_.steps);
+    windows_.push_back(current_);
+    current_ = StreamWindow{};
+    backlog_sum_ = 0.0;
+  }
+}
+
+const std::vector<StreamWindow>& StreamTelemetry::finish() {
+  if (current_.steps > 0) {
+    current_.mean_backlog = backlog_sum_ / static_cast<double>(current_.steps);
+    windows_.push_back(current_);
+    current_ = StreamWindow{};
+    backlog_sum_ = 0.0;
+  }
+  return windows_;
 }
 
 }  // namespace rdcn

@@ -46,4 +46,39 @@ std::vector<LinkStats> link_stats(const Instance& instance, const RunResult& res
 /// traffic on one link, 1/E = perfectly spread. Useful for skew studies.
 double load_concentration(const Instance& instance, const RunResult& result);
 
+// --- streaming telemetry -----------------------------------------------
+
+/// One fixed-length window of a streamed run's time series.
+struct StreamWindow {
+  Time start = 0;             ///< clock value of the window's first step
+  Time steps = 0;             ///< steps observed (the last window may be short)
+  std::uint64_t arrivals = 0; ///< packets injected during the window
+  std::uint64_t served = 0;   ///< packets retired during the window
+  double mean_backlog = 0.0;  ///< mean in-flight packets over the steps
+  std::uint64_t peak_backlog = 0;
+};
+
+/// Folds per-step observations of a streamed run into fixed-length
+/// windows (throughput / backlog series): bounded memory regardless of
+/// how many packets the run serves. Feed one on_step per engine step;
+/// finish() flushes the trailing partial window.
+class StreamTelemetry {
+ public:
+  explicit StreamTelemetry(Time window_steps);
+
+  void on_step(Time now, std::uint64_t arrivals, std::uint64_t served,
+               std::size_t in_flight);
+  /// Flushes the open partial window (idempotent) and returns the series.
+  const std::vector<StreamWindow>& finish();
+
+  const std::vector<StreamWindow>& windows() const noexcept { return windows_; }
+  Time window_steps() const noexcept { return window_steps_; }
+
+ private:
+  Time window_steps_;
+  StreamWindow current_{};
+  double backlog_sum_ = 0.0;
+  std::vector<StreamWindow> windows_;
+};
+
 }  // namespace rdcn

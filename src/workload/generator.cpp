@@ -23,11 +23,11 @@ std::vector<std::pair<NodeIndex, NodeIndex>> routable_pairs(const Topology& topo
   return pairs;
 }
 
-class PairSampler {
- public:
-  PairSampler(const Topology& topology, const WorkloadConfig& config, Rng& rng)
-      : pairs_(routable_pairs(topology)), config_(&config) {
-    switch (config.skew) {
+}  // namespace
+
+PairSampler::PairSampler(const Topology& topology, const WorkloadConfig& config, Rng& rng)
+    : pairs_(routable_pairs(topology)), config_(config) {
+  switch (config.skew) {
       case PairSkew::Uniform:
         break;
       case PairSkew::Zipf: {
@@ -67,35 +67,25 @@ class PairSampler {
         }
         break;
       }
-    }
   }
+}
 
-  std::pair<NodeIndex, NodeIndex> sample(Rng& rng) const {
-    switch (config_->skew) {
-      case PairSkew::Uniform:
-        return pairs_[rng.next_below(pairs_.size())];
-      case PairSkew::Zipf:
-        return pairs_[zipf_->sample(rng)];
-      case PairSkew::Hotspot:
-        if (rng.next_bool(config_->hotspot_fraction)) return hot_pair_;
-        return pairs_[rng.next_below(pairs_.size())];
-      case PairSkew::Permutation:
-        return permutation_[rng.next_below(permutation_.size())];
-      case PairSkew::Incast:
-        return incast_pairs_[rng.next_below(incast_pairs_.size())];
-    }
-    return pairs_.front();
+std::pair<NodeIndex, NodeIndex> PairSampler::sample(Rng& rng) const {
+  switch (config_.skew) {
+    case PairSkew::Uniform:
+      return pairs_[rng.next_below(pairs_.size())];
+    case PairSkew::Zipf:
+      return pairs_[zipf_->sample(rng)];
+    case PairSkew::Hotspot:
+      if (rng.next_bool(config_.hotspot_fraction)) return hot_pair_;
+      return pairs_[rng.next_below(pairs_.size())];
+    case PairSkew::Permutation:
+      return permutation_[rng.next_below(permutation_.size())];
+    case PairSkew::Incast:
+      return incast_pairs_[rng.next_below(incast_pairs_.size())];
   }
-
- private:
-  std::vector<std::pair<NodeIndex, NodeIndex>> pairs_;
-  const WorkloadConfig* config_;
-  std::unique_ptr<ZipfSampler> zipf_;
-  std::pair<NodeIndex, NodeIndex> hot_pair_{};
-  std::vector<std::pair<NodeIndex, NodeIndex>> permutation_;
-  NodeIndex sink_ = 0;
-  std::vector<std::pair<NodeIndex, NodeIndex>> incast_pairs_;
-};
+  return pairs_.front();
+}
 
 double sample_weight(const WorkloadConfig& config, Rng& rng) {
   switch (config.weights) {
@@ -114,8 +104,6 @@ double sample_weight(const WorkloadConfig& config, Rng& rng) {
   }
   return 1.0;
 }
-
-}  // namespace
 
 Instance generate_workload(const Topology& topology, const WorkloadConfig& config) {
   Rng rng(config.seed);

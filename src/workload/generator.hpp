@@ -9,6 +9,8 @@
 // "elephant-vs-mouse" priorities).
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "net/instance.hpp"
@@ -49,6 +51,33 @@ struct WorkloadConfig {
   double burst_off_prob = 0.7;
   std::uint64_t seed = 1;
 };
+
+/// Samples (source, destination) endpoint pairs over a topology's routable
+/// rack pairs according to config.skew. Construction draws the skew's
+/// one-time randomness (Zipf rank order, hot pair, permutation, incast
+/// sink) from `rng`; sample() then draws per packet. generate_workload and
+/// the streaming traffic sources (traffic/) share this class, so batch and
+/// open-loop traffic see identical endpoint distributions.
+class PairSampler {
+ public:
+  PairSampler(const Topology& topology, const WorkloadConfig& config, Rng& rng);
+
+  std::pair<NodeIndex, NodeIndex> sample(Rng& rng) const;
+
+  std::size_t num_pairs() const noexcept { return pairs_.size(); }
+
+ private:
+  std::vector<std::pair<NodeIndex, NodeIndex>> pairs_;
+  WorkloadConfig config_;  ///< copy: only the skew knobs are consulted
+  std::unique_ptr<ZipfSampler> zipf_;
+  std::pair<NodeIndex, NodeIndex> hot_pair_{};
+  std::vector<std::pair<NodeIndex, NodeIndex>> permutation_;
+  NodeIndex sink_ = 0;
+  std::vector<std::pair<NodeIndex, NodeIndex>> incast_pairs_;
+};
+
+/// One weight draw from config.weights (shared by batch and streaming).
+double sample_weight(const WorkloadConfig& config, Rng& rng);
 
 /// Generates a packet sequence over the topology's routable rack pairs.
 /// Deterministic in (topology, config): all randomness flows from

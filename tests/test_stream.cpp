@@ -1,0 +1,328 @@
+// Tests for the streaming engine mode and the run/ stream layer: the
+// golden equivalence (a streamed run fed a pre-recorded arrival sequence
+// reproduces the batch engine's schedule bit-for-bit while holding only
+// O(in-flight) per-packet state), StreamRunner determinism and measurement
+// semantics, and BatchRunner's streamed fan-out.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "helpers.hpp"
+#include "net/builders.hpp"
+#include "run/batch.hpp"
+#include "run/policies.hpp"
+#include "run/stream.hpp"
+#include "workload/generator.hpp"
+
+namespace rdcn {
+namespace {
+
+Instance golden_instance(std::size_t packets, std::uint64_t seed) {
+  TwoTierConfig net;
+  net.racks = 6;
+  net.lasers_per_rack = 2;
+  net.photodetectors_per_rack = 2;
+  net.density = 0.7;
+  net.max_edge_delay = 3;
+  net.fixed_link_delay = 6;  // exercise the fixed-route retirement path
+  Rng rng(seed);
+  const Topology topology = build_two_tier(net, rng);
+  WorkloadConfig workload;
+  workload.num_packets = packets;
+  workload.arrival_rate = 4.0;
+  workload.skew = PairSkew::Zipf;
+  workload.weights = WeightDist::UniformInt;
+  workload.seed = seed;
+  return generate_workload(topology, workload);
+}
+
+/// Streams instance.packets() through a streaming-mode engine, collecting
+/// retired outcomes by id, and returns (aggregates, outcomes).
+std::pair<RunResult, std::map<PacketIndex, RetiredPacket>> stream_replay(
+    const Instance& instance, const PolicyFactory& policy, EngineOptions options,
+    std::size_t* peak_resident = nullptr) {
+  auto dispatcher = policy.dispatcher();
+  auto scheduler = policy.scheduler(instance.topology());
+  std::map<PacketIndex, RetiredPacket> retired;
+  Engine engine(instance.topology(), *dispatcher, *scheduler, options,
+                [&](RetiredPacket&& packet) {
+                  const PacketIndex id = packet.id;
+                  EXPECT_TRUE(retired.emplace(id, std::move(packet)).second)
+                      << "packet retired twice";
+                });
+  const auto& packets = instance.packets();
+  std::size_t next = 0;
+  while (next < packets.size() || engine.busy()) {
+    const Time* upcoming = next < packets.size() ? &packets[next].arrival : nullptr;
+    engine.begin_step(upcoming);
+    while (next < packets.size() && packets[next].arrival == engine.now()) {
+      engine.inject(packets[next]);
+      ++next;
+    }
+    engine.finish_step();
+  }
+  if (peak_resident != nullptr) *peak_resident = engine.peak_resident_slots();
+  return {engine.aggregates(), std::move(retired)};
+}
+
+// ------------------------------------------------------------------ golden --
+
+TEST(StreamEngine, ReproducesBatchScheduleBitForBit) {
+  const Instance instance = golden_instance(300, 5);
+  for (const char* name : {"alg", "maxweight", "fifo", "islip", "random"}) {
+    const PolicyFactory policy = named_policy(name);
+    auto dispatcher = policy.dispatcher();
+    auto scheduler = policy.scheduler(instance.topology());
+    const RunResult expected = simulate(instance, *dispatcher, *scheduler);
+
+    const auto [aggregates, retired] = stream_replay(instance, policy, {});
+    EXPECT_EQ(aggregates.total_cost, expected.total_cost) << name;
+    EXPECT_EQ(aggregates.reconfig_cost, expected.reconfig_cost) << name;
+    EXPECT_EQ(aggregates.fixed_cost, expected.fixed_cost) << name;
+    EXPECT_EQ(aggregates.makespan, expected.makespan) << name;
+    EXPECT_EQ(aggregates.steps_simulated, expected.steps_simulated) << name;
+
+    ASSERT_EQ(retired.size(), instance.num_packets()) << name;
+    for (std::size_t i = 0; i < instance.num_packets(); ++i) {
+      const auto id = static_cast<PacketIndex>(i);
+      const PacketOutcome& want = expected.outcomes[i];
+      const auto it = retired.find(id);
+      ASSERT_NE(it, retired.end()) << name << " packet " << i;
+      const RetiredPacket& got = it->second;
+      EXPECT_EQ(got.arrival, instance.packets()[i].arrival);
+      EXPECT_EQ(got.weight, instance.packets()[i].weight);
+      EXPECT_EQ(got.outcome.route.use_fixed, want.route.use_fixed) << name;
+      EXPECT_EQ(got.outcome.route.edge, want.route.edge) << name;
+      EXPECT_EQ(got.outcome.completion, want.completion) << name;
+      EXPECT_EQ(got.outcome.weighted_latency, want.weighted_latency) << name;
+      EXPECT_EQ(got.outcome.chunk_transmit_steps, want.chunk_transmit_steps)
+          << name << " packet " << i;
+    }
+  }
+}
+
+TEST(StreamEngine, ReproducesBatchUnderCapacityAndSpeedup) {
+  const Instance instance = golden_instance(250, 9);
+  EngineOptions capacity2;
+  capacity2.endpoint_capacity = 2;
+  EngineOptions speedup2;
+  speedup2.speedup_rounds = 2;
+  for (const EngineOptions& options : {EngineOptions{}, capacity2, speedup2}) {
+    const PolicyFactory policy = named_policy("alg");
+    auto dispatcher = policy.dispatcher();
+    auto scheduler = policy.scheduler(instance.topology());
+    EngineOptions batch_options = options;
+    const RunResult expected = simulate(instance, *dispatcher, *scheduler, batch_options);
+
+    const auto [aggregates, retired] = stream_replay(instance, policy, options);
+    EXPECT_EQ(aggregates.total_cost, expected.total_cost);
+    EXPECT_EQ(aggregates.makespan, expected.makespan);
+    EXPECT_EQ(aggregates.steps_simulated, expected.steps_simulated);
+    ASSERT_EQ(retired.size(), instance.num_packets());
+    for (std::size_t i = 0; i < instance.num_packets(); ++i) {
+      EXPECT_EQ(retired.at(static_cast<PacketIndex>(i)).outcome.chunk_transmit_steps,
+                expected.outcomes[i].chunk_transmit_steps);
+    }
+  }
+}
+
+TEST(StreamEngine, ResidentStateIsBoundedByInFlightNotTotal) {
+  // A long, lightly-loaded arrival sequence: the window must retire and
+  // compact far below the total packet count.
+  TwoTierConfig net;
+  net.racks = 6;
+  net.lasers_per_rack = 2;
+  net.photodetectors_per_rack = 2;
+  net.density = 0.9;
+  net.max_edge_delay = 2;
+  Rng rng(3);
+  const Topology topology = build_two_tier(net, rng);
+  WorkloadConfig workload;
+  workload.num_packets = 4000;
+  workload.arrival_rate = 2.0;  // well under capacity
+  workload.seed = 3;
+  const Instance instance = generate_workload(topology, workload);
+
+  std::size_t peak_resident = 0;
+  const auto [aggregates, retired] =
+      stream_replay(instance, named_policy("alg"), {}, &peak_resident);
+  ASSERT_EQ(retired.size(), instance.num_packets());
+  EXPECT_GT(peak_resident, 0u);
+  // O(in-flight): orders of magnitude below the 4000 packets served.
+  EXPECT_LT(peak_resident, instance.num_packets() / 8);
+}
+
+TEST(StreamEngine, StreamingModeRejectsBatchOnlyFeatures) {
+  const Topology topology = golden_instance(10, 1).topology();
+  const PolicyFactory policy = named_policy("alg");
+  auto dispatcher = policy.dispatcher();
+  auto scheduler = policy.scheduler(topology);
+  EngineOptions options;
+  options.record_trace = true;
+  EXPECT_THROW(Engine(topology, *dispatcher, *scheduler, options,
+                      [](RetiredPacket&&) {}),
+               std::invalid_argument);
+  options = {};
+  options.redispatch_queued = true;
+  EXPECT_THROW(Engine(topology, *dispatcher, *scheduler, options,
+                      [](RetiredPacket&&) {}),
+               std::invalid_argument);
+  options = {};
+  EXPECT_THROW(Engine(topology, *dispatcher, *scheduler, options, nullptr),
+               std::invalid_argument);
+  Engine engine(topology, *dispatcher, *scheduler, options, [](RetiredPacket&&) {});
+  EXPECT_THROW(engine.run(), std::logic_error);
+}
+
+// ------------------------------------------------------------ StreamRunner --
+
+StreamSpec small_stream() {
+  StreamSpec spec;
+  spec.name = "small-stream";
+  auto& net = spec.topology.two_tier;
+  net.racks = 5;
+  net.lasers_per_rack = 2;
+  net.photodetectors_per_rack = 2;
+  net.density = 0.8;
+  net.max_edge_delay = 2;
+  spec.traffic.rho = 0.6;
+  spec.traffic.shape.weights = WeightDist::UniformInt;
+  spec.warmup_packets = 200;
+  spec.measure_packets = 1500;
+  spec.telemetry_window = 64;
+  return spec;
+}
+
+TEST(StreamRunner, DeterministicPerSeed) {
+  const StreamRunner runner(small_stream());
+  const StreamRepOutcome a = runner.run_repetition(alg_policy(), 4);
+  const StreamRepOutcome b = runner.run_repetition(alg_policy(), 4);
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_EQ(a.measured, b.measured);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.total_cost, b.total_cost);
+  EXPECT_EQ(a.latency.count(), b.latency.count());
+  EXPECT_EQ(a.latency.p50(), b.latency.p50());
+  EXPECT_EQ(a.latency.p999(), b.latency.p999());
+  const StreamRepOutcome c = runner.run_repetition(alg_policy(), 5);
+  EXPECT_NE(a.total_cost, c.total_cost);
+}
+
+TEST(StreamRunner, MeasuresExactlyTheMeasurementRange) {
+  const StreamSpec spec = small_stream();
+  const StreamRunner runner(spec);
+  const StreamRepOutcome out = runner.run_repetition(alg_policy(), 1);
+  EXPECT_FALSE(out.truncated);
+  EXPECT_EQ(out.measured, spec.measure_packets);
+  EXPECT_EQ(out.latency.count(), spec.measure_packets);
+  EXPECT_GE(out.offered, out.served);
+  EXPECT_GE(out.served, out.measured);
+  EXPECT_GT(out.throughput, 0.0);
+  EXPECT_GT(out.mean_latency, 0.0);
+  EXPECT_GE(static_cast<double>(out.latency.p999()),
+            static_cast<double>(out.latency.p50()));
+  // rho targeting carries through the runner.
+  EXPECT_NEAR(out.measured_rho, spec.traffic.rho, 0.15 * spec.traffic.rho);
+  // Telemetry windows tile the simulated steps.
+  Time covered = 0;
+  for (const StreamWindow& window : out.series) covered += window.steps;
+  EXPECT_EQ(covered, out.steps);
+  // Bounded memory at the runner level too.
+  EXPECT_LT(out.peak_resident, static_cast<std::size_t>(out.served) / 2);
+}
+
+TEST(StreamRunner, TraceReplayMatchesBatchTotals) {
+  const Instance instance = golden_instance(400, 13);
+  StreamSpec spec;
+  spec.name = "replay";
+  spec.warmup_packets = 0;
+  spec.measure_packets = instance.num_packets();
+  spec.make_trace = [&](std::uint64_t) { return instance; };
+  const StreamRunner runner(spec);
+  const StreamRepOutcome out = runner.run_repetition(named_policy("maxweight"), 1);
+
+  const PolicyFactory policy = named_policy("maxweight");
+  auto dispatcher = policy.dispatcher();
+  auto scheduler = policy.scheduler(instance.topology());
+  const RunResult expected = simulate(instance, *dispatcher, *scheduler);
+
+  EXPECT_EQ(out.total_cost, expected.total_cost);
+  EXPECT_EQ(out.makespan, expected.makespan);
+  EXPECT_EQ(out.steps, expected.steps_simulated);
+  EXPECT_EQ(out.served, instance.num_packets());
+  EXPECT_EQ(out.measured, instance.num_packets());
+}
+
+TEST(StreamRunner, TruncatesAtTheStepCap) {
+  StreamSpec spec = small_stream();
+  spec.max_steps = 50;
+  const StreamRepOutcome out = StreamRunner(spec).run_repetition(alg_policy(), 1);
+  EXPECT_TRUE(out.truncated);
+  EXPECT_EQ(out.steps, 50);
+  EXPECT_LT(out.measured, spec.measure_packets);
+}
+
+TEST(StreamRunner, RejectsInvalidSpecs) {
+  StreamSpec spec = small_stream();
+  spec.repetitions = 0;
+  EXPECT_THROW(StreamRunner{spec}, std::invalid_argument);
+  spec = small_stream();
+  spec.measure_packets = 0;
+  EXPECT_THROW(StreamRunner{spec}, std::invalid_argument);
+  spec = small_stream();
+  spec.engine.record_trace = true;
+  EXPECT_THROW(StreamRunner{spec}, std::invalid_argument);
+  spec = small_stream();
+  spec.engine.max_steps = 100;  // the spec-level cap is the supported knob
+  EXPECT_THROW(StreamRunner{spec}, std::invalid_argument);
+}
+
+TEST(StreamRunner, RunMergesRepetitions) {
+  StreamSpec spec = small_stream();
+  spec.repetitions = 3;
+  spec.measure_packets = 600;
+  const StreamResult result = StreamRunner(spec).run(alg_policy());
+  ASSERT_EQ(result.repetitions.size(), 3u);
+  EXPECT_EQ(result.latency.count(), 3u * 600u);
+  std::uint64_t total = 0;
+  for (const StreamRepOutcome& rep : result.repetitions) total += rep.latency.count();
+  EXPECT_EQ(result.latency.count(), total);
+  EXPECT_EQ(result.throughput.count(), 3u);
+}
+
+// ------------------------------------------------------------- BatchRunner --
+
+TEST(BatchRunner, StreamCellsMatchSequentialRuns) {
+  StreamSpec spec = small_stream();
+  spec.repetitions = 2;
+  spec.measure_packets = 500;
+  const auto policies = std::vector<PolicyFactory>{alg_policy(), named_policy("fifo")};
+
+  BatchRunner batch(2);
+  batch.add_stream_grid(spec, policies);
+  EXPECT_EQ(batch.stream_cells(), 2u);
+  const auto results = batch.run_streams();
+  EXPECT_EQ(batch.stream_cells(), 0u);
+  ASSERT_EQ(results.size(), 2u);
+
+  const StreamRunner runner(spec);
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    EXPECT_EQ(results[p].policy, policies[p].name);
+    const StreamResult sequential = runner.run(policies[p]);
+    ASSERT_EQ(results[p].repetitions.size(), sequential.repetitions.size());
+    for (std::size_t i = 0; i < sequential.repetitions.size(); ++i) {
+      EXPECT_EQ(results[p].repetitions[i].seed, sequential.repetitions[i].seed);
+      EXPECT_EQ(results[p].repetitions[i].total_cost,
+                sequential.repetitions[i].total_cost);
+      EXPECT_EQ(results[p].repetitions[i].latency.p99(),
+                sequential.repetitions[i].latency.p99());
+    }
+    EXPECT_EQ(results[p].latency.count(), sequential.latency.count());
+  }
+}
+
+}  // namespace
+}  // namespace rdcn

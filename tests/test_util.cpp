@@ -247,5 +247,111 @@ TEST(Rational, ToStringAndDouble) {
   EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
 }
 
+// -------------------------------------------------------- log histogram --
+
+TEST(LatencyHistogram, ExactRegionBucketsAreSingletons) {
+  // With sub_bucket_bits = 5 every value below 2 * 32 = 64 has its own
+  // bucket: [v, v].
+  for (std::int64_t v : {0, 1, 17, 63}) {
+    const std::size_t index = LatencyHistogram::bucket_index(v, 5);
+    EXPECT_EQ(index, static_cast<std::size_t>(v));
+    const auto [lower, upper] = LatencyHistogram::bucket_range(index, 5);
+    EXPECT_EQ(lower, v);
+    EXPECT_EQ(upper, v);
+  }
+}
+
+TEST(LatencyHistogram, BucketBoundariesTileWithoutGaps) {
+  // Consecutive buckets cover adjacent, non-overlapping ranges, and every
+  // value maps into the bucket whose range contains it.
+  for (std::size_t index = 0; index < 300; ++index) {
+    const auto [lower, upper] = LatencyHistogram::bucket_range(index, 5);
+    EXPECT_LE(lower, upper);
+    if (index > 0) {
+      EXPECT_EQ(lower, LatencyHistogram::bucket_range(index - 1, 5).second + 1);
+    }
+    EXPECT_EQ(LatencyHistogram::bucket_index(lower, 5), index);
+    EXPECT_EQ(LatencyHistogram::bucket_index(upper, 5), index);
+  }
+}
+
+TEST(LatencyHistogram, RelativeQuantizationErrorIsBounded) {
+  // Octave sub-buckets bound the error by 2^-bits of the true value.
+  for (std::int64_t v : {64, 100, 1000, 123456, 99999999}) {
+    const auto [lower, upper] = LatencyHistogram::bucket_range(
+        LatencyHistogram::bucket_index(v, 5), 5);
+    EXPECT_LE(lower, v);
+    EXPECT_GE(upper, v);
+    EXPECT_LE(static_cast<double>(upper - lower),
+              static_cast<double>(v) / 32.0 + 1.0);
+  }
+}
+
+TEST(LatencyHistogram, SmallSamplePercentilesAreExact) {
+  // Values inside the exact region: nearest-rank percentiles equal the
+  // exact order statistics.
+  LatencyHistogram histogram;
+  for (std::int64_t v : {5, 1, 9, 3, 7}) histogram.add(v);
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_EQ(histogram.min(), 1);
+  EXPECT_EQ(histogram.max(), 9);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 5.0);
+  EXPECT_EQ(histogram.percentile(0.0), 1);   // ceil clamps to rank 1
+  EXPECT_EQ(histogram.percentile(20.0), 1);  // rank 1
+  EXPECT_EQ(histogram.percentile(40.0), 3);  // rank 2
+  EXPECT_EQ(histogram.p50(), 5);             // rank 3
+  EXPECT_EQ(histogram.percentile(80.0), 7);  // rank 4
+  EXPECT_EQ(histogram.percentile(100.0), 9); // rank 5
+  EXPECT_EQ(histogram.p999(), 9);
+}
+
+TEST(LatencyHistogram, PercentileClampsToObservedMax) {
+  LatencyHistogram histogram;
+  histogram.add(1000);  // bucket upper bound exceeds the sample
+  EXPECT_EQ(histogram.p999(), 1000);
+}
+
+TEST(LatencyHistogram, MergeEqualsCombinedStream) {
+  Rng rng(7);
+  LatencyHistogram a, b, combined;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.next_below(100000));
+    ((i % 2) ? a : b).add(v);
+    combined.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+  for (double q : {1.0, 50.0, 95.0, 99.0, 99.9}) {
+    EXPECT_EQ(a.percentile(q), combined.percentile(q)) << q;
+  }
+  // Merging an empty histogram is a no-op.
+  const std::uint64_t before = a.count();
+  a.merge(LatencyHistogram{});
+  EXPECT_EQ(a.count(), before);
+}
+
+TEST(LatencyHistogram, MergeRejectsMismatchedLayouts) {
+  LatencyHistogram a(5), b(6);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(LatencyHistogram, NegativesClampAndEmptyThrows) {
+  LatencyHistogram histogram;
+  EXPECT_THROW(histogram.percentile(50.0), std::logic_error);
+  histogram.add(-5);
+  EXPECT_EQ(histogram.min(), 0);
+  EXPECT_EQ(histogram.p50(), 0);
+}
+
+TEST(LatencyHistogram, BoundedMemoryForHugeValues) {
+  LatencyHistogram histogram;
+  for (std::int64_t v = 1; v < (std::int64_t{1} << 40); v *= 3) histogram.add(v);
+  // ~40 octaves x 32 sub-buckets tops out in the low thousands of buckets.
+  EXPECT_LT(histogram.num_buckets(), 2500u);
+}
+
 }  // namespace
 }  // namespace rdcn

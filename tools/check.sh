@@ -27,4 +27,10 @@ else
   # google-benchmark absent: any plain bench exercises the whole stack.
   "$build/bench/bench_bmatching" >/dev/null
 fi
+
+echo "== smoke cli =="
+"$build/rdcn_cli" policies >/dev/null
+"$build/rdcn_cli" record "$build/smoke_trace.inst" --packets 500 --rho 0.6 --seed 3 >/dev/null
+"$build/rdcn_cli" stream --trace "$build/smoke_trace.inst" --warmup 0 --packets 500 >/dev/null
+"$build/rdcn_cli" stream --rho 0.6 --warmup 200 --packets 2000 --seed 3 >/dev/null
 echo "check.sh: all stages passed"

@@ -10,9 +10,8 @@
 //   run   <in.inst> [--policy <name>] [--capacity B] [--speedup K]
 //         [--reconfig D] [--reps N] [--seed S]
 //       Replays an instance under a registry policy and prints the schedule
-//       summary (any name from the policy registry: alg, maxweight, islip,
-//       rotor, random, fifo, impact, jsq, ...). Replays are deterministic;
-//       --reps > 1 repeats the identical run to aggregate wall-clock time.
+//       summary. Replays are deterministic; --reps > 1 repeats the identical
+//       run to aggregate wall-clock time.
 //   certify <in.inst> [--eps F]
 //       Runs ALG, builds the dual witness, verifies Lemmas 1-5 and prints
 //       the certified OPT lower bound and ratio.
@@ -20,10 +19,24 @@
 //       Runs ALG and renders the schedule as an ASCII Gantt chart.
 //   info  <in.inst>
 //       Prints topology/workload statistics.
+//   policies
+//       Lists the policy registry names accepted by --policy.
+//   record <out.inst> [--rho F] [--source poisson|onoff] [--packets N]
+//          [--seed S] [topology/shape flags as gen]
+//       Captures the first N packets of an open-loop traffic source into an
+//       instance file -- a replayable arrival trace (see `stream --trace`).
+//   stream [--policy <name>] [--rho F] [--source poisson|onoff]
+//          [--trace in.inst] [--warmup N] [--packets N] [--window N]
+//          [--capacity B] [--speedup K] [--reconfig D] [--seed S]
+//          [--max-steps N] [--cap-factor F] [topology/shape flags as gen]
+//       Open-loop steady-state run: streams Poisson/on-off arrivals at
+//       target utilization rho (or replays a recorded trace) through the
+//       bounded-memory engine and prints latency percentiles, throughput
+//       and backlog after the warmup cutoff.
 //
 // Instance files use the rdcn-instance v1 text format (Instance::save).
 // All execution routes through the run/ subsystem (the same ScenarioRunner
-// the benches use).
+// and StreamRunner the benches use).
 
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +48,7 @@
 #include "core/charging.hpp"
 #include "core/dual_witness.hpp"
 #include "run/scenario.hpp"
+#include "run/stream.hpp"
 #include "sim/gantt.hpp"
 #include "sim/metrics.hpp"
 #include "util/table.hpp"
@@ -45,7 +59,10 @@ using namespace rdcn;
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: rdcn_cli <gen|run|certify|show|info> <file> [options]\n"
+               "usage: rdcn_cli <command> [file] [options]\n"
+               "commands: gen run certify show info policies record stream\n"
+               "  gen/run/certify/show/info/record take an instance file;\n"
+               "  stream and policies take options only.\n"
                "run with no options for defaults; see source header for flags\n");
   std::exit(2);
 }
@@ -91,33 +108,70 @@ ScenarioSpec replay_scenario(const std::string& path) {
   return spec;
 }
 
-int cmd_gen(const Args& args) {
-  ScenarioSpec spec;
-  spec.name = args.file;
-  auto& net = spec.topology.two_tier;
+/// Resolves --policy against the registry; unknown names print the list
+/// and exit nonzero.
+PolicyFactory policy_from(const Args& args) {
+  const std::string name = args.value("--policy", "alg");
+  try {
+    return named_policy(name);
+  } catch (const std::invalid_argument&) {
+    std::string known;
+    for (const std::string& entry : policy_names()) known += " " + entry;
+    std::fprintf(stderr, "unknown policy '%s'; known:%s\n", name.c_str(), known.c_str());
+    std::exit(2);
+  }
+}
+
+void fill_two_tier(const Args& args, TwoTierConfig& net) {
   net.racks = static_cast<NodeIndex>(args.number("--racks", 8));
   net.lasers_per_rack = static_cast<NodeIndex>(args.number("--lasers", 2));
   net.photodetectors_per_rack = static_cast<NodeIndex>(args.number("--pds", 2));
   net.density = args.number("--density", 0.6);
   net.max_edge_delay = static_cast<Delay>(args.number("--max-delay", 2));
   net.fixed_link_delay = static_cast<Delay>(args.number("--fixed-dl", 0));
+}
+
+void fill_shape(const Args& args, WorkloadConfig& shape) {
+  const std::string skew = args.value("--skew", "zipf");
+  shape.skew = skew == "uniform"       ? PairSkew::Uniform
+               : skew == "hotspot"     ? PairSkew::Hotspot
+               : skew == "permutation" ? PairSkew::Permutation
+               : skew == "incast"      ? PairSkew::Incast
+                                       : PairSkew::Zipf;
+  shape.zipf_exponent = args.number("--zipf", 1.2);
+  const std::string weights = args.value("--weights", "uniform-int");
+  shape.weights = weights == "unit"      ? WeightDist::Unit
+                  : weights == "pareto"  ? WeightDist::Pareto
+                  : weights == "bimodal" ? WeightDist::Bimodal
+                                         : WeightDist::UniformInt;
+  shape.weight_max = static_cast<std::int64_t>(args.number("--wmax", 10));
+}
+
+TrafficConfig traffic_from(const Args& args) {
+  TrafficConfig traffic;
+  const std::string source = args.value("--source", "poisson");
+  if (source == "onoff") {
+    traffic.process = ArrivalProcess::OnOff;
+  } else if (source != "poisson") {
+    std::fprintf(stderr, "unknown --source '%s'; known: poisson onoff\n", source.c_str());
+    std::exit(2);
+  }
+  traffic.rho = args.number("--rho", 0.8);
+  fill_shape(args, traffic.shape);
+  traffic.on_stay = args.number("--on-stay", 0.9);
+  traffic.off_stay = args.number("--off-stay", 0.7);
+  return traffic;
+}
+
+int cmd_gen(const Args& args) {
+  ScenarioSpec spec;
+  spec.name = args.file;
+  fill_two_tier(args, spec.topology.two_tier);
 
   auto& traffic = spec.workload;
   traffic.num_packets = static_cast<std::size_t>(args.number("--packets", 200));
   traffic.arrival_rate = args.number("--rate", 4.0);
-  const std::string skew = args.value("--skew", "zipf");
-  traffic.skew = skew == "uniform"       ? PairSkew::Uniform
-                 : skew == "hotspot"     ? PairSkew::Hotspot
-                 : skew == "permutation" ? PairSkew::Permutation
-                 : skew == "incast"      ? PairSkew::Incast
-                                         : PairSkew::Zipf;
-  traffic.zipf_exponent = args.number("--zipf", 1.2);
-  const std::string weights = args.value("--weights", "uniform-int");
-  traffic.weights = weights == "unit"     ? WeightDist::Unit
-                    : weights == "pareto" ? WeightDist::Pareto
-                    : weights == "bimodal" ? WeightDist::Bimodal
-                                           : WeightDist::UniformInt;
-  traffic.weight_max = static_cast<std::int64_t>(args.number("--wmax", 10));
+  fill_shape(args, traffic);
   traffic.bursty = args.has("--bursty");
 
   const auto seed = static_cast<std::uint64_t>(args.number("--seed", 1));
@@ -136,17 +190,7 @@ int cmd_gen(const Args& args) {
 }
 
 int cmd_run(const Args& args) {
-  const std::string policy_name = args.value("--policy", "alg");
-  PolicyFactory policy;
-  try {
-    policy = named_policy(policy_name);
-  } catch (const std::invalid_argument&) {
-    std::string known;
-    for (const std::string& name : policy_names()) known += " " + name;
-    std::fprintf(stderr, "unknown policy '%s'; known:%s\n", policy_name.c_str(),
-                 known.c_str());
-    return 2;
-  }
+  const PolicyFactory policy = policy_from(args);
 
   ScenarioSpec spec = replay_scenario(args.file);
   spec.engine.endpoint_capacity = static_cast<int>(args.number("--capacity", 1));
@@ -161,7 +205,7 @@ int cmd_run(const Args& args) {
   const ScheduleSummary summary = summarize(instance, run);
 
   Table table({"metric", "value"});
-  table.add_row({"policy", policy_name});
+  table.add_row({"policy", policy.name});
   table.add_row({"total weighted latency", Table::fmt(summary.total_cost, 3)});
   table.add_row({"mean weighted latency", Table::fmt(summary.mean_weighted_latency, 3)});
   table.add_row({"max latency", Table::fmt(summary.max_latency, 0)});
@@ -261,14 +305,121 @@ int cmd_info(const Args& args) {
   return 0;
 }
 
+int cmd_policies() {
+  for (const std::string& name : policy_names()) std::printf("%s\n", name.c_str());
+  return 0;
+}
+
+int cmd_record(const Args& args) {
+  const auto seed = static_cast<std::uint64_t>(args.number("--seed", 1));
+  // Same wiring rule as `stream` without --trace: a recorded trace and a
+  // live stream with identical flags see the identical network.
+  TopologySpec tspec;
+  fill_two_tier(args, tspec.two_tier);
+  const Topology topology = make_topology(tspec, seed);
+
+  TrafficConfig traffic = traffic_from(args);
+  traffic.shape.seed = seed;
+  const auto count = static_cast<std::size_t>(args.number("--packets", 10000));
+  // Deterministic in (topology, traffic), so this matches the rate the
+  // source below calibrates internally; the 4096-draw estimate is cheap.
+  const double rate = calibrate_rate(topology, traffic);
+
+  const auto source = make_source(topology, traffic);
+  Instance instance(topology, record_arrivals(*source, count));
+  std::ofstream out(args.file);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", args.file.c_str());
+    return 1;
+  }
+  instance.save(out);
+  const Time span = instance.num_packets() ? instance.packets().back().arrival : 0;
+  std::printf(
+      "recorded %zu packets over %lld steps (target rho %.2f, lambda %.3f/step) to %s\n",
+      instance.num_packets(), static_cast<long long>(span), traffic.rho, rate,
+      args.file.c_str());
+  return 0;
+}
+
+int cmd_stream(const Args& args) {
+  const PolicyFactory policy = policy_from(args);
+
+  StreamSpec spec;
+  spec.engine.endpoint_capacity = static_cast<int>(args.number("--capacity", 1));
+  spec.engine.speedup_rounds = static_cast<int>(args.number("--speedup", 1));
+  spec.engine.reconfig_delay = static_cast<Delay>(args.number("--reconfig", 0));
+  spec.base_seed = static_cast<std::uint64_t>(args.number("--seed", 1));
+  spec.warmup_packets = static_cast<std::size_t>(args.number("--warmup", 2000));
+  spec.measure_packets = static_cast<std::size_t>(args.number("--packets", 20000));
+  spec.telemetry_window = static_cast<Time>(args.number("--window", 256));
+  spec.max_steps = static_cast<Time>(args.number("--max-steps", 0));
+  spec.step_cap_factor = args.number("--cap-factor", 8.0);
+
+  const std::string trace = args.value("--trace", "");
+  if (!trace.empty()) {
+    spec.name = trace;
+    auto shared = std::make_shared<Instance>(load_instance(trace));
+    spec.make_trace = [shared](std::uint64_t) { return *shared; };
+  } else {
+    spec.name = "stream";
+    fill_two_tier(args, spec.topology.two_tier);
+    spec.traffic = traffic_from(args);
+  }
+
+  const StreamRunner runner(spec);
+  const StreamRepOutcome out = runner.run_repetition(policy, spec.base_seed);
+
+  Table table({"metric", "value"});
+  table.add_row({"policy", policy.name});
+  table.add_row({"source", !trace.empty()                                  ? "trace"
+                           : spec.traffic.process == ArrivalProcess::OnOff ? "onoff"
+                                                                           : "poisson"});
+  if (trace.empty()) {
+    table.add_row({"target rho / lambda", Table::fmt(spec.traffic.rho, 2) + " / " +
+                                              Table::fmt(out.target_rate, 3) + " pkt/step"});
+  }
+  table.add_row({"measured rho", Table::fmt(out.measured_rho, 3)});
+  table.add_row({"offered / served / measured",
+                 Table::fmt(out.offered) + " / " + Table::fmt(out.served) + " / " +
+                     Table::fmt(out.measured)});
+  if (out.measured > 0) {
+    table.add_row({"latency p50 / p95 / p99 / p999",
+                   Table::fmt(out.latency.p50()) + " / " + Table::fmt(out.latency.p95()) +
+                       " / " + Table::fmt(out.latency.p99()) + " / " +
+                       Table::fmt(out.latency.p999())});
+    table.add_row({"mean latency", Table::fmt(out.mean_latency, 2)});
+  } else {
+    table.add_row({"latency", "n/a (no packet retired inside the measure range;"
+                              " check --warmup vs the trace length)"});
+  }
+  table.add_row({"throughput", Table::fmt(out.throughput, 3) + " pkt/step"});
+  table.add_row({"backlog mean / peak", Table::fmt(out.mean_backlog, 1) + " / " +
+                                            Table::fmt(out.peak_backlog)});
+  table.add_row({"steps", Table::fmt(static_cast<std::int64_t>(out.steps))});
+  table.add_row({"peak resident slots",
+                 Table::fmt(static_cast<std::uint64_t>(out.peak_resident))});
+  table.add_row({"truncated", out.truncated ? "YES (hit step cap)" : "no"});
+  table.add_row({"wall ms", Table::fmt(out.wall_ms, 1)});
+  table.print("steady-state stream: " + spec.name);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) usage();
+  if (argc < 2) usage();
   Args args;
   args.command = argv[1];
-  args.file = argv[2];
-  for (int i = 3; i < argc; ++i) args.rest.emplace_back(argv[i]);
+  // stream and policies take no positional file; everything else does.
+  const bool takes_file = args.command == "gen" || args.command == "run" ||
+                          args.command == "certify" || args.command == "show" ||
+                          args.command == "info" || args.command == "record";
+  const int rest_from = takes_file ? 3 : 2;
+  if (takes_file) {
+    if (argc < 3) usage();
+    args.file = argv[2];
+  }
+  for (int i = rest_from; i < argc; ++i) args.rest.emplace_back(argv[i]);
 
   try {
     if (args.command == "gen") return cmd_gen(args);
@@ -276,9 +427,13 @@ int main(int argc, char** argv) {
     if (args.command == "certify") return cmd_certify(args);
     if (args.command == "show") return cmd_show(args);
     if (args.command == "info") return cmd_info(args);
+    if (args.command == "policies") return cmd_policies();
+    if (args.command == "record") return cmd_record(args);
+    if (args.command == "stream") return cmd_stream(args);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
   }
+  std::fprintf(stderr, "unknown command '%s'\n", args.command.c_str());
   usage();
 }
