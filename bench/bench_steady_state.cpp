@@ -80,13 +80,14 @@ int main() {
                      Table::fmt(result.backlog.mean(), 1),
                      Table::fmt(result.throughput.mean(), 2),
                      Table::fmt(static_cast<std::int64_t>(rep.peak_resident)) +
-                         (rep.truncated ? " (truncated)" : "")});
+                         (result.truncated_reps > 0 ? " (truncated)" : "")});
       report.add(result.policy, rep.total_cost, result.wall_ms.mean())
           .param("rho", rhos[r])
           .param("measured_rho", result.measured_rho.mean())
           .param("served", static_cast<std::int64_t>(rep.served))
           .param("measured", static_cast<std::int64_t>(rep.measured))
-          .param("truncated", static_cast<std::int64_t>(rep.truncated ? 1 : 0))
+          .param("truncated_reps", static_cast<std::int64_t>(result.truncated_reps))
+          .param("zero_demand", static_cast<std::int64_t>(result.zero_demand))
           .param("peak_resident", static_cast<std::int64_t>(rep.peak_resident))
           .value("p50", static_cast<double>(pct(50)))
           .value("p95", static_cast<double>(pct(95)))

@@ -8,6 +8,7 @@
 // every bench's rows land in the BENCH_*.json perf trajectory. Rows in
 // EXPERIMENTS.md can be regenerated with `for b in build/bench/*; do $b; done`.
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <deque>
@@ -80,6 +81,9 @@ inline std::string json_escape(const std::string& text) {
 }
 
 inline std::string json_number(double value) {
+  // NaN / inf have no JSON representation ("nan" breaks every parser);
+  // they reach here e.g. through Summary::min()/max() on an empty summary.
+  if (!std::isfinite(value)) return "null";
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.10g", value);
   return buffer;
@@ -139,9 +143,10 @@ class BenchReport {
     return row;
   }
 
-  /// Prints every row as one JSON object per line.
-  void print() const {
-    std::printf("\n--- machine-readable (JSON lines) ---\n");
+  /// The report as JSON lines (exposed so tests can parse every line).
+  std::vector<std::string> json_lines() const {
+    std::vector<std::string> lines;
+    lines.reserve(rows_.size());
     for (const Row& row : rows_) {
       std::string line = "{\"bench\":\"" + json_escape(bench_) + "\"";
       line += ",\"name\":\"" + json_escape(row.name_) + "\"";
@@ -159,8 +164,15 @@ class BenchReport {
         line += ",\"" + json_escape(key) + "\":" + json_number(value);
       }
       line += "}";
-      std::printf("%s\n", line.c_str());
+      lines.push_back(std::move(line));
     }
+    return lines;
+  }
+
+  /// Prints every row as one JSON object per line.
+  void print() const {
+    std::printf("\n--- machine-readable (JSON lines) ---\n");
+    for (const std::string& line : json_lines()) std::printf("%s\n", line.c_str());
   }
 
  private:

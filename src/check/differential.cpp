@@ -1,0 +1,422 @@
+#include "check/differential.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "core/alg.hpp"
+#include "core/charging.hpp"
+#include "core/dual_witness.hpp"
+#include "opt/lower_bounds.hpp"
+#include "run/policies.hpp"
+#include "run/scenario.hpp"
+#include "sim/metrics.hpp"
+#include "traffic/source.hpp"
+
+namespace rdcn::check {
+
+namespace {
+
+/// Tolerance scaled to the magnitudes compared (costs grow with instance
+/// size; the oracles recompute them through different arithmetic orders).
+bool leq(double a, double b, double tol) {
+  return a <= b + tol * (1.0 + std::max(std::abs(a), std::abs(b)));
+}
+
+bool close(double a, double b, double tol) {
+  return std::abs(a - b) <= tol * (1.0 + std::max(std::abs(a), std::abs(b)));
+}
+
+std::vector<std::string> policy_list(const DiffOptions& options) {
+  return options.policies.empty() ? policy_names() : options.policies;
+}
+
+EngineOptions streamable(const Instance& instance, EngineOptions options) {
+  options.record_trace = false;
+  options.redispatch_queued = false;
+  // Keep the batch run's starvation guard: a streaming-mode engine bug
+  // that strands a candidate must surface as a thrown violation, not hang
+  // the drive loop (with 0 the guard is disabled).
+  options.max_steps = default_max_steps(instance, options.reconfig_delay);
+  return options;
+}
+
+/// Drives a streaming engine over the instance's recorded arrivals and
+/// compares every aggregate and per-packet outcome against the batch run.
+/// Returns human-readable mismatch descriptions (empty = bit-for-bit);
+/// a throw from the streamed replay (audit, engine guard) is itself a
+/// mismatch, never an escape.
+std::vector<std::string> compare_batch_vs_stream(const Instance& instance,
+                                                 const PolicyFactory& policy,
+                                                 const EngineOptions& options,
+                                                 const RunResult& batch) {
+  std::vector<std::string> mismatches;
+  auto dispatcher = policy.dispatcher();
+  auto scheduler = policy.scheduler(instance.topology());
+  std::vector<RetiredPacket> retired(instance.num_packets());
+  std::vector<bool> seen(instance.num_packets(), false);
+  Engine engine(instance.topology(), *dispatcher, *scheduler,
+                streamable(instance, options),
+                [&](RetiredPacket&& packet) {
+                  const auto index = static_cast<std::size_t>(packet.id);
+                  if (index >= seen.size() || seen[index]) {
+                    mismatches.push_back("stream retired unexpected packet " +
+                                         std::to_string(packet.id));
+                    return;
+                  }
+                  seen[index] = true;
+                  retired[index] = std::move(packet);
+                });
+  const auto& packets = instance.packets();
+  std::size_t next = 0;
+  try {
+    while (next < packets.size() || engine.busy()) {
+      const Time* upcoming = next < packets.size() ? &packets[next].arrival : nullptr;
+      engine.begin_step(upcoming);
+      while (next < packets.size() && packets[next].arrival == engine.now()) {
+        engine.inject(packets[next]);
+        ++next;
+      }
+      engine.finish_step();
+    }
+  } catch (const std::exception& error) {
+    mismatches.push_back(std::string("streamed replay threw: ") + error.what());
+    return mismatches;
+  }
+
+  const RunResult& aggregates = engine.aggregates();
+  if (aggregates.total_cost != batch.total_cost ||
+      aggregates.reconfig_cost != batch.reconfig_cost ||
+      aggregates.fixed_cost != batch.fixed_cost || aggregates.makespan != batch.makespan ||
+      aggregates.steps_simulated != batch.steps_simulated) {
+    mismatches.push_back("stream aggregates diverge from batch (cost " +
+                         std::to_string(aggregates.total_cost) + " vs " +
+                         std::to_string(batch.total_cost) + ")");
+  }
+  for (std::size_t i = 0; i < instance.num_packets(); ++i) {
+    if (!seen[i]) {
+      mismatches.push_back("packet " + std::to_string(i) + " never retired streaming");
+      continue;
+    }
+    const PacketOutcome& want = batch.outcomes[i];
+    const PacketOutcome& got = retired[i].outcome;
+    if (got.route.use_fixed != want.route.use_fixed || got.route.edge != want.route.edge ||
+        got.completion != want.completion ||
+        got.weighted_latency != want.weighted_latency ||
+        got.chunk_transmit_steps != want.chunk_transmit_steps) {
+      mismatches.push_back("packet " + std::to_string(i) +
+                           " outcome diverges between batch and stream (completion " +
+                           std::to_string(want.completion) + " vs " +
+                           std::to_string(got.completion) + ")");
+    }
+  }
+  return mismatches;
+}
+
+/// One policy's audited batch run plus the self-consistency and stream
+/// equivalence checks shared by the standard and variant passes. Returns
+/// the run's cost, or nothing if the engine threw.
+std::optional<double> run_and_check(const Instance& instance, const std::string& name,
+                                    const EngineOptions& engine_options,
+                                    const DiffOptions& options, const char* label,
+                                    DiffReport& report) {
+  const PolicyFactory policy = named_policy(name);
+  RunResult run;
+  try {
+    auto dispatcher = policy.dispatcher();
+    auto scheduler = policy.scheduler(instance.topology());
+    run = simulate(instance, *dispatcher, *scheduler, engine_options);
+  } catch (const std::exception& error) {
+    report.violations.push_back(std::string(label) + name + ": engine threw: " +
+                                error.what());
+    return std::nullopt;
+  }
+  ++report.checks;
+  if (!all_delivered(instance, run)) {
+    report.violations.push_back(std::string(label) + name + ": not every packet delivered");
+  }
+  const double tol = options.tolerance;
+  if (!close(recompute_cost(instance, run), run.total_cost, tol)) {
+    report.violations.push_back(std::string(label) + name +
+                                ": engine cost != per-chunk recomputation");
+  }
+  if (!close(recompute_cost_active_form(instance, run), run.total_cost, tol)) {
+    report.violations.push_back(std::string(label) + name +
+                                ": engine cost != active-form recomputation");
+  }
+  if (!close(run.reconfig_cost + run.fixed_cost, run.total_cost, tol)) {
+    report.violations.push_back(std::string(label) + name +
+                                ": reconfig + fixed cost shares do not sum to the total");
+  }
+  if (options.check_stream_equivalence && !engine_options.redispatch_queued) {
+    ++report.checks;
+    for (std::string& mismatch :
+         compare_batch_vs_stream(instance, policy, engine_options, run)) {
+      report.violations.push_back(std::string(label) + name + ": " + std::move(mismatch));
+    }
+  }
+  return run.total_cost;
+}
+
+}  // namespace
+
+std::string DiffReport::to_string() const {
+  std::string joined;
+  for (const std::string& violation : violations) {
+    if (!joined.empty()) joined += "\n";
+    joined += violation;
+  }
+  return joined.empty() ? "no violations" : joined;
+}
+
+Instance truncate_packets(const Instance& instance, std::size_t keep) {
+  const auto& packets = instance.packets();
+  Instance truncated(instance.topology(), std::vector<Packet>(
+                                              packets.begin(),
+                                              packets.begin() + static_cast<std::ptrdiff_t>(
+                                                                    std::min(keep, packets.size()))));
+  return truncated;
+}
+
+DiffReport check_instance(const Instance& instance, const DiffOptions& options) {
+  DiffReport report;
+  ++report.checks;
+  const std::string invalid = instance.validate();
+  if (!invalid.empty()) {
+    report.violations.push_back("instance invalid: " + invalid);
+    return report;
+  }
+
+  EngineOptions base;
+  base.audit = options.audit;
+  const std::vector<std::string> names = policy_list(options);
+  std::vector<std::pair<std::string, double>> costs;
+  for (const std::string& name : names) {
+    if (const auto cost = run_and_check(instance, name, base, options, "", report)) {
+      costs.emplace_back(name, *cost);
+    }
+  }
+  for (const EngineOptions& variant : options.variants) {
+    EngineOptions audited = variant;
+    audited.audit = options.audit;
+    const std::string label = "variant(speedup " + std::to_string(variant.speedup_rounds) +
+                              ", capacity " + std::to_string(variant.endpoint_capacity) +
+                              ", reconfig " + std::to_string(variant.reconfig_delay) + ") ";
+    for (const std::string& name : options.variant_policies) {
+      run_and_check(instance, name, audited, options, label.c_str(), report);
+    }
+  }
+
+  // Bound relations (valid in the unit-speed analysis model the base runs
+  // use): no schedule beats the trivial bound or the exhaustive optimum.
+  const double tol = options.tolerance;
+  const double ideal = instance.ideal_cost();
+  ++report.checks;
+  for (const auto& [name, cost] : costs) {
+    if (!leq(ideal, cost, tol)) {
+      report.violations.push_back(name + ": cost " + std::to_string(cost) +
+                                  " beats the trivial lower bound " + std::to_string(ideal));
+    }
+  }
+  if (instance.num_packets() <= options.brute_force.max_packets) {
+    if (const auto optimum = brute_force_opt(instance, options.brute_force)) {
+      ++report.checks;
+      for (const auto& [name, cost] : costs) {
+        if (!leq(optimum->cost, cost, tol)) {
+          report.violations.push_back(name + ": cost " + std::to_string(cost) +
+                                      " beats the exhaustive optimum " +
+                                      std::to_string(optimum->cost));
+        }
+      }
+      if (!leq(ideal, optimum->cost, tol)) {
+        report.violations.push_back("trivial bound " + std::to_string(ideal) +
+                                    " exceeds the exhaustive optimum " +
+                                    std::to_string(optimum->cost));
+      }
+    } else {
+      report.skipped.push_back("brute force hit its search limits");
+    }
+  }
+
+  // ALG's analysis certificates: charging scheme, dual witness, LP bound.
+  if (std::find(names.begin(), names.end(), "alg") != names.end()) {
+    try {
+      EngineOptions traced;
+      traced.record_trace = true;
+      traced.audit = options.audit;
+      const PolicyFactory alg = alg_policy();
+      auto dispatcher = alg.dispatcher();
+      auto scheduler = alg.scheduler(instance.topology());
+      const RunResult run = simulate(instance, *dispatcher, *scheduler, traced);
+
+      ++report.checks;
+      const ChargingAudit charging = audit_charging(instance, run);
+      if (charging.max_overcharge > tol * (1.0 + std::abs(run.total_cost))) {
+        report.violations.push_back("charging: a packet is charged beyond its alpha "
+                                    "(Lemma 2 violated by " +
+                                    std::to_string(charging.max_overcharge) + ")");
+      }
+      if (charging.cover_gap > tol * (1.0 + std::abs(run.total_cost))) {
+        report.violations.push_back("charging: charges do not partition ALG's cost (gap " +
+                                    std::to_string(charging.cover_gap) + ")");
+      }
+      if (instance.has_integer_weights()) {
+        ++report.checks;
+        const ExactChargingAudit exact = audit_charging_exact(instance, run);
+        if (!exact.charges_cover_cost) {
+          report.violations.push_back("charging: exact rational charges miss the cost");
+        }
+        if (!exact.within_alpha) {
+          report.violations.push_back("charging: exact rational charge exceeds alpha");
+        }
+      }
+
+      ++report.checks;
+      const DualWitness witness = build_dual_witness(instance, run);
+      if (!check_dual_feasibility(instance, witness).halved_feasible) {
+        report.violations.push_back("dual witness: halved witness infeasible (Lemma 4/5)");
+      }
+      if (lemma1_gap(witness, run) > tol * (1.0 + std::abs(run.total_cost))) {
+        report.violations.push_back("dual witness: Lemma 1 beta/cost balance broken");
+      }
+
+      LowerBoundOptions bound_options;
+      bound_options.eps = options.eps;
+      bound_options.max_lp_variables = options.max_lp_variables;
+      const LowerBounds bounds = compute_lower_bounds(instance, bound_options);
+      ++report.checks;
+      if (bounds.lp_bound && !leq(bounds.dual_witness_bound, *bounds.lp_bound, tol)) {
+        report.violations.push_back(
+            "weak duality broken: dual witness bound " +
+            std::to_string(bounds.dual_witness_bound) + " exceeds the LP optimum " +
+            std::to_string(*bounds.lp_bound));
+      }
+    } catch (const std::exception& error) {
+      report.violations.push_back(std::string("certificate pipeline threw: ") +
+                                  error.what());
+    }
+  }
+  return report;
+}
+
+DiffReport check_stream(const StreamSpec& spec, std::uint64_t rep_seed,
+                        const DiffOptions& options) {
+  DiffReport report;
+  StreamSpec audited = spec;
+  audited.engine.audit = options.audit;
+
+  std::unique_ptr<StreamRunner> runner;
+  try {
+    runner = std::make_unique<StreamRunner>(audited);
+  } catch (const std::invalid_argument& error) {
+    report.skipped.push_back(std::string("stream spec rejected: ") + error.what());
+    return report;
+  }
+
+  const double tol = options.tolerance;
+  bool calibrated = true;
+  for (const std::string& name : policy_list(options)) {
+    const PolicyFactory policy = named_policy(name);
+    StreamRepOutcome out;
+    try {
+      out = runner->run_repetition(policy, rep_seed);
+    } catch (const std::invalid_argument& error) {
+      // Spec-level rejection (e.g. rho calibration refusing a shape whose
+      // pairs mostly never touch the reconfigurable layer) -- same for
+      // every policy, so note it once and stop.
+      report.skipped.push_back(std::string("stream spec rejected: ") + error.what());
+      calibrated = false;
+      break;
+    } catch (const std::exception& error) {
+      report.violations.push_back(name + ": stream run threw: " + error.what());
+      continue;
+    }
+    ++report.checks;
+    if (out.latency.count() != out.measured) {
+      report.violations.push_back(name + ": histogram holds " +
+                                  std::to_string(out.latency.count()) + " samples for " +
+                                  std::to_string(out.measured) + " measured packets");
+    }
+    if (out.measured > out.served || out.served > out.offered) {
+      report.violations.push_back(name + ": measured/served/offered not nested (" +
+                                  std::to_string(out.measured) + "/" +
+                                  std::to_string(out.served) + "/" +
+                                  std::to_string(out.offered) + ")");
+    }
+    if (!spec.make_trace && !out.truncated && out.measured != spec.measure_packets) {
+      report.violations.push_back(name + ": un-truncated run measured " +
+                                  std::to_string(out.measured) + " of " +
+                                  std::to_string(spec.measure_packets) + " packets");
+    }
+    if (out.steps > 0 &&
+        !close(out.throughput,
+               static_cast<double>(out.served) / static_cast<double>(out.steps), tol)) {
+      report.violations.push_back(name + ": throughput != served / steps");
+    }
+    if (out.measured > 0 && !close(out.mean_latency, out.latency.mean(), tol)) {
+      report.violations.push_back(name + ": mean latency disagrees with the histogram");
+    }
+    if (out.measured > 0 && out.latency.min() < 1) {
+      report.violations.push_back(name + ": a measured packet completed in < 1 step");
+    }
+    if (out.zero_demand > out.offered) {
+      report.violations.push_back(name + ": zero-demand count exceeds offered packets");
+    }
+    std::uint64_t window_arrivals = 0, window_served = 0;
+    Time window_steps = 0;
+    for (const StreamWindow& window : out.series) {
+      window_arrivals += window.arrivals;
+      window_served += window.served;
+      window_steps += window.steps;
+    }
+    if (window_arrivals != out.offered || window_served != out.served ||
+        window_steps != out.steps) {
+      report.violations.push_back(name + ": telemetry series totals disagree with the "
+                                  "run (arrivals " + std::to_string(window_arrivals) +
+                                  "/" + std::to_string(out.offered) + ", served " +
+                                  std::to_string(window_served) + "/" +
+                                  std::to_string(out.served) + ", steps " +
+                                  std::to_string(window_steps) + "/" +
+                                  std::to_string(out.steps) + ")");
+    }
+  }
+
+  // Batch-vs-stream differential on a recorded arrival prefix from the
+  // identical source: per-packet completions must agree bit-for-bit.
+  if (calibrated && options.check_stream_equivalence && !spec.make_trace) {
+    try {
+      const Topology topology = make_topology(spec.topology, rep_seed);
+      TrafficConfig traffic = spec.traffic;
+      traffic.shape.seed = rep_seed;
+      traffic.speedup_rounds = spec.engine.speedup_rounds;
+      const auto source = make_source(topology, traffic);
+      const std::size_t prefix = std::min(spec.warmup_packets + spec.measure_packets,
+                                          options.stream_replay_packets);
+      const Instance recorded(topology, record_arrivals(*source, prefix));
+      const EngineOptions engine_options = audited.engine;
+      // Under a reconfiguration delay the demand-oblivious / randomized
+      // baselines can legitimately starve a finite batch replay (the
+      // streamed run merely truncates); replay only the robust policies --
+      // intersected with the caller's selection so a restricted sweep
+      // never reports a policy it excluded.
+      std::vector<std::string> replay_policies = policy_list(options);
+      if (spec.engine.reconfig_delay > 0) {
+        std::erase_if(replay_policies, [&](const std::string& name) {
+          return std::find(options.variant_policies.begin(),
+                           options.variant_policies.end(),
+                           name) == options.variant_policies.end();
+        });
+      }
+      for (const std::string& name : replay_policies) {
+        run_and_check(recorded, name, engine_options, options, "recorded prefix, ", report);
+      }
+    } catch (const std::invalid_argument& error) {
+      report.skipped.push_back(std::string("stream spec rejected: ") + error.what());
+    }
+  }
+  return report;
+}
+
+}  // namespace rdcn::check

@@ -1,0 +1,87 @@
+#include "run/random.hpp"
+
+#include "util/rng.hpp"
+
+namespace rdcn {
+
+namespace {
+
+/// Shared draws: topology shape and workload knobs (the grids mirror
+/// tests/helpers.hpp's varied families plus the hybrid/crossbar corners).
+void draw_topology(Rng& rng, TopologySpec& topology) {
+  if (rng.next_bool(0.15)) {
+    topology.kind = TopologySpec::Kind::Crossbar;
+    topology.crossbar_ports = static_cast<NodeIndex>(rng.next_int(2, 6));
+    return;
+  }
+  topology.kind = TopologySpec::Kind::TwoTier;
+  auto& net = topology.two_tier;
+  net.racks = static_cast<NodeIndex>(rng.next_int(3, 7));
+  net.lasers_per_rack = static_cast<NodeIndex>(rng.next_int(1, 3));
+  net.photodetectors_per_rack = static_cast<NodeIndex>(rng.next_int(1, 3));
+  net.density = rng.next_double(0.4, 1.0);
+  net.max_edge_delay = rng.next_int(1, 4);
+  net.attach_delay = rng.next_bool(0.25) ? rng.next_int(1, 2) : 0;
+  net.fixed_link_delay = rng.next_bool(0.4) ? rng.next_int(4, 12) : 0;
+  topology.seed_salt = rng.next_u64();
+}
+
+void draw_workload_shape(Rng& rng, WorkloadConfig& shape) {
+  shape.skew = static_cast<PairSkew>(rng.next_int(0, 4));
+  shape.zipf_exponent = rng.next_double(0.8, 1.6);
+  shape.hotspot_fraction = rng.next_double(0.2, 0.7);
+  shape.weights = static_cast<WeightDist>(rng.next_int(0, 3));
+  shape.weight_max = rng.next_int(2, 16);
+  shape.pareto_shape = rng.next_double(1.1, 2.0);
+  shape.elephant_fraction = rng.next_double(0.05, 0.3);
+}
+
+void draw_engine(Rng& rng, EngineOptions& engine) {
+  engine.speedup_rounds = rng.next_bool(0.25) ? 2 : 1;
+  engine.endpoint_capacity = rng.next_bool(0.25) ? 2 : 1;
+  if (engine.endpoint_capacity == 1 && rng.next_bool(0.2)) {
+    engine.reconfig_delay = rng.next_int(1, 2);
+  }
+}
+
+}  // namespace
+
+ScenarioSpec random_scenario_spec(std::uint64_t seed) {
+  Rng rng(Rng(seed).fork(0xfc2dULL).next_u64());
+  ScenarioSpec spec;
+  spec.name = "fuzz-batch-" + std::to_string(seed);
+  spec.base_seed = seed;
+  spec.repetitions = 1;
+  draw_topology(rng, spec.topology);
+  draw_workload_shape(rng, spec.workload);
+  spec.workload.num_packets = static_cast<std::size_t>(rng.next_int(6, 48));
+  spec.workload.arrival_rate = rng.next_double(1.0, 6.0);
+  spec.workload.bursty = rng.next_bool(0.3);
+  draw_engine(rng, spec.engine);
+  return spec;
+}
+
+StreamSpec random_stream_spec(std::uint64_t seed) {
+  Rng rng(Rng(seed).fork(0x57e4ULL).next_u64());
+  StreamSpec spec;
+  spec.name = "fuzz-stream-" + std::to_string(seed);
+  spec.base_seed = seed;
+  spec.repetitions = 1;
+  draw_topology(rng, spec.topology);
+  draw_workload_shape(rng, spec.traffic.shape);
+  spec.traffic.process = rng.next_bool(0.3) ? ArrivalProcess::OnOff : ArrivalProcess::Poisson;
+  spec.traffic.on_stay = rng.next_double(0.5, 0.95);
+  spec.traffic.off_stay = rng.next_double(0.3, 0.9);
+  // Light load through overload; overloaded points exercise the truncation
+  // path, bounded by a tight step cap.
+  spec.traffic.rho = rng.next_double(0.3, 1.2);
+  spec.warmup_packets = static_cast<std::size_t>(rng.next_int(0, 150));
+  spec.measure_packets = static_cast<std::size_t>(rng.next_int(150, 1200));
+  spec.telemetry_window = rng.next_int(16, 128);
+  spec.step_cap_factor = 3.0;
+  draw_engine(rng, spec.engine);
+  spec.traffic.speedup_rounds = spec.engine.speedup_rounds;
+  return spec;
+}
+
+}  // namespace rdcn

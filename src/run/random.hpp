@@ -1,0 +1,29 @@
+#pragma once
+
+// Random spec generation for the fuzz driver (tools/rdcn_fuzz) and the
+// differential checker's tests: one seed deterministically expands into a
+// small ScenarioSpec / StreamSpec drawn from the full grid the repo
+// supports -- topology shapes (two-tier with varying density, delays,
+// attach delays, hybrid fixed links; crossbars), every pair-skew and
+// weight distribution, and the engine's speedup / endpoint-capacity /
+// reconfiguration-delay extensions. Specs are sized for checking (tens of
+// packets, thousands of streamed packets at most), so a sweep of hundreds
+// stays fast; check::minimize_seed re-derives the identical spec from the
+// seed when shrinking a failure.
+
+#include <cstdint>
+
+#include "run/scenario.hpp"
+#include "run/stream.hpp"
+
+namespace rdcn {
+
+/// Deterministic small random batch scenario for seed. base_seed is set so
+/// ScenarioRunner(spec).instance(spec.base_seed) is the canonical instance.
+ScenarioSpec random_scenario_spec(std::uint64_t seed);
+
+/// Deterministic small random streaming spec for seed (Poisson or on/off
+/// arrivals, rho spanning light load to overload with a step cap).
+StreamSpec random_stream_spec(std::uint64_t seed);
+
+}  // namespace rdcn

@@ -124,8 +124,10 @@ StreamRepOutcome StreamRunner::run_repetition(const PolicyFactory& policy,
     while (pending && pending->arrival == engine.now()) {
       if (out.offered == 0) first_arrival = pending->arrival;
       last_arrival = pending->arrival;
-      offered_demand += static_cast<double>(
-          cheapest_demand(topology, pending->source, pending->destination));
+      const std::int64_t demand =
+          cheapest_demand(topology, pending->source, pending->destination);
+      if (demand == 0) ++out.zero_demand;  // fixed-layer only: invisible to rho
+      offered_demand += static_cast<double>(demand);
       ++out.offered;
       ++arrivals_this_step;
       engine.inject(*pending);
@@ -172,6 +174,8 @@ StreamResult StreamRunner::aggregate(const PolicyFactory& policy,
   result.policy = policy.name;
   result.repetitions = std::move(outcomes);
   for (const StreamRepOutcome& rep : result.repetitions) {
+    if (rep.truncated) ++result.truncated_reps;
+    result.zero_demand += rep.zero_demand;
     result.latency.merge(rep.latency);
     result.throughput.add(rep.throughput);
     result.backlog.add(rep.mean_backlog);

@@ -61,6 +61,11 @@ struct StreamRepOutcome {
   std::uint64_t offered = 0;   ///< packets injected
   std::uint64_t served = 0;    ///< packets retired (fixed + reconfigurable)
   std::uint64_t measured = 0;  ///< retired packets inside the measure range
+  /// Offered packets whose pair has no reconfigurable route (demand 0,
+  /// fixed-layer only): they contribute nothing to measured_rho, so a
+  /// large count means rho describes only part of the offered traffic
+  /// (calibration rejects shapes past TrafficConfig::max_zero_demand_fraction).
+  std::uint64_t zero_demand = 0;
   bool truncated = false;      ///< hit the step cap before the target
   Time steps = 0;
   Time makespan = 0;
@@ -83,6 +88,12 @@ struct StreamResult {
   std::string scenario;
   std::string policy;
   std::vector<StreamRepOutcome> repetitions;
+  /// Repetitions that hit the step cap before reaching their measurement
+  /// target (overload): their latency/throughput fold into the summaries
+  /// below like any other repetition, so a nonzero count flags that the
+  /// aggregates mix converged and truncated runs.
+  std::size_t truncated_reps = 0;
+  std::uint64_t zero_demand = 0;  ///< summed across repetitions
   LatencyHistogram latency;  ///< merged across repetitions
   Summary throughput;
   Summary backlog;     ///< mean_backlog across repetitions

@@ -70,6 +70,7 @@ void Engine::init(EngineOptions options) {
   load_r_.assign(num_r, 0);
   owner_t_.assign(num_t, -1);
   owner_r_.assign(num_r, -1);
+  if (options_.audit) auditor_ = make_invariant_auditor();
 }
 
 bool Engine::work_left() const {
@@ -97,6 +98,7 @@ void Engine::append_slot(const Packet& packet) {
 
 void Engine::retire_packet(PacketIndex packet) {
   const std::size_t s = slot(packet);
+  if (auditor_) auditor_->on_retire(*this, packet, outcomes_[s]);
   state_[s].retired = true;
   --in_flight_;
   ++retired_count_;
@@ -129,6 +131,7 @@ void Engine::compact_window() {
 }
 
 void Engine::apply_route(const Packet& packet, const RouteDecision& route) {
+  if (auditor_) auditor_->on_dispatch(*this, packet, route);
   const std::size_t s = slot(packet.id);
   auto& ps = state_[s];
   auto& outcome = outcomes_[s];
@@ -279,6 +282,10 @@ std::size_t Engine::schedule_round(bool record) {
 
   std::vector<std::size_t> selected = scheduler_->select(*this, now_, candidates_);
 
+  // The auditor validates first (independently), so a contract violation
+  // under audit surfaces as AuditFailure, not as the engine's logic_error.
+  if (auditor_) auditor_->on_selection(*this, candidates_, selected);
+
   // Validate the selection is a (b-)matching: per-endpoint load within
   // capacity, each edge used at most once. Scratch arrays are stamped with
   // the round serial so nothing is re-zeroed per round. owner_* tracks the
@@ -350,6 +357,8 @@ std::size_t Engine::schedule_round(bool record) {
     }
     selected = std::move(usable);
   }
+
+  if (auditor_) auditor_->on_round(*this, candidates_, selected);
 
   StepRecord step;
   step.time = now_;
@@ -442,6 +451,7 @@ std::size_t Engine::schedule_round(bool record) {
 }
 
 void Engine::begin_step(const Time* next_arrival) {
+  const Time previous = now_;
   if (candidates_.empty() && staged_.empty() && next_arrival != nullptr &&
       *next_arrival > now_ + 1) {
     now_ = *next_arrival;  // event-driven: jump idle gaps
@@ -452,6 +462,7 @@ void Engine::begin_step(const Time* next_arrival) {
   if (options_.max_steps > 0 && result_.steps_simulated > options_.max_steps) {
     throw std::runtime_error("engine exceeded max_steps; scheduler may be starving packets");
   }
+  if (auditor_) auditor_->on_step_begin(*this, previous);
 }
 
 void Engine::finish_step() {
@@ -460,6 +471,7 @@ void Engine::finish_step() {
     if (candidates_.empty() && staged_.empty() && round > 0) break;
     schedule_round(options_.record_trace);
   }
+  if (auditor_) auditor_->on_step_end(*this);
 }
 
 RunResult Engine::run() {

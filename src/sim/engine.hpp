@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "net/instance.hpp"
+#include "sim/observer.hpp"
 #include "sim/policy.hpp"
 
 namespace rdcn {
@@ -79,6 +80,13 @@ struct EngineOptions {
   /// probes the gap for queued packets. Incompatible with record_trace.
   /// Batch mode only.
   bool redispatch_queued = false;
+  /// Per-step invariant audit (check/): the engine carries an
+  /// InvariantAuditor that independently re-derives matching feasibility,
+  /// conservation, clock monotonicity and per-packet completion accounting
+  /// from the observed events, throwing AuditFailure on any violation.
+  /// Works in both modes; costs a constant factor, so it is off by default
+  /// and turned on by tests, golden replays and the fuzz driver.
+  bool audit = false;
 };
 
 /// Per-packet outcome of a run.
@@ -254,6 +262,7 @@ class Engine {
   SchedulePolicy* scheduler_;
   EngineOptions options_;
   RetireSink sink_;  ///< set iff streaming mode
+  std::unique_ptr<EngineObserver> auditor_;  ///< set iff options_.audit
 
   /// Reconfiguration-delay state: what each endpoint is tuned (or tuning)
   /// to, and when it becomes usable. Only consulted when reconfig_delay > 0.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "util/rng.hpp"
@@ -130,27 +131,50 @@ std::int64_t cheapest_demand(const Topology& topology, NodeIndex source,
 
 double mean_service_demand(const Topology& topology, const WorkloadConfig& shape,
                            std::size_t draws) {
-  if (draws == 0) throw std::invalid_argument("mean_service_demand needs draws >= 1");
+  return estimate_service_demand(topology, shape, draws).mean_demand;
+}
+
+DemandEstimate estimate_service_demand(const Topology& topology,
+                                       const WorkloadConfig& shape, std::size_t draws) {
+  if (draws == 0) throw std::invalid_argument("estimate_service_demand needs draws >= 1");
   // Fork the seed so the estimate never perturbs the arrival stream drawn
   // from the same WorkloadConfig.
   Rng rng(Rng(shape.seed).fork(0x9a1fULL).next_u64());
   const PairSampler sampler(topology, shape, rng);
   double total = 0.0;
+  std::size_t zero = 0;
   for (std::size_t i = 0; i < draws; ++i) {
     const auto [source, destination] = sampler.sample(rng);
-    total += static_cast<double>(cheapest_demand(topology, source, destination));
+    const std::int64_t demand = cheapest_demand(topology, source, destination);
+    if (demand == 0) ++zero;
+    total += static_cast<double>(demand);
   }
-  return total / static_cast<double>(draws);
+  DemandEstimate estimate;
+  estimate.mean_demand = total / static_cast<double>(draws);
+  estimate.zero_fraction = static_cast<double>(zero) / static_cast<double>(draws);
+  return estimate;
 }
 
 double calibrate_rate(const Topology& topology, const TrafficConfig& config) {
   if (config.rho <= 0.0) throw std::invalid_argument("rho must be > 0");
-  const double demand = mean_service_demand(topology, config.shape);
-  if (demand <= 0.0) {
+  if (config.max_zero_demand_fraction < 0.0 || config.max_zero_demand_fraction > 1.0) {
+    throw std::invalid_argument("max_zero_demand_fraction must be in [0, 1]");
+  }
+  const DemandEstimate demand = estimate_service_demand(topology, config.shape);
+  if (demand.mean_demand <= 0.0) {
     throw std::invalid_argument(
         "pair distribution never touches the reconfigurable layer; rho is undefined");
   }
-  return config.rho * service_capacity(topology, config.speedup_rounds) / demand;
+  if (demand.zero_fraction > config.max_zero_demand_fraction) {
+    throw std::invalid_argument(
+        "rho calibration rejected: " + std::to_string(demand.zero_fraction * 100.0) +
+        "% of sampled pairs has no reconfigurable route (limit " +
+        std::to_string(config.max_zero_demand_fraction * 100.0) +
+        "%); rho would describe a minority of the offered traffic -- raise "
+        "TrafficConfig::max_zero_demand_fraction to opt in");
+  }
+  return config.rho * service_capacity(topology, config.speedup_rounds) /
+         demand.mean_demand;
 }
 
 std::unique_ptr<TrafficSource> make_source(const Topology& topology,

@@ -55,6 +55,11 @@ struct TrafficConfig {
   double off_stay = 0.7;
   /// Engine speedup the run will use (scales the calibrated rate).
   int speedup_rounds = 1;
+  /// Calibration guard: reject (throw) when more than this fraction of
+  /// sampled pairs has no reconfigurable route (demand 0, fixed-layer
+  /// only). Beyond it, rho silently describes a shrinking minority of the
+  /// offered traffic; runs that want such shapes must opt in explicitly.
+  double max_zero_demand_fraction = 0.5;
 };
 
 /// An online packet source: ids sequential from 0, arrivals nondecreasing
@@ -81,9 +86,24 @@ std::int64_t cheapest_demand(const Topology& topology, NodeIndex source,
 double mean_service_demand(const Topology& topology, const WorkloadConfig& shape,
                            std::size_t draws = 4096);
 
+/// Demand profile of the pair distribution: the mean over all draws plus
+/// the fraction of draws with no reconfigurable route at all (demand 0);
+/// the latter is invisible in the mean alone -- cheapest_demand cannot
+/// distinguish "cheap route" from "no route" -- and silently dilutes any
+/// rho computed from it.
+struct DemandEstimate {
+  double mean_demand = 0.0;    ///< over all draws (zero-demand included)
+  double zero_fraction = 0.0;  ///< share of draws with demand == 0
+};
+DemandEstimate estimate_service_demand(const Topology& topology,
+                                       const WorkloadConfig& shape,
+                                       std::size_t draws = 4096);
+
 /// Packets per step targeting utilization config.rho (see header comment).
 /// Throws when the pair distribution never touches the reconfigurable
-/// layer (E[demand] == 0).
+/// layer (E[demand] == 0) or when more than
+/// config.max_zero_demand_fraction of the sampled pairs has no
+/// reconfigurable route.
 double calibrate_rate(const Topology& topology, const TrafficConfig& config);
 
 /// Builds a generative source (Poisson or OnOff) over the topology.

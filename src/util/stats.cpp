@@ -134,11 +134,15 @@ std::int64_t LatencyHistogram::percentile(double q) const {
   assert(q >= 0.0 && q <= 100.0);
   const auto target = static_cast<std::uint64_t>(
       std::max(1.0, std::ceil(q / 100.0 * static_cast<double>(count_))));
+  // Rank 1 is the smallest recorded sample exactly; answering with its
+  // bucket's upper bound would let a low quantile exceed every sample in
+  // the bucket (p0 > min()).
+  if (target <= 1) return min_;
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     seen += counts_[i];
     if (seen >= target) {
-      return std::min(bucket_range(i, bits_).second, max());
+      return std::clamp(bucket_range(i, bits_).second, min_, max_);
     }
   }
   return max();

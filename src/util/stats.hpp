@@ -71,8 +71,11 @@ class LatencyHistogram {
   std::int64_t max() const noexcept;  ///< exact; 0 when empty
 
   /// Nearest-rank percentile, q in [0, 100]: the upper bound of the first
-  /// bucket whose cumulative count reaches ceil(q/100 * count), clamped to
-  /// the observed max. Throws std::logic_error when empty.
+  /// bucket whose cumulative count reaches ceil(q/100 * count), clamped
+  /// into the observed [min(), max()]; rank 1 (q = 0, or any q resolving
+  /// to the first sample) returns min() exactly, so no quantile can
+  /// exceed / undercut every recorded sample. Throws std::logic_error
+  /// when empty.
   std::int64_t percentile(double q) const;
   std::int64_t p50() const { return percentile(50.0); }
   std::int64_t p95() const { return percentile(95.0); }

@@ -52,6 +52,23 @@ TEST(EngineRegression, ReproducesSeedEngineCosts) {
   }
 }
 
+TEST(EngineRegression, GoldensPassThePerStepAudit) {
+  // The audit hook is observation-only: with EngineOptions::audit on, the
+  // check/ auditor re-derives matching feasibility, conservation and
+  // completion accounting at every step (throwing AuditFailure on any
+  // violation) while the golden costs must still reproduce bit-for-bit.
+  for (const Golden& golden : kSeedEngineGoldens) {
+    const Instance instance = testing::make_varied_instance(golden.seed);
+    EngineOptions options;
+    options.record_trace = false;
+    options.audit = true;
+    const RunResult run = run_alg(instance, options);
+    EXPECT_NEAR(run.total_cost, golden.total_cost, 1e-9 * (1.0 + golden.total_cost))
+        << "seed " << golden.seed;
+    EXPECT_EQ(run.makespan, golden.makespan) << "seed " << golden.seed;
+  }
+}
+
 TEST(EngineRegression, RepeatedRunsAreIdentical) {
   for (const std::uint64_t seed : {2ULL, 103ULL}) {
     const Instance instance = testing::make_varied_instance(seed);
@@ -110,6 +127,7 @@ TEST(EngineRegression, ContractHoldsUnderMigrationAndCapacity) {
     ContractCheckingScheduler scheduler;
     EngineOptions options;
     options.redispatch_queued = true;
+    options.audit = true;  // the auditor's re-dispatch ledger path
     EXPECT_TRUE(all_delivered(instance, simulate(instance, dispatcher, scheduler, options)));
   }
   {
@@ -117,6 +135,7 @@ TEST(EngineRegression, ContractHoldsUnderMigrationAndCapacity) {
     ContractCheckingScheduler scheduler;
     EngineOptions options;
     options.endpoint_capacity = 3;
+    options.audit = true;
     EXPECT_TRUE(all_delivered(instance, simulate(instance, dispatcher, scheduler, options)));
   }
 }
@@ -167,6 +186,7 @@ TEST(EngineOptionsMatrix, ReconfigDelayAndMigrationCompose) {
     EngineOptions options;
     options.reconfig_delay = 2;
     options.redispatch_queued = true;
+    options.audit = true;
     const RunResult run = simulate(instance, dispatcher, scheduler, options);
     EXPECT_TRUE(all_delivered(instance, run)) << "seed " << seed;
     EXPECT_NEAR(run.total_cost, recompute_cost(instance, run), 1e-6);

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
+#include <string>
 
 #include "helpers.hpp"
 #include "run/batch.hpp"
@@ -198,6 +200,90 @@ TEST(BatchRunner, MetricsTravelThroughThePool) {
             });
   const auto results = batch.run();
   EXPECT_DOUBLE_EQ(results.at(0).metric.mean(), 30.0);
+}
+
+// ------------------------------------------------- BatchRunner failures --
+
+/// A spec whose repetition 2 blows up during instance construction (the
+/// bespoke-instance hook runs inside the pool task).
+ScenarioSpec failing_spec(const std::string& what) {
+  ScenarioSpec spec = small_spec();
+  spec.name = "failing";
+  spec.repetitions = 3;
+  spec.make_instance = [what](std::uint64_t rep_seed) -> Instance {
+    if (rep_seed == 2) throw std::runtime_error(what);
+    return ScenarioRunner(small_spec()).instance(rep_seed);
+  };
+  return spec;
+}
+
+TEST(BatchRunner, FirstFailureIsRethrownToTheCaller) {
+  BatchRunner batch(2);
+  batch.add(failing_spec("rep 2 exploded"), alg_policy());
+  try {
+    batch.run();
+    FAIL() << "run() swallowed the task failure";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "rep 2 exploded");
+  }
+}
+
+TEST(BatchRunner, CellsAreClearedAfterAThrowAndTheRunnerStaysUsable) {
+  BatchRunner batch(2);
+  batch.add(small_spec(), alg_policy());
+  batch.add(failing_spec("boom"), alg_policy());
+  EXPECT_EQ(batch.cells(), 2u);
+  EXPECT_THROW(batch.run(), std::runtime_error);
+  // The failed run consumed its queue; the runner accepts new work and
+  // produces correct results afterwards.
+  EXPECT_EQ(batch.cells(), 0u);
+  EXPECT_TRUE(batch.run().empty());
+  batch.add(small_spec(), alg_policy());
+  const auto results = batch.run();
+  ASSERT_EQ(results.size(), 1u);
+  const ScenarioResult expected = ScenarioRunner(small_spec()).run(alg_policy());
+  EXPECT_DOUBLE_EQ(results.front().cost.mean(), expected.cost.mean());
+}
+
+TEST(BatchRunner, FailingCellDoesNotCorruptSiblingOutcomes) {
+  // A failing cell aborts the whole run() (all-or-nothing by contract);
+  // re-running the surviving cells afterwards must match a fresh
+  // sequential baseline exactly -- no state bleeds across the failure.
+  const auto policies = std::vector<PolicyFactory>{alg_policy(), named_policy("fifo")};
+  BatchRunner batch(2);
+  batch.add(small_spec(), policies[0]);
+  batch.add(failing_spec("middle cell"), alg_policy());
+  batch.add(small_spec(), policies[1]);
+  EXPECT_THROW(batch.run(), std::runtime_error);
+
+  batch.add_grid(small_spec(), policies);
+  const auto results = batch.run();
+  ASSERT_EQ(results.size(), 2u);
+  const ScenarioRunner runner(small_spec());
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    const ScenarioResult sequential = runner.run(policies[p]);
+    ASSERT_EQ(results[p].repetitions.size(), sequential.repetitions.size());
+    for (std::size_t i = 0; i < sequential.repetitions.size(); ++i) {
+      EXPECT_EQ(results[p].repetitions[i].total_cost,
+                sequential.repetitions[i].total_cost)
+          << policies[p].name << " rep " << i;
+    }
+  }
+}
+
+TEST(BatchRunner, StreamCellFailureAlsoRethrowsAndClears) {
+  StreamSpec spec;
+  spec.name = "failing-stream";
+  spec.warmup_packets = 0;
+  spec.measure_packets = 10;
+  spec.make_trace = [](std::uint64_t) -> Instance {
+    throw std::runtime_error("trace construction failed");
+  };
+  BatchRunner batch(2);
+  batch.add_stream(spec, alg_policy());
+  EXPECT_THROW(batch.run_streams(), std::runtime_error);
+  EXPECT_EQ(batch.stream_cells(), 0u);
+  EXPECT_TRUE(batch.run_streams().empty());
 }
 
 }  // namespace

@@ -128,6 +128,26 @@ TEST(StreamEngine, ReproducesBatchUnderCapacityAndSpeedup) {
   }
 }
 
+TEST(StreamEngine, GoldenReplayPassesThePerStepAudit) {
+  // PR-2's golden equivalence under the check/ invariant auditor: both
+  // modes run with EngineOptions::audit on, every step's matching,
+  // conservation and completion accounting re-derived independently, and
+  // the schedules must still agree bit-for-bit.
+  const Instance instance = golden_instance(300, 5);
+  EngineOptions audited;
+  audited.audit = true;
+  for (const char* name : {"alg", "maxweight", "fifo"}) {
+    const PolicyFactory policy = named_policy(name);
+    auto dispatcher = policy.dispatcher();
+    auto scheduler = policy.scheduler(instance.topology());
+    const RunResult expected = simulate(instance, *dispatcher, *scheduler, audited);
+    const auto [aggregates, retired] = stream_replay(instance, policy, audited);
+    EXPECT_EQ(aggregates.total_cost, expected.total_cost) << name;
+    EXPECT_EQ(aggregates.makespan, expected.makespan) << name;
+    EXPECT_EQ(retired.size(), instance.num_packets()) << name;
+  }
+}
+
 TEST(StreamEngine, ResidentStateIsBoundedByInFlightNotTotal) {
   // A long, lightly-loaded arrival sequence: the window must retire and
   // compact far below the total packet count.
@@ -263,6 +283,55 @@ TEST(StreamRunner, TruncatesAtTheStepCap) {
   EXPECT_TRUE(out.truncated);
   EXPECT_EQ(out.steps, 50);
   EXPECT_LT(out.measured, spec.measure_packets);
+}
+
+TEST(StreamRunner, TruncatedOverloadPointIsFlaggedInAggregation) {
+  // An overloaded rho point: backlog grows without bound, every
+  // repetition hits the step cap, and the aggregate must say so instead
+  // of folding truncated runs in silently.
+  StreamSpec spec = small_stream();
+  spec.traffic.rho = 2.5;
+  spec.max_steps = 400;
+  spec.warmup_packets = 0;
+  spec.measure_packets = 100000;  // unreachable before the cap
+  spec.repetitions = 2;
+  const StreamResult overloaded = StreamRunner(spec).run(alg_policy());
+  EXPECT_EQ(overloaded.truncated_reps, 2u);
+  for (const StreamRepOutcome& rep : overloaded.repetitions) {
+    EXPECT_TRUE(rep.truncated);
+    EXPECT_LT(rep.measured, spec.measure_packets);
+  }
+  // A converged point reports zero truncated repetitions.
+  const StreamResult converged = StreamRunner(small_stream()).run(alg_policy());
+  EXPECT_EQ(converged.truncated_reps, 0u);
+  EXPECT_FALSE(converged.repetitions.front().truncated);
+}
+
+TEST(StreamRunner, ZeroDemandPairsAreCountedNotSilentlyFolded) {
+  // One pair reachable only over the fixed layer (demand 0), one with a
+  // reconfigurable route: the fixed-only packets must be surfaced in
+  // zero_demand rather than silently diluting measured_rho.
+  Topology topology;
+  const NodeIndex sources = topology.add_sources(2);
+  const NodeIndex destinations = topology.add_destinations(2);
+  const NodeIndex transmitter = topology.add_transmitter(sources);
+  const NodeIndex receiver = topology.add_receiver(destinations);
+  topology.add_edge(transmitter, receiver, 2);
+  topology.add_fixed_link(sources + 1, destinations + 1, 3);  // fixed-only pair
+  Instance instance(std::move(topology), {});
+  instance.add_packet(1, 1.0, sources, destinations);
+  instance.add_packet(1, 1.0, sources + 1, destinations + 1);
+  instance.add_packet(2, 2.0, sources + 1, destinations + 1);
+
+  StreamSpec spec;
+  spec.name = "zero-demand";
+  spec.warmup_packets = 0;
+  spec.measure_packets = instance.num_packets();
+  spec.make_trace = [&](std::uint64_t) { return instance; };
+  const StreamRepOutcome out = StreamRunner(spec).run_repetition(alg_policy(), 1);
+  EXPECT_EQ(out.offered, 3u);
+  EXPECT_EQ(out.zero_demand, 2u);
+  EXPECT_GT(out.measured_rho, 0.0);  // from the one reconfigurable packet
 }
 
 TEST(StreamRunner, RejectsInvalidSpecs) {

@@ -170,6 +170,51 @@ TEST(TrafficSource, CheapestDemandIsMinEdgeDelay) {
   EXPECT_EQ(cheapest_demand(g, 0, 0), 2);  // fixed layer never counts
 }
 
+/// A mostly-fixed-layer topology: one reconfigurable pair among many pairs
+/// routable only over fixed links (all of those have cheapest demand 0).
+/// The sampler excludes same-index (intra-rack) pairs, so the
+/// reconfigurable edge sits on the cross pair (0, 1).
+Topology mostly_fixed_topology() {
+  Topology g;
+  g.add_sources(4);
+  g.add_destinations(4);
+  const NodeIndex t = g.add_transmitter(0);
+  const NodeIndex r = g.add_receiver(1);
+  g.add_edge(t, r, 2);
+  for (NodeIndex s = 0; s < 4; ++s) {
+    for (NodeIndex d = 0; d < 4; ++d) g.add_fixed_link(s, d, 5);
+  }
+  return g;
+}
+
+TEST(TrafficSource, DemandEstimateSurfacesZeroDemandPairs) {
+  const Topology g = mostly_fixed_topology();
+  WorkloadConfig shape;
+  shape.skew = PairSkew::Uniform;
+  shape.seed = 3;
+  const DemandEstimate estimate = estimate_service_demand(g, shape);
+  // 1 of the 12 cross-rack uniform pairs touches the reconfigurable layer.
+  EXPECT_NEAR(estimate.zero_fraction, 11.0 / 12.0, 0.03);
+  EXPECT_GT(estimate.mean_demand, 0.0);
+  // The plain mean wrapper agrees with the profile's mean.
+  EXPECT_DOUBLE_EQ(mean_service_demand(g, shape), estimate.mean_demand);
+  // A fully reconfigurable topology reports no zero-demand draws.
+  EXPECT_DOUBLE_EQ(estimate_service_demand(test_topology(), shape).zero_fraction, 0.0);
+}
+
+TEST(TrafficSource, CalibrationRejectsMostlyZeroDemandShapes) {
+  // rho over a shape where ~94% of pairs never touch the reconfigurable
+  // layer would silently describe a sliver of the traffic: reject by
+  // default, allow with an explicit opt-in.
+  const Topology g = mostly_fixed_topology();
+  TrafficConfig config = poisson_config(0.7);
+  EXPECT_THROW(calibrate_rate(g, config), std::invalid_argument);
+  config.max_zero_demand_fraction = 1.0;  // explicit opt-in
+  EXPECT_GT(calibrate_rate(g, config), 0.0);
+  config.max_zero_demand_fraction = 2.0;  // nonsensical bound
+  EXPECT_THROW(calibrate_rate(g, config), std::invalid_argument);
+}
+
 // ------------------------------------------------------------------ trace --
 
 TEST(TrafficSource, TraceSourceReplaysRecordedPacketsVerbatim) {

@@ -311,6 +311,46 @@ TEST(LatencyHistogram, PercentileClampsToObservedMax) {
   EXPECT_EQ(histogram.p999(), 1000);
 }
 
+TEST(LatencyHistogram, LowQuantilesNeverExceedTheMinimum) {
+  // Regression: with coarse buckets, q = 0 used to answer with the first
+  // bucket's UPPER bound -- exceeding every recorded sample in it. Bits 0
+  // puts 5 into bucket [4, 7]; alongside 1000, p0 must still be exactly 5.
+  LatencyHistogram histogram(0);
+  histogram.add(5);
+  histogram.add(1000);
+  EXPECT_EQ(histogram.percentile(0.0), 5);
+  EXPECT_EQ(histogram.min(), 5);
+  EXPECT_EQ(histogram.percentile(100.0), 1000);
+}
+
+TEST(LatencyHistogram, SingleSamplePercentilesAreTheSample) {
+  for (const std::int64_t sample :
+       {std::int64_t{0}, std::int64_t{6}, std::int64_t{777}, std::int64_t{1} << 33}) {
+    LatencyHistogram histogram(2);
+    histogram.add(sample);
+    for (const double q : {0.0, 17.0, 50.0, 99.9, 100.0}) {
+      EXPECT_EQ(histogram.percentile(q), sample) << "q=" << q << " sample=" << sample;
+    }
+  }
+}
+
+TEST(LatencyHistogram, CrossOctaveQuantilesStayInsideTheSampleRange) {
+  // Samples spanning several octaves at every sub-bucket resolution: each
+  // quantile must land in [min, max] -- the quantized answer may round up
+  // within a bucket, never past the observed extremes.
+  for (const int bits : {0, 2, 5}) {
+    LatencyHistogram histogram(bits);
+    for (const std::int64_t v : {3, 17, 150, 4097, 70000}) histogram.add(v);
+    for (const double q : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+      const std::int64_t answer = histogram.percentile(q);
+      EXPECT_GE(answer, histogram.min()) << "bits=" << bits << " q=" << q;
+      EXPECT_LE(answer, histogram.max()) << "bits=" << bits << " q=" << q;
+    }
+    EXPECT_EQ(histogram.percentile(0.0), 3) << "bits=" << bits;
+    EXPECT_EQ(histogram.percentile(100.0), 70000) << "bits=" << bits;
+  }
+}
+
 TEST(LatencyHistogram, MergeEqualsCombinedStream) {
   Rng rng(7);
   LatencyHistogram a, b, combined;

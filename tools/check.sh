@@ -28,6 +28,9 @@ else
   "$build/bench/bench_bmatching" >/dev/null
 fi
 
+echo "== smoke fuzz =="
+"$build/rdcn_fuzz" --seeds 3 --base 1 >/dev/null
+
 echo "== smoke cli =="
 "$build/rdcn_cli" policies >/dev/null
 "$build/rdcn_cli" record "$build/smoke_trace.inst" --packets 500 --rho 0.6 --seed 3 >/dev/null

@@ -1,0 +1,177 @@
+// rdcn_fuzz — differential fuzz driver.
+//
+// Sweeps seed-derived random scenarios (batch) and stream specs through
+// the check/ differential validator: every registered policy runs under
+// the per-step invariant audit, batch and streaming modes are compared
+// packet for packet, costs are cross-checked against the first-principles
+// recomputations, the brute-force optimum, the trivial bound and ALG's
+// charging / dual-witness / LP certificates. Any violation is a proven
+// bug. On failure the driver shrinks the seed's workload to a minimal
+// reproducer (check::minimize_seed) and prints a ready-to-paste gtest
+// case for tests/test_check.cpp.
+//
+//   rdcn_fuzz [--seeds N] [--base S] [--mode batch|stream|both]
+//             [--policies a,b,...] [--minimize 0|1] [--verbose]
+//
+// Exit status: 0 = clean sweep, 1 = violations found, 2 = usage error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/minimize.hpp"
+#include "run/policies.hpp"
+
+namespace {
+
+using namespace rdcn;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: rdcn_fuzz [--seeds N] [--base S] [--mode batch|stream|both]\n"
+               "                 [--policies a,b,...] [--minimize 0|1] [--verbose]\n");
+  std::exit(2);
+}
+
+std::uint64_t parse_count(const std::string& text) {
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "rdcn_fuzz: not a number: '%s'\n", text.c_str());
+    usage();
+  }
+  return value;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t comma = csv.find(',', begin);
+    const std::string part = csv.substr(begin, comma - begin);
+    if (!part.empty()) parts.push_back(part);
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return parts;
+}
+
+struct Totals {
+  std::size_t scenarios = 0;
+  std::size_t checks = 0;
+  std::size_t skipped = 0;
+  std::size_t failures = 0;
+};
+
+void report_failure(const char* kind, std::uint64_t seed, const check::DiffReport& report,
+                    bool minimize, const check::DiffOptions& options) {
+  std::printf("\nFAIL %s seed %llu (%zu violations):\n", kind,
+              static_cast<unsigned long long>(seed), report.violations.size());
+  for (const std::string& violation : report.violations) {
+    std::printf("  * %s\n", violation.c_str());
+  }
+  if (!minimize) return;
+  const check::MinimizedRepro repro =
+      std::strcmp(kind, "stream") == 0 ? check::minimize_stream_seed(seed, options)
+                                       : check::minimize_batch_seed(seed, options);
+  if (!repro.still_failing()) {
+    std::printf("  (seed no longer fails under re-derivation; flaky environment?)\n");
+    return;
+  }
+  std::printf("  minimized: %zu -> %zu %s", repro.original_size, repro.size,
+              repro.stream ? "measured packets" : "packets");
+  if (!repro.failing_neighbors.empty()) {
+    std::printf("; failing neighbor seeds:");
+    for (const std::uint64_t neighbor : repro.failing_neighbors) {
+      std::printf(" %llu", static_cast<unsigned long long>(neighbor));
+    }
+  }
+  std::printf("\n  ready-to-paste regression test (tests/test_check.cpp):\n\n%s\n",
+              repro.ctest_case.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seeds = 50;
+  std::uint64_t base = 1;
+  std::string mode = "both";
+  bool minimize = true;
+  bool verbose = false;
+  check::DiffOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      seeds = parse_count(next());
+    } else if (arg == "--base") {
+      base = parse_count(next());
+    } else if (arg == "--mode") {
+      mode = next();
+      if (mode != "batch" && mode != "stream" && mode != "both") usage();
+    } else if (arg == "--policies") {
+      options.policies = split_csv(next());
+      for (const std::string& name : options.policies) {
+        try {
+          (void)named_policy(name);
+        } catch (const std::invalid_argument& error) {
+          std::fprintf(stderr, "rdcn_fuzz: %s\n", error.what());
+          usage();
+        }
+      }
+    } else if (arg == "--minimize") {
+      minimize = next() != "0";
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      usage();
+    }
+  }
+
+  std::printf("rdcn_fuzz: %llu seeds from %llu, mode %s, %zu policies\n",
+              static_cast<unsigned long long>(seeds),
+              static_cast<unsigned long long>(base), mode.c_str(),
+              (options.policies.empty() ? policy_names() : options.policies).size());
+
+  Totals totals;
+  for (std::uint64_t seed = base; seed < base + seeds; ++seed) {
+    if (mode != "stream") {
+      const check::DiffReport report = check::check_scenario_seed(seed, 0, options);
+      ++totals.scenarios;
+      totals.checks += report.checks;
+      totals.skipped += report.skipped.size();
+      if (!report.ok()) {
+        ++totals.failures;
+        report_failure("batch", seed, report, minimize, options);
+      } else if (verbose) {
+        std::printf("ok batch seed %llu (%zu checks)\n",
+                    static_cast<unsigned long long>(seed), report.checks);
+      }
+    }
+    if (mode != "batch") {
+      const check::DiffReport report = check::check_stream_seed(seed, 0, true, options);
+      ++totals.scenarios;
+      totals.checks += report.checks;
+      totals.skipped += report.skipped.size();
+      if (!report.ok()) {
+        ++totals.failures;
+        report_failure("stream", seed, report, minimize, options);
+      } else if (verbose) {
+        std::printf("ok stream seed %llu (%zu checks%s)\n",
+                    static_cast<unsigned long long>(seed), report.checks,
+                    report.skipped.empty() ? "" : ", spec skipped");
+      }
+    }
+  }
+
+  std::printf("\nrdcn_fuzz: %zu scenarios, %zu cross-checks, %zu spec skips, %zu failures\n",
+              totals.scenarios, totals.checks, totals.skipped, totals.failures);
+  return totals.failures == 0 ? 0 : 1;
+}
