@@ -1,5 +1,9 @@
 #include "net/builders.hpp"
 
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
 namespace rdcn {
 
 namespace {
@@ -130,6 +134,221 @@ Topology build_two_tier(const TwoTierConfig& config, Rng& rng) {
         g.add_edge(rack_transmitters[static_cast<std::size_t>(src_rack)].front(),
                    rack_receivers[static_cast<std::size_t>(dst_rack)].front(), sample_delay());
       }
+    }
+  }
+
+  if (config.fixed_link_delay > 0) {
+    for (NodeIndex s = 0; s < config.racks; ++s) {
+      for (NodeIndex d = 0; d < config.racks; ++d) {
+        if (s == d) continue;
+        g.add_fixed_link(s, d, config.fixed_link_delay);
+      }
+    }
+  }
+  return g;
+}
+
+Topology build_oversubscribed(const OversubscribedConfig& config, Rng& rng) {
+  if (config.racks < 2) throw std::invalid_argument("oversubscribed: racks must be >= 2");
+  if (config.hot_racks < 0 || config.hot_racks > config.racks) {
+    throw std::invalid_argument("oversubscribed: hot_racks must be in [0, racks]");
+  }
+  if (config.hot_lasers < 1 || config.hot_photodetectors < 1 || config.cold_lasers < 1 ||
+      config.cold_photodetectors < 1) {
+    throw std::invalid_argument("oversubscribed: every rack class needs >= 1 port per side");
+  }
+  if (config.density < 0.0 || config.density > 1.0) {
+    throw std::invalid_argument("oversubscribed: density must be in [0, 1]");
+  }
+  if (config.slow_fraction < 0.0 || config.slow_fraction > 1.0) {
+    throw std::invalid_argument("oversubscribed: slow_fraction must be in [0, 1]");
+  }
+  if (config.fast_delay < 1 || config.slow_delay < config.fast_delay) {
+    throw std::invalid_argument("oversubscribed: need 1 <= fast_delay <= slow_delay");
+  }
+  if (config.oversubscription < 1.0) {
+    throw std::invalid_argument("oversubscribed: oversubscription must be >= 1");
+  }
+
+  Topology g;
+  g.add_sources(config.racks);
+  g.add_destinations(config.racks);
+
+  std::vector<std::vector<NodeIndex>> rack_transmitters(
+      static_cast<std::size_t>(config.racks));
+  std::vector<std::vector<NodeIndex>> rack_receivers(static_cast<std::size_t>(config.racks));
+  for (NodeIndex rack = 0; rack < config.racks; ++rack) {
+    const bool hot = rack < config.hot_racks;
+    const NodeIndex lasers = hot ? config.hot_lasers : config.cold_lasers;
+    const NodeIndex pds = hot ? config.hot_photodetectors : config.cold_photodetectors;
+    for (NodeIndex i = 0; i < lasers; ++i) {
+      rack_transmitters[static_cast<std::size_t>(rack)].push_back(
+          g.add_transmitter(rack, config.attach_delay));
+    }
+    for (NodeIndex i = 0; i < pds; ++i) {
+      rack_receivers[static_cast<std::size_t>(rack)].push_back(
+          g.add_receiver(rack, config.attach_delay));
+    }
+  }
+
+  auto sample_delay = [&rng, &config]() -> Delay {
+    return rng.next_bool(config.slow_fraction) ? config.slow_delay : config.fast_delay;
+  };
+
+  const Delay fixed_delay =
+      config.fixed_base_delay > 0
+          ? std::max<Delay>(1, static_cast<Delay>(std::llround(
+                                   static_cast<double>(config.fixed_base_delay) *
+                                   config.oversubscription)))
+          : 0;
+
+  for (NodeIndex src_rack = 0; src_rack < config.racks; ++src_rack) {
+    for (NodeIndex dst_rack = 0; dst_rack < config.racks; ++dst_rack) {
+      if (src_rack == dst_rack) continue;
+      bool any_edge = false;
+      for (NodeIndex t : rack_transmitters[static_cast<std::size_t>(src_rack)]) {
+        for (NodeIndex r : rack_receivers[static_cast<std::size_t>(dst_rack)]) {
+          if (rng.next_bool(config.density)) {
+            g.add_edge(t, r, sample_delay());
+            any_edge = true;
+          }
+        }
+      }
+      // Same routability contract as build_two_tier: patch only when the
+      // pair has no hybrid fallback.
+      if (!any_edge && fixed_delay <= 0) {
+        g.add_edge(rack_transmitters[static_cast<std::size_t>(src_rack)].front(),
+                   rack_receivers[static_cast<std::size_t>(dst_rack)].front(),
+                   sample_delay());
+      }
+    }
+  }
+
+  if (fixed_delay > 0) {
+    for (NodeIndex s = 0; s < config.racks; ++s) {
+      for (NodeIndex d = 0; d < config.racks; ++d) {
+        if (s == d) continue;
+        g.add_fixed_link(s, d, fixed_delay);
+      }
+    }
+  }
+  return g;
+}
+
+namespace {
+
+/// Random permutation of {0..n-1} with no fixed points: shuffle, then
+/// repair each fixed point by swapping with its successor (the swap cannot
+/// introduce a new fixed point at either position, so one pass suffices).
+std::vector<NodeIndex> random_derangement(NodeIndex n, Rng& rng) {
+  std::vector<NodeIndex> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.shuffle(perm);
+  for (NodeIndex i = 0; i < n; ++i) {
+    if (perm[static_cast<std::size_t>(i)] == i) {
+      const NodeIndex j = (i + 1) % n;
+      std::swap(perm[static_cast<std::size_t>(i)], perm[static_cast<std::size_t>(j)]);
+    }
+  }
+  return perm;
+}
+
+}  // namespace
+
+Topology build_expander(const ExpanderConfig& config, Rng& rng) {
+  if (config.racks < 2) throw std::invalid_argument("expander: racks must be >= 2");
+  if (config.degree < 1 || config.degree > config.racks - 1) {
+    throw std::invalid_argument("expander: degree must be in [1, racks - 1]");
+  }
+  if (config.lasers_per_rack < 1 || config.photodetectors_per_rack < 1) {
+    throw std::invalid_argument("expander: every rack needs >= 1 port per side");
+  }
+  if (config.min_edge_delay < 1 || config.max_edge_delay < config.min_edge_delay) {
+    throw std::invalid_argument("expander: need 1 <= min_edge_delay <= max_edge_delay");
+  }
+
+  Topology g;
+  g.add_sources(config.racks);
+  g.add_destinations(config.racks);
+  for (NodeIndex rack = 0; rack < config.racks; ++rack) {
+    for (NodeIndex i = 0; i < config.lasers_per_rack; ++i) {
+      g.add_transmitter(rack, config.attach_delay);
+    }
+  }
+  for (NodeIndex rack = 0; rack < config.racks; ++rack) {
+    for (NodeIndex i = 0; i < config.photodetectors_per_rack; ++i) {
+      g.add_receiver(rack, config.attach_delay);
+    }
+  }
+  auto transmitter_of = [&config](NodeIndex rack, NodeIndex port) {
+    return rack * config.lasers_per_rack + port;
+  };
+  auto receiver_of = [&config](NodeIndex rack, NodeIndex port) {
+    return rack * config.photodetectors_per_rack + port;
+  };
+
+  auto sample_delay = [&rng, &config]() -> Delay {
+    if (config.max_edge_delay <= config.min_edge_delay) return config.min_edge_delay;
+    return rng.next_int(config.min_edge_delay, config.max_edge_delay);
+  };
+
+  for (NodeIndex m = 0; m < config.degree; ++m) {
+    const std::vector<NodeIndex> perm = random_derangement(config.racks, rng);
+    for (NodeIndex rack = 0; rack < config.racks; ++rack) {
+      g.add_edge(transmitter_of(rack, m % config.lasers_per_rack),
+                 receiver_of(perm[static_cast<std::size_t>(rack)],
+                             m % config.photodetectors_per_rack),
+                 sample_delay());
+    }
+  }
+
+  if (config.fixed_link_delay > 0) {
+    for (NodeIndex s = 0; s < config.racks; ++s) {
+      for (NodeIndex d = 0; d < config.racks; ++d) {
+        if (s == d) continue;
+        g.add_fixed_link(s, d, config.fixed_link_delay);
+      }
+    }
+  }
+  return g;
+}
+
+NodeIndex rotor_matchings(const RotorConfig& config) {
+  if (config.racks < 2) throw std::invalid_argument("rotor: racks must be >= 2");
+  if (config.num_matchings < 0 || config.num_matchings > config.racks - 1) {
+    throw std::invalid_argument("rotor: num_matchings must be in [0, racks - 1]");
+  }
+  return config.num_matchings == 0 ? config.racks - 1 : config.num_matchings;
+}
+
+Topology build_rotor(const RotorConfig& config) {
+  const NodeIndex matchings = rotor_matchings(config);
+  if (config.ports_per_rack < 1) {
+    throw std::invalid_argument("rotor: ports_per_rack must be >= 1");
+  }
+  if (config.edge_delay < 1) throw std::invalid_argument("rotor: edge_delay must be >= 1");
+
+  Topology g;
+  g.add_sources(config.racks);
+  g.add_destinations(config.racks);
+  for (NodeIndex rack = 0; rack < config.racks; ++rack) {
+    for (NodeIndex i = 0; i < config.ports_per_rack; ++i) {
+      g.add_transmitter(rack, config.attach_delay);
+    }
+  }
+  for (NodeIndex rack = 0; rack < config.racks; ++rack) {
+    for (NodeIndex i = 0; i < config.ports_per_rack; ++i) {
+      g.add_receiver(rack, config.attach_delay);
+    }
+  }
+
+  for (NodeIndex m = 0; m < matchings; ++m) {
+    const NodeIndex offset = m + 1;
+    const NodeIndex port = m % config.ports_per_rack;
+    for (NodeIndex rack = 0; rack < config.racks; ++rack) {
+      const NodeIndex dst_rack = (rack + offset) % config.racks;
+      g.add_edge(rack * config.ports_per_rack + port,
+                 dst_rack * config.ports_per_rack + port, config.edge_delay);
     }
   }
 

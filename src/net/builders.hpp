@@ -70,4 +70,78 @@ Topology build_two_tier(const TwoTierConfig& config, Rng& rng);
 /// reconfigurable layer with unit delays, no fixed links.
 Topology build_crossbar(NodeIndex ports);
 
+// --- topology zoo -----------------------------------------------------------
+//
+// Three further wiring families the paper's two-tier model admits. All are
+// deterministic in (config, rng-seed): the same draws produce bit-identical
+// edge lists, so fuzz seeds and suite files replay exactly.
+
+/// Oversubscribed hybrid pod: two rack classes with asymmetric port counts
+/// (the first `hot_racks` racks carry the hot class's lasers/photodetectors,
+/// the rest the cold class's), reconfigurable edges drawn per port pair with
+/// probability `density` from two delay classes (fast/slow), and a hybrid
+/// fixed layer whose delay is the base electrical delay scaled by the
+/// oversubscription factor. Every ordered rack pair is routable: via the
+/// fixed layer when present, else via a deterministic patch edge.
+struct OversubscribedConfig {
+  NodeIndex racks = 8;
+  NodeIndex hot_racks = 2;           ///< first hot_racks racks are "hot"
+  NodeIndex hot_lasers = 4;
+  NodeIndex hot_photodetectors = 2;  ///< asymmetry: more out- than in-ports
+  NodeIndex cold_lasers = 1;
+  NodeIndex cold_photodetectors = 1;
+  double density = 0.7;              ///< probability a port pair is wired
+  Delay fast_delay = 1;              ///< delay class drawn per edge:
+  Delay slow_delay = 4;              ///< slow with probability slow_fraction
+  double slow_fraction = 0.25;
+  Delay attach_delay = 0;
+  /// Fixed layer delay = max(1, round(fixed_base_delay * oversubscription));
+  /// fixed_base_delay == 0 disables the hybrid layer entirely.
+  Delay fixed_base_delay = 4;
+  double oversubscription = 4.0;
+};
+Topology build_oversubscribed(const OversubscribedConfig& config, Rng& rng);
+
+/// Expander-style sparse reconfigurable layer: the rack-level wiring is the
+/// superposition of `degree` random fixed-point-free permutations of the
+/// racks, so every rack has reconfigurable out- and in-degree exactly
+/// `degree` (parallel rack pairs may repeat across permutations -- port
+/// redundancy). Edges round-robin over each rack's lasers/photodetectors.
+/// Routability guarantee: every ordered rack pair is routable iff
+/// fixed_link_delay > 0 (the hybrid fallback); without it only the wired
+/// pairs are routable (the workload samplers draw from routable pairs, so
+/// sparse traffic concentrates on the expander edges -- by design).
+struct ExpanderConfig {
+  NodeIndex racks = 12;
+  NodeIndex degree = 3;  ///< rack-level out/in degree; <= racks - 1
+  NodeIndex lasers_per_rack = 2;
+  NodeIndex photodetectors_per_rack = 2;
+  Delay min_edge_delay = 1;  ///< d(e) ~ Uniform{min..max}
+  Delay max_edge_delay = 2;
+  Delay attach_delay = 0;
+  Delay fixed_link_delay = 8;  ///< 0 = pure expander, no hybrid fallback
+};
+Topology build_expander(const ExpanderConfig& config, Rng& rng);
+
+/// RotorNet-style rotor topology: `num_matchings` round-robin rack-level
+/// perfect matchings; matching m wires rack i to rack (i + m + 1) % racks on
+/// laser/photodetector port (m % ports_per_rack). Fully deterministic (no
+/// randomness). num_matchings == 0 selects racks - 1 matchings, which wires
+/// every ordered rack pair exactly once (full coverage); fewer matchings
+/// leave the remaining offsets unwired (routable only if fixed_link_delay
+/// > 0). The registry's "rotor" scheduler cycles these matchings round-robin.
+struct RotorConfig {
+  NodeIndex racks = 8;
+  NodeIndex ports_per_rack = 1;
+  NodeIndex num_matchings = 0;  ///< 0 = racks - 1 (all offsets covered)
+  Delay edge_delay = 1;
+  Delay attach_delay = 0;
+  Delay fixed_link_delay = 0;
+};
+Topology build_rotor(const RotorConfig& config);
+
+/// The number of rack-level matchings build_rotor realizes for the config
+/// (num_matchings clamped into [1, racks - 1], 0 mapped to racks - 1).
+NodeIndex rotor_matchings(const RotorConfig& config);
+
 }  // namespace rdcn

@@ -7,14 +7,63 @@ namespace rdcn {
 namespace {
 
 /// Shared draws: topology shape and workload knobs (the grids mirror
-/// tests/helpers.hpp's varied families plus the hybrid/crossbar corners).
+/// tests/helpers.hpp's varied families plus the full topology zoo --
+/// hybrid/crossbar corners, oversubscribed pods, sparse expanders and
+/// rotor fabrics all flow through the same differential checks).
 void draw_topology(Rng& rng, TopologySpec& topology) {
-  if (rng.next_bool(0.15)) {
+  const std::int64_t family = rng.next_int(0, 9);
+  if (family <= 0) {  // 10%: crossbar
     topology.kind = TopologySpec::Kind::Crossbar;
     topology.crossbar_ports = static_cast<NodeIndex>(rng.next_int(2, 6));
     return;
   }
-  topology.kind = TopologySpec::Kind::TwoTier;
+  topology.seed_salt = rng.next_u64();
+  if (family <= 2) {  // 20%: oversubscribed hybrid pod
+    topology.kind = TopologySpec::Kind::Oversubscribed;
+    auto& net = topology.oversubscribed;
+    net.racks = static_cast<NodeIndex>(rng.next_int(3, 6));
+    net.hot_racks = static_cast<NodeIndex>(rng.next_int(1, 2));
+    net.hot_lasers = static_cast<NodeIndex>(rng.next_int(2, 3));
+    net.hot_photodetectors = static_cast<NodeIndex>(rng.next_int(1, 2));
+    net.cold_lasers = 1;
+    net.cold_photodetectors = static_cast<NodeIndex>(rng.next_int(1, 2));
+    net.density = rng.next_double(0.4, 1.0);
+    net.fast_delay = 1;
+    net.slow_delay = rng.next_int(2, 5);
+    net.slow_fraction = rng.next_double(0.0, 0.5);
+    net.attach_delay = rng.next_bool(0.25) ? 1 : 0;
+    net.fixed_base_delay = rng.next_bool(0.5) ? rng.next_int(2, 5) : 0;
+    net.oversubscription = rng.next_double(1.0, 6.0);
+    return;
+  }
+  if (family <= 4) {  // 20%: expander (sparse and hybrid corners)
+    topology.kind = TopologySpec::Kind::Expander;
+    auto& net = topology.expander;
+    net.racks = static_cast<NodeIndex>(rng.next_int(3, 7));
+    net.degree = static_cast<NodeIndex>(
+        rng.next_int(1, std::min<std::int64_t>(3, net.racks - 1)));
+    net.lasers_per_rack = static_cast<NodeIndex>(rng.next_int(1, 2));
+    net.photodetectors_per_rack = static_cast<NodeIndex>(rng.next_int(1, 2));
+    net.min_edge_delay = 1;
+    net.max_edge_delay = rng.next_int(1, 3);
+    net.attach_delay = rng.next_bool(0.25) ? 1 : 0;
+    net.fixed_link_delay = rng.next_bool(0.35) ? rng.next_int(4, 12) : 0;
+    return;
+  }
+  if (family <= 6) {  // 20%: rotor (full and sparse matching sets)
+    topology.kind = TopologySpec::Kind::Rotor;
+    auto& net = topology.rotor;
+    net.racks = static_cast<NodeIndex>(rng.next_int(3, 8));
+    net.ports_per_rack = static_cast<NodeIndex>(rng.next_int(1, 2));
+    net.num_matchings = rng.next_bool(0.5)
+                            ? 0  // all offsets wired
+                            : static_cast<NodeIndex>(rng.next_int(1, net.racks - 1));
+    net.edge_delay = rng.next_int(1, 3);
+    net.attach_delay = rng.next_bool(0.25) ? 1 : 0;
+    net.fixed_link_delay = rng.next_bool(0.3) ? rng.next_int(4, 10) : 0;
+    return;
+  }
+  topology.kind = TopologySpec::Kind::TwoTier;  // 30%: the original family
   auto& net = topology.two_tier;
   net.racks = static_cast<NodeIndex>(rng.next_int(3, 7));
   net.lasers_per_rack = static_cast<NodeIndex>(rng.next_int(1, 3));
@@ -23,7 +72,6 @@ void draw_topology(Rng& rng, TopologySpec& topology) {
   net.max_edge_delay = rng.next_int(1, 4);
   net.attach_delay = rng.next_bool(0.25) ? rng.next_int(1, 2) : 0;
   net.fixed_link_delay = rng.next_bool(0.4) ? rng.next_int(4, 12) : 0;
-  topology.seed_salt = rng.next_u64();
 }
 
 void draw_workload_shape(Rng& rng, WorkloadConfig& shape) {
@@ -75,6 +123,11 @@ StreamSpec random_stream_spec(std::uint64_t seed) {
   // Light load through overload; overloaded points exercise the truncation
   // path, bounded by a tight step cap.
   spec.traffic.rho = rng.next_double(0.3, 1.2);
+  // The zoo's sparse shapes (expander/rotor with a hybrid layer) route many
+  // pairs fixed-only; loosen the zero-demand guard so those streams are
+  // checked instead of skipped (the default 0.5 is about reported-rho
+  // hygiene, which the differential checks do not rely on).
+  spec.traffic.max_zero_demand_fraction = 0.9;
   spec.warmup_packets = static_cast<std::size_t>(rng.next_int(0, 150));
   spec.measure_packets = static_cast<std::size_t>(rng.next_int(150, 1200));
   spec.telemetry_window = rng.next_int(16, 128);

@@ -22,16 +22,32 @@ std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
 }  // namespace
 
 Topology make_topology(const TopologySpec& spec, std::uint64_t rep_seed) {
+  Rng rng(spec.fixed_wiring ? mix_seed(1, spec.seed_salt)
+                            : mix_seed(rep_seed, spec.seed_salt));
   switch (spec.kind) {
     case TopologySpec::Kind::Crossbar:
       return build_crossbar(spec.crossbar_ports);
-    case TopologySpec::Kind::TwoTier: {
-      Rng rng(spec.fixed_wiring ? mix_seed(1, spec.seed_salt)
-                                : mix_seed(rep_seed, spec.seed_salt));
+    case TopologySpec::Kind::TwoTier:
       return build_two_tier(spec.two_tier, rng);
-    }
+    case TopologySpec::Kind::Oversubscribed:
+      return build_oversubscribed(spec.oversubscribed, rng);
+    case TopologySpec::Kind::Expander:
+      return build_expander(spec.expander, rng);
+    case TopologySpec::Kind::Rotor:
+      return build_rotor(spec.rotor);
   }
   throw std::logic_error("unknown TopologySpec kind");
+}
+
+const char* to_string(TopologySpec::Kind kind) {
+  switch (kind) {
+    case TopologySpec::Kind::TwoTier: return "two_tier";
+    case TopologySpec::Kind::Crossbar: return "crossbar";
+    case TopologySpec::Kind::Oversubscribed: return "oversubscribed";
+    case TopologySpec::Kind::Expander: return "expander";
+    case TopologySpec::Kind::Rotor: return "rotor";
+  }
+  return "unknown";
 }
 
 ScenarioRunner::ScenarioRunner(ScenarioSpec spec) : spec_(std::move(spec)) {

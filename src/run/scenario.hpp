@@ -22,19 +22,31 @@
 
 namespace rdcn {
 
-/// How to build the network for one repetition.
+/// How to build the network for one repetition. The kind selects which of
+/// the config members below is consulted (the topology zoo of
+/// net/builders.hpp); all front ends -- make_topology, the run/random fuzz
+/// grids, suite files and the streaming path -- draw from the same grid.
 struct TopologySpec {
-  enum class Kind { TwoTier, Crossbar };
+  enum class Kind { TwoTier, Crossbar, Oversubscribed, Expander, Rotor };
   Kind kind = Kind::TwoTier;
-  TwoTierConfig two_tier{};      ///< used when kind == TwoTier
-  NodeIndex crossbar_ports = 8;  ///< used when kind == Crossbar
+  TwoTierConfig two_tier{};              ///< used when kind == TwoTier
+  NodeIndex crossbar_ports = 8;          ///< used when kind == Crossbar
+  OversubscribedConfig oversubscribed{};  ///< used when kind == Oversubscribed
+  ExpanderConfig expander{};             ///< used when kind == Expander
+  RotorConfig rotor{};                   ///< used when kind == Rotor
   /// Salt mixed into the wiring Rng, so scenarios can vary the wiring
   /// independently of the workload seed.
   std::uint64_t seed_salt = 0;
   /// true: one wiring (from the salt alone) shared by all repetitions;
   /// false: every repetition rewires from (repetition seed, salt).
+  /// Crossbar and Rotor wirings are deterministic, so both settings agree.
   bool fixed_wiring = false;
 };
+
+/// Registry-style names of the topology kinds ("two_tier", "crossbar",
+/// "oversubscribed", "expander", "rotor"); shared by suite files, CLI
+/// output and test parameterization.
+const char* to_string(TopologySpec::Kind kind);
 
 /// Builds the topology for one repetition of the spec.
 Topology make_topology(const TopologySpec& spec, std::uint64_t rep_seed);

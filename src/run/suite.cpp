@@ -1,0 +1,904 @@
+#include "run/suite.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "run/batch.hpp"
+#include "run/policies.hpp"
+#include "util/json.hpp"
+
+namespace rdcn {
+
+namespace {
+
+// --- strict object reading --------------------------------------------------
+
+/// Wraps one JSON object: typed getters with range checks, every error
+/// carrying the full path, and unknown-key rejection in finish().
+class Fields {
+ public:
+  Fields(const json::Value& value, std::string path) : path_(std::move(path)) {
+    if (!value.is_object()) {
+      throw SuiteError(path_, std::string("expected an object, found ") + value.type_name());
+    }
+    object_ = &value.as_object();
+  }
+
+  std::string path_of(const char* key) const {
+    return path_.empty() ? key : path_ + "." + key;
+  }
+
+  const json::Value* member(const char* key) {
+    allowed_.emplace_back(key);
+    for (const json::Member& entry : *object_) {
+      if (entry.first == key) return &entry.second;
+    }
+    return nullptr;
+  }
+
+  std::string str(const char* key, const std::string& fallback) {
+    const json::Value* value = member(key);
+    if (!value) return fallback;
+    if (!value->is_string()) {
+      throw SuiteError(path_of(key),
+                       std::string("expected a string, found ") + value->type_name());
+    }
+    return value->as_string();
+  }
+
+  std::string required_str(const char* key) {
+    const json::Value* value = member(key);
+    if (!value) throw SuiteError(path_of(key), "required key is missing");
+    if (!value->is_string()) {
+      throw SuiteError(path_of(key),
+                       std::string("expected a string, found ") + value->type_name());
+    }
+    return value->as_string();
+  }
+
+  std::int64_t integer(const char* key, std::int64_t fallback, std::int64_t lo,
+                       std::int64_t hi) {
+    const json::Value* value = member(key);
+    if (!value) return fallback;
+    if (!value->is_integer()) {
+      throw SuiteError(path_of(key),
+                       std::string("expected an integer, found ") + value->type_name());
+    }
+    const std::int64_t parsed = value->as_integer();
+    if (parsed < lo || parsed > hi) {
+      throw SuiteError(path_of(key), std::to_string(parsed) + " is out of range [" +
+                                         std::to_string(lo) + ", " + std::to_string(hi) +
+                                         "]");
+    }
+    return parsed;
+  }
+
+  double real(const char* key, double fallback, double lo, double hi) {
+    const json::Value* value = member(key);
+    if (!value) return fallback;
+    if (!value->is_number()) {
+      throw SuiteError(path_of(key),
+                       std::string("expected a number, found ") + value->type_name());
+    }
+    const double parsed = value->as_number();
+    if (!(parsed >= lo && parsed <= hi)) {
+      std::ostringstream what;
+      what << parsed << " is out of range [" << lo << ", " << hi << "]";
+      throw SuiteError(path_of(key), what.str());
+    }
+    return parsed;
+  }
+
+  bool boolean(const char* key, bool fallback) {
+    const json::Value* value = member(key);
+    if (!value) return fallback;
+    if (!value->is_bool()) {
+      throw SuiteError(path_of(key),
+                       std::string("expected true or false, found ") + value->type_name());
+    }
+    return value->as_bool();
+  }
+
+  /// Rejects every key no getter consulted, listing what the object accepts.
+  void finish() const {
+    for (const json::Member& entry : *object_) {
+      if (std::find(allowed_.begin(), allowed_.end(), entry.first) != allowed_.end()) {
+        continue;
+      }
+      std::string known;
+      for (const std::string& key : allowed_) known += " " + key;
+      throw SuiteError(path_.empty() ? entry.first : path_ + "." + entry.first,
+                       "unknown key; this object accepts:" + known);
+    }
+  }
+
+ private:
+  const json::Object* object_;
+  std::string path_;
+  std::vector<std::string> allowed_;
+};
+
+template <typename Enum>
+Enum parse_enum(const std::string& path, const std::string& text,
+                std::initializer_list<std::pair<const char*, Enum>> mapping) {
+  std::string known;
+  for (const auto& [name, value] : mapping) {
+    if (text == name) return value;
+    known += std::string(" ") + name;
+  }
+  throw SuiteError(path, "unknown value \"" + text + "\"; known:" + known);
+}
+
+constexpr std::int64_t kMaxDelay = 1'000'000;
+constexpr std::int64_t kMaxPorts = 256;
+constexpr std::int64_t kMaxRacks = 4096;
+
+// --- axis entry parsers -----------------------------------------------------
+
+TopologySpec parse_topology(Fields& fields) {
+  TopologySpec spec;
+  const std::string kind = fields.required_str("kind");
+  spec.kind = parse_enum<TopologySpec::Kind>(
+      fields.path_of("kind"), kind,
+      {{"two_tier", TopologySpec::Kind::TwoTier},
+       {"crossbar", TopologySpec::Kind::Crossbar},
+       {"oversubscribed", TopologySpec::Kind::Oversubscribed},
+       {"expander", TopologySpec::Kind::Expander},
+       {"rotor", TopologySpec::Kind::Rotor}});
+  spec.seed_salt = static_cast<std::uint64_t>(
+      fields.integer("seed_salt", 0, 0, std::numeric_limits<std::int64_t>::max()));
+  spec.fixed_wiring = fields.boolean("fixed_wiring", false);
+
+  switch (spec.kind) {
+    case TopologySpec::Kind::TwoTier: {
+      auto& net = spec.two_tier;
+      net.racks = static_cast<NodeIndex>(fields.integer("racks", net.racks, 2, kMaxRacks));
+      net.lasers_per_rack =
+          static_cast<NodeIndex>(fields.integer("lasers", net.lasers_per_rack, 1, kMaxPorts));
+      net.photodetectors_per_rack = static_cast<NodeIndex>(
+          fields.integer("photodetectors", net.photodetectors_per_rack, 1, kMaxPorts));
+      net.density = fields.real("density", net.density, 0.0, 1.0);
+      net.max_edge_delay =
+          static_cast<Delay>(fields.integer("max_edge_delay", net.max_edge_delay, 1, kMaxDelay));
+      net.attach_delay =
+          static_cast<Delay>(fields.integer("attach_delay", net.attach_delay, 0, kMaxDelay));
+      net.fixed_link_delay = static_cast<Delay>(
+          fields.integer("fixed_link_delay", net.fixed_link_delay, 0, kMaxDelay));
+      net.allow_self_edges = fields.boolean("allow_self_edges", net.allow_self_edges);
+      break;
+    }
+    case TopologySpec::Kind::Crossbar:
+      spec.crossbar_ports =
+          static_cast<NodeIndex>(fields.integer("ports", spec.crossbar_ports, 2, kMaxRacks));
+      break;
+    case TopologySpec::Kind::Oversubscribed: {
+      auto& net = spec.oversubscribed;
+      net.racks = static_cast<NodeIndex>(fields.integer("racks", net.racks, 2, kMaxRacks));
+      net.hot_racks =
+          static_cast<NodeIndex>(fields.integer("hot_racks", net.hot_racks, 0, kMaxRacks));
+      if (net.hot_racks > net.racks) {
+        throw SuiteError(fields.path_of("hot_racks"),
+                         std::to_string(net.hot_racks) + " exceeds racks (" +
+                             std::to_string(net.racks) + ")");
+      }
+      net.hot_lasers =
+          static_cast<NodeIndex>(fields.integer("hot_lasers", net.hot_lasers, 1, kMaxPorts));
+      net.hot_photodetectors = static_cast<NodeIndex>(
+          fields.integer("hot_photodetectors", net.hot_photodetectors, 1, kMaxPorts));
+      net.cold_lasers =
+          static_cast<NodeIndex>(fields.integer("cold_lasers", net.cold_lasers, 1, kMaxPorts));
+      net.cold_photodetectors = static_cast<NodeIndex>(
+          fields.integer("cold_photodetectors", net.cold_photodetectors, 1, kMaxPorts));
+      net.density = fields.real("density", net.density, 0.0, 1.0);
+      net.fast_delay =
+          static_cast<Delay>(fields.integer("fast_delay", net.fast_delay, 1, kMaxDelay));
+      net.slow_delay =
+          static_cast<Delay>(fields.integer("slow_delay", net.slow_delay, 1, kMaxDelay));
+      if (net.slow_delay < net.fast_delay) {
+        throw SuiteError(fields.path_of("slow_delay"),
+                         std::to_string(net.slow_delay) + " is below fast_delay (" +
+                             std::to_string(net.fast_delay) + ")");
+      }
+      net.slow_fraction = fields.real("slow_fraction", net.slow_fraction, 0.0, 1.0);
+      net.attach_delay =
+          static_cast<Delay>(fields.integer("attach_delay", net.attach_delay, 0, kMaxDelay));
+      net.fixed_base_delay = static_cast<Delay>(
+          fields.integer("fixed_base_delay", net.fixed_base_delay, 0, kMaxDelay));
+      net.oversubscription = fields.real("oversubscription", net.oversubscription, 1.0, 64.0);
+      break;
+    }
+    case TopologySpec::Kind::Expander: {
+      auto& net = spec.expander;
+      net.racks = static_cast<NodeIndex>(fields.integer("racks", net.racks, 2, kMaxRacks));
+      net.degree = static_cast<NodeIndex>(fields.integer("degree", net.degree, 1, kMaxRacks));
+      if (net.degree > net.racks - 1) {
+        throw SuiteError(fields.path_of("degree"),
+                         std::to_string(net.degree) + " exceeds racks - 1 (" +
+                             std::to_string(net.racks - 1) + ")");
+      }
+      net.lasers_per_rack =
+          static_cast<NodeIndex>(fields.integer("lasers", net.lasers_per_rack, 1, kMaxPorts));
+      net.photodetectors_per_rack = static_cast<NodeIndex>(
+          fields.integer("photodetectors", net.photodetectors_per_rack, 1, kMaxPorts));
+      net.min_edge_delay =
+          static_cast<Delay>(fields.integer("min_edge_delay", net.min_edge_delay, 1, kMaxDelay));
+      net.max_edge_delay =
+          static_cast<Delay>(fields.integer("max_edge_delay", net.max_edge_delay, 1, kMaxDelay));
+      if (net.max_edge_delay < net.min_edge_delay) {
+        throw SuiteError(fields.path_of("max_edge_delay"),
+                         std::to_string(net.max_edge_delay) + " is below min_edge_delay (" +
+                             std::to_string(net.min_edge_delay) + ")");
+      }
+      net.attach_delay =
+          static_cast<Delay>(fields.integer("attach_delay", net.attach_delay, 0, kMaxDelay));
+      net.fixed_link_delay = static_cast<Delay>(
+          fields.integer("fixed_link_delay", net.fixed_link_delay, 0, kMaxDelay));
+      break;
+    }
+    case TopologySpec::Kind::Rotor: {
+      auto& net = spec.rotor;
+      net.racks = static_cast<NodeIndex>(fields.integer("racks", net.racks, 2, kMaxRacks));
+      net.ports_per_rack =
+          static_cast<NodeIndex>(fields.integer("ports", net.ports_per_rack, 1, kMaxPorts));
+      net.num_matchings =
+          static_cast<NodeIndex>(fields.integer("matchings", net.num_matchings, 0, kMaxRacks));
+      if (net.num_matchings > net.racks - 1) {
+        throw SuiteError(fields.path_of("matchings"),
+                         std::to_string(net.num_matchings) + " exceeds racks - 1 (" +
+                             std::to_string(net.racks - 1) + "); 0 selects all offsets");
+      }
+      net.edge_delay =
+          static_cast<Delay>(fields.integer("edge_delay", net.edge_delay, 1, kMaxDelay));
+      net.attach_delay =
+          static_cast<Delay>(fields.integer("attach_delay", net.attach_delay, 0, kMaxDelay));
+      net.fixed_link_delay = static_cast<Delay>(
+          fields.integer("fixed_link_delay", net.fixed_link_delay, 0, kMaxDelay));
+      break;
+    }
+  }
+  return spec;
+}
+
+/// Shape keys shared by batch workloads and stream traffic.
+void parse_shape(Fields& fields, WorkloadConfig& shape) {
+  const std::string skew = fields.str("skew", "uniform");
+  shape.skew = parse_enum<PairSkew>(fields.path_of("skew"), skew,
+                                    {{"uniform", PairSkew::Uniform},
+                                     {"zipf", PairSkew::Zipf},
+                                     {"hotspot", PairSkew::Hotspot},
+                                     {"permutation", PairSkew::Permutation},
+                                     {"incast", PairSkew::Incast}});
+  shape.zipf_exponent = fields.real("zipf_exponent", shape.zipf_exponent, 0.0, 8.0);
+  shape.hotspot_fraction = fields.real("hotspot_fraction", shape.hotspot_fraction, 0.0, 1.0);
+  const std::string weights = fields.str("weights", "uniform-int");
+  shape.weights = parse_enum<WeightDist>(fields.path_of("weights"), weights,
+                                         {{"unit", WeightDist::Unit},
+                                          {"uniform-int", WeightDist::UniformInt},
+                                          {"pareto", WeightDist::Pareto},
+                                          {"bimodal", WeightDist::Bimodal}});
+  shape.weight_max = fields.integer("weight_max", shape.weight_max, 1, 1'000'000'000);
+  shape.pareto_shape = fields.real("pareto_shape", shape.pareto_shape, 1.01, 16.0);
+  shape.elephant_fraction =
+      fields.real("elephant_fraction", shape.elephant_fraction, 0.0, 1.0);
+}
+
+WorkloadConfig parse_workload(Fields& fields) {
+  WorkloadConfig config;
+  config.num_packets = static_cast<std::size_t>(
+      fields.integer("packets", static_cast<std::int64_t>(config.num_packets), 1, 10'000'000));
+  config.arrival_rate = fields.real("rate", config.arrival_rate, 1e-6, 1e6);
+  parse_shape(fields, config);
+  config.bursty = fields.boolean("bursty", config.bursty);
+  config.burst_off_prob = fields.real("burst_off_prob", config.burst_off_prob, 0.0, 0.999);
+  return config;
+}
+
+TrafficConfig parse_traffic(Fields& fields) {
+  TrafficConfig config;
+  const std::string process = fields.str("process", "poisson");
+  config.process = parse_enum<ArrivalProcess>(
+      fields.path_of("process"), process,
+      {{"poisson", ArrivalProcess::Poisson}, {"onoff", ArrivalProcess::OnOff}});
+  config.rho = fields.real("rho", config.rho, 1e-6, 8.0);
+  config.capacity_model = parse_enum<CapacityModel>(
+      fields.path_of("capacity_model"), fields.str("capacity_model", "ports"),
+      {{"ports", CapacityModel::Ports}, {"max_matching", CapacityModel::MaxMatching}});
+  parse_shape(fields, config.shape);
+  config.on_stay = fields.real("on_stay", config.on_stay, 0.0, 0.999);
+  config.off_stay = fields.real("off_stay", config.off_stay, 0.0, 0.999);
+  config.max_zero_demand_fraction =
+      fields.real("max_zero_demand_fraction", config.max_zero_demand_fraction, 0.0, 1.0);
+  return config;
+}
+
+EngineOptions parse_engine(Fields& fields) {
+  EngineOptions options;
+  options.speedup_rounds =
+      static_cast<int>(fields.integer("speedup", options.speedup_rounds, 1, 16));
+  options.endpoint_capacity =
+      static_cast<int>(fields.integer("capacity", options.endpoint_capacity, 1, 64));
+  options.reconfig_delay =
+      static_cast<Delay>(fields.integer("reconfig_delay", options.reconfig_delay, 0, kMaxDelay));
+  if (options.reconfig_delay > 0 && options.endpoint_capacity != 1) {
+    throw SuiteError(fields.path_of("reconfig_delay"),
+                     "requires capacity == 1 (the engine's reconfiguration-delay "
+                     "extension is defined on the matching model)");
+  }
+  options.audit = fields.boolean("audit", options.audit);
+  return options;
+}
+
+std::string default_engine_label(const EngineOptions& options) {
+  std::string label = "s" + std::to_string(options.speedup_rounds) + "c" +
+                      std::to_string(options.endpoint_capacity) + "r" +
+                      std::to_string(options.reconfig_delay);
+  if (options.audit) label += "-audit";
+  return label;
+}
+
+void check_label(const std::string& path, const std::string& label) {
+  if (label.empty()) throw SuiteError(path, "labels must be non-empty");
+  if (label.find('/') != std::string::npos) {
+    throw SuiteError(path, "label \"" + label + "\" may not contain '/'"
+                           " (labels compose cell names)");
+  }
+}
+
+template <typename Entry>
+void check_unique_labels(const std::string& axis, const std::vector<Entry>& entries) {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    for (std::size_t j = i + 1; j < entries.size(); ++j) {
+      if (entries[i].label == entries[j].label) {
+        throw SuiteError(axis + "[" + std::to_string(j) + "].name",
+                         "duplicate label \"" + entries[j].label +
+                             "\"; give each axis entry a distinct \"name\"");
+      }
+    }
+  }
+}
+
+template <typename Fn>
+void parse_axis(Fields& doc, const char* key, bool required, Fn&& parse_entry) {
+  const json::Value* value = doc.member(key);
+  if (!value) {
+    if (required) throw SuiteError(key, "required key is missing");
+    return;
+  }
+  if (!value->is_array()) {
+    throw SuiteError(key, std::string("expected an array, found ") + value->type_name());
+  }
+  const json::Array& entries = value->as_array();
+  if (required && entries.empty()) {
+    throw SuiteError(key, "needs at least one entry");
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    parse_entry(entries[i], std::string(key) + "[" + std::to_string(i) + "]");
+  }
+}
+
+}  // namespace
+
+SuiteSpec parse_suite(const std::string& json_text) {
+  json::Value document;
+  try {
+    document = json::parse(json_text);
+  } catch (const json::ParseError& error) {
+    throw SuiteError("", std::string("malformed JSON: ") + error.what());
+  }
+
+  Fields doc(document, "");
+  SuiteSpec suite;
+  suite.name = doc.required_str("suite");
+  if (suite.name.empty()) throw SuiteError("suite", "suite name must be non-empty");
+  check_label("suite", suite.name);  // the name prefixes every cell name
+
+  suite.mode = parse_enum<SuiteSpec::Mode>(
+      "mode", doc.str("mode", "batch"),
+      {{"batch", SuiteSpec::Mode::Batch}, {"stream", SuiteSpec::Mode::Stream}});
+
+  if (const json::Value* seeds = doc.member("seeds")) {
+    Fields fields(*seeds, "seeds");
+    suite.base_seed = static_cast<std::uint64_t>(
+        fields.integer("base", 1, 0, std::numeric_limits<std::int64_t>::max()));
+    suite.repetitions =
+        static_cast<std::size_t>(fields.integer("repetitions", 3, 1, 100'000));
+    fields.finish();
+  }
+
+  // Policies, validated against the registry so a typo fails at parse time.
+  {
+    const json::Value* value = doc.member("policies");
+    if (!value) throw SuiteError("policies", "required key is missing");
+    if (!value->is_array()) {
+      throw SuiteError("policies",
+                       std::string("expected an array, found ") + value->type_name());
+    }
+    const json::Array& entries = value->as_array();
+    if (entries.empty()) throw SuiteError("policies", "needs at least one policy");
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const std::string path = "policies[" + std::to_string(i) + "]";
+      if (!entries[i].is_string()) {
+        throw SuiteError(path,
+                         std::string("expected a string, found ") + entries[i].type_name());
+      }
+      const std::string& name = entries[i].as_string();
+      try {
+        (void)named_policy(name);
+      } catch (const std::invalid_argument&) {
+        std::string known;
+        for (const std::string& entry : policy_names()) known += " " + entry;
+        throw SuiteError(path, "unknown policy \"" + name + "\"; registry:" + known);
+      }
+      if (std::find(suite.policies.begin(), suite.policies.end(), name) !=
+          suite.policies.end()) {
+        throw SuiteError(path, "duplicate policy \"" + name + "\"");
+      }
+      suite.policies.push_back(name);
+    }
+  }
+
+  parse_axis(doc, "topologies", /*required=*/true,
+             [&suite](const json::Value& entry, const std::string& path) {
+               Fields fields(entry, path);
+               SuiteTopology topology;
+               topology.spec = parse_topology(fields);
+               topology.label = fields.str("name", to_string(topology.spec.kind));
+               check_label(fields.path_of("name"), topology.label);
+               fields.finish();
+               suite.topologies.push_back(std::move(topology));
+             });
+  check_unique_labels("topologies", suite.topologies);
+
+  parse_axis(doc, "workloads", /*required=*/suite.mode == SuiteSpec::Mode::Batch,
+             [&suite](const json::Value& entry, const std::string& path) {
+               Fields fields(entry, path);
+               SuiteWorkload workload;
+               workload.config = parse_workload(fields);
+               workload.label = fields.str("name", to_string(workload.config.skew));
+               check_label(fields.path_of("name"), workload.label);
+               fields.finish();
+               suite.workloads.push_back(std::move(workload));
+             });
+  check_unique_labels("workloads", suite.workloads);
+  if (suite.mode == SuiteSpec::Mode::Stream && !suite.workloads.empty()) {
+    throw SuiteError("workloads", "only valid when mode is \"batch\" (stream suites "
+                                  "describe arrivals under \"traffic\")");
+  }
+
+  parse_axis(doc, "traffic", /*required=*/suite.mode == SuiteSpec::Mode::Stream,
+             [&suite](const json::Value& entry, const std::string& path) {
+               Fields fields(entry, path);
+               SuiteTraffic traffic;
+               traffic.config = parse_traffic(fields);
+               traffic.label = fields.str(
+                   "name", traffic.config.process == ArrivalProcess::OnOff ? "onoff"
+                                                                           : "poisson");
+               check_label(fields.path_of("name"), traffic.label);
+               fields.finish();
+               suite.traffic.push_back(std::move(traffic));
+             });
+  check_unique_labels("traffic", suite.traffic);
+  if (suite.mode == SuiteSpec::Mode::Batch && !suite.traffic.empty()) {
+    throw SuiteError("traffic", "only valid when mode is \"stream\" (batch suites "
+                                "describe finite workloads under \"workloads\")");
+  }
+
+  parse_axis(doc, "engines", /*required=*/false,
+             [&suite](const json::Value& entry, const std::string& path) {
+               Fields fields(entry, path);
+               SuiteEngine engine;
+               engine.options = parse_engine(fields);
+               engine.label = fields.str("name", default_engine_label(engine.options));
+               check_label(fields.path_of("name"), engine.label);
+               fields.finish();
+               suite.engines.push_back(std::move(engine));
+             });
+  if (suite.engines.empty()) {
+    suite.engines.push_back({default_engine_label(EngineOptions{}), EngineOptions{}});
+  }
+  check_unique_labels("engines", suite.engines);
+
+  if (const json::Value* stream = doc.member("stream")) {
+    if (suite.mode != SuiteSpec::Mode::Stream) {
+      throw SuiteError("stream", "only valid when mode is \"stream\"");
+    }
+    Fields fields(*stream, "stream");
+    suite.warmup_packets =
+        static_cast<std::size_t>(fields.integer("warmup", 1000, 0, 100'000'000));
+    suite.measure_packets =
+        static_cast<std::size_t>(fields.integer("measure", 10000, 1, 1'000'000'000));
+    suite.telemetry_window = static_cast<Time>(fields.integer("window", 256, 1, 1'000'000));
+    suite.max_steps = static_cast<Time>(
+        fields.integer("max_steps", 0, 0, std::numeric_limits<std::int64_t>::max()));
+    suite.step_cap_factor = fields.real("step_cap_factor", 8.0, 1.0, 1000.0);
+    fields.finish();
+  }
+
+  doc.finish();
+  return suite;
+}
+
+SuiteSpec load_suite_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw SuiteError("", "cannot open suite file " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return parse_suite(text.str());
+  } catch (const SuiteError& error) {
+    // Re-wrap so the message leads with the file; the JSON path survives
+    // inside what() (it prefixes the original message).
+    throw SuiteError("", path + ": " + error.what());
+  }
+}
+
+// --- normalized writer ------------------------------------------------------
+
+namespace {
+
+json::Value topology_to_json(const SuiteTopology& topology) {
+  json::Object object;
+  object.emplace_back("name", topology.label);
+  object.emplace_back("kind", to_string(topology.spec.kind));
+  switch (topology.spec.kind) {
+    case TopologySpec::Kind::TwoTier: {
+      const auto& net = topology.spec.two_tier;
+      object.emplace_back("racks", static_cast<std::int64_t>(net.racks));
+      object.emplace_back("lasers", static_cast<std::int64_t>(net.lasers_per_rack));
+      object.emplace_back("photodetectors",
+                          static_cast<std::int64_t>(net.photodetectors_per_rack));
+      object.emplace_back("density", net.density);
+      object.emplace_back("max_edge_delay", static_cast<std::int64_t>(net.max_edge_delay));
+      object.emplace_back("attach_delay", static_cast<std::int64_t>(net.attach_delay));
+      object.emplace_back("fixed_link_delay",
+                          static_cast<std::int64_t>(net.fixed_link_delay));
+      object.emplace_back("allow_self_edges", net.allow_self_edges);
+      break;
+    }
+    case TopologySpec::Kind::Crossbar:
+      object.emplace_back("ports", static_cast<std::int64_t>(topology.spec.crossbar_ports));
+      break;
+    case TopologySpec::Kind::Oversubscribed: {
+      const auto& net = topology.spec.oversubscribed;
+      object.emplace_back("racks", static_cast<std::int64_t>(net.racks));
+      object.emplace_back("hot_racks", static_cast<std::int64_t>(net.hot_racks));
+      object.emplace_back("hot_lasers", static_cast<std::int64_t>(net.hot_lasers));
+      object.emplace_back("hot_photodetectors",
+                          static_cast<std::int64_t>(net.hot_photodetectors));
+      object.emplace_back("cold_lasers", static_cast<std::int64_t>(net.cold_lasers));
+      object.emplace_back("cold_photodetectors",
+                          static_cast<std::int64_t>(net.cold_photodetectors));
+      object.emplace_back("density", net.density);
+      object.emplace_back("fast_delay", static_cast<std::int64_t>(net.fast_delay));
+      object.emplace_back("slow_delay", static_cast<std::int64_t>(net.slow_delay));
+      object.emplace_back("slow_fraction", net.slow_fraction);
+      object.emplace_back("attach_delay", static_cast<std::int64_t>(net.attach_delay));
+      object.emplace_back("fixed_base_delay",
+                          static_cast<std::int64_t>(net.fixed_base_delay));
+      object.emplace_back("oversubscription", net.oversubscription);
+      break;
+    }
+    case TopologySpec::Kind::Expander: {
+      const auto& net = topology.spec.expander;
+      object.emplace_back("racks", static_cast<std::int64_t>(net.racks));
+      object.emplace_back("degree", static_cast<std::int64_t>(net.degree));
+      object.emplace_back("lasers", static_cast<std::int64_t>(net.lasers_per_rack));
+      object.emplace_back("photodetectors",
+                          static_cast<std::int64_t>(net.photodetectors_per_rack));
+      object.emplace_back("min_edge_delay", static_cast<std::int64_t>(net.min_edge_delay));
+      object.emplace_back("max_edge_delay", static_cast<std::int64_t>(net.max_edge_delay));
+      object.emplace_back("attach_delay", static_cast<std::int64_t>(net.attach_delay));
+      object.emplace_back("fixed_link_delay",
+                          static_cast<std::int64_t>(net.fixed_link_delay));
+      break;
+    }
+    case TopologySpec::Kind::Rotor: {
+      const auto& net = topology.spec.rotor;
+      object.emplace_back("racks", static_cast<std::int64_t>(net.racks));
+      object.emplace_back("ports", static_cast<std::int64_t>(net.ports_per_rack));
+      object.emplace_back("matchings", static_cast<std::int64_t>(net.num_matchings));
+      object.emplace_back("edge_delay", static_cast<std::int64_t>(net.edge_delay));
+      object.emplace_back("attach_delay", static_cast<std::int64_t>(net.attach_delay));
+      object.emplace_back("fixed_link_delay",
+                          static_cast<std::int64_t>(net.fixed_link_delay));
+      break;
+    }
+  }
+  object.emplace_back("seed_salt", static_cast<std::int64_t>(topology.spec.seed_salt));
+  object.emplace_back("fixed_wiring", topology.spec.fixed_wiring);
+  return json::Value(std::move(object));
+}
+
+void shape_to_json(const WorkloadConfig& shape, json::Object& object) {
+  object.emplace_back("skew", to_string(shape.skew));
+  object.emplace_back("zipf_exponent", shape.zipf_exponent);
+  object.emplace_back("hotspot_fraction", shape.hotspot_fraction);
+  object.emplace_back("weights", to_string(shape.weights));
+  object.emplace_back("weight_max", shape.weight_max);
+  object.emplace_back("pareto_shape", shape.pareto_shape);
+  object.emplace_back("elephant_fraction", shape.elephant_fraction);
+}
+
+json::Value workload_to_json(const SuiteWorkload& workload) {
+  json::Object object;
+  object.emplace_back("name", workload.label);
+  object.emplace_back("packets", static_cast<std::int64_t>(workload.config.num_packets));
+  object.emplace_back("rate", workload.config.arrival_rate);
+  shape_to_json(workload.config, object);
+  object.emplace_back("bursty", workload.config.bursty);
+  object.emplace_back("burst_off_prob", workload.config.burst_off_prob);
+  return json::Value(std::move(object));
+}
+
+json::Value traffic_to_json(const SuiteTraffic& traffic) {
+  json::Object object;
+  object.emplace_back("name", traffic.label);
+  object.emplace_back(
+      "process", traffic.config.process == ArrivalProcess::OnOff ? "onoff" : "poisson");
+  object.emplace_back("rho", traffic.config.rho);
+  object.emplace_back("capacity_model",
+                      traffic.config.capacity_model == CapacityModel::MaxMatching
+                          ? "max_matching"
+                          : "ports");
+  shape_to_json(traffic.config.shape, object);
+  object.emplace_back("on_stay", traffic.config.on_stay);
+  object.emplace_back("off_stay", traffic.config.off_stay);
+  object.emplace_back("max_zero_demand_fraction", traffic.config.max_zero_demand_fraction);
+  return json::Value(std::move(object));
+}
+
+json::Value engine_to_json(const SuiteEngine& engine) {
+  json::Object object;
+  object.emplace_back("name", engine.label);
+  object.emplace_back("speedup", static_cast<std::int64_t>(engine.options.speedup_rounds));
+  object.emplace_back("capacity",
+                      static_cast<std::int64_t>(engine.options.endpoint_capacity));
+  object.emplace_back("reconfig_delay",
+                      static_cast<std::int64_t>(engine.options.reconfig_delay));
+  object.emplace_back("audit", engine.options.audit);
+  return json::Value(std::move(object));
+}
+
+}  // namespace
+
+std::string suite_to_json(const SuiteSpec& spec) {
+  json::Object document;
+  document.emplace_back("suite", spec.name);
+  document.emplace_back("mode", spec.mode == SuiteSpec::Mode::Stream ? "stream" : "batch");
+  {
+    json::Object seeds;
+    seeds.emplace_back("base", static_cast<std::int64_t>(spec.base_seed));
+    seeds.emplace_back("repetitions", static_cast<std::int64_t>(spec.repetitions));
+    document.emplace_back("seeds", json::Value(std::move(seeds)));
+  }
+  {
+    json::Array policies;
+    for (const std::string& policy : spec.policies) policies.emplace_back(policy);
+    document.emplace_back("policies", json::Value(std::move(policies)));
+  }
+  {
+    json::Array engines;
+    for (const SuiteEngine& engine : spec.engines) engines.push_back(engine_to_json(engine));
+    document.emplace_back("engines", json::Value(std::move(engines)));
+  }
+  {
+    json::Array topologies;
+    for (const SuiteTopology& topology : spec.topologies) {
+      topologies.push_back(topology_to_json(topology));
+    }
+    document.emplace_back("topologies", json::Value(std::move(topologies)));
+  }
+  if (spec.mode == SuiteSpec::Mode::Batch) {
+    json::Array workloads;
+    for (const SuiteWorkload& workload : spec.workloads) {
+      workloads.push_back(workload_to_json(workload));
+    }
+    document.emplace_back("workloads", json::Value(std::move(workloads)));
+  } else {
+    json::Array traffic;
+    for (const SuiteTraffic& entry : spec.traffic) traffic.push_back(traffic_to_json(entry));
+    document.emplace_back("traffic", json::Value(std::move(traffic)));
+    json::Object stream;
+    stream.emplace_back("warmup", static_cast<std::int64_t>(spec.warmup_packets));
+    stream.emplace_back("measure", static_cast<std::int64_t>(spec.measure_packets));
+    stream.emplace_back("window", static_cast<std::int64_t>(spec.telemetry_window));
+    stream.emplace_back("max_steps", static_cast<std::int64_t>(spec.max_steps));
+    stream.emplace_back("step_cap_factor", spec.step_cap_factor);
+    document.emplace_back("stream", json::Value(std::move(stream)));
+  }
+  return json::dump(json::Value(std::move(document)), 2) + "\n";
+}
+
+// --- grid expansion ---------------------------------------------------------
+
+std::vector<ScenarioSpec> suite_batch_grid(const SuiteSpec& spec) {
+  if (spec.mode != SuiteSpec::Mode::Batch) {
+    throw SuiteError("mode", "suite_batch_grid needs a batch suite");
+  }
+  std::vector<ScenarioSpec> grid;
+  grid.reserve(spec.topologies.size() * spec.workloads.size() * spec.engines.size());
+  for (const SuiteTopology& topology : spec.topologies) {
+    for (const SuiteWorkload& workload : spec.workloads) {
+      for (const SuiteEngine& engine : spec.engines) {
+        ScenarioSpec cell;
+        cell.name =
+            spec.name + "/" + topology.label + "/" + workload.label + "/" + engine.label;
+        cell.topology = topology.spec;
+        cell.workload = workload.config;
+        cell.engine = engine.options;
+        cell.base_seed = spec.base_seed;
+        cell.repetitions = spec.repetitions;
+        grid.push_back(std::move(cell));
+      }
+    }
+  }
+  return grid;
+}
+
+std::vector<StreamSpec> suite_stream_grid(const SuiteSpec& spec) {
+  if (spec.mode != SuiteSpec::Mode::Stream) {
+    throw SuiteError("mode", "suite_stream_grid needs a stream suite");
+  }
+  std::vector<StreamSpec> grid;
+  grid.reserve(spec.topologies.size() * spec.traffic.size() * spec.engines.size());
+  for (const SuiteTopology& topology : spec.topologies) {
+    for (const SuiteTraffic& traffic : spec.traffic) {
+      for (const SuiteEngine& engine : spec.engines) {
+        StreamSpec cell;
+        cell.name =
+            spec.name + "/" + topology.label + "/" + traffic.label + "/" + engine.label;
+        cell.topology = topology.spec;
+        cell.traffic = traffic.config;
+        cell.traffic.speedup_rounds = engine.options.speedup_rounds;
+        cell.engine = engine.options;
+        cell.base_seed = spec.base_seed;
+        cell.repetitions = spec.repetitions;
+        cell.warmup_packets = spec.warmup_packets;
+        cell.measure_packets = spec.measure_packets;
+        cell.telemetry_window = spec.telemetry_window;
+        cell.max_steps = spec.max_steps;
+        cell.step_cap_factor = spec.step_cap_factor;
+        grid.push_back(std::move(cell));
+      }
+    }
+  }
+  return grid;
+}
+
+// --- execution --------------------------------------------------------------
+
+SuiteRunner::SuiteRunner(SuiteSpec spec) : spec_(std::move(spec)) {}
+
+std::size_t SuiteRunner::grid_cells() const noexcept {
+  const std::size_t axis = spec_.mode == SuiteSpec::Mode::Batch ? spec_.workloads.size()
+                                                                : spec_.traffic.size();
+  return spec_.topologies.size() * axis * spec_.engines.size();
+}
+
+namespace {
+
+/// Axis labels of a cell, recovered from run order (topology-major, then
+/// workload/traffic, then engine -- matching the grid expansion loops).
+struct CellAxes {
+  const SuiteTopology* topology;
+  std::string variant;  ///< workload or traffic label
+  const SuiteEngine* engine;
+};
+
+std::vector<CellAxes> cell_axes(const SuiteSpec& spec) {
+  std::vector<CellAxes> axes;
+  const std::size_t variants = spec.mode == SuiteSpec::Mode::Batch ? spec.workloads.size()
+                                                                   : spec.traffic.size();
+  for (const SuiteTopology& topology : spec.topologies) {
+    for (std::size_t v = 0; v < variants; ++v) {
+      const std::string& variant = spec.mode == SuiteSpec::Mode::Batch
+                                       ? spec.workloads[v].label
+                                       : spec.traffic[v].label;
+      for (const SuiteEngine& engine : spec.engines) {
+        axes.push_back({&topology, variant, &engine});
+      }
+    }
+  }
+  return axes;
+}
+
+json::Object line_header(const SuiteSpec& spec, const CellAxes& axes,
+                         const std::string& policy, const std::string& scenario) {
+  json::Object params;
+  params.emplace_back("scenario", scenario);
+  params.emplace_back("topology", axes.topology->label);
+  params.emplace_back("kind", to_string(axes.topology->spec.kind));
+  params.emplace_back(spec.mode == SuiteSpec::Mode::Batch ? "workload" : "traffic",
+                      axes.variant);
+  params.emplace_back("engine", axes.engine->label);
+  params.emplace_back("mode", spec.mode == SuiteSpec::Mode::Batch ? "batch" : "stream");
+  params.emplace_back("base_seed", static_cast<std::int64_t>(spec.base_seed));
+  params.emplace_back("reps", static_cast<std::int64_t>(spec.repetitions));
+
+  json::Object line;
+  line.emplace_back("bench", spec.name);
+  line.emplace_back("name", policy);
+  line.emplace_back("params", json::Value(std::move(params)));
+  return line;
+}
+
+}  // namespace
+
+std::vector<std::string> SuiteRunner::cell_names() const {
+  const std::vector<CellAxes> axes = cell_axes(spec_);
+  std::vector<std::string> names;
+  names.reserve(axes.size() * spec_.policies.size());
+  for (const CellAxes& cell : axes) {
+    for (const std::string& policy : spec_.policies) {
+      names.push_back(spec_.name + "/" + cell.topology->label + "/" + cell.variant + "/" +
+                      cell.engine->label + " x " + policy);
+    }
+  }
+  return names;
+}
+
+std::vector<std::string> SuiteRunner::run(std::size_t threads) const {
+  const std::vector<CellAxes> axes = cell_axes(spec_);
+  std::vector<std::string> lines;
+  lines.reserve(axes.size() * spec_.policies.size());
+  BatchRunner runner(threads);
+
+  if (spec_.mode == SuiteSpec::Mode::Batch) {
+    const std::vector<ScenarioSpec> grid = suite_batch_grid(spec_);
+    for (const ScenarioSpec& cell : grid) {
+      for (const std::string& policy : spec_.policies) {
+        runner.add(cell, named_policy(policy));
+      }
+    }
+    const std::vector<ScenarioResult> results = runner.run();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const ScenarioResult& result = results[i];
+      json::Object line =
+          line_header(spec_, axes[i / spec_.policies.size()], result.policy, result.scenario);
+      line.emplace_back("total_cost", result.cost.mean());
+      line.emplace_back("wall_ms", result.wall_ms.mean());
+      line.emplace_back("cost_stddev", result.cost.stddev());
+      line.emplace_back("cost_min", result.cost.min());
+      line.emplace_back("cost_max", result.cost.max());
+      lines.push_back(json::dump(json::Value(std::move(line))));
+    }
+    return lines;
+  }
+
+  const std::vector<StreamSpec> grid = suite_stream_grid(spec_);
+  for (const StreamSpec& cell : grid) {
+    for (const std::string& policy : spec_.policies) {
+      runner.add_stream(cell, named_policy(policy));
+    }
+  }
+  const std::vector<StreamResult> results = runner.run_streams();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const StreamResult& result = results[i];
+    const CellAxes& cell = axes[i / spec_.policies.size()];
+    json::Object line = line_header(spec_, cell, result.policy, result.scenario);
+    double total_cost = 0.0;
+    for (const StreamRepOutcome& rep : result.repetitions) total_cost += rep.total_cost;
+    if (!result.repetitions.empty()) {
+      total_cost /= static_cast<double>(result.repetitions.size());
+    }
+    line.emplace_back("total_cost", total_cost);
+    line.emplace_back("wall_ms", result.wall_ms.mean());
+    line.emplace_back("throughput", result.throughput.mean());
+    line.emplace_back("measured_rho", result.measured_rho.mean());
+    line.emplace_back("mean_latency", result.latency.mean());
+    line.emplace_back("p50", static_cast<std::int64_t>(result.latency.p50()));
+    line.emplace_back("p95", static_cast<std::int64_t>(result.latency.p95()));
+    line.emplace_back("p99", static_cast<std::int64_t>(result.latency.p99()));
+    line.emplace_back("backlog", result.backlog.mean());
+    line.emplace_back("truncated_reps", static_cast<std::int64_t>(result.truncated_reps));
+    line.emplace_back("zero_demand", static_cast<std::int64_t>(result.zero_demand));
+    lines.push_back(json::dump(json::Value(std::move(line))));
+  }
+  return lines;
+}
+
+}  // namespace rdcn

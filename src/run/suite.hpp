@@ -1,0 +1,151 @@
+#pragma once
+
+// Declarative scenario suites: a JSON file describes a full experiment
+// grid -- topologies x workloads (or open-loop traffic) x engine variants
+// x policies -- and a SuiteRunner fans the expanded grid through the
+// existing BatchRunner, emitting one BenchReport-style JSON line per
+// (cell, policy). Every future experiment becomes a config file instead
+// of a recompile; the gallery under examples/suites/ holds the paper
+// baselines and the topology-zoo shootouts.
+//
+// The parser is strict: unknown keys are rejected (with the list of keys
+// the object accepts), type mismatches and out-of-range values name the
+// exact JSON path ("topologies[2].density"), and policies are validated
+// against the run/ registry at parse time. suite_to_json re-emits the
+// normalized form (every default materialized), so spec -> JSON -> spec
+// round-trips bit-for-bit -- the golden test in tests/test_suite.cpp.
+//
+// Schema (see README.md "Declarative suite files" for the annotated
+// version):
+//
+//   {
+//     "suite": "paper-baseline",          // required
+//     "mode": "batch",                    // batch (default) | stream
+//     "seeds": {"base": 1, "repetitions": 5},
+//     "policies": ["alg", "maxweight"],   // required, registry names
+//     "engines": [{"name": "unit"}],      // optional engine variants
+//     "topologies": [{"kind": "two_tier", ...}, ...],   // required
+//     "workloads": [{...}, ...],          // batch mode: required
+//     "traffic": [{...}, ...],            // stream mode: required
+//     "stream": {"warmup": 1000, ...}     // stream mode run knobs
+//   }
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "run/scenario.hpp"
+#include "run/stream.hpp"
+
+namespace rdcn {
+
+/// Suite parse/validation failure. `path()` is the JSON path of the
+/// offending value ("topologies[2].density"; empty for document-level
+/// errors); what() always embeds it.
+class SuiteError : public std::runtime_error {
+ public:
+  SuiteError(std::string path, const std::string& what)
+      : std::runtime_error(path.empty() ? what : path + ": " + what),
+        path_(std::move(path)) {}
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// One labelled axis entry of the grid. Labels default to
+/// "<kind-or-index>" and must be unique per axis (they name result cells).
+struct SuiteTopology {
+  std::string label;
+  TopologySpec spec;
+};
+
+struct SuiteWorkload {
+  std::string label;
+  WorkloadConfig config;
+};
+
+struct SuiteTraffic {
+  std::string label;
+  TrafficConfig config;
+};
+
+struct SuiteEngine {
+  std::string label;
+  EngineOptions options;
+};
+
+struct SuiteSpec {
+  enum class Mode { Batch, Stream };
+
+  std::string name;
+  Mode mode = Mode::Batch;
+  std::uint64_t base_seed = 1;
+  std::size_t repetitions = 3;
+
+  std::vector<SuiteTopology> topologies;
+  std::vector<SuiteWorkload> workloads;  ///< batch mode axis
+  std::vector<SuiteTraffic> traffic;     ///< stream mode axis
+  std::vector<SuiteEngine> engines;      ///< always >= 1 (default "unit")
+  std::vector<std::string> policies;     ///< registry names, validated
+
+  /// Stream-mode run knobs (ignored in batch mode).
+  std::size_t warmup_packets = 1000;
+  std::size_t measure_packets = 10000;
+  Time telemetry_window = 256;
+  Time max_steps = 0;
+  double step_cap_factor = 8.0;
+};
+
+/// Parses and validates a suite document. Throws SuiteError (and never
+/// json::ParseError: malformed JSON is wrapped with its position).
+SuiteSpec parse_suite(const std::string& json_text);
+
+/// Reads the file and parses it; file-system errors also throw SuiteError.
+SuiteSpec load_suite_file(const std::string& path);
+
+/// The normalized document: every default materialized, keys in schema
+/// order. parse_suite(suite_to_json(s)) reproduces s exactly, and
+/// suite_to_json is a fixpoint over that round-trip.
+std::string suite_to_json(const SuiteSpec& spec);
+
+/// The expanded batch grid (topologies x workloads x engines), one
+/// ScenarioSpec per cell, named "<suite>/<topology>/<workload>/<engine>".
+/// Throws SuiteError when spec.mode != Batch.
+std::vector<ScenarioSpec> suite_batch_grid(const SuiteSpec& spec);
+
+/// The expanded stream grid (topologies x traffic x engines), mirrored
+/// naming. Throws SuiteError when spec.mode != Stream.
+std::vector<StreamSpec> suite_stream_grid(const SuiteSpec& spec);
+
+/// Executes a suite: expands the grid, fans every (cell, policy) through
+/// a BatchRunner, and renders one BenchReport-schema JSON line per cell
+/// ({"bench": <suite>, "name": <policy>, "params": {...}, "total_cost":
+/// ..., "wall_ms": ..., ...}).
+class SuiteRunner {
+ public:
+  explicit SuiteRunner(SuiteSpec spec);
+
+  const SuiteSpec& spec() const noexcept { return spec_; }
+
+  /// Cells in the expanded grid (before the policy fan-out).
+  std::size_t grid_cells() const noexcept;
+
+  /// Total (cell, policy) result lines run() will emit.
+  std::size_t cells() const noexcept { return grid_cells() * spec_.policies.size(); }
+
+  /// "<scenario-name> x <policy>" for every cell, in run() order (the
+  /// CLI's --list / dry-run view).
+  std::vector<std::string> cell_names() const;
+
+  /// Runs the whole grid on a BatchRunner (threads = 0: hardware
+  /// concurrency) and returns the JSON lines in cell_names() order.
+  std::vector<std::string> run(std::size_t threads = 0) const;
+
+ private:
+  SuiteSpec spec_;
+};
+
+}  // namespace rdcn

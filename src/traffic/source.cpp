@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "match/hopcroft_karp.hpp"
 #include "util/rng.hpp"
 
 namespace rdcn {
@@ -119,6 +120,18 @@ double service_capacity(const Topology& topology, int speedup_rounds) {
   return static_cast<double>(ports) * static_cast<double>(speedup_rounds);
 }
 
+double matching_capacity(const Topology& topology, int speedup_rounds) {
+  if (speedup_rounds < 1) throw std::invalid_argument("speedup_rounds must be >= 1");
+  std::vector<std::vector<std::int32_t>> adjacency(
+      static_cast<std::size_t>(topology.num_transmitters()));
+  for (const ReconfigEdge& edge : topology.edges()) {
+    adjacency[static_cast<std::size_t>(edge.transmitter)].push_back(edge.receiver);
+  }
+  const std::size_t matched = matching_size(
+      hopcroft_karp(adjacency, static_cast<std::size_t>(topology.num_receivers())));
+  return static_cast<double>(matched) * static_cast<double>(speedup_rounds);
+}
+
 std::int64_t cheapest_demand(const Topology& topology, NodeIndex source,
                              NodeIndex destination) {
   std::int64_t best = 0;
@@ -173,8 +186,14 @@ double calibrate_rate(const Topology& topology, const TrafficConfig& config) {
         "%); rho would describe a minority of the offered traffic -- raise "
         "TrafficConfig::max_zero_demand_fraction to opt in");
   }
-  return config.rho * service_capacity(topology, config.speedup_rounds) /
-         demand.mean_demand;
+  const double capacity = config.capacity_model == CapacityModel::MaxMatching
+                              ? matching_capacity(topology, config.speedup_rounds)
+                              : service_capacity(topology, config.speedup_rounds);
+  if (capacity <= 0.0) {
+    throw std::invalid_argument(
+        "reconfigurable layer has zero service capacity; rho is undefined");
+  }
+  return config.rho * capacity / demand.mean_demand;
 }
 
 std::unique_ptr<TrafficSource> make_source(const Topology& topology,

@@ -40,10 +40,23 @@ enum class ArrivalProcess {
   Trace,    ///< replay of a recorded packet sequence
 };
 
+/// Which notion of "chunks per step the layer can move" calibration uses.
+enum class CapacityModel {
+  /// min(|T|, |R|): exact for dense fabrics (crossbars, full two-tier)
+  /// where every port can be matched simultaneously.
+  Ports,
+  /// Size of a maximum matching of the reconfigurable layer: the true
+  /// ceiling for sparse wirings (rotor matching subsets, low-degree
+  /// expanders) that leave some ports dark -- Ports overcounts there and
+  /// a nominal rho of 1.0 would under-drive the fabric.
+  MaxMatching,
+};
+
 struct TrafficConfig {
   ArrivalProcess process = ArrivalProcess::Poisson;
   /// Target utilization of the reconfigurable layer (see header comment).
   double rho = 0.8;
+  CapacityModel capacity_model = CapacityModel::Ports;
   /// Endpoint-pair skew and weight distribution knobs; num_packets,
   /// arrival_rate and the bursty fields are ignored (arrivals come from
   /// `process` and `rho`), the seed is shared with the arrival draws.
@@ -73,8 +86,14 @@ class TrafficSource {
 };
 
 /// Chunks per step the reconfigurable layer can move at most:
-/// min(|T|, |R|) * speedup_rounds.
+/// min(|T|, |R|) * speedup_rounds (the CapacityModel::Ports bound).
 double service_capacity(const Topology& topology, int speedup_rounds = 1);
+
+/// The CapacityModel::MaxMatching bound: maximum-matching size of the
+/// reconfigurable layer (Hopcroft-Karp) times speedup_rounds. Equals
+/// service_capacity on dense fabrics; strictly smaller when the wiring
+/// leaves ports dark.
+double matching_capacity(const Topology& topology, int speedup_rounds = 1);
 
 /// Cheapest-route demand of a (source, destination) pair in chunks:
 /// min_{e in E_p} d(e); 0 when the pair has no reconfigurable route.

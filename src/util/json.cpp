@@ -1,0 +1,427 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rdcn::json {
+
+namespace {
+
+[[noreturn]] void type_mismatch(const char* wanted, const Value& value) {
+  throw std::logic_error(std::string("json: expected ") + wanted + ", value is " +
+                         value.type_name());
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (type_ != Type::Bool) type_mismatch("bool", *this);
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (type_ != Type::Number) type_mismatch("number", *this);
+  return number_;
+}
+
+std::int64_t Value::as_integer() const {
+  if (!is_integer_) type_mismatch("integer", *this);
+  return integer_;
+}
+
+const std::string& Value::as_string() const {
+  if (type_ != Type::String) type_mismatch("string", *this);
+  return string_;
+}
+
+const Array& Value::as_array() const {
+  if (type_ != Type::Array) type_mismatch("array", *this);
+  return array_;
+}
+
+const Object& Value::as_object() const {
+  if (type_ != Type::Object) type_mismatch("object", *this);
+  return object_;
+}
+
+const Value* Value::find(const std::string& key) const noexcept {
+  if (type_ != Type::Object) return nullptr;
+  for (const Member& member : object_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+const char* Value::type_name() const noexcept {
+  switch (type_) {
+    case Type::Null: return "null";
+    case Type::Bool: return "bool";
+    case Type::Number: return "number";
+    case Type::String: return "string";
+    case Type::Array: return "array";
+    case Type::Object: return "object";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr int kMaxDepth = 64;  ///< nesting guard for untrusted files
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    skip_whitespace();
+    Value value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after the document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError("line " + std::to_string(line_) + ", column " + std::to_string(column_) +
+                     ": " + what);
+  }
+
+  bool at_end() const noexcept { return pos_ >= text_.size(); }
+  char peek() const noexcept { return text_[pos_]; }
+
+  char advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void skip_whitespace() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      advance();
+    }
+  }
+
+  void expect(char c) {
+    if (at_end()) fail(std::string("unexpected end of input, expected '") + c + "'");
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', found '" + peek() + "'");
+    }
+    advance();
+  }
+
+  void expect_keyword(const char* keyword) {
+    for (const char* k = keyword; *k; ++k) {
+      if (at_end() || peek() != *k) {
+        fail(std::string("invalid literal (expected '") + keyword + "')");
+      }
+      advance();
+    }
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting deeper than 64 levels");
+    if (at_end()) fail("unexpected end of input, expected a value");
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Value(parse_string());
+      case 't': expect_keyword("true"); return Value(true);
+      case 'f': expect_keyword("false"); return Value(false);
+      case 'n': expect_keyword("null"); return Value();
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+        fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Value parse_object(int depth) {
+    expect('{');
+    Object object;
+    skip_whitespace();
+    if (!at_end() && peek() == '}') {
+      advance();
+      return Value(std::move(object));
+    }
+    while (true) {
+      skip_whitespace();
+      if (at_end() || peek() != '"') fail("expected a string object key");
+      std::string key = parse_string();
+      for (const Member& member : object) {
+        if (member.first == key) fail("duplicate object key \"" + key + "\"");
+      }
+      skip_whitespace();
+      expect(':');
+      skip_whitespace();
+      Value value = parse_value(depth + 1);
+      object.emplace_back(std::move(key), std::move(value));
+      skip_whitespace();
+      if (at_end()) fail("unexpected end of input inside an object");
+      if (peek() == ',') {
+        advance();
+        continue;
+      }
+      expect('}');
+      return Value(std::move(object));
+    }
+  }
+
+  Value parse_array(int depth) {
+    expect('[');
+    Array array;
+    skip_whitespace();
+    if (!at_end() && peek() == ']') {
+      advance();
+      return Value(std::move(array));
+    }
+    while (true) {
+      skip_whitespace();
+      array.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      if (at_end()) fail("unexpected end of input inside an array");
+      if (peek() == ',') {
+        advance();
+        continue;
+      }
+      expect(']');
+      return Value(std::move(array));
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (at_end()) fail("unexpected end of input inside a \\u escape");
+      const char c = advance();
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail(std::string("invalid hex digit '") + c + "' in \\u escape");
+      }
+    }
+    return code;
+  }
+
+  void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xc0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xe0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (at_end()) fail("unterminated string");
+      const char c = advance();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) fail("unterminated escape sequence");
+      const char escape = advance();
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = parse_hex4();
+          if (code >= 0xd800 && code <= 0xdbff) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            if (at_end() || peek() != '\\') fail("unpaired UTF-16 surrogate");
+            advance();
+            if (at_end() || peek() != 'u') fail("unpaired UTF-16 surrogate");
+            advance();
+            const unsigned low = parse_hex4();
+            if (low < 0xdc00 || low > 0xdfff) fail("invalid UTF-16 surrogate pair");
+            code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+          } else if (code >= 0xdc00 && code <= 0xdfff) {
+            fail("unpaired UTF-16 surrogate");
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default: fail(std::string("invalid escape '\\") + escape + "'");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    bool is_integer = true;
+    if (!at_end() && peek() == '-') advance();
+    if (at_end() || peek() < '0' || peek() > '9') fail("malformed number");
+    if (peek() == '0') {
+      advance();
+      if (!at_end() && peek() >= '0' && peek() <= '9') fail("numbers may not have leading zeros");
+    } else {
+      while (!at_end() && peek() >= '0' && peek() <= '9') advance();
+    }
+    if (!at_end() && peek() == '.') {
+      is_integer = false;
+      advance();
+      if (at_end() || peek() < '0' || peek() > '9') fail("digit required after decimal point");
+      while (!at_end() && peek() >= '0' && peek() <= '9') advance();
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      is_integer = false;
+      advance();
+      if (!at_end() && (peek() == '+' || peek() == '-')) advance();
+      if (at_end() || peek() < '0' || peek() > '9') fail("digit required in exponent");
+      while (!at_end() && peek() >= '0' && peek() <= '9') advance();
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (is_integer) {
+      errno = 0;
+      char* end = nullptr;
+      const long long integer = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end && *end == '\0') {
+        return Value(static_cast<std::int64_t>(integer));
+      }
+      // Out of int64 range: fall through to double.
+    }
+    const double number = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(number)) fail("number out of range");
+    return Value(number);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+void dump_string(const std::string& text, std::string& out) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_value(const Value& value, int indent, int depth, std::string& out) {
+  const auto newline = [&](int level) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * level), ' ');
+  };
+  switch (value.type()) {
+    case Value::Type::Null: out += "null"; return;
+    case Value::Type::Bool: out += value.as_bool() ? "true" : "false"; return;
+    case Value::Type::Number: {
+      if (value.is_integer()) {
+        out += std::to_string(value.as_integer());
+        return;
+      }
+      const double number = value.as_number();
+      if (!std::isfinite(number)) {
+        out += "null";  // NaN / inf have no JSON representation
+        return;
+      }
+      // Shortest decimal that parses back to the identical double, so
+      // normalized documents round-trip bit-for-bit.
+      char buffer[64];
+      for (const int precision : {15, 16, 17}) {
+        std::snprintf(buffer, sizeof(buffer), "%.*g", precision, number);
+        if (std::strtod(buffer, nullptr) == number) break;
+      }
+      out += buffer;
+      return;
+    }
+    case Value::Type::String: dump_string(value.as_string(), out); return;
+    case Value::Type::Array: {
+      const Array& array = value.as_array();
+      if (array.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        dump_value(array[i], indent, depth + 1, out);
+      }
+      newline(depth);
+      out += ']';
+      return;
+    }
+    case Value::Type::Object: {
+      const Object& object = value.as_object();
+      if (object.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object.size(); ++i) {
+        if (i) out += ",";
+        newline(depth + 1);
+        dump_string(object[i].first, out);
+        out += indent > 0 ? ": " : ":";
+        dump_value(object[i].second, indent, depth + 1, out);
+      }
+      newline(depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Value parse(const std::string& text) { return Parser(text).parse_document(); }
+
+std::string dump(const Value& value, int indent) {
+  std::string out;
+  dump_value(value, indent, 0, out);
+  return out;
+}
+
+}  // namespace rdcn::json

@@ -1,0 +1,95 @@
+#pragma once
+
+// Minimal strict JSON: a small DOM, a recursive-descent parser with
+// line/column error positions, and a writer. No dependencies; the library
+// needs machine-readable config in (run/suite) and machine-readable
+// results out (BenchReport-style lines), not a full JSON stack.
+//
+// Strictness: RFC 8259 grammar only -- no comments, no trailing commas,
+// no NaN/Infinity literals; duplicate object keys are rejected (a config
+// file with two "racks" keys is a bug, not a preference); trailing
+// garbage after the document is rejected. Object member order is
+// preserved so error messages and round-trips follow the file.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rdcn::json {
+
+/// Parse failure; message is "line L, column C: what went wrong".
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Value;
+using Array = std::vector<Value>;
+using Member = std::pair<std::string, Value>;
+using Object = std::vector<Member>;  ///< file order preserved
+
+class Value {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;  ///< null
+  Value(bool value) : type_(Type::Bool), bool_(value) {}
+  Value(double value) : type_(Type::Number), number_(value) {}
+  Value(std::int64_t value)
+      : type_(Type::Number), number_(static_cast<double>(value)), integer_(value),
+        is_integer_(true) {}
+  Value(int value) : Value(static_cast<std::int64_t>(value)) {}
+  Value(const char* value) : type_(Type::String), string_(value) {}
+  Value(std::string value) : type_(Type::String), string_(std::move(value)) {}
+  Value(Array value) : type_(Type::Array), array_(std::move(value)) {}
+  Value(Object value) : type_(Type::Object), object_(std::move(value)) {}
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::Null; }
+  bool is_bool() const noexcept { return type_ == Type::Bool; }
+  bool is_number() const noexcept { return type_ == Type::Number; }
+  /// A number written without fraction/exponent that fits std::int64_t.
+  bool is_integer() const noexcept { return is_integer_; }
+  bool is_string() const noexcept { return type_ == Type::String; }
+  bool is_array() const noexcept { return type_ == Type::Array; }
+  bool is_object() const noexcept { return type_ == Type::Object; }
+
+  /// Typed accessors throw std::logic_error on a type mismatch (callers
+  /// that want a good message check the type first).
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_integer() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const Value* find(const std::string& key) const noexcept;
+
+  /// Human-readable type name ("number", "object", ...) for messages.
+  const char* type_name() const noexcept;
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::int64_t integer_ = 0;
+  bool is_integer_ = false;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses one JSON document (any value type at the root). Throws
+/// ParseError with a line/column position on malformed input.
+Value parse(const std::string& text);
+
+/// Serializes a value. indent == 0 emits one compact line; indent > 0
+/// pretty-prints with that many spaces per level. Non-finite numbers emit
+/// null (they have no JSON representation). Integers print without a
+/// fraction, so integer-valued configs round-trip verbatim.
+std::string dump(const Value& value, int indent = 0);
+
+}  // namespace rdcn::json

@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <sstream>
+#include <tuple>
+#include <utility>
+#include <vector>
 
 #include "net/builders.hpp"
 #include "net/instance.hpp"
@@ -188,6 +192,236 @@ TEST(Builders, Figure2TopologyShape) {
 TEST(Instance, HorizonBoundDominatesArrivalsAndWork) {
   const Instance instance = figure1_instance();
   EXPECT_GE(instance.horizon_bound(), 2 + 5 * 4);  // arrivals + n * max delay
+}
+
+// --- topology zoo -----------------------------------------------------------
+
+namespace zoo {
+
+/// Canonical edge-list fingerprint: (transmitter, receiver, delay) triples
+/// in construction order, plus the fixed links.
+std::vector<std::tuple<NodeIndex, NodeIndex, Delay>> edge_list(const Topology& g) {
+  std::vector<std::tuple<NodeIndex, NodeIndex, Delay>> list;
+  for (const ReconfigEdge& edge : g.edges()) {
+    list.emplace_back(edge.transmitter, edge.receiver, edge.delay);
+  }
+  for (const FixedLink& link : g.fixed_links()) {
+    list.emplace_back(-1 - link.source, -1 - link.destination, link.delay);
+  }
+  return list;
+}
+
+std::vector<std::size_t> rack_out_degrees(const Topology& g) {
+  std::vector<std::size_t> degrees(static_cast<std::size_t>(g.num_sources()), 0);
+  for (const ReconfigEdge& edge : g.edges()) {
+    ++degrees[static_cast<std::size_t>(g.source_of(edge.transmitter))];
+  }
+  return degrees;
+}
+
+std::vector<std::size_t> rack_in_degrees(const Topology& g) {
+  std::vector<std::size_t> degrees(static_cast<std::size_t>(g.num_destinations()), 0);
+  for (const ReconfigEdge& edge : g.edges()) {
+    ++degrees[static_cast<std::size_t>(g.destination_of(edge.receiver))];
+  }
+  return degrees;
+}
+
+}  // namespace zoo
+
+TEST(Oversubscribed, PortAsymmetryAndDelayClasses) {
+  OversubscribedConfig config;
+  config.racks = 6;
+  config.hot_racks = 2;
+  config.hot_lasers = 4;
+  config.hot_photodetectors = 2;
+  config.cold_lasers = 1;
+  config.cold_photodetectors = 1;
+  config.density = 0.8;
+  config.fast_delay = 1;
+  config.slow_delay = 5;
+  config.slow_fraction = 0.5;
+  Rng rng(23);
+  const Topology g = build_oversubscribed(config, rng);
+  EXPECT_EQ(g.validate(), "");
+  EXPECT_EQ(g.num_transmitters(), 2 * 4 + 4 * 1);
+  EXPECT_EQ(g.num_receivers(), 2 * 2 + 4 * 1);
+  // Every edge belongs to exactly one delay class.
+  for (const ReconfigEdge& edge : g.edges()) {
+    EXPECT_TRUE(edge.delay == 1 || edge.delay == 5) << edge.delay;
+  }
+}
+
+TEST(Oversubscribed, FixedLayerScaledByOversubscription) {
+  OversubscribedConfig config;
+  config.racks = 4;
+  config.fixed_base_delay = 3;
+  config.oversubscription = 4.0;
+  Rng rng(24);
+  const Topology g = build_oversubscribed(config, rng);
+  ASSERT_EQ(g.fixed_links().size(), 4u * 3u);
+  for (const FixedLink& link : g.fixed_links()) EXPECT_EQ(link.delay, 12);
+  // Hybrid layer present: every ordered rack pair is routable.
+  for (NodeIndex s = 0; s < 4; ++s) {
+    for (NodeIndex d = 0; d < 4; ++d) {
+      if (s != d) EXPECT_TRUE(g.routable(s, d)) << s << "->" << d;
+    }
+  }
+}
+
+TEST(Oversubscribed, RoutablePatchWithoutFixedLayer) {
+  OversubscribedConfig config;
+  config.racks = 5;
+  config.density = 0.05;  // sparse: forces the patch path
+  config.fixed_base_delay = 0;
+  Rng rng(25);
+  const Topology g = build_oversubscribed(config, rng);
+  EXPECT_TRUE(g.fixed_links().empty());
+  for (NodeIndex s = 0; s < 5; ++s) {
+    for (NodeIndex d = 0; d < 5; ++d) {
+      if (s != d) EXPECT_TRUE(g.routable(s, d)) << s << "->" << d;
+    }
+  }
+}
+
+TEST(Oversubscribed, RejectsInvalidConfigs) {
+  Rng rng(1);
+  OversubscribedConfig config;
+  config.racks = 1;
+  EXPECT_THROW(build_oversubscribed(config, rng), std::invalid_argument);
+  config = {};
+  config.hot_racks = config.racks + 1;
+  EXPECT_THROW(build_oversubscribed(config, rng), std::invalid_argument);
+  config = {};
+  config.slow_delay = 0;
+  EXPECT_THROW(build_oversubscribed(config, rng), std::invalid_argument);
+  config = {};
+  config.oversubscription = 0.5;
+  EXPECT_THROW(build_oversubscribed(config, rng), std::invalid_argument);
+}
+
+TEST(Expander, ExactRackRegularity) {
+  ExpanderConfig config;
+  config.racks = 9;
+  config.degree = 3;
+  config.lasers_per_rack = 2;
+  config.photodetectors_per_rack = 2;
+  config.fixed_link_delay = 0;
+  Rng rng(31);
+  const Topology g = build_expander(config, rng);
+  EXPECT_EQ(g.validate(), "");
+  EXPECT_EQ(g.num_edges(), 9 * 3);
+  // d-regular at rack level: every rack sends and receives exactly d edges.
+  for (const std::size_t degree : zoo::rack_out_degrees(g)) EXPECT_EQ(degree, 3u);
+  for (const std::size_t degree : zoo::rack_in_degrees(g)) EXPECT_EQ(degree, 3u);
+  // Derangements: no self-rack edge.
+  for (const ReconfigEdge& edge : g.edges()) {
+    EXPECT_NE(g.source_of(edge.transmitter), g.destination_of(edge.receiver));
+  }
+}
+
+TEST(Expander, HybridFallbackGuaranteesRoutability) {
+  ExpanderConfig config;
+  config.racks = 8;
+  config.degree = 2;
+  config.fixed_link_delay = 8;
+  Rng rng(32);
+  const Topology g = build_expander(config, rng);
+  for (NodeIndex s = 0; s < 8; ++s) {
+    for (NodeIndex d = 0; d < 8; ++d) {
+      if (s != d) EXPECT_TRUE(g.routable(s, d)) << s << "->" << d;
+    }
+  }
+}
+
+TEST(Expander, WithoutFixedLayerRoutabilityEqualsWiring) {
+  // Pure expander (no hybrid fallback): a pair is routable exactly when a
+  // permutation wired it, and every rack reaches between 1 and degree
+  // distinct destination racks (permutations may collide on a target).
+  ExpanderConfig config;
+  config.racks = 5;
+  config.degree = 4;
+  config.fixed_link_delay = 0;
+  Rng rng(33);
+  const Topology g = build_expander(config, rng);
+  for (NodeIndex s = 0; s < 5; ++s) {
+    std::size_t reachable = 0;
+    for (NodeIndex d = 0; d < 5; ++d) {
+      if (s == d) continue;
+      EXPECT_EQ(g.routable(s, d), !g.candidate_edges(s, d).empty());
+      if (g.routable(s, d)) ++reachable;
+    }
+    EXPECT_GE(reachable, 1u);
+    EXPECT_LE(reachable, 4u);
+  }
+}
+
+TEST(Expander, RejectsInvalidConfigs) {
+  Rng rng(1);
+  ExpanderConfig config;
+  config.degree = 0;
+  EXPECT_THROW(build_expander(config, rng), std::invalid_argument);
+  config = {};
+  config.racks = 4;
+  config.degree = 4;  // > racks - 1
+  EXPECT_THROW(build_expander(config, rng), std::invalid_argument);
+  config = {};
+  config.max_edge_delay = 0;
+  EXPECT_THROW(build_expander(config, rng), std::invalid_argument);
+}
+
+TEST(Rotor, FullCoverageWiresEveryOrderedPairOnce) {
+  RotorConfig config;
+  config.racks = 6;
+  config.ports_per_rack = 2;
+  config.num_matchings = 0;  // racks - 1
+  const Topology g = build_rotor(config);
+  EXPECT_EQ(g.validate(), "");
+  EXPECT_EQ(rotor_matchings(config), 5);
+  EXPECT_EQ(g.num_edges(), 6 * 5);
+  std::set<std::pair<NodeIndex, NodeIndex>> wired;
+  for (const ReconfigEdge& edge : g.edges()) {
+    const auto pair = std::make_pair(g.source_of(edge.transmitter),
+                                     g.destination_of(edge.receiver));
+    EXPECT_NE(pair.first, pair.second);
+    EXPECT_TRUE(wired.insert(pair).second) << "duplicate rack pair";
+  }
+  EXPECT_EQ(wired.size(), 6u * 5u);
+}
+
+TEST(Rotor, SparseMatchingsCoverExactlyTheRoundRobinOffsets) {
+  RotorConfig config;
+  config.racks = 7;
+  config.num_matchings = 3;
+  const Topology g = build_rotor(config);
+  EXPECT_EQ(g.num_edges(), 7 * 3);
+  for (NodeIndex s = 0; s < 7; ++s) {
+    for (NodeIndex d = 0; d < 7; ++d) {
+      if (s == d) continue;
+      const NodeIndex offset = (d - s + 7) % 7;
+      EXPECT_EQ(g.routable(s, d), offset <= 3) << s << "->" << d;
+    }
+  }
+}
+
+TEST(Rotor, DeterministicWithoutRandomness) {
+  RotorConfig config;
+  config.racks = 5;
+  config.ports_per_rack = 2;
+  EXPECT_EQ(zoo::edge_list(build_rotor(config)), zoo::edge_list(build_rotor(config)));
+}
+
+TEST(Rotor, RejectsInvalidConfigs) {
+  RotorConfig config;
+  config.racks = 1;
+  EXPECT_THROW(build_rotor(config), std::invalid_argument);
+  config = {};
+  config.racks = 4;
+  config.num_matchings = 4;  // > racks - 1
+  EXPECT_THROW(build_rotor(config), std::invalid_argument);
+  config = {};
+  config.ports_per_rack = 0;
+  EXPECT_THROW(build_rotor(config), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,590 @@
+// Tests of the declarative suite subsystem (run/suite.hpp) and the
+// topology-zoo integration behind it: the strict JSON layer, parse-error
+// quality (distinct, path-qualified, actionable), the normalized-form
+// golden round-trip, grid expansion, runner output, and property tests of
+// make_topology across the full extended TopologySpec grid.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "run/random.hpp"
+#include "run/suite.hpp"
+#include "util/json.hpp"
+#include "workload/generator.hpp"
+
+namespace rdcn {
+namespace {
+
+// --- json utility -----------------------------------------------------------
+
+TEST(Json, ParsesScalarsAndContainers) {
+  const json::Value value = json::parse(
+      R"({"a": 1, "b": -2.5, "c": true, "d": null, "e": "x\n\"y\"", "f": [1, 2]})");
+  ASSERT_TRUE(value.is_object());
+  EXPECT_EQ(value.find("a")->as_integer(), 1);
+  EXPECT_TRUE(value.find("a")->is_integer());
+  EXPECT_DOUBLE_EQ(value.find("b")->as_number(), -2.5);
+  EXPECT_FALSE(value.find("b")->is_integer());
+  EXPECT_TRUE(value.find("c")->as_bool());
+  EXPECT_TRUE(value.find("d")->is_null());
+  EXPECT_EQ(value.find("e")->as_string(), "x\n\"y\"");
+  EXPECT_EQ(value.find("f")->as_array().size(), 2u);
+  EXPECT_EQ(value.find("missing"), nullptr);
+}
+
+TEST(Json, DumpParsesBackToItself) {
+  const std::string text =
+      R"({"name":"zoo","values":[1,2.5,true,null,"s"],"nested":{"k":-7}})";
+  const json::Value value = json::parse(text);
+  EXPECT_EQ(json::dump(value), text);
+  // Pretty form reparses to the same compact form.
+  EXPECT_EQ(json::dump(json::parse(json::dump(value, 2))), text);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW(json::parse("{"), json::ParseError);
+  EXPECT_THROW(json::parse("[1,]"), json::ParseError);
+  EXPECT_THROW(json::parse("{\"a\": 1,}"), json::ParseError);
+  EXPECT_THROW(json::parse("{\"a\" 1}"), json::ParseError);
+  EXPECT_THROW(json::parse("01"), json::ParseError);
+  EXPECT_THROW(json::parse("nul"), json::ParseError);
+  EXPECT_THROW(json::parse("\"unterminated"), json::ParseError);
+  EXPECT_THROW(json::parse("{} trailing"), json::ParseError);
+  EXPECT_THROW(json::parse("{\"a\": 1, \"a\": 2}"), json::ParseError);  // duplicate key
+}
+
+TEST(Json, ErrorsCarryLineAndColumn) {
+  try {
+    json::parse("{\n  \"a\": 1,\n  \"a\": 2\n}");
+    FAIL() << "expected ParseError";
+  } catch (const json::ParseError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos) << error.what();
+    EXPECT_NE(std::string(error.what()).find("duplicate"), std::string::npos);
+  }
+}
+
+TEST(Json, NonFiniteNumbersDumpAsNull) {
+  EXPECT_EQ(json::dump(json::Value(std::nan(""))), "null");
+  EXPECT_EQ(json::dump(json::Value(1.0 / 0.0)), "null");
+}
+
+TEST(Json, DoublesRoundTripBitExactAndShortest) {
+  for (const double value : {0.1, 1.0 / 3.0, 0.30000000000000004, 6.02214076e23}) {
+    const std::string text = json::dump(json::Value(value));
+    EXPECT_EQ(json::parse(text).as_number(), value) << text;
+  }
+  EXPECT_EQ(json::dump(json::Value(0.1)), "0.1");  // shortest form, not %.17g
+}
+
+// --- suite parsing: positive paths ------------------------------------------
+
+const char* kMinimalBatch = R"({
+  "suite": "mini",
+  "policies": ["alg"],
+  "topologies": [{"kind": "crossbar", "ports": 4}],
+  "workloads": [{"packets": 10, "rate": 2.0}]
+})";
+
+const char* kZooStream = R"({
+  "suite": "zoo-stream",
+  "mode": "stream",
+  "seeds": {"base": 5, "repetitions": 2},
+  "policies": ["alg", "fifo"],
+  "engines": [{"name": "fast", "speedup": 2}],
+  "topologies": [
+    {"name": "rot", "kind": "rotor", "racks": 5, "ports": 2},
+    {"name": "exp", "kind": "expander", "racks": 6, "degree": 2,
+     "fixed_link_delay": 0}
+  ],
+  "traffic": [
+    {"name": "p6", "process": "poisson", "rho": 0.6},
+    {"name": "oo", "process": "onoff", "rho": 0.9, "on_stay": 0.85}
+  ],
+  "stream": {"warmup": 50, "measure": 400, "window": 64, "step_cap_factor": 3.0}
+})";
+
+TEST(SuiteParse, MinimalBatchDefaults) {
+  const SuiteSpec suite = parse_suite(kMinimalBatch);
+  EXPECT_EQ(suite.name, "mini");
+  EXPECT_EQ(suite.mode, SuiteSpec::Mode::Batch);
+  EXPECT_EQ(suite.base_seed, 1u);
+  EXPECT_EQ(suite.repetitions, 3u);
+  ASSERT_EQ(suite.engines.size(), 1u);  // default engine materialized
+  EXPECT_EQ(suite.engines[0].label, "s1c1r0");
+  ASSERT_EQ(suite.topologies.size(), 1u);
+  EXPECT_EQ(suite.topologies[0].label, "crossbar");  // label defaults to kind
+  EXPECT_EQ(suite.topologies[0].spec.kind, TopologySpec::Kind::Crossbar);
+  EXPECT_EQ(suite.topologies[0].spec.crossbar_ports, 4);
+  ASSERT_EQ(suite.workloads.size(), 1u);
+  EXPECT_EQ(suite.workloads[0].config.num_packets, 10u);
+}
+
+TEST(SuiteParse, StreamSuiteFullGrid) {
+  const SuiteSpec suite = parse_suite(kZooStream);
+  EXPECT_EQ(suite.mode, SuiteSpec::Mode::Stream);
+  EXPECT_EQ(suite.base_seed, 5u);
+  EXPECT_EQ(suite.warmup_packets, 50u);
+  EXPECT_EQ(suite.measure_packets, 400u);
+  ASSERT_EQ(suite.traffic.size(), 2u);
+  EXPECT_EQ(suite.traffic[1].config.process, ArrivalProcess::OnOff);
+  EXPECT_DOUBLE_EQ(suite.traffic[1].config.on_stay, 0.85);
+
+  const std::vector<StreamSpec> grid = suite_stream_grid(suite);
+  ASSERT_EQ(grid.size(), 2u * 2u * 1u);
+  EXPECT_EQ(grid[0].name, "zoo-stream/rot/p6/fast");
+  // The engine's speedup propagates into the traffic calibration.
+  EXPECT_EQ(grid[0].traffic.speedup_rounds, 2);
+  EXPECT_EQ(grid[0].engine.speedup_rounds, 2);
+  EXPECT_EQ(grid[3].name, "zoo-stream/exp/oo/fast");
+}
+
+TEST(SuiteParse, GoldenRoundTripIsAFixpoint) {
+  for (const char* text : {kMinimalBatch, kZooStream}) {
+    const SuiteSpec suite = parse_suite(text);
+    const std::string normalized = suite_to_json(suite);
+    const SuiteSpec reparsed = parse_suite(normalized);
+    EXPECT_EQ(suite_to_json(reparsed), normalized);
+    // The round trip preserves the expanded grid cell for cell.
+    if (suite.mode == SuiteSpec::Mode::Batch) {
+      const auto a = suite_batch_grid(suite);
+      const auto b = suite_batch_grid(reparsed);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].name, b[i].name);
+    }
+  }
+}
+
+// --- suite parsing: negative paths ------------------------------------------
+
+/// Expects parse_suite(text) to throw a SuiteError whose path equals
+/// `path` and whose message mentions `needle`.
+void expect_suite_error(const std::string& text, const std::string& path,
+                        const std::string& needle) {
+  try {
+    parse_suite(text);
+    FAIL() << "expected SuiteError(" << path << ")";
+  } catch (const SuiteError& error) {
+    EXPECT_EQ(error.path(), path) << error.what();
+    EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+        << "message: " << error.what() << "\nwanted: " << needle;
+  }
+}
+
+TEST(SuiteParse, MalformedJsonReportsPosition) {
+  expect_suite_error("{\"suite\": \"x\",,}", "", "malformed JSON");
+  expect_suite_error("{\"suite\": \"x\",,}", "", "line 1");
+  expect_suite_error("", "", "malformed JSON");
+}
+
+TEST(SuiteParse, UnknownKeysAreRejectedWithTheAcceptedList) {
+  expect_suite_error(R"({
+    "suite": "x", "policies": ["alg"],
+    "topologies": [{"kind": "crossbar", "ports": 4, "portz": 5}],
+    "workloads": [{"packets": 10}]
+  })", "topologies[0].portz", "unknown key");
+  expect_suite_error(R"({
+    "suite": "x", "policies": ["alg"],
+    "topologies": [{"kind": "crossbar"}],
+    "workloads": [{"packets": 10, "packet": 1}]
+  })", "workloads[0].packet", "accepts");
+  // Kind-specific keys of another kind are unknown too.
+  expect_suite_error(R"({
+    "suite": "x", "policies": ["alg"],
+    "topologies": [{"kind": "rotor", "racks": 4, "density": 0.5}],
+    "workloads": [{"packets": 10}]
+  })", "topologies[0].density", "unknown key");
+}
+
+TEST(SuiteParse, OutOfRangeValuesNameThePathAndRange) {
+  expect_suite_error(R"({
+    "suite": "x", "policies": ["alg"],
+    "topologies": [{"kind": "two_tier", "density": 1.5}],
+    "workloads": [{"packets": 10}]
+  })", "topologies[0].density", "out of range [0, 1]");
+  expect_suite_error(R"({
+    "suite": "x", "policies": ["alg"],
+    "topologies": [{"kind": "crossbar", "ports": 1}],
+    "workloads": [{"packets": 10}]
+  })", "topologies[0].ports", "out of range");
+  expect_suite_error(R"({
+    "suite": "x", "policies": ["alg"],
+    "topologies": [{"kind": "expander", "racks": 4, "degree": 5}],
+    "workloads": [{"packets": 10}]
+  })", "topologies[0].degree", "exceeds racks - 1");
+  expect_suite_error(R"({
+    "suite": "x", "seeds": {"repetitions": 0}, "policies": ["alg"],
+    "topologies": [{"kind": "crossbar"}], "workloads": [{"packets": 10}]
+  })", "seeds.repetitions", "out of range");
+}
+
+TEST(SuiteParse, TypeMismatchesNameTheFoundType) {
+  expect_suite_error(R"({
+    "suite": "x", "policies": ["alg"],
+    "topologies": [{"kind": "crossbar", "ports": "eight"}],
+    "workloads": [{"packets": 10}]
+  })", "topologies[0].ports", "expected an integer, found string");
+  expect_suite_error(R"({
+    "suite": "x", "policies": "alg",
+    "topologies": [{"kind": "crossbar"}], "workloads": [{"packets": 10}]
+  })", "policies", "expected an array, found string");
+}
+
+TEST(SuiteParse, BadEnumsListTheKnownValues) {
+  expect_suite_error(R"({
+    "suite": "x", "policies": ["alg"],
+    "topologies": [{"kind": "torus"}],
+    "workloads": [{"packets": 10}]
+  })", "topologies[0].kind", "two_tier crossbar oversubscribed expander rotor");
+  expect_suite_error(R"({
+    "suite": "x", "policies": ["alg"],
+    "topologies": [{"kind": "crossbar"}],
+    "workloads": [{"packets": 10, "skew": "ziggurat"}]
+  })", "workloads[0].skew", "known:");
+}
+
+TEST(SuiteParse, UnknownPoliciesListTheRegistry) {
+  expect_suite_error(R"({
+    "suite": "x", "policies": ["algg"],
+    "topologies": [{"kind": "crossbar"}], "workloads": [{"packets": 10}]
+  })", "policies[0]", "registry:");
+}
+
+TEST(SuiteParse, MissingRequiredKeys) {
+  expect_suite_error(R"({"policies": ["alg"], "topologies": [{"kind": "crossbar"}],
+                         "workloads": [{}]})",
+                     "suite", "required key is missing");
+  expect_suite_error(R"({"suite": "x", "policies": ["alg"],
+                         "workloads": [{}]})",
+                     "topologies", "required key is missing");
+  expect_suite_error(R"({"suite": "x", "policies": ["alg"],
+                         "topologies": [{"kind": "crossbar"}]})",
+                     "workloads", "required key is missing");
+  expect_suite_error(R"({"suite": "x", "policies": ["alg"],
+                         "topologies": [{"ports": 4}],
+                         "workloads": [{"packets": 5}]})",
+                     "topologies[0].kind", "required key is missing");
+}
+
+TEST(SuiteParse, WrongModeAxesAreActionable) {
+  expect_suite_error(R"({
+    "suite": "x", "policies": ["alg"],
+    "topologies": [{"kind": "crossbar"}],
+    "workloads": [{"packets": 10}],
+    "traffic": [{"rho": 0.5}]
+  })", "traffic", "only valid when mode is \"stream\"");
+  expect_suite_error(R"({
+    "suite": "x", "mode": "stream", "policies": ["alg"],
+    "topologies": [{"kind": "crossbar"}],
+    "traffic": [{"rho": 0.5}],
+    "stream": {"warmup": 1},
+    "workloads": [{"packets": 10}]
+  })", "workloads", "only valid when mode is \"batch\"");
+}
+
+TEST(SuiteParse, CrossFieldConstraints) {
+  expect_suite_error(R"({
+    "suite": "x", "policies": ["alg"],
+    "engines": [{"capacity": 2, "reconfig_delay": 1}],
+    "topologies": [{"kind": "crossbar"}], "workloads": [{"packets": 10}]
+  })", "engines[0].reconfig_delay", "requires capacity == 1");
+  expect_suite_error(R"({
+    "suite": "x", "policies": ["alg", "alg"],
+    "topologies": [{"kind": "crossbar"}], "workloads": [{"packets": 10}]
+  })", "policies[1]", "duplicate policy");
+  expect_suite_error(R"({
+    "suite": "x", "policies": ["alg"],
+    "topologies": [{"kind": "crossbar"}, {"kind": "crossbar", "ports": 6}],
+    "workloads": [{"packets": 10}]
+  })", "topologies[1].name", "duplicate label");
+  expect_suite_error(R"({
+    "suite": "x", "policies": ["alg"],
+    "topologies": [{"kind": "crossbar", "name": "a/b"}],
+    "workloads": [{"packets": 10}]
+  })", "topologies[0].name", "may not contain '/'");
+  // The suite name prefixes every cell name, so it obeys the same rule.
+  expect_suite_error(R"({
+    "suite": "x/y", "policies": ["alg"],
+    "topologies": [{"kind": "crossbar"}],
+    "workloads": [{"packets": 10}]
+  })", "suite", "may not contain '/'");
+}
+
+TEST(SuiteParse, DistinctFailuresProduceDistinctMessages) {
+  // One representative per failure class; all six must differ pairwise.
+  const std::vector<std::string> inputs = {
+      "{\"suite\": ",  // malformed
+      R"({"suite": "x", "policies": ["alg"], "topologies": [{"kind": "xbar"}],
+          "workloads": [{}]})",  // bad enum
+      R"({"suite": "x", "policies": ["alg"], "topologies": [{"kind": "crossbar",
+          "portz": 1}], "workloads": [{}]})",  // unknown key
+      R"({"suite": "x", "policies": ["alg"], "topologies": [{"kind": "crossbar",
+          "ports": 9999}], "workloads": [{}]})",  // out of range
+      R"({"suite": "x", "policies": ["alg"], "topologies": [{"kind": "crossbar",
+          "ports": true}], "workloads": [{}]})",  // type mismatch
+      R"({"suite": "x", "policies": ["alg"], "topologies": [{"kind":
+          "crossbar"}]})",  // missing axis
+  };
+  std::set<std::string> messages;
+  for (const std::string& text : inputs) {
+    try {
+      parse_suite(text);
+      FAIL() << "expected SuiteError for: " << text;
+    } catch (const SuiteError& error) {
+      messages.insert(error.what());
+    }
+  }
+  EXPECT_EQ(messages.size(), inputs.size());
+}
+
+TEST(SuiteParse, LoadFileReportsMissingFiles) {
+  EXPECT_THROW(load_suite_file("/nonexistent/suite.json"), SuiteError);
+}
+
+// --- grid expansion and runner ----------------------------------------------
+
+TEST(SuiteRun, BatchLinesAreValidBenchReportJson) {
+  SuiteSpec suite = parse_suite(R"({
+    "suite": "smoke",
+    "seeds": {"base": 1, "repetitions": 2},
+    "policies": ["alg", "fifo"],
+    "topologies": [
+      {"kind": "crossbar", "ports": 4},
+      {"name": "rot", "kind": "rotor", "racks": 4}
+    ],
+    "workloads": [{"packets": 12, "rate": 3.0}]
+  })");
+  const SuiteRunner runner(suite);
+  EXPECT_EQ(runner.grid_cells(), 2u);
+  EXPECT_EQ(runner.cells(), 4u);
+  ASSERT_EQ(runner.cell_names().size(), 4u);
+  EXPECT_EQ(runner.cell_names()[0], "smoke/crossbar/uniform/s1c1r0 x alg");
+
+  const std::vector<std::string> lines = runner.run(2);
+  ASSERT_EQ(lines.size(), 4u);
+  for (const std::string& line : lines) {
+    const json::Value parsed = json::parse(line);  // throws on invalid JSON
+    EXPECT_EQ(parsed.find("bench")->as_string(), "smoke");
+    EXPECT_GT(parsed.find("total_cost")->as_number(), 0.0);
+    EXPECT_TRUE(parsed.find("params")->find("topology") != nullptr);
+    EXPECT_EQ(parsed.find("params")->find("reps")->as_integer(), 2);
+  }
+  EXPECT_EQ(json::parse(lines[0]).find("name")->as_string(), "alg");
+  EXPECT_EQ(json::parse(lines[1]).find("name")->as_string(), "fifo");
+  EXPECT_EQ(json::parse(lines[2]).find("params")->find("kind")->as_string(), "rotor");
+}
+
+TEST(SuiteRun, StreamLinesCarryLatencyPercentiles) {
+  SuiteSpec suite = parse_suite(R"({
+    "suite": "stream-smoke",
+    "mode": "stream",
+    "seeds": {"base": 2, "repetitions": 1},
+    "policies": ["alg"],
+    "topologies": [{"kind": "rotor", "racks": 4, "ports": 2}],
+    "traffic": [{"rho": 0.5}],
+    "stream": {"warmup": 20, "measure": 300, "window": 64}
+  })");
+  const std::vector<std::string> lines = SuiteRunner(suite).run(1);
+  ASSERT_EQ(lines.size(), 1u);
+  const json::Value parsed = json::parse(lines[0]);
+  EXPECT_EQ(parsed.find("params")->find("mode")->as_string(), "stream");
+  EXPECT_GE(parsed.find("p95")->as_integer(), parsed.find("p50")->as_integer());
+  EXPECT_GT(parsed.find("throughput")->as_number(), 0.0);
+  EXPECT_EQ(parsed.find("truncated_reps")->as_integer(), 0);
+}
+
+TEST(SuiteRun, GridOrderIsDeterministic) {
+  const SuiteSpec suite = parse_suite(kZooStream);
+  const auto names_a = SuiteRunner(suite).cell_names();
+  const auto names_b = SuiteRunner(suite).cell_names();
+  EXPECT_EQ(names_a, names_b);
+  const std::vector<StreamSpec> grid = suite_stream_grid(suite);
+  ASSERT_EQ(names_a.size(), grid.size() * suite.policies.size());
+}
+
+// --- make_topology across the extended TopologySpec grid --------------------
+
+std::vector<std::tuple<NodeIndex, NodeIndex, Delay>> edge_list(const Topology& g) {
+  std::vector<std::tuple<NodeIndex, NodeIndex, Delay>> list;
+  for (const ReconfigEdge& edge : g.edges()) {
+    list.emplace_back(edge.transmitter, edge.receiver, edge.delay);
+  }
+  for (const FixedLink& link : g.fixed_links()) {
+    list.emplace_back(-1 - link.source, -1 - link.destination, link.delay);
+  }
+  return list;
+}
+
+/// The full extended grid: every kind with a few config corners each.
+std::vector<TopologySpec> topology_grid() {
+  std::vector<TopologySpec> grid;
+  {
+    TopologySpec spec;  // dense two-tier
+    spec.two_tier.racks = 5;
+    grid.push_back(spec);
+    spec.two_tier.density = 0.3;  // sparse + hybrid
+    spec.two_tier.fixed_link_delay = 9;
+    spec.seed_salt = 7;
+    grid.push_back(spec);
+  }
+  {
+    TopologySpec spec;
+    spec.kind = TopologySpec::Kind::Crossbar;
+    spec.crossbar_ports = 6;
+    grid.push_back(spec);
+  }
+  {
+    TopologySpec spec;
+    spec.kind = TopologySpec::Kind::Oversubscribed;
+    spec.oversubscribed.racks = 6;
+    grid.push_back(spec);
+    spec.oversubscribed.fixed_base_delay = 0;  // patch path
+    spec.oversubscribed.density = 0.2;
+    grid.push_back(spec);
+  }
+  {
+    TopologySpec spec;
+    spec.kind = TopologySpec::Kind::Expander;
+    spec.expander.racks = 7;
+    spec.expander.degree = 3;
+    grid.push_back(spec);
+    spec.expander.fixed_link_delay = 0;  // pure expander
+    spec.seed_salt = 11;
+    grid.push_back(spec);
+  }
+  {
+    TopologySpec spec;
+    spec.kind = TopologySpec::Kind::Rotor;
+    spec.rotor.racks = 6;
+    spec.rotor.ports_per_rack = 2;
+    grid.push_back(spec);
+    spec.rotor.num_matchings = 2;  // sparse offsets
+    grid.push_back(spec);
+  }
+  return grid;
+}
+
+/// True when the spec's builder contract guarantees every ordered rack
+/// pair is routable.
+bool guarantees_full_routability(const TopologySpec& spec) {
+  switch (spec.kind) {
+    case TopologySpec::Kind::TwoTier:
+    case TopologySpec::Kind::Crossbar:
+    case TopologySpec::Kind::Oversubscribed:
+      return true;
+    case TopologySpec::Kind::Expander:
+      return spec.expander.fixed_link_delay > 0;
+    case TopologySpec::Kind::Rotor:
+      return spec.rotor.fixed_link_delay > 0 || spec.rotor.num_matchings == 0;
+  }
+  return false;
+}
+
+class TopologyGrid : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TopologyGrid, SameSeedIsBitIdentical) {
+  const TopologySpec spec = topology_grid()[GetParam()];
+  for (const std::uint64_t seed : {1ULL, 42ULL, 12345ULL}) {
+    EXPECT_EQ(edge_list(make_topology(spec, seed)), edge_list(make_topology(spec, seed)));
+  }
+}
+
+TEST_P(TopologyGrid, ValidatesAndHonorsRoutabilityContract) {
+  const TopologySpec spec = topology_grid()[GetParam()];
+  const Topology g = make_topology(spec, 3);
+  EXPECT_EQ(g.validate(), "");
+  ASSERT_GT(g.num_edges() + static_cast<EdgeIndex>(g.fixed_links().size()), 0);
+  if (guarantees_full_routability(spec)) {
+    for (NodeIndex s = 0; s < g.num_sources(); ++s) {
+      for (NodeIndex d = 0; d < g.num_destinations(); ++d) {
+        if (s == d) continue;
+        EXPECT_TRUE(g.routable(s, d))
+            << to_string(spec.kind) << " " << s << "->" << d;
+      }
+    }
+  }
+}
+
+TEST_P(TopologyGrid, PortAndDegreeBoundsRespected) {
+  const TopologySpec spec = topology_grid()[GetParam()];
+  const Topology g = make_topology(spec, 9);
+  // Per-port degree can never exceed the opposite side's port count, and
+  // the kind-specific caps hold.
+  for (NodeIndex t = 0; t < g.num_transmitters(); ++t) {
+    EXPECT_LE(static_cast<NodeIndex>(g.edges_of_transmitter(t).size()), g.num_receivers());
+  }
+  switch (spec.kind) {
+    case TopologySpec::Kind::Crossbar:
+      EXPECT_EQ(g.num_edges(), spec.crossbar_ports * spec.crossbar_ports);
+      break;
+    case TopologySpec::Kind::Expander: {
+      std::vector<std::size_t> out(static_cast<std::size_t>(g.num_sources()), 0);
+      std::vector<std::size_t> in(static_cast<std::size_t>(g.num_destinations()), 0);
+      for (const ReconfigEdge& edge : g.edges()) {
+        ++out[static_cast<std::size_t>(g.source_of(edge.transmitter))];
+        ++in[static_cast<std::size_t>(g.destination_of(edge.receiver))];
+      }
+      for (const std::size_t degree : out) {
+        EXPECT_EQ(degree, static_cast<std::size_t>(spec.expander.degree));
+      }
+      for (const std::size_t degree : in) {
+        EXPECT_EQ(degree, static_cast<std::size_t>(spec.expander.degree));
+      }
+      break;
+    }
+    case TopologySpec::Kind::Rotor:
+      EXPECT_EQ(g.num_edges(), spec.rotor.racks * rotor_matchings(spec.rotor));
+      break;
+    case TopologySpec::Kind::TwoTier:
+    case TopologySpec::Kind::Oversubscribed:
+      break;  // stochastic counts; validate() + routability cover them
+  }
+}
+
+TEST_P(TopologyGrid, FixedWiringSharesOneTopologyAcrossSeeds) {
+  TopologySpec spec = topology_grid()[GetParam()];
+  spec.fixed_wiring = true;
+  EXPECT_EQ(edge_list(make_topology(spec, 1)), edge_list(make_topology(spec, 999)));
+}
+
+TEST_P(TopologyGrid, WorkloadsGenerateOnEveryKind) {
+  const TopologySpec spec = topology_grid()[GetParam()];
+  WorkloadConfig workload;
+  workload.num_packets = 15;
+  workload.seed = 4;
+  const Instance instance = generate_workload(make_topology(spec, 4), workload);
+  EXPECT_EQ(instance.validate(), "");
+  EXPECT_EQ(instance.num_packets(), 15u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, TopologyGrid,
+                         ::testing::Range<std::size_t>(0, topology_grid().size()));
+
+// --- fuzz grid coverage ------------------------------------------------------
+
+TEST(FuzzGrid, FirstHundredSeedsDrawEveryTopologyKind) {
+  std::set<TopologySpec::Kind> batch_kinds;
+  std::set<TopologySpec::Kind> stream_kinds;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    batch_kinds.insert(random_scenario_spec(seed).topology.kind);
+    stream_kinds.insert(random_stream_spec(seed).topology.kind);
+  }
+  EXPECT_EQ(batch_kinds.size(), 5u);
+  EXPECT_EQ(stream_kinds.size(), 5u);
+}
+
+TEST(FuzzGrid, RandomSpecsProduceValidInstances) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const ScenarioSpec spec = random_scenario_spec(seed);
+    const Instance instance = ScenarioRunner(spec).instance(spec.base_seed);
+    EXPECT_EQ(instance.validate(), "") << "seed " << seed;
+    EXPECT_GT(instance.num_packets(), 0u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rdcn

@@ -282,5 +282,83 @@ TEST(TrafficSource, PoissonMatchesBatchGeneratorDistributions) {
   }
 }
 
+// ----------------------------------------- calibration over the topology zoo --
+
+TEST(TrafficZoo, MatchingCapacityEqualsPortsOnDenseFabrics) {
+  const Topology crossbar = build_crossbar(6);
+  EXPECT_DOUBLE_EQ(matching_capacity(crossbar), service_capacity(crossbar));
+  const Topology pod = test_topology();
+  EXPECT_DOUBLE_EQ(matching_capacity(pod), service_capacity(pod));
+  EXPECT_DOUBLE_EQ(matching_capacity(crossbar, 2), 2.0 * matching_capacity(crossbar));
+}
+
+TEST(TrafficZoo, MatchingCapacityExposesDarkPortsOnSparseRotor) {
+  // One rotor matching over two ports per rack: port 1 never gets an edge,
+  // so at most `racks` chunks move per step -- half the Ports bound.
+  RotorConfig config;
+  config.racks = 4;
+  config.ports_per_rack = 2;
+  config.num_matchings = 1;
+  const Topology g = build_rotor(config);
+  EXPECT_DOUBLE_EQ(service_capacity(g), 8.0);
+  EXPECT_DOUBLE_EQ(matching_capacity(g), 4.0);
+}
+
+TEST(TrafficZoo, MatchingCapacityExposesDarkPortsOnLowDegreeExpander) {
+  ExpanderConfig config;
+  config.racks = 6;
+  config.degree = 1;  // one permutation: only laser port 0 is wired
+  config.lasers_per_rack = 2;
+  config.photodetectors_per_rack = 2;
+  config.fixed_link_delay = 0;
+  Rng rng(5);
+  const Topology g = build_expander(config, rng);
+  EXPECT_DOUBLE_EQ(service_capacity(g), 12.0);
+  EXPECT_DOUBLE_EQ(matching_capacity(g), 6.0);
+}
+
+TEST(TrafficZoo, MaxMatchingModelScalesTheCalibratedRate) {
+  RotorConfig rotor;
+  rotor.racks = 4;
+  rotor.ports_per_rack = 2;
+  rotor.num_matchings = 1;
+  const Topology g = build_rotor(rotor);
+  TrafficConfig config = poisson_config(0.8);
+  const double ports_rate = calibrate_rate(g, config);
+  config.capacity_model = CapacityModel::MaxMatching;
+  const double matching_rate = calibrate_rate(g, config);
+  // Same demand estimate, half the capacity: exactly half the rate.
+  EXPECT_NEAR(matching_rate, 0.5 * ports_rate, 1e-12);
+}
+
+TEST(TrafficZoo, CalibrationTargetsMeasuredLoadOnEveryZooShape) {
+  std::vector<Topology> fabrics;
+  {
+    Rng rng(41);
+    fabrics.push_back(build_oversubscribed(OversubscribedConfig{}, rng));
+  }
+  {
+    ExpanderConfig config;
+    config.fixed_link_delay = 0;  // pure expander: zero-demand fraction 0
+    Rng rng(42);
+    fabrics.push_back(build_expander(config, rng));
+  }
+  fabrics.push_back(build_rotor(RotorConfig{}));
+
+  for (std::size_t i = 0; i < fabrics.size(); ++i) {
+    TrafficConfig config = poisson_config(0.7);
+    // Oversubscribed pods route a sizable minority of pairs fixed-only.
+    config.max_zero_demand_fraction = 0.75;
+    const double rate = calibrate_rate(fabrics[i], config);
+    ASSERT_GT(rate, 0.0) << "fabric " << i;
+    auto source = make_source(fabrics[i], config);
+    const std::vector<Packet> packets = record_arrivals(*source, 4000);
+    ASSERT_EQ(packets.size(), 4000u);
+    const double span = static_cast<double>(packets.back().arrival);
+    const double measured = static_cast<double>(packets.size()) / span;
+    EXPECT_NEAR(measured, rate, 0.08 * rate) << "fabric " << i;
+  }
+}
+
 }  // namespace
 }  // namespace rdcn

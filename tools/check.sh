@@ -29,11 +29,22 @@ else
 fi
 
 echo "== smoke fuzz =="
-"$build/rdcn_fuzz" --seeds 3 --base 1 >/dev/null
+# Fixed-seed differential sweep; the random spec grids draw the whole
+# topology zoo (two-tier, crossbar, oversubscribed, expander, rotor), so
+# every wiring family passes through the checker on every run.
+"$build/rdcn_fuzz" --seeds 15 --base 1 >/dev/null
 
 echo "== smoke cli =="
 "$build/rdcn_cli" policies >/dev/null
 "$build/rdcn_cli" record "$build/smoke_trace.inst" --packets 500 --rho 0.6 --seed 3 >/dev/null
 "$build/rdcn_cli" stream --trace "$build/smoke_trace.inst" --warmup 0 --packets 500 >/dev/null
 "$build/rdcn_cli" stream --rho 0.6 --warmup 200 --packets 2000 --seed 3 >/dev/null
+
+echo "== smoke suites =="
+"$build/rdcn_cli" suite "$repo/examples/suites/paper_baseline.json" >/dev/null
+"$build/rdcn_cli" suite "$repo/examples/suites/skew_sweep.json" --list >/dev/null
+if "$build/rdcn_cli" suite "$repo/tests/suites/unknown_key.json" >/dev/null 2>&1; then
+  echo "check.sh: bad suite file was not rejected" >&2
+  exit 1
+fi
 echo "check.sh: all stages passed"

@@ -33,6 +33,12 @@
 //       target utilization rho (or replays a recorded trace) through the
 //       bounded-memory engine and prints latency percentiles, throughput
 //       and backlog after the warmup cutoff.
+//   suite <suite.json> [--threads N] [--list]
+//       Runs a declarative suite file (topology x workload/traffic x
+//       engine x policy grid, see run/suite.hpp and examples/suites/)
+//       through the BatchRunner and prints one BenchReport JSON line per
+//       cell. --list prints the expanded cells without running. Parse
+//       errors name the offending JSON path and exit nonzero.
 //
 // Instance files use the rdcn-instance v1 text format (Instance::save).
 // All execution routes through the run/ subsystem (the same ScenarioRunner
@@ -49,6 +55,7 @@
 #include "core/dual_witness.hpp"
 #include "run/scenario.hpp"
 #include "run/stream.hpp"
+#include "run/suite.hpp"
 #include "sim/gantt.hpp"
 #include "sim/metrics.hpp"
 #include "util/table.hpp"
@@ -60,8 +67,9 @@ using namespace rdcn;
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: rdcn_cli <command> [file] [options]\n"
-               "commands: gen run certify show info policies record stream\n"
+               "commands: gen run certify show info policies record stream suite\n"
                "  gen/run/certify/show/info/record take an instance file;\n"
+               "  suite takes a suite JSON file (see examples/suites/);\n"
                "  stream and policies take options only.\n"
                "run with no options for defaults; see source header for flags\n");
   std::exit(2);
@@ -404,6 +412,27 @@ int cmd_stream(const Args& args) {
   return 0;
 }
 
+int cmd_suite(const Args& args) {
+  SuiteSpec spec;
+  try {
+    spec = load_suite_file(args.file);
+  } catch (const SuiteError& error) {
+    std::fprintf(stderr, "suite error: %s\n", error.what());
+    return 1;
+  }
+  const SuiteRunner runner(std::move(spec));
+  std::fprintf(stderr, "suite %s: %zu grid cells x %zu policies = %zu runs\n",
+               runner.spec().name.c_str(), runner.grid_cells(),
+               runner.spec().policies.size(), runner.cells());
+  if (args.has("--list")) {
+    for (const std::string& name : runner.cell_names()) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+  const auto threads = static_cast<std::size_t>(args.number("--threads", 0));
+  for (const std::string& line : runner.run(threads)) std::printf("%s\n", line.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -413,7 +442,8 @@ int main(int argc, char** argv) {
   // stream and policies take no positional file; everything else does.
   const bool takes_file = args.command == "gen" || args.command == "run" ||
                           args.command == "certify" || args.command == "show" ||
-                          args.command == "info" || args.command == "record";
+                          args.command == "info" || args.command == "record" ||
+                          args.command == "suite";
   const int rest_from = takes_file ? 3 : 2;
   if (takes_file) {
     if (argc < 3) usage();
@@ -430,6 +460,7 @@ int main(int argc, char** argv) {
     if (args.command == "policies") return cmd_policies();
     if (args.command == "record") return cmd_record(args);
     if (args.command == "stream") return cmd_stream(args);
+    if (args.command == "suite") return cmd_suite(args);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
