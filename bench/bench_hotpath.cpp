@@ -1,0 +1,173 @@
+// EXP-P2 -- scheduling-round hot-path microbench (ISSUE 5). For every
+// registry scheduler across topology-zoo shapes, inject a contended burst
+// into a streaming engine and time the pure drain: no arrivals, so every
+// measured step is exactly one scheduling round plus retirement -- the
+// steady-state inner loop the Selection API and active-endpoint
+// compression target. Emits BenchReport JSON lines (ns_per_round, rounds,
+// total_cost as a determinism cross-check); the committed baseline lives
+// in BENCH_hotpath.json and tools/perf_diff gates CI against it.
+//
+//   bench_hotpath [--json] [--quick]
+//
+//   --json   print only the JSON lines (what BENCH_hotpath.json stores)
+//   --quick  smaller burst, fewer repetitions, crossbar shape only (the
+//            CI perf-smoke subset)
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "net/builders.hpp"
+#include "run/policies.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rdcn;
+using namespace rdcn::bench;
+
+struct Shape {
+  const char* name;
+  Topology topology;
+};
+
+std::vector<Shape> zoo_shapes(bool quick) {
+  std::vector<Shape> shapes;
+  shapes.push_back({"crossbar16", build_crossbar(16)});
+  if (quick) return shapes;
+  {
+    TwoTierConfig net;
+    net.racks = 12;
+    net.lasers_per_rack = 2;
+    net.photodetectors_per_rack = 2;
+    net.density = 0.5;
+    net.max_edge_delay = 3;
+    Rng rng(7);
+    shapes.push_back({"two_tier12x2", build_two_tier(net, rng)});
+  }
+  {
+    ExpanderConfig net;
+    net.racks = 16;
+    net.degree = 3;
+    net.lasers_per_rack = 2;
+    net.photodetectors_per_rack = 2;
+    net.max_edge_delay = 2;
+    Rng rng(7);
+    shapes.push_back({"expander16d3", build_expander(net, rng)});
+  }
+  return shapes;
+}
+
+std::vector<Packet> burst(const Topology& topology, std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Packet> packets;
+  packets.reserve(count);
+  while (packets.size() < count) {
+    Packet p;
+    p.id = static_cast<PacketIndex>(packets.size());
+    p.arrival = 1;
+    p.weight = rng.next_double(0.5, 8.0);
+    p.source =
+        static_cast<NodeIndex>(rng.next_below(static_cast<std::uint64_t>(topology.num_sources())));
+    p.destination = static_cast<NodeIndex>(
+        rng.next_below(static_cast<std::uint64_t>(topology.num_destinations())));
+    if (!topology.routable(p.source, p.destination)) continue;
+    packets.push_back(p);
+  }
+  return packets;
+}
+
+struct DrainResult {
+  double ns_per_round = 0.0;
+  double wall_ms = 0.0;
+  std::int64_t rounds = 0;
+  double total_cost = 0.0;
+};
+
+DrainResult drain_once(const Topology& topology, const PolicyFactory& policy,
+                       const std::vector<Packet>& packets) {
+  auto dispatcher = policy.dispatcher();
+  auto scheduler = policy.scheduler(topology);
+  Engine engine(topology, *dispatcher, *scheduler, {}, [](RetiredPacket&&) {});
+  const Time arrival = 1;
+  engine.begin_step(&arrival);
+  for (const Packet& p : packets) engine.inject(p);
+  engine.finish_step();
+
+  const auto start = std::chrono::steady_clock::now();
+  std::int64_t rounds = 0;
+  while (engine.busy()) {
+    engine.begin_step(nullptr);
+    engine.finish_step();
+    ++rounds;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  DrainResult result;
+  result.rounds = rounds;
+  result.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(elapsed).count();
+  result.ns_per_round =
+      rounds > 0 ? std::chrono::duration_cast<std::chrono::duration<double, std::nano>>(elapsed)
+                           .count() /
+                       static_cast<double>(rounds)
+                 : 0.0;
+  result.total_cost = engine.aggregates().total_cost;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json_only = false;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_only = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: bench_hotpath [--json] [--quick]\n");
+      return 2;
+    }
+  }
+  // --quick trims shapes and repetitions but keeps the burst size, so its
+  // rows carry the same (bench, name, params) keys as the committed
+  // BENCH_hotpath.json baseline and perf_diff can match them.
+  const std::size_t packets = 400;
+  const int repetitions = quick ? 2 : 4;
+  const std::vector<const char*> policies = {"alg",   "maxweight", "islip",
+                                             "rotor", "random",    "fifo"};
+
+  BenchReport report("hotpath");
+  Table table({"shape", "policy", "rounds", "ns/round", "total cost"});
+  for (const Shape& shape : zoo_shapes(quick)) {
+    const std::vector<Packet> load = burst(shape.topology, packets, 11);
+    for (const char* name : policies) {
+      const PolicyFactory policy = named_policy(name);
+      DrainResult best;
+      for (int rep = 0; rep < repetitions; ++rep) {
+        const DrainResult result = drain_once(shape.topology, policy, load);
+        if (rep == 0 || result.ns_per_round < best.ns_per_round) best = result;
+      }
+      report.add(name, best.total_cost, best.wall_ms)
+          .param("shape", std::string(shape.name))
+          .param("packets", static_cast<std::int64_t>(packets))
+          .value("ns_per_round", best.ns_per_round)
+          .value("rounds", static_cast<double>(best.rounds));
+      table.add_row({shape.name, name, Table::fmt(best.rounds),
+                     Table::fmt(best.ns_per_round, 1), Table::fmt(best.total_cost, 1)});
+    }
+  }
+  if (json_only) {
+    for (const std::string& line : report.json_lines()) std::printf("%s\n", line.c_str());
+  } else {
+    table.print("EXP-P2: scheduling-round drain cost (best of repetitions)");
+    report.print();
+  }
+  return 0;
+}

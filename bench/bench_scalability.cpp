@@ -104,8 +104,11 @@ void BM_StableMatchingStep(benchmark::State& state) {
   ImpactDispatcher dispatcher;
   StableMatchingScheduler scheduler;
   Engine engine(instance, dispatcher, scheduler, {});
+  Selection selection;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(scheduler.select(engine, 1, candidates));
+    selection.clear();
+    scheduler.select(engine, 1, candidates, selection);
+    benchmark::DoNotOptimize(selection.size());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(depth));
@@ -121,8 +124,11 @@ void BM_MaxWeightStep(benchmark::State& state) {
   ImpactDispatcher dispatcher;
   MaxWeightScheduler scheduler;
   Engine engine(instance, dispatcher, scheduler, {});
+  Selection selection;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(scheduler.select(engine, 1, candidates));
+    selection.clear();
+    scheduler.select(engine, 1, candidates, selection);
+    benchmark::DoNotOptimize(selection.size());
   }
 }
 BENCHMARK(BM_MaxWeightStep)->Arg(16)->Arg(64)->Arg(256);

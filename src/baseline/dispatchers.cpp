@@ -31,8 +31,7 @@ std::int64_t endpoint_load(const Engine& engine, EdgeIndex e) {
     load += engine.remaining_chunks(q);
   }
   for (PacketIndex q : engine.pending_on_receiver(edge.receiver)) {
-    const ReconfigEdge& q_edge = engine.topology().edge(engine.assigned_edge(q));
-    if (q_edge.transmitter == edge.transmitter) continue;  // already counted
+    if (engine.assigned_transmitter(q) == edge.transmitter) continue;  // already counted
     load += engine.remaining_chunks(q);
   }
   return load;
@@ -41,29 +40,26 @@ std::int64_t endpoint_load(const Engine& engine, EdgeIndex e) {
 }  // namespace
 
 RouteDecision RandomDispatcher::dispatch(const Engine& engine, const Packet& packet) {
-  const auto candidates =
-      engine.topology().candidate_edges(packet.source, packet.destination);
-  if (candidates.empty()) return fixed_route(engine, packet);
-  return edge_route(candidates[rng_.next_below(candidates.size())]);
+  engine.topology().candidate_edges_into(packet.source, packet.destination, edges_);
+  if (edges_.empty()) return fixed_route(engine, packet);
+  return edge_route(edges_[rng_.next_below(edges_.size())]);
 }
 
 RouteDecision RoundRobinDispatcher::dispatch(const Engine& engine, const Packet& packet) {
-  const auto candidates =
-      engine.topology().candidate_edges(packet.source, packet.destination);
-  if (candidates.empty()) return fixed_route(engine, packet);
+  engine.topology().candidate_edges_into(packet.source, packet.destination, edges_);
+  if (edges_.empty()) return fixed_route(engine, packet);
   std::size_t& next = cursor_[{packet.source, packet.destination}];
-  const EdgeIndex edge = candidates[next % candidates.size()];
+  const EdgeIndex edge = edges_[next % edges_.size()];
   ++next;
   return edge_route(edge);
 }
 
 RouteDecision JsqDispatcher::dispatch(const Engine& engine, const Packet& packet) {
-  const auto candidates =
-      engine.topology().candidate_edges(packet.source, packet.destination);
-  if (candidates.empty()) return fixed_route(engine, packet);
-  EdgeIndex best = candidates.front();
+  engine.topology().candidate_edges_into(packet.source, packet.destination, edges_);
+  if (edges_.empty()) return fixed_route(engine, packet);
+  EdgeIndex best = edges_.front();
   std::int64_t best_load = std::numeric_limits<std::int64_t>::max();
-  for (EdgeIndex e : candidates) {
+  for (EdgeIndex e : edges_) {
     const std::int64_t load = endpoint_load(engine, e);
     if (load < best_load) {
       best_load = load;
@@ -75,11 +71,11 @@ RouteDecision JsqDispatcher::dispatch(const Engine& engine, const Packet& packet
 
 RouteDecision MinDelayDispatcher::dispatch(const Engine& engine, const Packet& packet) {
   const Topology& topology = engine.topology();
-  const auto candidates = topology.candidate_edges(packet.source, packet.destination);
-  if (candidates.empty()) return fixed_route(engine, packet);
-  EdgeIndex best = candidates.front();
+  topology.candidate_edges_into(packet.source, packet.destination, edges_);
+  if (edges_.empty()) return fixed_route(engine, packet);
+  EdgeIndex best = edges_.front();
   Delay best_delay = std::numeric_limits<Delay>::max();
-  for (EdgeIndex e : candidates) {
+  for (EdgeIndex e : edges_) {
     const Delay delay = topology.total_edge_delay(e);
     if (delay < best_delay) {
       best_delay = delay;
@@ -99,9 +95,9 @@ RouteDecision DirectOnlyDispatcher::dispatch(const Engine& engine, const Packet&
   if (topology.fixed_link_delay(packet.source, packet.destination)) {
     return fixed_route(engine, packet);
   }
-  const auto candidates = topology.candidate_edges(packet.source, packet.destination);
-  if (candidates.empty()) throw std::logic_error("packet has no route");
-  return edge_route(candidates.front());
+  topology.candidate_edges_into(packet.source, packet.destination, edges_);
+  if (edges_.empty()) throw std::logic_error("packet has no route");
+  return edge_route(edges_.front());
 }
 
 }  // namespace rdcn

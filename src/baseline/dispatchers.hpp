@@ -12,10 +12,13 @@
 //   DirectOnlyDispatcher -- always the fixed link when one exists.
 //
 // All of them fall back sensibly when E_p is empty or no fixed link
-// exists, and set alpha = 0 (they give no dual certificate).
+// exists, and set alpha = 0 (they give no dual certificate). Each keeps a
+// candidate-edge scratch member (candidate_edges_into), so the per-packet
+// dispatch path performs no heap allocations at steady state.
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
 #include "sim/engine.hpp"
 #include "util/rng.hpp"
@@ -29,6 +32,7 @@ class RandomDispatcher final : public DispatchPolicy {
 
  private:
   Rng rng_;
+  std::vector<EdgeIndex> edges_;
 };
 
 class RoundRobinDispatcher final : public DispatchPolicy {
@@ -37,21 +41,31 @@ class RoundRobinDispatcher final : public DispatchPolicy {
 
  private:
   std::map<std::pair<NodeIndex, NodeIndex>, std::size_t> cursor_;
+  std::vector<EdgeIndex> edges_;
 };
 
 class JsqDispatcher final : public DispatchPolicy {
  public:
   RouteDecision dispatch(const Engine& engine, const Packet& packet) override;
+
+ private:
+  std::vector<EdgeIndex> edges_;
 };
 
 class MinDelayDispatcher final : public DispatchPolicy {
  public:
   RouteDecision dispatch(const Engine& engine, const Packet& packet) override;
+
+ private:
+  std::vector<EdgeIndex> edges_;
 };
 
 class DirectOnlyDispatcher final : public DispatchPolicy {
  public:
   RouteDecision dispatch(const Engine& engine, const Packet& packet) override;
+
+ private:
+  std::vector<EdgeIndex> edges_;
 };
 
 }  // namespace rdcn

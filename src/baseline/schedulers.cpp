@@ -3,9 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
-
-#include "match/hungarian.hpp"
-#include "match/stable.hpp"
+#include <stdexcept>
 
 namespace rdcn {
 
@@ -18,101 +16,132 @@ bool fifo_before(const Candidate& a, const Candidate& b) {
   return a.packet < b.packet;
 }
 
-/// Greedy maximal matching taking candidates in the given index order.
-std::vector<std::size_t> greedy_in_order(const Engine& engine,
-                                         const std::vector<Candidate>& candidates,
-                                         const std::vector<std::size_t>& order) {
-  std::vector<MatchRequest> requests;
-  requests.reserve(order.size());
-  for (std::size_t idx : order) {
-    requests.push_back(MatchRequest{candidates[idx].transmitter, candidates[idx].receiver});
-  }
-  const auto accepted = greedy_stable_matching(
-      requests, static_cast<std::size_t>(engine.topology().num_transmitters()),
-      static_cast<std::size_t>(engine.topology().num_receivers()));
-  std::vector<std::size_t> selected;
-  selected.reserve(accepted.size());
-  for (std::size_t sorted_index : accepted) selected.push_back(order[sorted_index]);
-  return selected;
-}
-
 }  // namespace
 
-std::vector<std::size_t> MaxWeightScheduler::select(const Engine& engine, Time /*now*/,
-                                                    const std::vector<Candidate>& candidates) {
-  std::vector<WeightedBipartiteEdge> edges;
-  edges.reserve(candidates.size());
-  for (const Candidate& c : candidates) {
-    edges.push_back(WeightedBipartiteEdge{c.transmitter, c.receiver, c.chunk_weight});
+void MaxWeightScheduler::select(const Engine& engine, Time /*now*/,
+                                const std::vector<Candidate>& candidates, Selection& out) {
+  const ActiveEndpoints& active = engine.active_endpoints(candidates);
+  const std::size_t kt = active.num_transmitters();
+  const std::size_t kr = active.num_receivers();
+  if (kt == 0 || kr == 0) return;
+
+  // Dense cost matrix over the ACTIVE endpoints only (rows = smaller
+  // side): cell (i, j) holds minus the heaviest chunk weight between the
+  // pair, 0 when no candidate connects them, so the min-cost assignment
+  // restricted to negative cells is a maximum-weight matching. This is
+  // max_weight_matching's encoding (match/hungarian.cpp) inlined over
+  // candidates to skip the edge-list build -- keep the two in sync.
+  const bool transpose = kt > kr;
+  const std::size_t rows = transpose ? kr : kt;
+  const std::size_t cols = transpose ? kt : kr;
+  cost_.assign(rows * cols, 0.0);
+  best_.assign(rows * cols, kNone);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const Candidate& c = candidates[i];
+    const auto t_rank = static_cast<std::size_t>(active.transmitter_rank(c.transmitter));
+    const auto r_rank = static_cast<std::size_t>(active.receiver_rank(c.receiver));
+    const std::size_t cell =
+        transpose ? r_rank * cols + t_rank : t_rank * cols + r_rank;
+    if (-c.chunk_weight < cost_[cell]) {
+      cost_[cell] = -c.chunk_weight;
+      best_[cell] = i;
+    }
   }
-  const MatchingResult matching = max_weight_matching(
-      edges, static_cast<std::size_t>(engine.topology().num_transmitters()),
-      static_cast<std::size_t>(engine.topology().num_receivers()));
-  return matching.edges;  // indices into `edges` == indices into `candidates`
+
+  hungarian_.solve(cost_.data(), rows, cols, assignment_);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::size_t cell = i * cols + static_cast<std::size_t>(assignment_[i]);
+    if (cost_[cell] < 0.0 && best_[cell] != kNone) out.push(best_[cell]);
+  }
 }
 
-std::vector<std::size_t> IslipScheduler::select(const Engine& engine, Time /*now*/,
-                                                const std::vector<Candidate>& candidates) {
+IslipScheduler::IslipScheduler(const Topology& topology, int iterations)
+    : iterations_(iterations),
+      grant_pointer_(static_cast<std::size_t>(topology.num_receivers()), 0),
+      accept_pointer_(static_cast<std::size_t>(topology.num_transmitters()), 0) {}
+
+void IslipScheduler::select(const Engine& engine, Time /*now*/,
+                            const std::vector<Candidate>& candidates, Selection& out) {
   const auto num_t = static_cast<std::size_t>(engine.topology().num_transmitters());
   const auto num_r = static_cast<std::size_t>(engine.topology().num_receivers());
-  grant_pointer_.resize(num_r, 0);
-  accept_pointer_.resize(num_t, 0);
+  if (accept_pointer_.size() != num_t || grant_pointer_.size() != num_r) {
+    throw std::logic_error(
+        "IslipScheduler: engine topology does not match the construction topology");
+  }
+  const ActiveEndpoints& active = engine.active_endpoints(candidates);
+  const std::size_t kt = active.num_transmitters();
+  const std::size_t kr = active.num_receivers();
+  if (kt == 0 || kr == 0) return;
 
-  // request[t][r] = head-of-line candidate for the (t, r) pair (FIFO).
-  std::vector<std::vector<std::size_t>> request(num_t, std::vector<std::size_t>(num_r, kNone));
+  // request_[tt*kr + rr] = head-of-line candidate for the (t, r) pair
+  // (FIFO), over active-endpoint ranks.
+  request_.assign(kt * kr, kNone);
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    auto& slot = request[static_cast<std::size_t>(candidates[i].transmitter)]
-                        [static_cast<std::size_t>(candidates[i].receiver)];
+    const auto tt = static_cast<std::size_t>(active.transmitter_rank(candidates[i].transmitter));
+    const auto rr = static_cast<std::size_t>(active.receiver_rank(candidates[i].receiver));
+    auto& slot = request_[tt * kr + rr];
     if (slot == kNone || fifo_before(candidates[i], candidates[slot])) slot = i;
   }
 
-  std::vector<bool> t_matched(num_t, false), r_matched(num_r, false);
-  std::vector<std::size_t> selected;
+  t_matched_.assign(kt, 0);
+  r_matched_.assign(kr, 0);
 
-  const int max_rounds = iterations_ > 0
-                             ? iterations_
-                             : static_cast<int>(std::max<std::size_t>(num_t, num_r)) + 1;
+  const int max_rounds =
+      iterations_ > 0 ? iterations_ : static_cast<int>(std::max(kt, kr)) + 1;
   for (int round = 0; round < max_rounds; ++round) {
     // Grant: each unmatched receiver picks, round-robin from its pointer,
-    // one requesting unmatched transmitter. A receiver grants exactly one
-    // transmitter, but several receivers may grant the same transmitter.
-    std::vector<std::vector<std::size_t>> grants(num_t);
-    for (std::size_t r = 0; r < num_r; ++r) {
-      if (r_matched[r]) continue;
-      for (std::size_t k = 0; k < num_t; ++k) {
-        const std::size_t t = (grant_pointer_[r] + k) % num_t;
-        if (t_matched[t] || request[t][r] == kNone) continue;
-        grants[t].push_back(r);
-        break;
-      }
-    }
-    // Accept: each granted transmitter accepts round-robin from its pointer.
-    bool any_accept = false;
-    for (std::size_t t = 0; t < num_t; ++t) {
-      if (t_matched[t] || grants[t].empty()) continue;
-      std::size_t chosen = grants[t].front();
+    // the requesting unmatched transmitter closest after the pointer --
+    // computed as an argmin over the ACTIVE transmitters' pointer
+    // distance, which selects exactly the transmitter the classic
+    // full-topology scan would reach first. A receiver grants one
+    // transmitter; conflicting grants are resolved in the accept stage by
+    // keeping, per transmitter, only the granting receiver with the
+    // smallest accept-pointer distance (equivalent to collecting all
+    // grants and picking the min, without a per-transmitter grant list).
+    grant_rank_.assign(kt, kNone);
+    grant_from_.assign(kt, kNone);
+    for (std::size_t rr = 0; rr < kr; ++rr) {
+      if (r_matched_[rr]) continue;
+      const auto r = static_cast<std::size_t>(active.receivers[rr]);
+      std::size_t best_tt = kNone;
       std::size_t best_rank = kNone;
-      for (std::size_t r : grants[t]) {
-        const std::size_t rank = (r + num_r - accept_pointer_[t] % num_r) % num_r;
+      for (std::size_t tt = 0; tt < kt; ++tt) {
+        if (t_matched_[tt] || request_[tt * kr + rr] == kNone) continue;
+        const auto t = static_cast<std::size_t>(active.transmitters[tt]);
+        const std::size_t rank = (t + num_t - grant_pointer_[r] % num_t) % num_t;
         if (rank < best_rank) {
           best_rank = rank;
-          chosen = r;
+          best_tt = tt;
         }
       }
-      t_matched[t] = true;
-      r_matched[chosen] = true;
-      selected.push_back(request[t][chosen]);
+      if (best_tt == kNone) continue;
+      const auto t = static_cast<std::size_t>(active.transmitters[best_tt]);
+      const std::size_t accept_rank = (r + num_r - accept_pointer_[t] % num_r) % num_r;
+      if (accept_rank < grant_rank_[best_tt]) {
+        grant_rank_[best_tt] = accept_rank;
+        grant_from_[best_tt] = rr;
+      }
+    }
+    // Accept: each granted transmitter takes its best-ranked receiver.
+    bool any_accept = false;
+    for (std::size_t tt = 0; tt < kt; ++tt) {
+      const std::size_t rr = grant_from_[tt];
+      if (rr == kNone) continue;
+      t_matched_[tt] = 1;
+      r_matched_[rr] = 1;
+      out.push(request_[tt * kr + rr]);
       any_accept = true;
       if (round == 0) {
         // Pointer update only for first-iteration accepts (classic iSLIP
         // desynchronization rule).
-        grant_pointer_[chosen] = (t + 1) % num_t;
-        accept_pointer_[t] = (chosen + 1) % num_r;
+        const auto t = static_cast<std::size_t>(active.transmitters[tt]);
+        const auto r = static_cast<std::size_t>(active.receivers[rr]);
+        grant_pointer_[r] = (t + 1) % num_t;
+        accept_pointer_[t] = (r + 1) % num_r;
       }
     }
     if (!any_accept) break;
   }
-  return selected;
 }
 
 RotorScheduler::RotorScheduler(const Topology& topology) {
@@ -123,45 +152,55 @@ RotorScheduler::RotorScheduler(const Topology& topology) {
   }
   coloring_ = color_bipartite_edges(edges, static_cast<std::size_t>(topology.num_transmitters()),
                                     static_cast<std::size_t>(topology.num_receivers()));
+  head_stamp_.assign(coloring_.color.size(), 0);
+  head_slot_.assign(coloring_.color.size(), 0);
+  // A color class is a matching, so this bounds any round's touched set.
+  touched_edges_.reserve(std::min(static_cast<std::size_t>(topology.num_transmitters()),
+                                  static_cast<std::size_t>(topology.num_receivers())));
 }
 
-std::vector<std::size_t> RotorScheduler::select(const Engine& /*engine*/, Time now,
-                                                const std::vector<Candidate>& candidates) {
-  if (coloring_.num_colors == 0) return {};
+void RotorScheduler::select(const Engine& /*engine*/, Time now,
+                            const std::vector<Candidate>& candidates, Selection& out) {
+  if (coloring_.num_colors == 0) return;
   const std::int32_t active_color =
       static_cast<std::int32_t>(now % static_cast<Time>(coloring_.num_colors));
   // The active color class is a matching over (t, r); per active edge,
-  // transmit the FIFO head among the packets committed to it.
-  std::vector<std::size_t> head_per_edge(coloring_.color.size(), kNone);
+  // transmit the FIFO head among the packets committed to it. Only edges
+  // seen in the candidate scan are touched (serial-stamped slots), so the
+  // pass is O(candidates + touched log touched), not O(edges).
+  ++serial_;
+  touched_edges_.clear();
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     const auto e = static_cast<std::size_t>(candidates[i].edge);
     if (coloring_.color[e] != active_color) continue;
-    auto& slot = head_per_edge[e];
-    if (slot == kNone || fifo_before(candidates[i], candidates[slot])) slot = i;
+    if (head_stamp_[e] != serial_) {
+      head_stamp_[e] = serial_;
+      head_slot_[e] = i;
+      touched_edges_.push_back(e);
+    } else if (fifo_before(candidates[i], candidates[head_slot_[e]])) {
+      head_slot_[e] = i;
+    }
   }
-  std::vector<std::size_t> selected;
-  for (std::size_t slot : head_per_edge) {
-    if (slot != kNone) selected.push_back(slot);
-  }
-  return selected;
+  std::sort(touched_edges_.begin(), touched_edges_.end());
+  for (std::size_t e : touched_edges_) out.push(head_slot_[e]);
 }
 
-std::vector<std::size_t> RandomMaximalScheduler::select(
-    const Engine& engine, Time /*now*/, const std::vector<Candidate>& candidates) {
-  std::vector<std::size_t> order(candidates.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  rng_.shuffle(order);
-  return greedy_in_order(engine, candidates, order);
+void RandomMaximalScheduler::select(const Engine& engine, Time /*now*/,
+                                    const std::vector<Candidate>& candidates, Selection& out) {
+  order_.resize(candidates.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  rng_.shuffle(order_);
+  scratch_.select_in_order(engine, candidates, order_, out);
 }
 
-std::vector<std::size_t> FifoScheduler::select(const Engine& engine, Time /*now*/,
-                                               const std::vector<Candidate>& candidates) {
-  std::vector<std::size_t> order(candidates.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [&candidates](std::size_t a, std::size_t b) {
+void FifoScheduler::select(const Engine& engine, Time /*now*/,
+                           const std::vector<Candidate>& candidates, Selection& out) {
+  order_.resize(candidates.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  std::sort(order_.begin(), order_.end(), [&candidates](std::size_t a, std::size_t b) {
     return fifo_before(candidates[a], candidates[b]);
   });
-  return greedy_in_order(engine, candidates, order);
+  scratch_.select_in_order(engine, candidates, order_, out);
 }
 
 }  // namespace rdcn

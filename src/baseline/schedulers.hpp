@@ -13,62 +13,96 @@
 //   RandomMaximalScheduler -- random-order greedy maximal matching;
 //   FifoScheduler      -- greedy maximal matching in arrival order
 //                         (weight-blind stable matching).
+//
+// All five keep their working storage in per-instance members sized by the
+// round's active endpoints (engine.active_endpoints), so steady-state
+// select() calls perform zero heap allocations.
 
 #include <cstdint>
 #include <vector>
 
 #include "match/edge_coloring.hpp"
+#include "match/hungarian.hpp"
 #include "sim/engine.hpp"
+#include "sim/greedy_select.hpp"
 #include "util/rng.hpp"
 
 namespace rdcn {
 
 class MaxWeightScheduler final : public SchedulePolicy {
  public:
-  std::vector<std::size_t> select(const Engine& engine, Time now,
-                                  const std::vector<Candidate>& candidates) override;
+  void select(const Engine& engine, Time now, const std::vector<Candidate>& candidates,
+              Selection& out) override;
+
+ private:
+  // The Hungarian runs on the k_active x k_active submatrix of busy
+  // endpoints (rows = smaller active side), stored flat in cost_.
+  HungarianWorkspace hungarian_;
+  std::vector<double> cost_;
+  std::vector<std::size_t> best_;  ///< heaviest candidate per matrix cell
+  std::vector<std::int32_t> assignment_;
 };
 
 class IslipScheduler final : public SchedulePolicy {
  public:
-  /// iterations = 0 runs request/grant/accept until convergence.
-  explicit IslipScheduler(int iterations = 0) : iterations_(iterations) {}
-  std::vector<std::size_t> select(const Engine& engine, Time now,
-                                  const std::vector<Candidate>& candidates) override;
+  /// Sizes the round-robin pointer state from the topology once;
+  /// iterations = 0 runs request/grant/accept until convergence. select()
+  /// asserts the engine's topology matches (a reused scheduler used to
+  /// silently reset its pointers on a size change).
+  explicit IslipScheduler(const Topology& topology, int iterations = 0);
+  void select(const Engine& engine, Time now, const std::vector<Candidate>& candidates,
+              Selection& out) override;
 
  private:
   int iterations_;
-  std::vector<std::size_t> grant_pointer_;   ///< per receiver
-  std::vector<std::size_t> accept_pointer_;  ///< per transmitter
+  std::vector<std::size_t> grant_pointer_;   ///< per receiver (persistent)
+  std::vector<std::size_t> accept_pointer_;  ///< per transmitter (persistent)
+  // Per-round scratch over active endpoints only.
+  std::vector<std::size_t> request_;     ///< kt x kr head-of-line map
+  std::vector<char> t_matched_, r_matched_;
+  std::vector<std::size_t> grant_rank_;  ///< per active transmitter
+  std::vector<std::size_t> grant_from_;  ///< granting receiver rank
 };
 
 class RotorScheduler final : public SchedulePolicy {
  public:
   /// Precomputes the coloring of the topology's reconfigurable layer.
   explicit RotorScheduler(const Topology& topology);
-  std::vector<std::size_t> select(const Engine& engine, Time now,
-                                  const std::vector<Candidate>& candidates) override;
+  void select(const Engine& engine, Time now, const std::vector<Candidate>& candidates,
+              Selection& out) override;
 
   std::int32_t cycle_length() const noexcept { return coloring_.num_colors; }
 
  private:
   EdgeColoring coloring_;
+  // Serial-stamped head-of-line slot per edge: only edges touched by the
+  // candidate scan are visited, never the whole edge array.
+  std::uint64_t serial_ = 0;
+  std::vector<std::uint64_t> head_stamp_;
+  std::vector<std::size_t> head_slot_;
+  std::vector<std::size_t> touched_edges_;
 };
 
 class RandomMaximalScheduler final : public SchedulePolicy {
  public:
   explicit RandomMaximalScheduler(std::uint64_t seed = 1) : rng_(seed) {}
-  std::vector<std::size_t> select(const Engine& engine, Time now,
-                                  const std::vector<Candidate>& candidates) override;
+  void select(const Engine& engine, Time now, const std::vector<Candidate>& candidates,
+              Selection& out) override;
 
  private:
   Rng rng_;
+  std::vector<std::size_t> order_;
+  GreedySelectScratch scratch_;
 };
 
 class FifoScheduler final : public SchedulePolicy {
  public:
-  std::vector<std::size_t> select(const Engine& engine, Time now,
-                                  const std::vector<Candidate>& candidates) override;
+  void select(const Engine& engine, Time now, const std::vector<Candidate>& candidates,
+              Selection& out) override;
+
+ private:
+  std::vector<std::size_t> order_;
+  GreedySelectScratch scratch_;
 };
 
 }  // namespace rdcn

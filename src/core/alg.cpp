@@ -5,18 +5,16 @@
 #include <stdexcept>
 
 #include "core/impact.hpp"
-#include "match/capacitated.hpp"
 
 namespace rdcn {
 
 RouteDecision ImpactDispatcher::dispatch(const Engine& engine, const Packet& packet) {
   const Topology& topology = engine.topology();
-  const std::vector<EdgeIndex> candidates =
-      topology.candidate_edges(packet.source, packet.destination);
+  topology.candidate_edges_into(packet.source, packet.destination, edges_);
 
   double best_delta = std::numeric_limits<double>::infinity();
   EdgeIndex best_edge = kInvalidEdge;
-  for (EdgeIndex e : candidates) {
+  for (EdgeIndex e : edges_) {
     const double delta = impact_of(engine, packet, e).delta;
     if (delta < best_delta) {  // ties keep the lowest edge index
       best_delta = delta;
@@ -43,8 +41,9 @@ RouteDecision ImpactDispatcher::dispatch(const Engine& engine, const Packet& pac
   return decision;
 }
 
-std::vector<std::size_t> StableMatchingScheduler::select(
-    const Engine& engine, Time /*now*/, const std::vector<Candidate>& candidates) {
+void StableMatchingScheduler::select(const Engine& engine, Time /*now*/,
+                                     const std::vector<Candidate>& candidates,
+                                     Selection& out) {
   // The engine hands candidates in the paper's priority order (see
   // SchedulePolicy::select), so the greedy stable matching of Section
   // III-C is a single scan: accept whenever both endpoints are free.
@@ -52,33 +51,54 @@ std::vector<std::size_t> StableMatchingScheduler::select(
   const auto num_r = static_cast<std::size_t>(engine.topology().num_receivers());
 
   if (engine.options().endpoint_capacity == 1) {
-    transmitter_taken_.assign(num_t, 0);
-    receiver_taken_.assign(num_r, 0);
+    transmitter_taken_.resize(num_t, 0);
+    receiver_taken_.resize(num_r, 0);
+    ++serial_;
     const std::size_t limit = std::min(num_t, num_r);
-    std::vector<std::size_t> selected;
     for (std::size_t i = 0; i < candidates.size(); ++i) {
       const Candidate& c = candidates[i];
       auto& t_taken = transmitter_taken_[static_cast<std::size_t>(c.transmitter)];
       auto& r_taken = receiver_taken_[static_cast<std::size_t>(c.receiver)];
-      if (t_taken || r_taken) continue;
-      t_taken = 1;
-      r_taken = 1;
-      selected.push_back(i);
-      if (selected.size() == limit) break;  // every further chunk is blocked
+      if (t_taken == serial_ || r_taken == serial_) continue;
+      t_taken = serial_;
+      r_taken = serial_;
+      out.push(i);
+      if (out.size() == limit) break;  // every further chunk is blocked
     }
-    return selected;
+    return;
   }
 
-  // b-matching extension: endpoints carry up to b edges per step; the
-  // capacitated greedy consumes the candidates in the given (priority)
-  // order, so accepted indices are candidate indices directly.
-  std::vector<CapacitatedRequest> requests;
-  requests.reserve(candidates.size());
-  for (const Candidate& c : candidates) {
-    requests.push_back(
-        CapacitatedRequest{c.transmitter, c.receiver, static_cast<std::int64_t>(c.edge)});
+  // b-matching extension: endpoints carry up to b edges per step, each
+  // physical edge at most one chunk. Same greedy accept order as
+  // match/capacitated's greedy_stable_bmatching, run in place on stamped
+  // load counters so this path is allocation-free at steady state too.
+  const std::int32_t capacity = engine.options().endpoint_capacity;
+  t_load_stamp_.resize(num_t, 0);
+  r_load_stamp_.resize(num_r, 0);
+  edge_used_stamp_.resize(static_cast<std::size_t>(engine.topology().num_edges()), 0);
+  t_load_.resize(num_t, 0);
+  r_load_.resize(num_r, 0);
+  ++serial_;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const Candidate& c = candidates[i];
+    const auto t = static_cast<std::size_t>(c.transmitter);
+    const auto r = static_cast<std::size_t>(c.receiver);
+    const auto e = static_cast<std::size_t>(c.edge);
+    if (t_load_stamp_[t] != serial_) {
+      t_load_stamp_[t] = serial_;
+      t_load_[t] = 0;
+    }
+    if (r_load_stamp_[r] != serial_) {
+      r_load_stamp_[r] = serial_;
+      r_load_[r] = 0;
+    }
+    if (t_load_[t] >= capacity || r_load_[r] >= capacity) continue;
+    if (edge_used_stamp_[e] == serial_) continue;
+    ++t_load_[t];
+    ++r_load_[r];
+    edge_used_stamp_[e] = serial_;
+    out.push(i);
   }
-  return greedy_stable_bmatching(requests, num_t, num_r, engine.options().endpoint_capacity);
 }
 
 RunResult run_alg(const Instance& instance, EngineOptions options) {

@@ -12,6 +12,9 @@
 // run_alg() wires both into the engine; its RouteDecision::alpha values
 // are exactly the dual variables alpha_p of Section IV-B.
 
+#include <cstdint>
+#include <vector>
+
 #include "sim/engine.hpp"
 
 namespace rdcn {
@@ -19,17 +22,29 @@ namespace rdcn {
 class ImpactDispatcher final : public DispatchPolicy {
  public:
   RouteDecision dispatch(const Engine& engine, const Packet& packet) override;
+
+ private:
+  std::vector<EdgeIndex> edges_;  ///< candidate_edges_into scratch
 };
 
 class StableMatchingScheduler final : public SchedulePolicy {
  public:
-  std::vector<std::size_t> select(const Engine& engine, Time now,
-                                  const std::vector<Candidate>& candidates) override;
+  void select(const Engine& engine, Time now, const std::vector<Candidate>& candidates,
+              Selection& out) override;
 
  private:
-  // Reused per-step scratch (endpoint-taken flags); sized on first use.
-  std::vector<char> transmitter_taken_;
-  std::vector<char> receiver_taken_;
+  // Serial-stamped endpoint-taken scratch: one counter bump frees every
+  // endpoint, so a round is a single candidate pass with direct topology
+  // indexing -- no per-round clearing and no allocations after the arrays
+  // grow to the topology size once.
+  std::uint64_t serial_ = 0;
+  std::vector<std::uint64_t> transmitter_taken_;
+  std::vector<std::uint64_t> receiver_taken_;
+  // b-matching path (endpoint_capacity > 1): stamped per-endpoint load
+  // counters and a stamped per-edge used flag -- the same greedy as
+  // match/capacitated's greedy_stable_bmatching, run in place.
+  std::vector<std::uint64_t> t_load_stamp_, r_load_stamp_, edge_used_stamp_;
+  std::vector<std::int32_t> t_load_, r_load_;
 };
 
 /// Runs ALG on the instance. Trace recording is on by default so that the

@@ -30,8 +30,7 @@ ImpactBreakdown impact_of(const Engine& engine, const Packet& packet, EdgeIndex 
   for (PacketIndex q : engine.pending_on_receiver(edge.receiver)) {
     // Skip packets already counted through the transmitter side (their
     // assigned edge shares both endpoints with e, e.g. a parallel edge).
-    const ReconfigEdge& q_edge = topology.edge(engine.assigned_edge(q));
-    if (q_edge.transmitter == edge.transmitter) continue;
+    if (engine.assigned_transmitter(q) == edge.transmitter) continue;
     account(q);
   }
 

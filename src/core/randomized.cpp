@@ -4,61 +4,40 @@
 #include <cmath>
 #include <numeric>
 
-#include "match/stable.hpp"
-
 namespace rdcn {
 
-namespace {
-
-std::vector<std::size_t> greedy_over_order(const Engine& engine,
-                                           const std::vector<Candidate>& candidates,
-                                           const std::vector<std::size_t>& order) {
-  std::vector<MatchRequest> requests;
-  requests.reserve(order.size());
-  for (std::size_t idx : order) {
-    requests.push_back(MatchRequest{candidates[idx].transmitter, candidates[idx].receiver});
-  }
-  const auto accepted = greedy_stable_matching(
-      requests, static_cast<std::size_t>(engine.topology().num_transmitters()),
-      static_cast<std::size_t>(engine.topology().num_receivers()));
-  std::vector<std::size_t> selected;
-  selected.reserve(accepted.size());
-  for (std::size_t sorted_index : accepted) selected.push_back(order[sorted_index]);
-  return selected;
-}
-
-}  // namespace
-
-std::vector<std::size_t> PerturbedStableScheduler::select(
-    const Engine& engine, Time /*now*/, const std::vector<Candidate>& candidates) {
+void PerturbedStableScheduler::select(const Engine& engine, Time /*now*/,
+                                      const std::vector<Candidate>& candidates,
+                                      Selection& out) {
   // Log-normal multiplicative noise keeps weights positive and preserves
   // large weight gaps while shuffling near-ties.
-  std::vector<double> noisy(candidates.size());
+  noisy_.resize(candidates.size());
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     const double u1 = rng_.next_double();
     const double u2 = rng_.next_double();
     const double normal =
         std::sqrt(-2.0 * std::log(u1 + 1e-300)) * std::cos(6.283185307179586 * u2);
-    noisy[i] = candidates[i].chunk_weight * std::exp(sigma_ * normal);
+    noisy_[i] = candidates[i].chunk_weight * std::exp(sigma_ * normal);
   }
-  std::vector<std::size_t> order(candidates.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (noisy[a] != noisy[b]) return noisy[a] > noisy[b];
+  order_.resize(candidates.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  std::sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
+    if (noisy_[a] != noisy_[b]) return noisy_[a] > noisy_[b];
     if (candidates[a].arrival != candidates[b].arrival) {
       return candidates[a].arrival < candidates[b].arrival;
     }
     return candidates[a].packet < candidates[b].packet;
   });
-  return greedy_over_order(engine, candidates, order);
+  scratch_.select_in_order(engine, candidates, order_, out);
 }
 
-std::vector<std::size_t> RandomSerialDictatorScheduler::select(
-    const Engine& engine, Time /*now*/, const std::vector<Candidate>& candidates) {
-  std::vector<std::size_t> order(candidates.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  rng_.shuffle(order);
-  return greedy_over_order(engine, candidates, order);
+void RandomSerialDictatorScheduler::select(const Engine& engine, Time /*now*/,
+                                           const std::vector<Candidate>& candidates,
+                                           Selection& out) {
+  order_.resize(candidates.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  rng_.shuffle(order_);
+  scratch_.select_in_order(engine, candidates, order_, out);
 }
 
 }  // namespace rdcn

@@ -13,10 +13,14 @@
 //
 // Both remain stable with respect to their own per-step priority order,
 // so the engine's matching validation and all delivery invariants hold.
+// Like the registry baselines, both keep their working buffers as members
+// so steady-state select() calls allocate nothing.
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/greedy_select.hpp"
 #include "util/rng.hpp"
 
 namespace rdcn {
@@ -26,25 +30,30 @@ class PerturbedStableScheduler final : public SchedulePolicy {
   explicit PerturbedStableScheduler(double sigma, std::uint64_t seed = 1)
       : sigma_(sigma), rng_(seed) {}
 
-  std::vector<std::size_t> select(const Engine& engine, Time now,
-                                  const std::vector<Candidate>& candidates) override;
+  void select(const Engine& engine, Time now, const std::vector<Candidate>& candidates,
+              Selection& out) override;
 
   double sigma() const noexcept { return sigma_; }
 
  private:
   double sigma_;
   Rng rng_;
+  std::vector<double> noisy_;
+  std::vector<std::size_t> order_;
+  GreedySelectScratch scratch_;
 };
 
 class RandomSerialDictatorScheduler final : public SchedulePolicy {
  public:
   explicit RandomSerialDictatorScheduler(std::uint64_t seed = 1) : rng_(seed) {}
 
-  std::vector<std::size_t> select(const Engine& engine, Time now,
-                                  const std::vector<Candidate>& candidates) override;
+  void select(const Engine& engine, Time now, const std::vector<Candidate>& candidates,
+              Selection& out) override;
 
  private:
   Rng rng_;
+  std::vector<std::size_t> order_;
+  GreedySelectScratch scratch_;
 };
 
 }  // namespace rdcn

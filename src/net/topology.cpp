@@ -82,15 +82,21 @@ Delay Topology::total_edge_delay(EdgeIndex e) const {
 std::vector<EdgeIndex> Topology::candidate_edges(NodeIndex source,
                                                  NodeIndex destination) const {
   std::vector<EdgeIndex> result;
+  candidate_edges_into(source, destination, result);
+  return result;
+}
+
+void Topology::candidate_edges_into(NodeIndex source, NodeIndex destination,
+                                    std::vector<EdgeIndex>& out) const {
+  out.clear();
   for (NodeIndex t : transmitters_of_source_.at(source)) {
     for (EdgeIndex e : edges_of_transmitter_[static_cast<std::size_t>(t)]) {
       const ReconfigEdge& edge_ref = edges_[static_cast<std::size_t>(e)];
       if (receiver_destination_[static_cast<std::size_t>(edge_ref.receiver)] == destination) {
-        result.push_back(e);
+        out.push_back(e);
       }
     }
   }
-  return result;
 }
 
 std::optional<Delay> Topology::fixed_link_delay(NodeIndex source,

@@ -103,6 +103,10 @@ class Topology {
   /// E_p for a (source, destination) pair: all reconfigurable edges (t, r)
   /// with src(t) = s and dest(r) = d, in increasing edge-index order.
   std::vector<EdgeIndex> candidate_edges(NodeIndex source, NodeIndex destination) const;
+  /// Allocation-free variant: clears and refills `out` (dispatchers keep a
+  /// member scratch so the per-packet dispatch path stays off the heap).
+  void candidate_edges_into(NodeIndex source, NodeIndex destination,
+                            std::vector<EdgeIndex>& out) const;
 
   /// dℓ for the pair, if a fixed direct link exists.
   std::optional<Delay> fixed_link_delay(NodeIndex source, NodeIndex destination) const;

@@ -41,7 +41,8 @@ PolicyFactory named_policy(const std::string& name) {
                     [](const Topology&) { return std::make_unique<MaxWeightScheduler>(); });
   }
   if (name == "islip") {
-    return jsq_with(name, [](const Topology&) { return std::make_unique<IslipScheduler>(); });
+    return jsq_with(name,
+                    [](const Topology& t) { return std::make_unique<IslipScheduler>(t); });
   }
   if (name == "rotor") {
     return jsq_with(name,

@@ -18,8 +18,17 @@ Engine::Engine(const Instance& instance, DispatchPolicy& dispatcher,
   if (options_.max_steps == 0) {
     options_.max_steps = default_max_steps(instance, options_.reconfig_delay);
   }
-  state_.reserve(instance.num_packets());
-  result_.outcomes.resize(instance.num_packets());
+  // Batch mode knows the full packet count up front: size every window
+  // array once so dispatch never grows them incrementally.
+  const std::size_t n = instance.num_packets();
+  state_.reserve(n);
+  remaining_.reserve(n);
+  chunk_weight_.reserve(n);
+  assigned_transmitter_.reserve(n);
+  outcomes_.reserve(n);
+  queue_pos_transmitter_.reserve(n);
+  queue_pos_receiver_.reserve(n);
+  result_.outcomes.resize(n);
 }
 
 Engine::Engine(const Topology& topology, DispatchPolicy& dispatcher,
@@ -70,6 +79,14 @@ void Engine::init(EngineOptions options) {
   load_r_.assign(num_r, 0);
   owner_t_.assign(num_t, -1);
   owner_r_.assign(num_r, -1);
+  active_.transmitter_rank_.assign(num_t, -1);
+  active_.receiver_rank_.assign(num_r, -1);
+  // A selection is a (b-)matching, so its size is bounded a priori; sizing
+  // the round-loop scratch here keeps even the first rounds off the heap.
+  const std::size_t matching_bound =
+      std::min(num_t, num_r) * static_cast<std::size_t>(options_.endpoint_capacity);
+  selection_.mutable_indices().reserve(matching_bound);
+  finished_scratch_.reserve(matching_bound);
   if (options_.audit) auditor_ = make_invariant_auditor();
 }
 
@@ -88,6 +105,7 @@ void Engine::append_slot(const Packet& packet) {
   state_.push_back(ps);
   remaining_.push_back(0);
   chunk_weight_.push_back(0.0);
+  assigned_transmitter_.push_back(-1);
   outcomes_.emplace_back();
   queue_pos_transmitter_.push_back(-1);
   queue_pos_receiver_.push_back(-1);
@@ -122,6 +140,8 @@ void Engine::compact_window() {
   state_.erase(state_.begin(), state_.begin() + n);
   remaining_.erase(remaining_.begin(), remaining_.begin() + n);
   chunk_weight_.erase(chunk_weight_.begin(), chunk_weight_.begin() + n);
+  assigned_transmitter_.erase(assigned_transmitter_.begin(),
+                              assigned_transmitter_.begin() + n);
   outcomes_.erase(outcomes_.begin(), outcomes_.begin() + n);
   queue_pos_transmitter_.erase(queue_pos_transmitter_.begin(),
                                queue_pos_transmitter_.begin() + n);
@@ -140,6 +160,7 @@ void Engine::apply_route(const Packet& packet, const RouteDecision& route) {
   outcome.route = route;
 
   if (route.use_fixed) {
+    assigned_transmitter_[s] = -1;  // may migrate here under redispatch_queued
     const auto delay = topology_->fixed_link_delay(packet.source, packet.destination);
     if (!delay) throw std::logic_error("dispatcher chose a non-existent fixed link");
     // Fixed links are uncapacitated: transmission starts at the decision
@@ -166,6 +187,7 @@ void Engine::apply_route(const Packet& packet, const RouteDecision& route) {
     auto& chunk_weight = chunk_weight_[s];
     remaining = edge.delay;
     chunk_weight = packet.weight / static_cast<double>(edge.delay);
+    assigned_transmitter_[s] = edge.transmitter;
 
     auto& t_queue = pending_by_transmitter_[static_cast<std::size_t>(edge.transmitter)];
     auto& r_queue = pending_by_receiver_[static_cast<std::size_t>(edge.receiver)];
@@ -191,11 +213,51 @@ void Engine::apply_route(const Packet& packet, const RouteDecision& route) {
 void Engine::merge_staged_candidates() {
   if (staged_.empty()) return;
   std::sort(staged_.begin(), staged_.end(), chunk_higher_priority);
-  const auto middle = static_cast<std::ptrdiff_t>(candidates_.size());
-  candidates_.insert(candidates_.end(), staged_.begin(), staged_.end());
-  std::inplace_merge(candidates_.begin(), candidates_.begin() + middle, candidates_.end(),
-                     chunk_higher_priority);
-  staged_.clear();
+  if (candidates_.empty()) {
+    candidates_.swap(staged_);
+  } else {
+    // One linear pass into a reusable buffer (std::inplace_merge grabs a
+    // temporary heap buffer per call); the two vectors ping-pong, so both
+    // settle at the high-water capacity and the merge stops allocating.
+    merge_scratch_.clear();
+    merge_scratch_.reserve(candidates_.size() + staged_.size());
+    std::merge(candidates_.begin(), candidates_.end(), staged_.begin(), staged_.end(),
+               std::back_inserter(merge_scratch_), chunk_higher_priority);
+    candidates_.swap(merge_scratch_);
+    staged_.clear();
+  }
+}
+
+const ActiveEndpoints& Engine::active_endpoints(
+    const std::vector<Candidate>& candidates) const {
+  // Round-stamped cache for the engine's own pending list; a foreign list
+  // (benches driving select() directly) rebuilds every call. Rank entries
+  // of endpoints absent from `candidates` are left stale on purpose --
+  // consumers may only look up endpoints of the candidates themselves.
+  const bool own = &candidates == &candidates_;
+  if (own && active_serial_ == select_serial_ && select_serial_ != 0) return active_;
+  active_.transmitters.clear();
+  active_.receivers.clear();
+  for (const Candidate& c : candidates) {
+    const auto t = static_cast<std::size_t>(c.transmitter);
+    const auto r = static_cast<std::size_t>(c.receiver);
+    // First-appearance check via the rank array: a stale rank either lies
+    // outside the current active list or points at a different endpoint.
+    const std::int32_t t_rank = active_.transmitter_rank_[t];
+    if (t_rank < 0 || static_cast<std::size_t>(t_rank) >= active_.transmitters.size() ||
+        active_.transmitters[static_cast<std::size_t>(t_rank)] != c.transmitter) {
+      active_.transmitter_rank_[t] = static_cast<std::int32_t>(active_.transmitters.size());
+      active_.transmitters.push_back(c.transmitter);
+    }
+    const std::int32_t r_rank = active_.receiver_rank_[r];
+    if (r_rank < 0 || static_cast<std::size_t>(r_rank) >= active_.receivers.size() ||
+        active_.receivers[static_cast<std::size_t>(r_rank)] != c.receiver) {
+      active_.receiver_rank_[r] = static_cast<std::int32_t>(active_.receivers.size());
+      active_.receivers.push_back(c.receiver);
+    }
+  }
+  active_serial_ = own ? select_serial_ : 0;
+  return active_;
 }
 
 void Engine::dispatch_arrivals() {
@@ -218,12 +280,16 @@ void Engine::inject(const Packet& packet) {
 
 void Engine::erase_from_queue(std::vector<PacketIndex>& queue,
                               std::vector<std::int32_t>& position, PacketIndex packet) {
+  // Swap-remove: every queue consumer (impact_of, JSQ load, membership
+  // checks) aggregates order-independently, so O(1) removal beats keeping
+  // dispatch order and shifting the tail on every retirement.
   const auto index = static_cast<std::size_t>(position[slot(packet)]);
   position[slot(packet)] = -1;
-  queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
-  for (std::size_t i = index; i < queue.size(); ++i) {
-    position[slot(queue[i])] = static_cast<std::int32_t>(i);
+  if (index + 1 != queue.size()) {
+    queue[index] = queue.back();
+    position[slot(queue[index])] = static_cast<std::int32_t>(index);
   }
+  queue.pop_back();
 }
 
 void Engine::unlist_pending(PacketIndex packet) {
@@ -280,7 +346,10 @@ std::size_t Engine::schedule_round(bool record) {
     return 0;
   }
 
-  std::vector<std::size_t> selected = scheduler_->select(*this, now_, candidates_);
+  ++select_serial_;  // invalidates the active-endpoint map of the last round
+  selection_.clear();
+  scheduler_->select(*this, now_, candidates_, selection_);
+  const std::vector<std::size_t>& selected = selection_.indices();
 
   // The auditor validates first (independently), so a contract violation
   // under audit surfaces as AuditFailure, not as the engine's logic_error.
@@ -328,9 +397,11 @@ std::size_t Engine::schedule_round(bool record) {
   // it is already tuned to that edge; otherwise this selection starts (or
   // retargets) its retuning and the chunk stays queued.
   if (options_.reconfig_delay > 0) {
-    std::vector<std::size_t> usable;
-    usable.reserve(selected.size());
-    for (std::size_t index : selected) {
+    // Filter the selection in place: endpoints not yet tuned to their edge
+    // keep their chunk queued and drop out of this round's transmit set.
+    std::vector<std::size_t>& indices = selection_.mutable_indices();
+    std::size_t write = 0;
+    for (std::size_t index : indices) {
       const Candidate& c = candidates_[index];
       auto& tc = transmitter_config_[static_cast<std::size_t>(c.transmitter)];
       auto& rc = receiver_config_[static_cast<std::size_t>(c.receiver)];
@@ -350,12 +421,12 @@ std::size_t Engine::schedule_round(bool record) {
         ready = false;
       }
       if (ready) {
-        usable.push_back(index);
+        indices[write++] = index;
       } else {
         chosen_round_[index] = 0;
       }
     }
-    selected = std::move(usable);
+    indices.resize(write);
   }
 
   if (auditor_) auditor_->on_round(*this, candidates_, selected);
@@ -367,7 +438,8 @@ std::size_t Engine::schedule_round(bool record) {
 
   // Transmit the selected chunks and account their latency. `remaining`
   // is updated in place on both the packet state and its candidate entry.
-  std::vector<std::size_t> finished_slots;
+  std::vector<std::size_t>& finished_slots = finished_scratch_;
+  finished_slots.clear();
   for (std::size_t index : selected) {
     Candidate& c = candidates_[index];
     auto& remaining = remaining_[slot(c.packet)];

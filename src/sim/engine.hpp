@@ -31,14 +31,25 @@
 //  * the pending-candidate list is maintained incrementally in chunk
 //    priority order -- a packet's (chunk_weight, arrival, id) key never
 //    changes, so candidates are sorted once at dispatch (batch-merged per
-//    step) and handed to SchedulePolicy::select without per-step rebuild
-//    or re-sort;
+//    step through a reusable merge buffer) and handed to
+//    SchedulePolicy::select without per-step rebuild or re-sort;
+//  * the steady-state round loop performs zero heap allocations: the
+//    scheduler fills an engine-owned Selection scratch in place, the
+//    reconfiguration-delay filter and the completed-candidate compaction
+//    work on reusable buffers, and every registry policy keeps its own
+//    working storage in members (pinned by tests/test_hotpath.cpp);
+//  * active-endpoint compression: active_endpoints() exposes a per-round
+//    dense remap of only the transmitters/receivers that currently carry
+//    pending candidates, so matching computations (MaxWeight's Hungarian,
+//    the greedy/iSLIP passes) run over k_active-sized state instead of
+//    topology-sized arrays;
 //  * per-endpoint queues carry index maps, so removing a finished packet
 //    costs the queue tail shift instead of a full scan, and completed
 //    candidates leave the global list in one compaction pass per round;
 //  * per-packet state lives in a sliding window of dense arrays indexed by
 //    (id - window base); retired prefixes are compacted away amortized
-//    O(1), which is what bounds streaming memory;
+//    O(1), which is what bounds streaming memory; batch mode preallocates
+//    the window and outcome arrays from the instance size;
 //  * matching validation uses round-stamped scratch arrays instead of
 //    per-round allocations sized by the topology;
 //  * time advances event-driven: when no chunk is pending the clock jumps
@@ -111,6 +122,33 @@ struct RetiredPacket {
 /// Retirement callback of a streaming engine. Called once per packet, in
 /// completion order (not id order).
 using RetireSink = std::function<void(RetiredPacket&&)>;
+
+/// Dense remap of the endpoints that currently carry pending candidates
+/// (built per scheduling round; see Engine::active_endpoints). Ranks are
+/// assigned in order of first appearance in the priority-sorted candidate
+/// list, so they are deterministic in the engine state.
+struct ActiveEndpoints {
+  std::vector<NodeIndex> transmitters;  ///< dense rank -> topology id
+  std::vector<NodeIndex> receivers;
+
+  std::size_t num_transmitters() const noexcept { return transmitters.size(); }
+  std::size_t num_receivers() const noexcept { return receivers.size(); }
+
+  /// topology id -> dense rank. Valid ONLY for endpoints that appear in
+  /// the candidate list the map was built from (entries for inactive
+  /// endpoints are stale, deliberately: no O(topology) clear per round).
+  std::int32_t transmitter_rank(NodeIndex t) const {
+    return transmitter_rank_[static_cast<std::size_t>(t)];
+  }
+  std::int32_t receiver_rank(NodeIndex r) const {
+    return receiver_rank_[static_cast<std::size_t>(r)];
+  }
+
+ private:
+  friend class Engine;
+  std::vector<std::int32_t> transmitter_rank_;
+  std::vector<std::int32_t> receiver_rank_;
+};
 
 /// Per-step record used by the charging auditor: for every packet pending
 /// at the step, whether one of its chunks was transmitted, and if not,
@@ -201,7 +239,13 @@ class Engine {
   Time now() const noexcept { return now_; }
 
   /// Packets committed to a reconfigurable edge at transmitter t / receiver
-  /// r that still have untransmitted chunks, in dispatch order.
+  /// r that still have untransmitted chunks. Unordered (removal is
+  /// swap-remove): consumers must aggregate order-independently, which
+  /// every dispatcher's accounting does. Caveat: floating-point sums over
+  /// a queue (impact_of's l_weight, JSQ load) are order-SENSITIVE in the
+  /// last ulp, so queue order is part of what the schedule goldens pin --
+  /// deterministic per engine version, not guaranteed across refactors of
+  /// the removal scheme.
   const std::vector<PacketIndex>& pending_on_transmitter(NodeIndex t) const {
     return pending_by_transmitter_.at(static_cast<std::size_t>(t));
   }
@@ -214,11 +258,23 @@ class Engine {
   /// arrivals staged since the last scheduling round are not yet merged.
   const std::vector<Candidate>& pending_candidates() const noexcept { return candidates_; }
 
+  /// Dense remap of the endpoints carrying candidates in `candidates`.
+  /// When called on the engine's own pending list (the normal select()
+  /// path) the map is built at most once per scheduling round
+  /// (round-stamped); a foreign list -- bench harnesses isolating one
+  /// select call -- rebuilds into the same reusable buffers. Either way
+  /// the build allocates nothing at steady state.
+  const ActiveEndpoints& active_endpoints(const std::vector<Candidate>& candidates) const;
+
   /// Per-packet accessors; valid for pending (dispatched, unretired)
   /// packets -- the ones policies see in queues and candidate lists.
   EdgeIndex assigned_edge(PacketIndex p) const { return state_[slot(p)].route.edge; }
   std::int64_t remaining_chunks(PacketIndex p) const { return remaining_[slot(p)]; }
   Weight chunk_weight(PacketIndex p) const { return chunk_weight_[slot(p)]; }
+  /// Transmitter of the packet's assigned edge (-1 on the fixed route); a
+  /// dense mirror so the dispatch-time queue scans (impact_of, JSQ) avoid
+  /// chasing PacketState + the topology edge array per entry.
+  NodeIndex assigned_transmitter(PacketIndex p) const { return assigned_transmitter_[slot(p)]; }
 
  private:
   struct PacketState {
@@ -286,6 +342,7 @@ class Engine {
   std::vector<PacketState> state_;
   std::vector<std::int64_t> remaining_;  ///< untransmitted chunks
   std::vector<Weight> chunk_weight_;
+  std::vector<NodeIndex> assigned_transmitter_;  ///< -1 on the fixed route
   std::vector<PacketOutcome> outcomes_;
   std::size_t in_flight_ = 0;
   std::size_t peak_resident_ = 0;
@@ -314,6 +371,19 @@ class Engine {
   std::vector<int> load_t_, load_r_;
   std::vector<PacketIndex> owner_t_, owner_r_;  ///< valid iff round matches
   std::vector<std::uint64_t> chosen_round_;     ///< per candidate index
+
+  /// Reusable round-loop scratch: the Selection handed to the scheduler,
+  /// the merge buffer behind merge_staged_candidates, and the finished-
+  /// candidate list of the post-transmit compaction. All grow-once.
+  Selection selection_;
+  std::vector<Candidate> merge_scratch_;
+  std::vector<std::size_t> finished_scratch_;
+
+  /// Active-endpoint compression cache (see active_endpoints()); mutable
+  /// because policies pull it lazily through the const engine view.
+  mutable ActiveEndpoints active_;
+  mutable std::uint64_t active_serial_ = 0;  ///< select_serial_ it was built at
+  std::uint64_t select_serial_ = 0;          ///< bumped before every select()
 
   RunResult result_;
 };

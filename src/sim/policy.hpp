@@ -56,6 +56,29 @@ inline bool chunk_higher_priority(const Candidate& a, const Candidate& b) noexce
   return a.packet < b.packet;
 }
 
+/// Output buffer of one SchedulePolicy::select call: the candidate indices
+/// to transmit this round. The engine owns one Selection and hands the
+/// same object to every round (cleared), so a policy that also keeps its
+/// working buffers as members runs the steady-state round loop without a
+/// single heap allocation -- the vector below only grows to the high-water
+/// matching size once. Policies append via push(); order is up to the
+/// policy (the engine treats the selection as a set).
+class Selection {
+ public:
+  void clear() noexcept { indices_.clear(); }
+  void push(std::size_t candidate_index) { indices_.push_back(candidate_index); }
+
+  std::size_t size() const noexcept { return indices_.size(); }
+  bool empty() const noexcept { return indices_.empty(); }
+  const std::vector<std::size_t>& indices() const noexcept { return indices_; }
+  /// In-place access for callers that filter or reorder what a policy
+  /// produced (the engine's reconfiguration-delay pass, test harnesses).
+  std::vector<std::size_t>& mutable_indices() noexcept { return indices_; }
+
+ private:
+  std::vector<std::size_t> indices_;
+};
+
 class DispatchPolicy {
  public:
   virtual ~DispatchPolicy() = default;
@@ -67,16 +90,27 @@ class DispatchPolicy {
 class SchedulePolicy {
  public:
   virtual ~SchedulePolicy() = default;
-  /// Returns indices into `candidates` to transmit this step. The engine
-  /// checks the selection occupies each transmitter/receiver at most once.
+  /// Fills `out` (cleared by the caller) with indices into `candidates` to
+  /// transmit this step. The engine checks the selection occupies each
+  /// transmitter/receiver at most once (or up to endpoint_capacity).
   ///
-  /// Contract: `candidates` is sorted by chunk_higher_priority (decreasing
-  /// chunk weight, then arrival, then packet id) -- the engine maintains
-  /// the list incrementally across steps, so priority-driven schedulers
-  /// can scan it in index order without sorting. Order-sensitive policies
-  /// (FIFO, randomized) impose their own order on top as before.
-  virtual std::vector<std::size_t> select(const Engine& engine, Time now,
-                                          const std::vector<Candidate>& candidates) = 0;
+  /// Contract:
+  ///  * `candidates` is sorted by chunk_higher_priority (decreasing chunk
+  ///    weight, then arrival, then packet id) -- the engine maintains the
+  ///    list incrementally across steps, so priority-driven schedulers can
+  ///    scan it in index order without sorting. Order-sensitive policies
+  ///    (FIFO, randomized) impose their own order on top as before.
+  ///  * `out` is an engine-owned scratch buffer reused across rounds;
+  ///    policies must not keep references to it. Policies are expected to
+  ///    keep their own working storage in members sized on first use so
+  ///    the steady-state round loop allocates nothing (see the
+  ///    allocation-counting test in tests/test_hotpath.cpp).
+  ///  * Engine::active_endpoints(candidates) exposes a dense remap of the
+  ///    endpoints that currently carry pending candidates, so per-endpoint
+  ///    working state can be sized by the number of busy endpoints instead
+  ///    of the topology.
+  virtual void select(const Engine& engine, Time now,
+                      const std::vector<Candidate>& candidates, Selection& out) = 0;
 };
 
 }  // namespace rdcn

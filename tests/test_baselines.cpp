@@ -33,7 +33,7 @@ std::unique_ptr<SchedulePolicy> make_scheduler(int kind, const Topology& topolog
   switch (kind) {
     case 0: return std::make_unique<StableMatchingScheduler>();
     case 1: return std::make_unique<MaxWeightScheduler>();
-    case 2: return std::make_unique<IslipScheduler>();
+    case 2: return std::make_unique<IslipScheduler>(topology);
     case 3: return std::make_unique<RotorScheduler>(topology);
     case 4: return std::make_unique<RandomMaximalScheduler>(321);
     default: return std::make_unique<FifoScheduler>();
@@ -124,7 +124,7 @@ TEST(IslipScheduler, ProducesMaximalMatchingUnderFullLoad) {
     instance.add_packet(1, 1.0, i, (i + 1) % 4);
   }
   MinDelayDispatcher dispatcher;
-  IslipScheduler scheduler;
+  IslipScheduler scheduler(instance.topology());
   const RunResult run = simulate(instance, dispatcher, scheduler, {});
   for (int i = 0; i < 4; ++i) {
     EXPECT_EQ(run.outcomes[static_cast<std::size_t>(i)].chunk_transmit_steps.at(0), 1);

@@ -66,27 +66,29 @@ TEST(InvariantAuditor, PassesUnderEveryEngineExtension) {
 /// instance where both pend on one transmitter, an infeasible "matching".
 class DoubleBookingScheduler final : public SchedulePolicy {
  public:
-  std::vector<std::size_t> select(const Engine&, Time,
-                                  const std::vector<Candidate>& candidates) override {
-    if (candidates.size() >= 2) return {0, 1};
-    return candidates.empty() ? std::vector<std::size_t>{} : std::vector<std::size_t>{0};
+  void select(const Engine&, Time, const std::vector<Candidate>& candidates,
+              Selection& out) override {
+    if (!candidates.empty()) out.push(0);
+    if (candidates.size() >= 2) out.push(1);
   }
 };
 
 class DuplicateIndexScheduler final : public SchedulePolicy {
  public:
-  std::vector<std::size_t> select(const Engine&, Time,
-                                  const std::vector<Candidate>& candidates) override {
-    if (!candidates.empty()) return {0, 0};
-    return {};
+  void select(const Engine&, Time, const std::vector<Candidate>& candidates,
+              Selection& out) override {
+    if (!candidates.empty()) {
+      out.push(0);
+      out.push(0);
+    }
   }
 };
 
 class OutOfRangeScheduler final : public SchedulePolicy {
  public:
-  std::vector<std::size_t> select(const Engine&, Time,
-                                  const std::vector<Candidate>& candidates) override {
-    return {candidates.size() + 7};
+  void select(const Engine&, Time, const std::vector<Candidate>& candidates,
+              Selection& out) override {
+    out.push(candidates.size() + 7);
   }
 };
 

@@ -16,20 +16,15 @@ namespace {
 /// guard.
 class IdleScheduler final : public SchedulePolicy {
  public:
-  std::vector<std::size_t> select(const Engine&, Time,
-                                  const std::vector<Candidate>&) override {
-    return {};
-  }
+  void select(const Engine&, Time, const std::vector<Candidate>&, Selection&) override {}
 };
 
 /// A scheduler that tries to double-book a transmitter.
 class CheatingScheduler final : public SchedulePolicy {
  public:
-  std::vector<std::size_t> select(const Engine&, Time,
-                                  const std::vector<Candidate>& candidates) override {
-    std::vector<std::size_t> all(candidates.size());
-    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
-    return all;
+  void select(const Engine&, Time, const std::vector<Candidate>& candidates,
+              Selection& out) override {
+    for (std::size_t i = 0; i < candidates.size(); ++i) out.push(i);
   }
 };
 

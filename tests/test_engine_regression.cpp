@@ -11,10 +11,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 
 #include "core/alg.hpp"
 #include "helpers.hpp"
 #include "net/builders.hpp"
+#include "run/policies.hpp"
 #include "sim/metrics.hpp"
 
 namespace rdcn {
@@ -82,16 +84,145 @@ TEST(EngineRegression, RepeatedRunsAreIdentical) {
   }
 }
 
+// --------------------------- all-policy schedule goldens (Selection API) --
+
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// FNV-1a over the integral schedule data (route kind/edge, completion,
+/// per-chunk transmit steps) in packet-id order: equal hashes == bit-for-
+/// bit identical schedules, with no floating-point in the fingerprint.
+std::uint64_t schedule_hash(const std::vector<PacketOutcome>& outcomes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const PacketOutcome& o : outcomes) {
+    h = mix64(h, o.route.use_fixed ? 1u : 0u);
+    h = mix64(h, static_cast<std::uint64_t>(o.route.use_fixed ? -1 : o.route.edge));
+    h = mix64(h, static_cast<std::uint64_t>(o.completion));
+    h = mix64(h, o.chunk_transmit_steps.size());
+    for (Time t : o.chunk_transmit_steps) h = mix64(h, static_cast<std::uint64_t>(t));
+  }
+  return h;
+}
+
+struct PolicyGolden {
+  const char* policy;
+  std::uint64_t seed;
+  double total_cost;
+  Time makespan;
+  std::uint64_t hash;
+};
+
+// Captured from the Selection-API engine at PR 5; `alg`'s rows reproduce
+// the pre-refactor kSeedEngineGoldens costs above, pinning the whole
+// registry (batch AND streamed, audited) to these schedules.
+constexpr PolicyGolden kPolicyGoldens[] = {
+    {"alg", 101ULL, 2940.5, 32, 0x0f32fd3947ee6634ULL},
+    {"maxweight", 101ULL, 2969, 32, 0x29d8e70a73f91256ULL},
+    {"islip", 101ULL, 4520, 32, 0x5f90196ba4dad009ULL},
+    {"rotor", 101ULL, 52772, 246, 0x00ff4787dbd40ff4ULL},
+    {"random", 101ULL, 4825, 32, 0x42f37e766451fe85ULL},
+    {"fifo", 101ULL, 4506, 32, 0x670000fa8941651aULL},
+    {"impact", 101ULL, 2940.5, 32, 0x0f32fd3947ee6634ULL},
+    {"random-dispatch", 101ULL, 3148.5, 32, 0x5ba2538fbcdf8783ULL},
+    {"round-robin", 101ULL, 3063.5, 32, 0xd7e45cd57a739e0bULL},
+    {"jsq", 101ULL, 2970, 32, 0xe9f822b46830a417ULL},
+    {"min-delay", 101ULL, 3323.5, 36, 0xf2d5b06e0aa09cd9ULL},
+    {"direct-only", 101ULL, 3235.5, 36, 0xa4be27d60f580159ULL},
+    {"alg", 103ULL, 5376.333333333333, 56, 0x495a38077d357f3dULL},
+    {"maxweight", 103ULL, 5398.4999999999991, 56, 0xf31533743d25360fULL},
+    {"islip", 103ULL, 7510.333333333333, 56, 0x528356261f84554bULL},
+    {"rotor", 103ULL, 87168, 522, 0x7a7e26a03b339efaULL},
+    {"random", 103ULL, 8276.3333333333339, 56, 0x9472f7821700d325ULL},
+    {"fifo", 103ULL, 7855.5, 56, 0xf07c51e6d8093034ULL},
+    {"impact", 103ULL, 5376.333333333333, 56, 0x495a38077d357f3dULL},
+    {"random-dispatch", 103ULL, 6045, 56, 0xa0023c8884b61ef5ULL},
+    {"round-robin", 103ULL, 5539.1666666666661, 56, 0x7dcfa62ca7116390ULL},
+    {"jsq", 103ULL, 5448.7499999999991, 56, 0xd36dd52f18d56ec2ULL},
+    {"min-delay", 103ULL, 6407.5, 56, 0xbad24f4161eb9e68ULL},
+    {"direct-only", 103ULL, 6407.5, 56, 0xbad24f4161eb9e68ULL},
+};
+
+TEST(EngineRegression, AllRegistryPoliciesMatchScheduleGoldensBatch) {
+  std::map<std::uint64_t, Instance> instances;
+  for (const PolicyGolden& golden : kPolicyGoldens) {
+    auto it = instances.find(golden.seed);
+    if (it == instances.end()) {
+      it = instances.emplace(golden.seed, testing::make_varied_instance(golden.seed)).first;
+    }
+    const PolicyFactory policy = named_policy(golden.policy);
+    auto dispatcher = policy.dispatcher();
+    auto scheduler = policy.scheduler(it->second.topology());
+    EngineOptions options;
+    options.audit = true;
+    const RunResult run = simulate(it->second, *dispatcher, *scheduler, options);
+    EXPECT_NEAR(run.total_cost, golden.total_cost, 1e-9 * (1.0 + golden.total_cost))
+        << golden.policy << " seed " << golden.seed;
+    EXPECT_EQ(run.makespan, golden.makespan) << golden.policy << " seed " << golden.seed;
+    EXPECT_EQ(schedule_hash(run.outcomes), golden.hash)
+        << golden.policy << " seed " << golden.seed;
+  }
+}
+
+TEST(EngineRegression, AllRegistryPoliciesMatchScheduleGoldensStreamed) {
+  // The same schedules must come out of the streaming engine mode fed the
+  // recorded arrival sequence (audited): retired outcomes, reassembled in
+  // id order, hash to the same golden fingerprints.
+  std::map<std::uint64_t, Instance> instances;
+  for (const PolicyGolden& golden : kPolicyGoldens) {
+    auto it = instances.find(golden.seed);
+    if (it == instances.end()) {
+      it = instances.emplace(golden.seed, testing::make_varied_instance(golden.seed)).first;
+    }
+    const Instance& instance = it->second;
+    const PolicyFactory policy = named_policy(golden.policy);
+    auto dispatcher = policy.dispatcher();
+    auto scheduler = policy.scheduler(instance.topology());
+    EngineOptions options;
+    options.audit = true;
+    options.max_steps = default_max_steps(instance, 0);
+    std::vector<PacketOutcome> outcomes(instance.num_packets());
+    Engine engine(instance.topology(), *dispatcher, *scheduler, options,
+                  [&outcomes](RetiredPacket&& packet) {
+                    outcomes[static_cast<std::size_t>(packet.id)] = std::move(packet.outcome);
+                  });
+    const auto& packets = instance.packets();
+    std::size_t next = 0;
+    while (next < packets.size() || engine.busy()) {
+      const Time* upcoming = next < packets.size() ? &packets[next].arrival : nullptr;
+      engine.begin_step(upcoming);
+      while (next < packets.size() && packets[next].arrival == engine.now()) {
+        engine.inject(packets[next]);
+        ++next;
+      }
+      engine.finish_step();
+    }
+    EXPECT_EQ(schedule_hash(outcomes), golden.hash)
+        << golden.policy << " seed " << golden.seed;
+    EXPECT_EQ(engine.aggregates().makespan, golden.makespan)
+        << golden.policy << " seed " << golden.seed;
+    EXPECT_NEAR(engine.aggregates().total_cost, golden.total_cost,
+                1e-9 * (1.0 + golden.total_cost))
+        << golden.policy << " seed " << golden.seed;
+  }
+}
+
 /// Delegating scheduler that asserts the engine's candidate contract.
 class ContractCheckingScheduler final : public SchedulePolicy {
  public:
-  std::vector<std::size_t> select(const Engine& engine, Time now,
-                                  const std::vector<Candidate>& candidates) override {
+  void select(const Engine& engine, Time now, const std::vector<Candidate>& candidates,
+              Selection& out) override {
     EXPECT_TRUE(std::is_sorted(candidates.begin(), candidates.end(),
                                [](const Candidate& a, const Candidate& b) {
                                  return chunk_higher_priority(a, b);
                                }));
     EXPECT_EQ(&candidates, &engine.pending_candidates());
+    EXPECT_TRUE(out.empty());  // the engine hands the scratch cleared
+    const ActiveEndpoints& active = engine.active_endpoints(candidates);
     for (const Candidate& c : candidates) {
       EXPECT_GT(c.remaining, 0);
       EXPECT_EQ(c.remaining, engine.remaining_chunks(c.packet));
@@ -100,9 +231,16 @@ class ContractCheckingScheduler final : public SchedulePolicy {
       // The per-endpoint queues and the candidate list agree.
       const auto& queue = engine.pending_on_transmitter(c.transmitter);
       EXPECT_NE(std::find(queue.begin(), queue.end(), c.packet), queue.end());
+      // The active-endpoint remap round-trips for every candidate endpoint.
+      const auto t_rank = static_cast<std::size_t>(active.transmitter_rank(c.transmitter));
+      const auto r_rank = static_cast<std::size_t>(active.receiver_rank(c.receiver));
+      ASSERT_LT(t_rank, active.num_transmitters());
+      ASSERT_LT(r_rank, active.num_receivers());
+      EXPECT_EQ(active.transmitters[t_rank], c.transmitter);
+      EXPECT_EQ(active.receivers[r_rank], c.receiver);
     }
     ++rounds_checked;
-    return inner_.select(engine, now, candidates);
+    inner_.select(engine, now, candidates, out);
   }
 
   int rounds_checked = 0;

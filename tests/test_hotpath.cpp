@@ -1,0 +1,216 @@
+// Hot-path contracts of the scheduling round loop (ISSUE 5):
+//  * steady-state rounds perform ZERO heap allocations, for every registry
+//    scheduler and both randomized schedulers -- the Selection API hands
+//    policies an engine-owned output scratch, and every policy keeps its
+//    working buffers as grow-once members;
+//  * Engine::active_endpoints builds a correct dense remap for both the
+//    engine's own pending list and foreign candidate lists, including the
+//    stale-rank ("sparse set") reuse across alternating lists.
+//
+// The binary overrides global operator new/delete with a counting
+// passthrough; the drain phase of a streaming engine (no arrivals, pure
+// scheduling rounds + retirement) must not bump the counter after a short
+// warmup that grows the scratch buffers to their high-water sizes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "core/alg.hpp"
+#include "core/randomized.hpp"
+#include "net/builders.hpp"
+#include "run/policies.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocation_count{0};
+}
+
+void* operator new(std::size_t size) {
+  ++g_allocation_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace rdcn {
+namespace {
+
+/// A contended multi-chunk workload on a two-tier pod: every packet is
+/// injected at step 1, so the drain that follows is a pure scheduling-round
+/// loop (no dispatches) lasting tens of steps.
+Topology hotpath_topology(std::uint64_t seed) {
+  TwoTierConfig net;
+  net.racks = 6;
+  net.lasers_per_rack = 2;
+  net.photodetectors_per_rack = 2;
+  net.density = 0.7;
+  net.max_edge_delay = 3;
+  Rng rng(seed);
+  return build_two_tier(net, rng);
+}
+
+std::vector<Packet> burst_packets(const Topology& topology, std::size_t count,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Packet> packets;
+  packets.reserve(count);
+  while (packets.size() < count) {
+    Packet p;
+    p.id = static_cast<PacketIndex>(packets.size());
+    p.arrival = 1;
+    p.weight = rng.next_double(0.5, 8.0);
+    p.source = static_cast<NodeIndex>(rng.next_below(
+        static_cast<std::uint64_t>(topology.num_sources())));
+    p.destination = static_cast<NodeIndex>(rng.next_below(
+        static_cast<std::uint64_t>(topology.num_destinations())));
+    if (!topology.routable(p.source, p.destination)) continue;
+    packets.push_back(p);
+  }
+  return packets;
+}
+
+/// Injects the burst, runs `warmup` drain steps (scratch buffers grow to
+/// their high-water sizes here), then counts allocations over the rest of
+/// the drain. Returns (drain steps measured, allocations seen).
+std::pair<int, std::uint64_t> measure_drain_allocations(DispatchPolicy& dispatcher,
+                                                        SchedulePolicy& scheduler,
+                                                        const Topology& topology,
+                                                        int warmup,
+                                                        EngineOptions options = {}) {
+  Engine engine(topology, dispatcher, scheduler, options, [](RetiredPacket&&) {});
+  const std::vector<Packet> packets = burst_packets(topology, 160, 11);
+  const Time arrival = 1;
+  engine.begin_step(&arrival);
+  for (const Packet& p : packets) engine.inject(p);
+  engine.finish_step();
+  for (int i = 0; i < warmup && engine.busy(); ++i) {
+    engine.begin_step(nullptr);
+    engine.finish_step();
+  }
+  const std::uint64_t before = g_allocation_count.load();
+  int steps = 0;
+  while (engine.busy()) {
+    engine.begin_step(nullptr);
+    engine.finish_step();
+    ++steps;
+  }
+  return {steps, g_allocation_count.load() - before};
+}
+
+TEST(HotPathAllocations, RegistrySchedulersDrainWithoutAllocating) {
+  const Topology topology = hotpath_topology(3);
+  for (const std::string& name : policy_names()) {
+    const PolicyFactory policy = named_policy(name);
+    auto dispatcher = policy.dispatcher();
+    auto scheduler = policy.scheduler(topology);
+    const auto [steps, allocations] =
+        measure_drain_allocations(*dispatcher, *scheduler, topology, 3);
+    EXPECT_GT(steps, 5) << name << ": drain too short to be meaningful";
+    EXPECT_EQ(allocations, 0u) << name << ": steady-state rounds hit the heap";
+  }
+}
+
+TEST(HotPathAllocations, BMatchingExtensionDrainsWithoutAllocating) {
+  // endpoint_capacity > 1 exercises StableMatchingScheduler's stamped
+  // in-place capacitated greedy (the b-matching extension path).
+  const Topology topology = hotpath_topology(3);
+  const PolicyFactory policy = named_policy("alg");
+  auto dispatcher = policy.dispatcher();
+  auto scheduler = policy.scheduler(topology);
+  EngineOptions options;
+  options.endpoint_capacity = 2;
+  const auto [steps, allocations] =
+      measure_drain_allocations(*dispatcher, *scheduler, topology, 3, options);
+  EXPECT_GT(steps, 5);
+  EXPECT_EQ(allocations, 0u) << "b-matching path hit the heap";
+}
+
+TEST(HotPathAllocations, RandomizedSchedulersDrainWithoutAllocating) {
+  const Topology topology = hotpath_topology(3);
+  {
+    PerturbedStableScheduler scheduler(0.3, 7);
+    auto dispatcher = named_policy("alg").dispatcher();
+    const auto [steps, allocations] =
+        measure_drain_allocations(*dispatcher, scheduler, topology, 3);
+    EXPECT_GT(steps, 5);
+    EXPECT_EQ(allocations, 0u) << "PerturbedStableScheduler";
+  }
+  {
+    RandomSerialDictatorScheduler scheduler(7);
+    auto dispatcher = named_policy("alg").dispatcher();
+    const auto [steps, allocations] =
+        measure_drain_allocations(*dispatcher, scheduler, topology, 3);
+    EXPECT_GT(steps, 5);
+    EXPECT_EQ(allocations, 0u) << "RandomSerialDictatorScheduler";
+  }
+}
+
+// ------------------------------------------------- active-endpoint remap --
+
+Candidate candidate_on(const Topology& topology, EdgeIndex e, PacketIndex id) {
+  Candidate c;
+  c.packet = id;
+  c.edge = e;
+  c.transmitter = topology.edge(e).transmitter;
+  c.receiver = topology.edge(e).receiver;
+  c.chunk_weight = 1.0 + static_cast<double>(id % 5);
+  c.arrival = 1;
+  c.remaining = 1;
+  return c;
+}
+
+/// The remap must list each endpoint exactly once, rank every candidate
+/// endpoint into the list, and survive alternating rebuilds from different
+/// foreign lists (the stale-rank reuse path).
+TEST(ActiveEndpoints, ForeignListRebuildsSurviveStaleRanks) {
+  const Topology topology = build_crossbar(6);
+  ImpactDispatcher dispatcher;
+  StableMatchingScheduler scheduler;
+  Instance instance(topology, {});
+  Engine engine(instance, dispatcher, scheduler, {});
+
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Candidate> candidates;
+    const std::size_t depth = 1 + rng.next_below(20);
+    for (std::size_t i = 0; i < depth; ++i) {
+      const auto e = static_cast<EdgeIndex>(
+          rng.next_below(static_cast<std::uint64_t>(topology.num_edges())));
+      candidates.push_back(candidate_on(topology, e, static_cast<PacketIndex>(i)));
+    }
+    const ActiveEndpoints& active = engine.active_endpoints(candidates);
+
+    std::vector<NodeIndex> expect_t, expect_r;
+    for (const Candidate& c : candidates) {
+      if (std::find(expect_t.begin(), expect_t.end(), c.transmitter) == expect_t.end()) {
+        expect_t.push_back(c.transmitter);
+      }
+      if (std::find(expect_r.begin(), expect_r.end(), c.receiver) == expect_r.end()) {
+        expect_r.push_back(c.receiver);
+      }
+    }
+    ASSERT_EQ(active.transmitters, expect_t) << "trial " << trial;
+    ASSERT_EQ(active.receivers, expect_r) << "trial " << trial;
+    for (const Candidate& c : candidates) {
+      const auto t_rank = static_cast<std::size_t>(active.transmitter_rank(c.transmitter));
+      const auto r_rank = static_cast<std::size_t>(active.receiver_rank(c.receiver));
+      ASSERT_LT(t_rank, active.num_transmitters());
+      ASSERT_LT(r_rank, active.num_receivers());
+      EXPECT_EQ(active.transmitters[t_rank], c.transmitter);
+      EXPECT_EQ(active.receivers[r_rank], c.receiver);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rdcn

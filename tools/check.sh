@@ -28,6 +28,15 @@ else
   "$build/bench/bench_bmatching" >/dev/null
 fi
 
+echo "== smoke perf diff =="
+# bench_hotpath's quick subset shares row keys with the committed baseline;
+# perf_diff must parse, match, and (self-compare) report zero regressions.
+"$build/bench/bench_hotpath" --quick --json > "$build/hotpath_current.json"
+"$build/perf_diff" "$build/hotpath_current.json" "$build/hotpath_current.json" \
+    --threshold 0.01 >/dev/null
+"$build/perf_diff" "$repo/BENCH_hotpath.json" "$build/hotpath_current.json" \
+    --threshold 0.5 --warn-only
+
 echo "== smoke fuzz =="
 # Fixed-seed differential sweep; the random spec grids draw the whole
 # topology zoo (two-tier, crossbar, oversubscribed, expander, rotor), so

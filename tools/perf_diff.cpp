@@ -1,0 +1,201 @@
+// perf_diff -- compare two BenchReport JSON line sets across commits (the
+// ROADMAP's suite-level diff tool). Every bench in this repo emits rows as
+// one JSON object per line ({"bench":...,"name":...,"params":{...},
+// "total_cost":...,"wall_ms":...,...}); this tool matches rows between a
+// baseline file and a current file by their (bench, name, params) key and
+// reports per-metric deltas. Rows may be embedded in arbitrary bench
+// stdout: any line not starting with '{' is ignored, so both saved
+// BENCH_*.json files and raw bench output diff cleanly.
+//
+//   perf_diff BASELINE CURRENT [--threshold F] [--metrics a,b] [--warn-only]
+//
+//   --threshold F   relative regression gate on the gated metrics
+//                   (default 0.25 = +25%); exceeding it fails the run
+//   --metrics a,b   comma-separated metric names to gate on (default:
+//                   wall_ms plus every metric ending in "_ns" or
+//                   containing "ns_per" -- the time-like, higher-is-worse
+//                   ones; other shared numeric metrics are reported only)
+//   --warn-only     report regressions but exit 0 (noisy CI runners)
+//
+// Exit codes: 0 ok / regressions suppressed, 1 regression above the
+// threshold, 2 usage or parse failure.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace {
+
+using rdcn::json::Value;
+
+struct Row {
+  std::string key;  ///< bench/name/params fingerprint
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Stable row key: bench, name, then params serialized with sorted keys
+/// (so key order differences between emitters do not break matching).
+std::string row_key(const Value& object) {
+  std::string key;
+  if (const Value* bench = object.find("bench")) {
+    if (bench->is_string()) key += bench->as_string();
+  }
+  key += '|';
+  if (const Value* name = object.find("name")) {
+    if (name->is_string()) key += name->as_string();
+  }
+  if (const Value* params = object.find("params"); params && params->is_object()) {
+    std::vector<std::pair<std::string, std::string>> sorted;
+    for (const auto& [param, value] : params->as_object()) {
+      sorted.emplace_back(param, rdcn::json::dump(value));
+    }
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& [param, value] : sorted) key += '|' + param + '=' + value;
+  }
+  return key;
+}
+
+std::vector<Row> load_rows(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::vector<Row> rows;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] != '{') continue;  // bench tables, headers
+    Value object;
+    try {
+      object = rdcn::json::parse(line);
+    } catch (const rdcn::json::ParseError& error) {
+      throw std::runtime_error(path + ":" + std::to_string(line_number) + ": " +
+                               error.what());
+    }
+    if (!object.is_object()) continue;
+    Row row;
+    row.key = row_key(object);
+    for (const auto& [name, value] : object.as_object()) {
+      if (name == "bench" || name == "name" || name == "params") continue;
+      if (value.is_number()) row.metrics.emplace_back(name, value.as_number());
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+bool gated_by_default(const std::string& metric) {
+  if (metric == "wall_ms") return true;
+  if (metric.size() > 3 && metric.compare(metric.size() - 3, 3, "_ns") == 0) return true;
+  return metric.find("ns_per") != std::string::npos;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: perf_diff BASELINE CURRENT [--threshold F] [--metrics a,b] "
+               "[--warn-only]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, current_path;
+  double threshold = 0.25;
+  bool warn_only = false;
+  std::vector<std::string> gate_metrics;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold") {
+      if (++i >= argc) return usage();
+      try {
+        threshold = std::stod(argv[i]);
+      } catch (...) {
+        return usage();
+      }
+    } else if (arg == "--metrics") {
+      if (++i >= argc) return usage();
+      std::stringstream split(argv[i]);
+      std::string metric;
+      while (std::getline(split, metric, ',')) {
+        if (!metric.empty()) gate_metrics.push_back(metric);
+      }
+    } else if (arg == "--warn-only") {
+      warn_only = true;
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (current_path.empty()) {
+      current_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (current_path.empty()) return usage();
+
+  std::vector<Row> baseline, current;
+  try {
+    baseline = load_rows(baseline_path);
+    current = load_rows(current_path);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "perf_diff: %s\n", error.what());
+    return 2;
+  }
+
+  std::map<std::string, const Row*> baseline_by_key;
+  for (const Row& row : baseline) baseline_by_key[row.key] = &row;
+
+  const auto gated = [&gate_metrics](const std::string& metric) {
+    if (gate_metrics.empty()) return gated_by_default(metric);
+    return std::find(gate_metrics.begin(), gate_metrics.end(), metric) !=
+           gate_metrics.end();
+  };
+
+  std::size_t matched = 0, regressions = 0, missing = 0;
+  for (const Row& row : current) {
+    const auto it = baseline_by_key.find(row.key);
+    if (it == baseline_by_key.end()) {
+      std::printf("NEW       %s\n", row.key.c_str());
+      continue;
+    }
+    ++matched;
+    for (const auto& [metric, value] : row.metrics) {
+      const auto base = std::find_if(
+          it->second->metrics.begin(), it->second->metrics.end(),
+          [&metric](const auto& entry) { return entry.first == metric; });
+      if (base == it->second->metrics.end()) continue;
+      const double reference = base->second;
+      const double delta =
+          reference != 0.0 ? (value - reference) / std::abs(reference) : 0.0;
+      const bool regressed = gated(metric) && delta > threshold;
+      if (regressed) ++regressions;
+      std::printf("%-9s %s :: %s  %.6g -> %.6g  (%+.1f%%)\n",
+                  regressed ? "REGRESSED" : (gated(metric) ? "ok" : "info"),
+                  row.key.c_str(), metric.c_str(), reference, value, delta * 100.0);
+    }
+    baseline_by_key.erase(it);
+  }
+  for (const auto& [key, row] : baseline_by_key) {
+    std::printf("MISSING   %s\n", key.c_str());
+    ++missing;
+  }
+  std::printf("perf_diff: %zu matched, %zu regressions (threshold +%.0f%%), "
+              "%zu missing, %zu new\n",
+              matched, regressions, threshold * 100.0, missing,
+              current.size() - matched);
+  if (matched == 0) {
+    // A gate that matches nothing gates nothing -- if row keys drift (a
+    // renamed param, a broken emitter) that must fail loudly, even under
+    // --warn-only, so check.sh and CI cannot silently lose coverage.
+    std::fprintf(stderr, "perf_diff: no rows matched between the two inputs\n");
+    return 2;
+  }
+  if (regressions > 0 && !warn_only) return 1;
+  return 0;
+}
