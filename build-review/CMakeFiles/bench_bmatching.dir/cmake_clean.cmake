@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bmatching.dir/bench/bench_bmatching.cpp.o"
+  "CMakeFiles/bench_bmatching.dir/bench/bench_bmatching.cpp.o.d"
+  "bench/bench_bmatching"
+  "bench/bench_bmatching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bmatching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

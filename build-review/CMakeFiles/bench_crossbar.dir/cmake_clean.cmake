@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crossbar.dir/bench/bench_crossbar.cpp.o"
+  "CMakeFiles/bench_crossbar.dir/bench/bench_crossbar.cpp.o.d"
+  "bench/bench_crossbar"
+  "bench/bench_crossbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crossbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delays.dir/bench/bench_delays.cpp.o"
+  "CMakeFiles/bench_delays.dir/bench/bench_delays.cpp.o.d"
+  "bench/bench_delays"
+  "bench/bench_delays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flows.dir/bench/bench_flows.cpp.o"
+  "CMakeFiles/bench_flows.dir/bench/bench_flows.cpp.o.d"
+  "bench/bench_flows"
+  "bench/bench_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

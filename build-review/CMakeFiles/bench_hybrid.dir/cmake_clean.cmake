@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hybrid.dir/bench/bench_hybrid.cpp.o"
+  "CMakeFiles/bench_hybrid.dir/bench/bench_hybrid.cpp.o.d"
+  "bench/bench_hybrid"
+  "bench/bench_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_impact_accuracy.dir/bench/bench_impact_accuracy.cpp.o"
+  "CMakeFiles/bench_impact_accuracy.dir/bench/bench_impact_accuracy.cpp.o.d"
+  "bench/bench_impact_accuracy"
+  "bench/bench_impact_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_impact_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

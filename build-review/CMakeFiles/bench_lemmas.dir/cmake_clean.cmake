@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemmas.dir/bench/bench_lemmas.cpp.o"
+  "CMakeFiles/bench_lemmas.dir/bench/bench_lemmas.cpp.o.d"
+  "bench/bench_lemmas"
+  "bench/bench_lemmas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemmas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

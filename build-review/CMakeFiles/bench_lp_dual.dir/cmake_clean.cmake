@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lp_dual.dir/bench/bench_lp_dual.cpp.o"
+  "CMakeFiles/bench_lp_dual.dir/bench/bench_lp_dual.cpp.o.d"
+  "bench/bench_lp_dual"
+  "bench/bench_lp_dual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lp_dual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lp_primal.dir/bench/bench_lp_primal.cpp.o"
+  "CMakeFiles/bench_lp_primal.dir/bench/bench_lp_primal.cpp.o.d"
+  "bench/bench_lp_primal"
+  "bench/bench_lp_primal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lp_primal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_migration.dir/bench/bench_migration.cpp.o"
+  "CMakeFiles/bench_migration.dir/bench/bench_migration.cpp.o.d"
+  "bench/bench_migration"
+  "bench/bench_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_steady_state.dir/bench/bench_steady_state.cpp.o"
+  "CMakeFiles/bench_steady_state.dir/bench/bench_steady_state.cpp.o.d"
+  "bench/bench_steady_state"
+  "bench/bench_steady_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_steady_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

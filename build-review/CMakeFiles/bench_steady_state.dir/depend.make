@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_steady_state.
+# This may be replaced when dependencies are built.

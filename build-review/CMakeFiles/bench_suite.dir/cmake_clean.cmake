@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_suite.dir/bench/bench_suite.cpp.o"
+  "CMakeFiles/bench_suite.dir/bench/bench_suite.cpp.o.d"
+  "bench/bench_suite"
+  "bench/bench_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem1.dir/bench/bench_theorem1.cpp.o"
+  "CMakeFiles/bench_theorem1.dir/bench/bench_theorem1.cpp.o.d"
+  "bench/bench_theorem1"
+  "bench/bench_theorem1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certified_run.dir/examples/certified_run.cpp.o"
+  "CMakeFiles/certified_run.dir/examples/certified_run.cpp.o.d"
+  "examples/certified_run"
+  "examples/certified_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certified_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

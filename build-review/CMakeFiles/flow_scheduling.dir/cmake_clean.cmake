@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_scheduling.dir/examples/flow_scheduling.cpp.o"
+  "CMakeFiles/flow_scheduling.dir/examples/flow_scheduling.cpp.o.d"
+  "examples/flow_scheduling"
+  "examples/flow_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_datacenter.dir/examples/hybrid_datacenter.cpp.o"
+  "CMakeFiles/hybrid_datacenter.dir/examples/hybrid_datacenter.cpp.o.d"
+  "examples/hybrid_datacenter"
+  "examples/hybrid_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_figures.dir/examples/paper_figures.cpp.o"
+  "CMakeFiles/paper_figures.dir/examples/paper_figures.cpp.o.d"
+  "examples/paper_figures"
+  "examples/paper_figures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

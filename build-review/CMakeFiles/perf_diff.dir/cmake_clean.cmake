@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_diff.dir/tools/perf_diff.cpp.o"
+  "CMakeFiles/perf_diff.dir/tools/perf_diff.cpp.o.d"
+  "perf_diff"
+  "perf_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/projector_racks.dir/examples/projector_racks.cpp.o"
+  "CMakeFiles/projector_racks.dir/examples/projector_racks.cpp.o.d"
+  "examples/projector_racks"
+  "examples/projector_racks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/projector_racks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

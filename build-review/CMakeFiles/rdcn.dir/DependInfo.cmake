@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/dispatchers.cpp" "CMakeFiles/rdcn.dir/src/baseline/dispatchers.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/baseline/dispatchers.cpp.o.d"
+  "/root/repo/src/baseline/schedulers.cpp" "CMakeFiles/rdcn.dir/src/baseline/schedulers.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/baseline/schedulers.cpp.o.d"
+  "/root/repo/src/check/audit.cpp" "CMakeFiles/rdcn.dir/src/check/audit.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/check/audit.cpp.o.d"
+  "/root/repo/src/check/differential.cpp" "CMakeFiles/rdcn.dir/src/check/differential.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/check/differential.cpp.o.d"
+  "/root/repo/src/check/minimize.cpp" "CMakeFiles/rdcn.dir/src/check/minimize.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/check/minimize.cpp.o.d"
+  "/root/repo/src/core/alg.cpp" "CMakeFiles/rdcn.dir/src/core/alg.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/core/alg.cpp.o.d"
+  "/root/repo/src/core/charging.cpp" "CMakeFiles/rdcn.dir/src/core/charging.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/core/charging.cpp.o.d"
+  "/root/repo/src/core/dual_witness.cpp" "CMakeFiles/rdcn.dir/src/core/dual_witness.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/core/dual_witness.cpp.o.d"
+  "/root/repo/src/core/exact_certificate.cpp" "CMakeFiles/rdcn.dir/src/core/exact_certificate.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/core/exact_certificate.cpp.o.d"
+  "/root/repo/src/core/impact.cpp" "CMakeFiles/rdcn.dir/src/core/impact.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/core/impact.cpp.o.d"
+  "/root/repo/src/core/randomized.cpp" "CMakeFiles/rdcn.dir/src/core/randomized.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/core/randomized.cpp.o.d"
+  "/root/repo/src/flow/flows.cpp" "CMakeFiles/rdcn.dir/src/flow/flows.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/flow/flows.cpp.o.d"
+  "/root/repo/src/lp/exact_paper_lp.cpp" "CMakeFiles/rdcn.dir/src/lp/exact_paper_lp.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/lp/exact_paper_lp.cpp.o.d"
+  "/root/repo/src/lp/exact_simplex.cpp" "CMakeFiles/rdcn.dir/src/lp/exact_simplex.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/lp/exact_simplex.cpp.o.d"
+  "/root/repo/src/lp/model.cpp" "CMakeFiles/rdcn.dir/src/lp/model.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/lp/model.cpp.o.d"
+  "/root/repo/src/lp/paper_lps.cpp" "CMakeFiles/rdcn.dir/src/lp/paper_lps.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/lp/paper_lps.cpp.o.d"
+  "/root/repo/src/lp/simplex.cpp" "CMakeFiles/rdcn.dir/src/lp/simplex.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/lp/simplex.cpp.o.d"
+  "/root/repo/src/match/brute_force.cpp" "CMakeFiles/rdcn.dir/src/match/brute_force.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/match/brute_force.cpp.o.d"
+  "/root/repo/src/match/capacitated.cpp" "CMakeFiles/rdcn.dir/src/match/capacitated.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/match/capacitated.cpp.o.d"
+  "/root/repo/src/match/edge_coloring.cpp" "CMakeFiles/rdcn.dir/src/match/edge_coloring.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/match/edge_coloring.cpp.o.d"
+  "/root/repo/src/match/gale_shapley.cpp" "CMakeFiles/rdcn.dir/src/match/gale_shapley.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/match/gale_shapley.cpp.o.d"
+  "/root/repo/src/match/hopcroft_karp.cpp" "CMakeFiles/rdcn.dir/src/match/hopcroft_karp.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/match/hopcroft_karp.cpp.o.d"
+  "/root/repo/src/match/hungarian.cpp" "CMakeFiles/rdcn.dir/src/match/hungarian.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/match/hungarian.cpp.o.d"
+  "/root/repo/src/match/stable.cpp" "CMakeFiles/rdcn.dir/src/match/stable.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/match/stable.cpp.o.d"
+  "/root/repo/src/net/builders.cpp" "CMakeFiles/rdcn.dir/src/net/builders.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/net/builders.cpp.o.d"
+  "/root/repo/src/net/instance.cpp" "CMakeFiles/rdcn.dir/src/net/instance.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/net/instance.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "CMakeFiles/rdcn.dir/src/net/topology.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/net/topology.cpp.o.d"
+  "/root/repo/src/opt/brute_force.cpp" "CMakeFiles/rdcn.dir/src/opt/brute_force.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/opt/brute_force.cpp.o.d"
+  "/root/repo/src/opt/lower_bounds.cpp" "CMakeFiles/rdcn.dir/src/opt/lower_bounds.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/opt/lower_bounds.cpp.o.d"
+  "/root/repo/src/opt/output_queueing.cpp" "CMakeFiles/rdcn.dir/src/opt/output_queueing.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/opt/output_queueing.cpp.o.d"
+  "/root/repo/src/run/batch.cpp" "CMakeFiles/rdcn.dir/src/run/batch.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/run/batch.cpp.o.d"
+  "/root/repo/src/run/policies.cpp" "CMakeFiles/rdcn.dir/src/run/policies.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/run/policies.cpp.o.d"
+  "/root/repo/src/run/random.cpp" "CMakeFiles/rdcn.dir/src/run/random.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/run/random.cpp.o.d"
+  "/root/repo/src/run/scenario.cpp" "CMakeFiles/rdcn.dir/src/run/scenario.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/run/scenario.cpp.o.d"
+  "/root/repo/src/run/stream.cpp" "CMakeFiles/rdcn.dir/src/run/stream.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/run/stream.cpp.o.d"
+  "/root/repo/src/run/suite.cpp" "CMakeFiles/rdcn.dir/src/run/suite.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/run/suite.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "CMakeFiles/rdcn.dir/src/sim/engine.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/gantt.cpp" "CMakeFiles/rdcn.dir/src/sim/gantt.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/sim/gantt.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "CMakeFiles/rdcn.dir/src/sim/metrics.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/sim/metrics.cpp.o.d"
+  "/root/repo/src/traffic/source.cpp" "CMakeFiles/rdcn.dir/src/traffic/source.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/traffic/source.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "CMakeFiles/rdcn.dir/src/util/json.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/util/json.cpp.o.d"
+  "/root/repo/src/util/rational.cpp" "CMakeFiles/rdcn.dir/src/util/rational.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/util/rational.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/rdcn.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/rdcn.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/rdcn.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "CMakeFiles/rdcn.dir/src/util/thread_pool.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/util/thread_pool.cpp.o.d"
+  "/root/repo/src/workload/adversarial.cpp" "CMakeFiles/rdcn.dir/src/workload/adversarial.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/workload/adversarial.cpp.o.d"
+  "/root/repo/src/workload/flow_sizes.cpp" "CMakeFiles/rdcn.dir/src/workload/flow_sizes.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/workload/flow_sizes.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "CMakeFiles/rdcn.dir/src/workload/generator.cpp.o" "gcc" "CMakeFiles/rdcn.dir/src/workload/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

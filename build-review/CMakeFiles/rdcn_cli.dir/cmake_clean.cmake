@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdcn_cli.dir/tools/rdcn_cli.cpp.o"
+  "CMakeFiles/rdcn_cli.dir/tools/rdcn_cli.cpp.o.d"
+  "rdcn_cli"
+  "rdcn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdcn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdcn_fuzz.dir/tools/rdcn_fuzz.cpp.o"
+  "CMakeFiles/rdcn_fuzz.dir/tools/rdcn_fuzz.cpp.o.d"
+  "rdcn_fuzz"
+  "rdcn_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdcn_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

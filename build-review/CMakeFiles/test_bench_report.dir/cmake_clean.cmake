@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench_report.dir/tests/test_bench_report.cpp.o"
+  "CMakeFiles/test_bench_report.dir/tests/test_bench_report.cpp.o.d"
+  "test_bench_report"
+  "test_bench_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

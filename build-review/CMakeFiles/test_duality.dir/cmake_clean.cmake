@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_duality.dir/tests/test_duality.cpp.o"
+  "CMakeFiles/test_duality.dir/tests/test_duality.cpp.o.d"
+  "test_duality"
+  "test_duality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_duality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_regression.dir/tests/test_engine_regression.cpp.o"
+  "CMakeFiles/test_engine_regression.dir/tests/test_engine_regression.cpp.o.d"
+  "test_engine_regression"
+  "test_engine_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exact_lp.dir/tests/test_exact_lp.cpp.o"
+  "CMakeFiles/test_exact_lp.dir/tests/test_exact_lp.cpp.o.d"
+  "test_exact_lp"
+  "test_exact_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exact_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_sizes.dir/tests/test_flow_sizes.cpp.o"
+  "CMakeFiles/test_flow_sizes.dir/tests/test_flow_sizes.cpp.o.d"
+  "test_flow_sizes"
+  "test_flow_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_output_queueing.dir/tests/test_output_queueing.cpp.o"
+  "CMakeFiles/test_output_queueing.dir/tests/test_output_queueing.cpp.o.d"
+  "test_output_queueing"
+  "test_output_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_output_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

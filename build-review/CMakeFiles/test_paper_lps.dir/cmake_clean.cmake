@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_lps.dir/tests/test_paper_lps.cpp.o"
+  "CMakeFiles/test_paper_lps.dir/tests/test_paper_lps.cpp.o.d"
+  "test_paper_lps"
+  "test_paper_lps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_lps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
