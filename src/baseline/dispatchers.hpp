@@ -7,7 +7,8 @@
 //   RandomDispatcher     -- uniform random candidate edge;
 //   RoundRobinDispatcher -- cycles through E_p per (source, destination);
 //   JsqDispatcher        -- joins the least-loaded edge (fewest pending
-//                           chunks at its transmitter + receiver);
+//                           chunks at its transmitter + receiver, read
+//                           from the engine's impact-index counters);
 //   MinDelayDispatcher   -- ignores queues, picks the smallest d^(e);
 //   DirectOnlyDispatcher -- always the fixed link when one exists.
 //

@@ -8,6 +8,7 @@
 
 #include "core/alg.hpp"
 #include "core/charging.hpp"
+#include "core/impact.hpp"
 #include "core/dual_witness.hpp"
 #include "opt/lower_bounds.hpp"
 #include "run/policies.hpp"
@@ -160,7 +161,169 @@ std::optional<double> run_and_check(const Instance& instance, const std::string&
   return run.total_cost;
 }
 
+/// Dispatcher replicating ImpactDispatcher's decision rule while, for
+/// every candidate edge it evaluates, cross-validating the engine's
+/// incremental impact index against both oracles:
+///
+///  * the naive queue scan (impact_of_scan): base and h_count must match
+///    EXACTLY (integer / identical arithmetic); l_weight and delta to a
+///    tight relative tolerance scaled by the endpoint weight mass (the
+///    two sides sum the same terms in different associations, and the
+///    (t + r) - pair combination can cancel);
+///  * a fresh ImpactAggregate per endpoint, rebuilt from the engine's
+///    queues in queue order and combined through combine_impact: must
+///    match the live index BIT FOR BIT (canonical shape makes the sums a
+///    pure function of the pending multiset);
+///  * the index's O(1) integer edge load against a scan of the queues
+///    (JSQ's signal): exact.
+///
+/// The run it drives is therefore ALG's run; the checks are pure readers.
+class CrossCheckedImpactDispatcher final : public DispatchPolicy {
+ public:
+  explicit CrossCheckedImpactDispatcher(DiffReport& report) : report_(&report) {}
+
+  std::size_t checked_edges() const noexcept { return checked_; }
+
+  RouteDecision dispatch(const Engine& engine, const Packet& packet) override {
+    const Topology& topology = engine.topology();
+    topology.candidate_edges_into(packet.source, packet.destination, edges_);
+
+    double best_delta = std::numeric_limits<double>::infinity();
+    EdgeIndex best_edge = kInvalidEdge;
+    for (EdgeIndex e : edges_) {
+      const ImpactBreakdown indexed = impact_of(engine, packet, e);
+      verify_edge(engine, packet, e, indexed);
+      if (indexed.delta < best_delta) {  // ties keep the lowest edge index
+        best_delta = indexed.delta;
+        best_edge = e;
+      }
+    }
+
+    const auto direct = topology.fixed_link_delay(packet.source, packet.destination);
+    RouteDecision decision;
+    if (best_edge == kInvalidEdge) {
+      if (!direct) throw std::logic_error("packet has no route");
+      decision.use_fixed = true;
+      decision.alpha = packet.weight * static_cast<double>(*direct);
+      return decision;
+    }
+    if (direct && packet.weight * static_cast<double>(*direct) <= best_delta) {
+      decision.use_fixed = true;
+      decision.alpha = packet.weight * static_cast<double>(*direct);
+      return decision;
+    }
+    decision.use_fixed = false;
+    decision.edge = best_edge;
+    decision.alpha = best_delta;
+    return decision;
+  }
+
+ private:
+  static constexpr std::size_t kMaxReported = 8;  ///< don't flood the report
+
+  void violation(std::string message) {
+    if (report_->violations.size() < kMaxReported) {
+      report_->violations.push_back(std::move(message));
+    }
+  }
+
+  void verify_edge(const Engine& engine, const Packet& packet, EdgeIndex e,
+                   const ImpactBreakdown& indexed) {
+    ++checked_;
+    const Topology& topology = engine.topology();
+    const ReconfigEdge& edge = topology.edge(e);
+    const double threshold =
+        packet.weight / static_cast<double>(edge.delay);
+    const std::string where = "impact index, packet " + std::to_string(packet.id) +
+                              " edge " + std::to_string(e) + ": ";
+
+    // Oracle 1: the naive queue scan.
+    const ImpactBreakdown scan = impact_of_scan(engine, packet, e);
+    if (indexed.base != scan.base || indexed.h_count != scan.h_count) {
+      violation(where + "index (h " + std::to_string(indexed.h_count) + ") != scan (h " +
+                std::to_string(scan.h_count) + ") on the exact fields");
+    }
+
+    // Oracle 2: fresh canonical-shape aggregates from the queues, plus the
+    // exact integer load scan. The pair aggregate holds the packets both
+    // queues list -- those assigned to a parallel edge of e's (t, r) pair.
+    t_agg_.clear();
+    r_agg_.clear();
+    p_agg_.clear();
+    std::int64_t scan_load = 0;
+    for (PacketIndex q : engine.pending_on_transmitter(edge.transmitter)) {
+      t_agg_.add(engine.chunk_weight(q), engine.remaining_chunks(q));
+      scan_load += engine.remaining_chunks(q);
+    }
+    for (PacketIndex q : engine.pending_on_receiver(edge.receiver)) {
+      r_agg_.add(engine.chunk_weight(q), engine.remaining_chunks(q));
+      if (engine.assigned_transmitter(q) == edge.transmitter) {
+        p_agg_.add(engine.chunk_weight(q), engine.remaining_chunks(q));
+      } else {
+        scan_load += engine.remaining_chunks(q);
+      }
+    }
+    const WeightBelow t_below = t_agg_.below(threshold);
+    const WeightBelow r_below = r_agg_.below(threshold);
+    const ImpactSplit fresh = combine_impact(t_agg_.chunks(), t_below, r_agg_.chunks(),
+                                             r_below, p_agg_.chunks(),
+                                             p_agg_.below(threshold));
+    const ImpactSplit live = engine.impact_split(e, threshold);
+    if (live.heavier != fresh.heavier || live.lighter_weight != fresh.lighter_weight) {
+      violation(where + "live index != fresh canonical rebuild bit-for-bit (lighter " +
+                std::to_string(live.lighter_weight) + " vs " +
+                std::to_string(fresh.lighter_weight) + ")");
+    }
+    if (engine.impact_index().edge_load(e) != scan_load) {
+      violation(where + "index edge load " +
+                std::to_string(engine.impact_index().edge_load(e)) + " != queue scan " +
+                std::to_string(scan_load));
+    }
+
+    // Scan-vs-index l_weight/delta: same terms, different association; the
+    // scale is the weight mass the two sides summed, not the (possibly
+    // cancelled) result.
+    const double scale = 1.0 + t_below.weight + r_below.weight;
+    if (std::abs(indexed.l_weight - scan.l_weight) > 1e-9 * scale) {
+      violation(where + "index l_weight " + std::to_string(indexed.l_weight) +
+                " strays from scan " + std::to_string(scan.l_weight));
+    }
+    const double d = static_cast<double>(edge.delay);
+    if (std::abs(indexed.delta - scan.delta) > 1e-9 * (1.0 + std::abs(scan.base)) +
+                                                   1e-9 * d * scale +
+                                                   1e-9 * std::abs(packet.weight) *
+                                                       static_cast<double>(scan.h_count)) {
+      violation(where + "index delta " + std::to_string(indexed.delta) +
+                " strays from scan " + std::to_string(scan.delta));
+    }
+  }
+
+  DiffReport* report_;
+  std::size_t checked_ = 0;
+  std::vector<EdgeIndex> edges_;
+  ImpactAggregate t_agg_, r_agg_, p_agg_;
+};
+
 }  // namespace
+
+void check_impact_index(const Instance& instance, DiffReport& report) {
+  ++report.checks;
+  CrossCheckedImpactDispatcher dispatcher(report);
+  try {
+    StableMatchingScheduler scheduler;
+    EngineOptions options;
+    options.audit = false;  // pure reader pass; the audited run already ran
+    simulate(instance, dispatcher, scheduler, options);
+  } catch (const std::exception& error) {
+    report.violations.push_back(std::string("impact index replay threw: ") + error.what());
+    return;
+  }
+  if (dispatcher.checked_edges() == 0 && instance.num_packets() > 0) {
+    // Not a bug by itself (all-fixed instances have no candidate edges),
+    // but worth surfacing to the fuzz statistics.
+    report.skipped.push_back("impact index cross-check saw no candidate edges");
+  }
+}
 
 std::string DiffReport::to_string() const {
   std::string joined;
@@ -242,6 +405,7 @@ DiffReport check_instance(const Instance& instance, const DiffOptions& options) 
 
   // ALG's analysis certificates: charging scheme, dual witness, LP bound.
   if (std::find(names.begin(), names.end(), "alg") != names.end()) {
+    check_impact_index(instance, report);
     try {
       EngineOptions traced;
       traced.record_trace = true;
@@ -411,6 +575,10 @@ DiffReport check_stream(const StreamSpec& spec, std::uint64_t rep_seed,
       }
       for (const std::string& name : replay_policies) {
         run_and_check(recorded, name, engine_options, options, "recorded prefix, ", report);
+      }
+      if (std::find(replay_policies.begin(), replay_policies.end(), "alg") !=
+          replay_policies.end()) {
+        check_impact_index(recorded, report);
       }
     } catch (const std::invalid_argument& error) {
       report.skipped.push_back(std::string("stream spec rejected: ") + error.what());

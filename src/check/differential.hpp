@@ -15,7 +15,12 @@
 //  * ALG's certificates hold: the charging scheme covers the cost within
 //    alpha (floating point and, for integer weights, exact rational), the
 //    halved dual witness is feasible, Lemma 1 balances, and the dual
-//    witness bound respects weak duality against the LP optimum.
+//    witness bound respects weak duality against the LP optimum;
+//  * the engine's incremental impact index agrees with its oracles at
+//    every dispatch decision of an ALG replay: exactly (h_count, base,
+//    JSQ edge load) and to reassociation tolerance (l_weight, delta)
+//    against the naive queue scan, and bit-for-bit against a fresh
+//    canonical-shape aggregate rebuilt from the queues per edge.
 //
 // Streaming specs get the outcome-level invariants (measurement window
 // accounting, histogram/throughput consistency, truncation and
@@ -74,6 +79,12 @@ DiffReport check_instance(const Instance& instance, const DiffOptions& options =
 /// `skipped`, not in `violations`.
 DiffReport check_stream(const StreamSpec& spec, std::uint64_t rep_seed,
                         const DiffOptions& options = {});
+
+/// Replays ALG's dispatch sequence on the instance with the incremental
+/// impact index cross-validated against both oracles at every candidate
+/// edge of every dispatch (see header). Violations land in `report`;
+/// called by check_instance/check_stream and directly by property tests.
+void check_impact_index(const Instance& instance, DiffReport& report);
 
 /// First `keep` packets of the instance (same topology) -- the workload
 /// bisection step of the fuzz minimizer, exposed so emitted reproducers

@@ -25,7 +25,17 @@ struct ImpactBreakdown {
 };
 
 /// Computes Delta_p(e) against the engine's current pending state (the
-/// packet itself must not have been enqueued yet).
+/// packet itself must not have been enqueued yet). Resolves |H_p(e)| and
+/// w(L_p(e)) through the engine's incremental impact index in O(log n);
+/// h_count is exact, l_weight carries the index's canonical summation
+/// order (see sim/impact_index.hpp).
 ImpactBreakdown impact_of(const Engine& engine, const Packet& packet, EdgeIndex e);
+
+/// The pre-index formulation: a full scan over both endpoint queues.
+/// O(pending) per call -- kept as the verification oracle behind check/'s
+/// differential cross-validation and the property tests; not on any hot
+/// path. Agrees with impact_of exactly on base/h_count and to summation-
+/// reassociation tolerance on l_weight/delta.
+ImpactBreakdown impact_of_scan(const Engine& engine, const Packet& packet, EdgeIndex e);
 
 }  // namespace rdcn

@@ -7,6 +7,7 @@ namespace rdcn {
 
 NodeIndex Topology::add_sources(NodeIndex count) {
   if (count < 0) throw std::invalid_argument("negative source count");
+  pair_cache_ready_ = false;
   const NodeIndex first = num_sources_;
   num_sources_ += count;
   transmitters_of_source_.resize(static_cast<std::size_t>(num_sources_));
@@ -15,6 +16,7 @@ NodeIndex Topology::add_sources(NodeIndex count) {
 
 NodeIndex Topology::add_destinations(NodeIndex count) {
   if (count < 0) throw std::invalid_argument("negative destination count");
+  pair_cache_ready_ = false;
   const NodeIndex first = num_destinations_;
   num_destinations_ += count;
   receivers_of_destination_.resize(static_cast<std::size_t>(num_destinations_));
@@ -24,6 +26,7 @@ NodeIndex Topology::add_destinations(NodeIndex count) {
 NodeIndex Topology::add_transmitter(NodeIndex source, Delay attach_delay) {
   if (source < 0 || source >= num_sources_) throw std::out_of_range("bad source index");
   if (attach_delay < 0) throw std::invalid_argument("negative attach delay");
+  pair_cache_ready_ = false;
   const auto index = static_cast<NodeIndex>(transmitter_source_.size());
   transmitter_source_.push_back(source);
   transmitter_attach_delay_.push_back(attach_delay);
@@ -37,6 +40,7 @@ NodeIndex Topology::add_receiver(NodeIndex destination, Delay attach_delay) {
     throw std::out_of_range("bad destination index");
   }
   if (attach_delay < 0) throw std::invalid_argument("negative attach delay");
+  pair_cache_ready_ = false;
   const auto index = static_cast<NodeIndex>(receiver_destination_.size());
   receiver_destination_.push_back(destination);
   receiver_attach_delay_.push_back(attach_delay);
@@ -51,6 +55,7 @@ EdgeIndex Topology::add_edge(NodeIndex transmitter, NodeIndex receiver, Delay de
   }
   if (receiver < 0 || receiver >= num_receivers()) throw std::out_of_range("bad receiver index");
   if (delay < 1) throw std::invalid_argument("reconfigurable edge delay must be >= 1");
+  pair_cache_ready_ = false;
   const auto index = static_cast<EdgeIndex>(edges_.size());
   edges_.push_back(ReconfigEdge{transmitter, receiver, delay});
   edges_of_transmitter_[static_cast<std::size_t>(transmitter)].push_back(index);
@@ -86,17 +91,51 @@ std::vector<EdgeIndex> Topology::candidate_edges(NodeIndex source,
   return result;
 }
 
-void Topology::candidate_edges_into(NodeIndex source, NodeIndex destination,
-                                    std::vector<EdgeIndex>& out) const {
-  out.clear();
-  for (NodeIndex t : transmitters_of_source_.at(source)) {
-    for (EdgeIndex e : edges_of_transmitter_[static_cast<std::size_t>(t)]) {
-      const ReconfigEdge& edge_ref = edges_[static_cast<std::size_t>(e)];
-      if (receiver_destination_[static_cast<std::size_t>(edge_ref.receiver)] == destination) {
-        out.push_back(e);
+void Topology::build_pair_cache() const {
+  const auto sources = static_cast<std::size_t>(num_sources_);
+  const auto destinations = static_cast<std::size_t>(num_destinations_);
+  pair_offsets_.assign(sources * destinations + 1, 0);
+  const auto pair_index = [destinations](std::size_t s, std::size_t d) {
+    return s * destinations + d;
+  };
+  for (std::size_t s = 0; s < sources; ++s) {
+    for (NodeIndex t : transmitters_of_source_[s]) {
+      for (EdgeIndex e : edges_of_transmitter_[static_cast<std::size_t>(t)]) {
+        const auto r = static_cast<std::size_t>(edges_[static_cast<std::size_t>(e)].receiver);
+        const auto d = static_cast<std::size_t>(receiver_destination_[r]);
+        ++pair_offsets_[pair_index(s, d) + 1];
       }
     }
   }
+  for (std::size_t p = 1; p < pair_offsets_.size(); ++p) pair_offsets_[p] += pair_offsets_[p - 1];
+  pair_edges_.resize(edges_.size());
+  std::vector<std::int32_t> cursor(pair_offsets_.begin(), pair_offsets_.end() - 1);
+  for (std::size_t s = 0; s < sources; ++s) {
+    for (NodeIndex t : transmitters_of_source_[s]) {
+      for (EdgeIndex e : edges_of_transmitter_[static_cast<std::size_t>(t)]) {
+        const auto r = static_cast<std::size_t>(edges_[static_cast<std::size_t>(e)].receiver);
+        const auto d = static_cast<std::size_t>(receiver_destination_[r]);
+        pair_edges_[static_cast<std::size_t>(cursor[pair_index(s, d)]++)] = e;
+      }
+    }
+  }
+  pair_cache_ready_ = true;
+}
+
+void Topology::candidate_edges_into(NodeIndex source, NodeIndex destination,
+                                    std::vector<EdgeIndex>& out) const {
+  if (source < 0 || source >= num_sources_) {
+    throw std::out_of_range("candidate_edges_into: bad source index");
+  }
+  out.clear();
+  if (destination < 0 || destination >= num_destinations_) return;  // no receiver maps there
+  if (!pair_cache_ready_) build_pair_cache();
+  const auto p = static_cast<std::size_t>(source) * static_cast<std::size_t>(num_destinations_) +
+                 static_cast<std::size_t>(destination);
+  const auto begin = static_cast<std::size_t>(pair_offsets_[p]);
+  const auto end = static_cast<std::size_t>(pair_offsets_[p + 1]);
+  out.insert(out.end(), pair_edges_.begin() + static_cast<std::ptrdiff_t>(begin),
+             pair_edges_.begin() + static_cast<std::ptrdiff_t>(end));
 }
 
 std::optional<Delay> Topology::fixed_link_delay(NodeIndex source,

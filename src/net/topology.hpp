@@ -119,6 +119,12 @@ class Topology {
   std::string validate() const;
 
  private:
+  /// Builds the lazy (source, destination) -> edges CSR that backs
+  /// candidate_edges_into. Buckets are filled in the same order the
+  /// uncached scan visited edges (per-source transmitter order, then
+  /// per-transmitter edge order), so dispatch argmin tie-breaks -- and
+  /// therefore schedules -- are unchanged.
+  void build_pair_cache() const;
   NodeIndex num_sources_ = 0;
   NodeIndex num_destinations_ = 0;
 
@@ -134,6 +140,14 @@ class Topology {
   std::vector<std::vector<NodeIndex>> receivers_of_destination_;
 
   std::vector<FixedLink> fixed_links_;
+
+  // candidate_edges_into is the per-dispatch inner loop; the uncached scan
+  // over every edge of the source's transmitters dominated end-to-end
+  // profiles. CSR over (source, destination) pairs, built on first query
+  // and invalidated by any mutation.
+  mutable std::vector<EdgeIndex> pair_edges_;
+  mutable std::vector<std::int32_t> pair_offsets_;  ///< num_sources*num_destinations + 1
+  mutable bool pair_cache_ready_ = false;
 };
 
 }  // namespace rdcn

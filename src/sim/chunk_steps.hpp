@@ -1,0 +1,146 @@
+#pragma once
+
+// Small-inline record of a packet's chunk transmit steps.
+//
+// Every dispatched packet reserves a d(e_p)-slot step log up front so the
+// service loop never reallocates mid-run; with a plain std::vector that
+// reserve was one heap allocation (plus one free at retirement) per packet
+// and dominated the batch-mode allocation profile. d(e) is a small integer
+// in every realistic topology, so the steps live inline up to kInline and
+// only spill to the heap for long-delay edges.
+//
+// The interface mirrors the std::vector subset the consumers use (range
+// iteration, size/empty/at/operator[], push_back/reserve/clear, value
+// equality -- including against a std::vector<Time>, which the transmit
+// auditor keeps as its independent ledger type).
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace rdcn {
+
+class ChunkSteps {
+ public:
+  using value_type = Time;
+  using const_iterator = const Time*;
+  using iterator = Time*;
+
+  ChunkSteps() noexcept : data_(inline_), capacity_(kInline) {}
+  ChunkSteps(std::initializer_list<Time> init) : ChunkSteps() {
+    reserve(init.size());
+    for (Time t : init) data_[size_++] = t;
+  }
+  ChunkSteps(const ChunkSteps& other) : ChunkSteps() {
+    reserve(other.size_);
+    std::copy(other.data_, other.data_ + other.size_, data_);
+    size_ = other.size_;
+  }
+  ChunkSteps(ChunkSteps&& other) noexcept : ChunkSteps() { steal(other); }
+  ChunkSteps& operator=(const ChunkSteps& other) {
+    if (this != &other) {
+      size_ = 0;
+      reserve(other.size_);
+      std::copy(other.data_, other.data_ + other.size_, data_);
+      size_ = other.size_;
+    }
+    return *this;
+  }
+  ChunkSteps& operator=(ChunkSteps&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal(other);
+    }
+    return *this;
+  }
+  ~ChunkSteps() {
+    if (data_ != inline_) delete[] data_;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  const Time* begin() const noexcept { return data_; }
+  const Time* end() const noexcept { return data_ + size_; }
+  Time* begin() noexcept { return data_; }
+  Time* end() noexcept { return data_ + size_; }
+
+  Time operator[](std::size_t i) const { return data_[i]; }
+  Time& operator[](std::size_t i) { return data_[i]; }
+  Time at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("ChunkSteps::at");
+    return data_[i];
+  }
+
+  void clear() noexcept { size_ = 0; }
+  void reserve(std::size_t n) {
+    if (n > capacity_) grow(n);
+  }
+  void push_back(Time t) {
+    if (size_ == capacity_) grow(capacity_ * 2);
+    data_[size_++] = t;
+  }
+
+ private:
+  static constexpr std::size_t kInline = 4;
+
+  void grow(std::size_t n) {
+    Time* heap = new Time[n];
+    std::copy(data_, data_ + size_, heap);
+    if (data_ != inline_) delete[] data_;
+    data_ = heap;
+    capacity_ = n;
+  }
+  void release() noexcept {
+    if (data_ != inline_) delete[] data_;
+    data_ = inline_;
+    size_ = 0;
+    capacity_ = kInline;
+  }
+  /// Leaves `other` empty; heap storage transfers, inline storage copies.
+  void steal(ChunkSteps& other) noexcept {
+    if (other.data_ == other.inline_) {
+      std::copy(other.data_, other.data_ + other.size_, inline_);
+      size_ = other.size_;
+      other.size_ = 0;
+    } else {
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = other.inline_;
+      other.size_ = 0;
+      other.capacity_ = kInline;
+    }
+  }
+
+  Time inline_[kInline];
+  Time* data_;
+  std::size_t size_ = 0;
+  std::size_t capacity_;
+};
+
+inline bool operator==(const ChunkSteps& a, const ChunkSteps& b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+inline bool operator!=(const ChunkSteps& a, const ChunkSteps& b) { return !(a == b); }
+inline bool operator==(const ChunkSteps& a, const std::vector<Time>& b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+inline bool operator==(const std::vector<Time>& a, const ChunkSteps& b) { return b == a; }
+inline bool operator!=(const ChunkSteps& a, const std::vector<Time>& b) { return !(a == b); }
+inline bool operator!=(const std::vector<Time>& a, const ChunkSteps& b) { return !(b == a); }
+
+inline std::ostream& operator<<(std::ostream& os, const ChunkSteps& steps) {
+  os << '[';
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << steps[i];
+  }
+  return os << ']';
+}
+
+}  // namespace rdcn

@@ -28,7 +28,13 @@ Engine::Engine(const Instance& instance, DispatchPolicy& dispatcher,
   outcomes_.reserve(n);
   queue_pos_transmitter_.reserve(n);
   queue_pos_receiver_.reserve(n);
+  impact_index_.reserve_pending(n);
   result_.outcomes.resize(n);
+  // Seed the per-endpoint pending queues: their incremental growth during
+  // the run otherwise accounts for most of the run loop's allocations.
+  const std::size_t queue_seed = std::min<std::size_t>(n, 16);
+  for (auto& queue : pending_by_transmitter_) queue.reserve(queue_seed);
+  for (auto& queue : pending_by_receiver_) queue.reserve(queue_seed);
 }
 
 Engine::Engine(const Topology& topology, DispatchPolicy& dispatcher,
@@ -81,6 +87,21 @@ void Engine::init(EngineOptions options) {
   owner_r_.assign(num_r, -1);
   active_.transmitter_rank_.assign(num_t, -1);
   active_.receiver_rank_.assign(num_r, -1);
+  impact_index_.attach(*topology_);
+  const auto num_edges = static_cast<std::size_t>(topology_->num_edges());
+  edge_meta_.resize(num_edges);
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    const ReconfigEdge& edge = topology_->edge(static_cast<EdgeIndex>(i));
+    EdgeMeta& meta = edge_meta_[i];
+    const auto du =
+        static_cast<double>(topology_->transmitter_attach_delay(edge.transmitter));
+    const auto dv = static_cast<double>(topology_->receiver_attach_delay(edge.receiver));
+    const auto d = static_cast<double>(edge.delay);
+    meta.base_coeff = du + (d + 1.0) / 2.0 + dv;
+    meta.delay = d;
+    meta.attach_tail = topology_->transmitter_attach_delay(edge.transmitter) +
+                       topology_->receiver_attach_delay(edge.receiver);
+  }
   // A selection is a (b-)matching, so its size is bounded a priori; sizing
   // the round-loop scratch here keeps even the first rounds off the heap.
   const std::size_t matching_bound =
@@ -195,6 +216,8 @@ void Engine::apply_route(const Packet& packet, const RouteDecision& route) {
     queue_pos_receiver_[s] = static_cast<std::int32_t>(r_queue.size());
     t_queue.push_back(packet.id);
     r_queue.push_back(packet.id);
+    impact_index_.add_chunks(edge.transmitter, edge.receiver, route.edge, chunk_weight,
+                             remaining);
 
     Candidate candidate;
     candidate.packet = packet.id;
@@ -216,9 +239,8 @@ void Engine::merge_staged_candidates() {
   if (candidates_.empty()) {
     candidates_.swap(staged_);
   } else {
-    // One linear pass into a reusable buffer (std::inplace_merge grabs a
-    // temporary heap buffer per call); the two vectors ping-pong, so both
-    // settle at the high-water capacity and the merge stops allocating.
+    // One linear pass into a reusable buffer: both vectors settle at the
+    // high-water capacity and the merge stops allocating.
     merge_scratch_.clear();
     merge_scratch_.reserve(candidates_.size() + staged_.size());
     std::merge(candidates_.begin(), candidates_.end(), staged_.begin(), staged_.end(),
@@ -226,6 +248,11 @@ void Engine::merge_staged_candidates() {
     candidates_.swap(merge_scratch_);
     staged_.clear();
   }
+}
+
+ImpactSplit Engine::impact_split(EdgeIndex e, double threshold) const {
+  if (!impact_index_.weight_ready()) impact_index_.rebuild(candidates_, staged_);
+  return impact_index_.edge_split(e, threshold);
 }
 
 const ActiveEndpoints& Engine::active_endpoints(
@@ -313,6 +340,8 @@ void Engine::unlist_pending(PacketIndex packet) {
                    queue_pos_transmitter_, packet);
   erase_from_queue(pending_by_receiver_[static_cast<std::size_t>(edge.receiver)],
                    queue_pos_receiver_, packet);
+  impact_index_.add_chunks(edge.transmitter, edge.receiver, ps.route.edge,
+                           chunk_weight_[slot(packet)], -remaining_[slot(packet)]);
 }
 
 void Engine::redispatch_queued_packets() {
@@ -444,9 +473,8 @@ std::size_t Engine::schedule_round(bool record) {
     Candidate& c = candidates_[index];
     auto& remaining = remaining_[slot(c.packet)];
     auto& outcome = outcomes_[slot(c.packet)];
-    const ReconfigEdge& edge = topology_->edge(c.edge);
-    const Time completion = now_ + 1 + topology_->transmitter_attach_delay(edge.transmitter) +
-                            topology_->receiver_attach_delay(edge.receiver);
+    const Time completion =
+        now_ + 1 + edge_meta_[static_cast<std::size_t>(c.edge)].attach_tail;
     outcome.chunk_transmit_steps.push_back(now_);
     const double latency = c.chunk_weight * static_cast<double>(completion - c.arrival);
     outcome.weighted_latency += latency;
@@ -454,6 +482,7 @@ std::size_t Engine::schedule_round(bool record) {
     result_.total_cost += latency;
     --remaining;
     c.remaining = remaining;
+    impact_index_.add_chunks(c.transmitter, c.receiver, c.edge, c.chunk_weight, -1);
     if (remaining == 0) {
       outcome.completion = completion;
       result_.makespan = std::max(result_.makespan, completion);

@@ -46,6 +46,15 @@
 //  * per-endpoint queues carry index maps, so removing a finished packet
 //    costs the queue tail shift instead of a full scan, and completed
 //    candidates leave the global list in one compaction pass per round;
+//  * dispatch-side queries go through an incremental per-endpoint impact
+//    index (sim/impact_index.hpp): integer chunk-load counters make JSQ's
+//    edge load O(1), and weight-keyed order-statistic treaps answer
+//    impact_of's |H|/w(L) split in O(log n) instead of scanning both
+//    endpoint queues per candidate edge. The engine feeds the index at the
+//    same three lifecycle points that maintain the queues (dispatch,
+//    per-chunk service, unlisting); the weight structures are enabled
+//    lazily by the first impact_split() call and decay during long
+//    non-impact drains, so non-impact policies pay only the O(1) counters;
 //  * per-packet state lives in a sliding window of dense arrays indexed by
 //    (id - window base); retired prefixes are compacted away amortized
 //    O(1), which is what bounds streaming memory; batch mode preallocates
@@ -60,6 +69,8 @@
 #include <vector>
 
 #include "net/instance.hpp"
+#include "sim/chunk_steps.hpp"
+#include "sim/impact_index.hpp"
 #include "sim/observer.hpp"
 #include "sim/policy.hpp"
 
@@ -104,7 +115,7 @@ struct EngineOptions {
 struct PacketOutcome {
   RouteDecision route;
   /// Transmit step of chunk i (reconfigurable route only), size d(e_p).
-  std::vector<Time> chunk_transmit_steps;
+  ChunkSteps chunk_transmit_steps;
   Time completion = 0;          ///< time the last fraction reaches dest(p)
   double weighted_latency = 0;  ///< sum over fractions of w*x*(finish - a_p)
 };
@@ -241,11 +252,11 @@ class Engine {
   /// Packets committed to a reconfigurable edge at transmitter t / receiver
   /// r that still have untransmitted chunks. Unordered (removal is
   /// swap-remove): consumers must aggregate order-independently, which
-  /// every dispatcher's accounting does. Caveat: floating-point sums over
-  /// a queue (impact_of's l_weight, JSQ load) are order-SENSITIVE in the
-  /// last ulp, so queue order is part of what the schedule goldens pin --
-  /// deterministic per engine version, not guaranteed across refactors of
-  /// the removal scheme.
+  /// every dispatcher's accounting does. The dispatch hot paths no longer
+  /// scan these queues (they query the impact index below, whose
+  /// canonical-shape summation is queue-order independent); the queues
+  /// remain the authority for membership and for check/'s naive-scan
+  /// oracle.
   const std::vector<PacketIndex>& pending_on_transmitter(NodeIndex t) const {
     return pending_by_transmitter_.at(static_cast<std::size_t>(t));
   }
@@ -275,6 +286,32 @@ class Engine {
   /// dense mirror so the dispatch-time queue scans (impact_of, JSQ) avoid
   /// chasing PacketState + the topology edge array per entry.
   NodeIndex assigned_transmitter(PacketIndex p) const { return assigned_transmitter_[slot(p)]; }
+
+  /// The incremental impact index's always-on integer-load view (JSQ's
+  /// edge_load, pair grouping). Never enables the weight structures.
+  const ImpactIndex& impact_index() const noexcept { return impact_index_; }
+
+  /// O(log n) |H_p(e)| / w(L_p(e)) split at `threshold` = w_p/d(e) -- the
+  /// hot path behind impact_of. Enables (or rebuilds after decay) the
+  /// index's weight structures on first use; `mutable` for the same reason
+  /// as the active-endpoint cache: a lazily-built view behind the const
+  /// policy interface.
+  ImpactSplit impact_split(EdgeIndex e, double threshold) const;
+
+  /// Per-edge constants derived from the topology once at construction.
+  /// Folding them into one cache line per edge keeps the per-candidate
+  /// dispatch math (impact_of's deterministic terms) and the per-chunk
+  /// completion accounting off the topology's bounds-checked scattered
+  /// arrays. base_coeff keeps the exact association of the formula it
+  /// replaces, so Delta values are bit-identical.
+  struct EdgeMeta {
+    double base_coeff = 0.0;  ///< d(u) + (d(e) + 1)/2 + d(v)
+    double delay = 1.0;       ///< d(e)
+    Delay attach_tail = 0;    ///< d(src(t), t) + d(r, dest(r))
+  };
+  const EdgeMeta& edge_meta(EdgeIndex e) const {
+    return edge_meta_[static_cast<std::size_t>(e)];
+  }
 
  private:
   struct PacketState {
@@ -372,12 +409,19 @@ class Engine {
   std::vector<PacketIndex> owner_t_, owner_r_;  ///< valid iff round matches
   std::vector<std::uint64_t> chosen_round_;     ///< per candidate index
 
+  std::vector<EdgeMeta> edge_meta_;  ///< per-edge constants (see edge_meta())
+
   /// Reusable round-loop scratch: the Selection handed to the scheduler,
   /// the merge buffer behind merge_staged_candidates, and the finished-
   /// candidate list of the post-transmit compaction. All grow-once.
   Selection selection_;
   std::vector<Candidate> merge_scratch_;
   std::vector<std::size_t> finished_scratch_;
+
+  /// Incremental per-endpoint impact index; fed at dispatch, per-chunk
+  /// service, and unlisting. Mutable: weight structures build lazily
+  /// behind the const impact_split() view.
+  mutable ImpactIndex impact_index_;
 
   /// Active-endpoint compression cache (see active_endpoints()); mutable
   /// because policies pull it lazily through the const engine view.

@@ -34,8 +34,23 @@ echo "== smoke perf diff =="
 "$build/bench/bench_hotpath" --quick --json > "$build/hotpath_current.json"
 "$build/perf_diff" "$build/hotpath_current.json" "$build/hotpath_current.json" \
     --threshold 0.01 >/dev/null
+# Dev machines vary too much for a local hard gate; CI's perf-smoke job is
+# the blocking diff (same baseline, same threshold, no --warn-only).
 "$build/perf_diff" "$repo/BENCH_hotpath.json" "$build/hotpath_current.json" \
     --threshold 0.5 --warn-only
+# The suite-level baseline: deterministic cost rows, so the match itself
+# (keys + total_cost within threshold) must hold even locally.
+"$build/bench/bench_suite" > "$build/suite_current.json"
+"$build/perf_diff" "$repo/BENCH_suite.json" "$build/suite_current.json" \
+    --threshold 0.5 --warn-only
+# Duplicate (bench, name, params) keys are an emitter bug; perf_diff must
+# refuse to match them (negative smoke: exit 2, not silent last-write-wins).
+head -n 1 "$build/hotpath_current.json" > "$build/dup_rows.json"
+head -n 1 "$build/hotpath_current.json" >> "$build/dup_rows.json"
+if "$build/perf_diff" "$build/dup_rows.json" "$build/dup_rows.json" >/dev/null 2>&1; then
+  echo "check.sh: perf_diff accepted duplicate row keys" >&2
+  exit 1
+fi
 
 echo "== smoke fuzz =="
 # Fixed-seed differential sweep; the random spec grids draw the whole

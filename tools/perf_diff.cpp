@@ -17,8 +17,12 @@
 //                   ones; other shared numeric metrics are reported only)
 //   --warn-only     report regressions but exit 0 (noisy CI runners)
 //
+// Duplicate (bench, name, params) keys within one input are an emitter
+// bug (two rows would silently shadow each other in the match map), so
+// they are reported per-key and fail the run even under --warn-only.
+//
 // Exit codes: 0 ok / regressions suppressed, 1 regression above the
-// threshold, 2 usage or parse failure.
+// threshold, 2 usage, parse failure, or duplicate row keys.
 
 #include <algorithm>
 #include <cmath>
@@ -91,6 +95,22 @@ std::vector<Row> load_rows(const std::string& path) {
   return rows;
 }
 
+/// Reports every (bench, name, params) key appearing more than once in
+/// `rows`. Duplicates mean the emitter dropped a distinguishing param --
+/// matching would silently keep only the last row, so fail instead.
+bool report_duplicate_keys(const std::string& path, const std::vector<Row>& rows) {
+  std::map<std::string, std::size_t> seen;
+  for (const Row& row : rows) ++seen[row.key];
+  bool any = false;
+  for (const auto& [key, count] : seen) {
+    if (count < 2) continue;
+    any = true;
+    std::fprintf(stderr, "perf_diff: duplicate row key in '%s' (x%zu): %s\n",
+                 path.c_str(), count, key.c_str());
+  }
+  return any;
+}
+
 bool gated_by_default(const std::string& metric) {
   if (metric == "wall_ms") return true;
   if (metric.size() > 3 && metric.compare(metric.size() - 3, 3, "_ns") == 0) return true;
@@ -147,6 +167,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "perf_diff: %s\n", error.what());
     return 2;
   }
+
+  const bool baseline_dups = report_duplicate_keys(baseline_path, baseline);
+  const bool current_dups = report_duplicate_keys(current_path, current);
+  if (baseline_dups || current_dups) return 2;
 
   std::map<std::string, const Row*> baseline_by_key;
   for (const Row& row : baseline) baseline_by_key[row.key] = &row;
