@@ -11,11 +11,20 @@
 // (ns_per_round, rounds, total_cost); the committed baseline lives in
 // BENCH_hotpath.json and tools/perf_diff gates CI against it.
 //
-//   bench_hotpath [--json] [--quick]
+//   bench_hotpath [--json] [--quick] [--phases] [--no-meta]
 //
-//   --json   print only the JSON lines (what BENCH_hotpath.json stores)
-//   --quick  fewer repetitions, crossbar shape only (the CI perf-smoke
-//            subset; same burst size so row keys match the baseline)
+//   --json     print only the JSON lines (what BENCH_hotpath.json stores)
+//   --quick    fewer repetitions, crossbar shape only (the CI perf-smoke
+//              subset; same burst size so row keys match the baseline)
+//   --phases   additionally run probe-enabled drains and emit one row per
+//              round phase (params gain "phase"; metric phase_ns_per_round
+//              = phase self-time / rounds). The gated rows above stay
+//              probe-OFF; phase rows are diffed warn-only against
+//              BENCH_hotpath_phases.json. The probed drain must reproduce
+//              the probe-off total_cost/rounds bit-for-bit (the
+//              observability layer may not perturb the schedule).
+//   --no-meta  suppress the BenchReport run-metadata line (regenerating a
+//              committed baseline needs deterministic bytes)
 
 #include <chrono>
 #include <cstdio>
@@ -27,6 +36,7 @@
 #include "net/builders.hpp"
 #include "run/policies.hpp"
 #include "sim/engine.hpp"
+#include "sim/probe.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -91,13 +101,16 @@ struct DrainResult {
   double wall_ms = 0.0;
   std::int64_t rounds = 0;
   double total_cost = 0.0;
+  ProbeReport probe;  ///< populated only by probed drains
 };
 
 DrainResult drain_once(const Topology& topology, const PolicyFactory& policy,
-                       const std::vector<Packet>& packets) {
+                       const std::vector<Packet>& packets, bool probed = false) {
   auto dispatcher = policy.dispatcher();
   auto scheduler = policy.scheduler(topology);
-  Engine engine(topology, *dispatcher, *scheduler, {}, [](RetiredPacket&&) {});
+  EngineOptions options;
+  options.probe.enabled = probed;  // aggregates only: no event ring
+  Engine engine(topology, *dispatcher, *scheduler, options, [](RetiredPacket&&) {});
   const Time arrival = 1;
   engine.begin_step(&arrival);
   for (const Packet& p : packets) engine.inject(p);
@@ -121,6 +134,7 @@ DrainResult drain_once(const Topology& topology, const PolicyFactory& policy,
                        static_cast<double>(rounds)
                  : 0.0;
   result.total_cost = engine.aggregates().total_cost;
+  if (engine.probe() != nullptr) result.probe = engine.probe()->report();
   return result;
 }
 
@@ -129,13 +143,20 @@ DrainResult drain_once(const Topology& topology, const PolicyFactory& policy,
 int main(int argc, char** argv) {
   bool json_only = false;
   bool quick = false;
+  bool phases = false;
+  bool meta = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json_only = true;
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--phases") == 0) {
+      phases = true;
+    } else if (std::strcmp(argv[i], "--no-meta") == 0) {
+      meta = false;
     } else {
-      std::fprintf(stderr, "usage: bench_hotpath [--json] [--quick]\n");
+      std::fprintf(stderr,
+                   "usage: bench_hotpath [--json] [--quick] [--phases] [--no-meta]\n");
       return 2;
     }
   }
@@ -148,7 +169,9 @@ int main(int argc, char** argv) {
                                              "rotor", "random",    "fifo"};
 
   BenchReport report("hotpath");
+  if (meta) stamp_meta(report);
   Table table({"shape", "policy", "rounds", "ns/round", "total cost"});
+  Table phase_table({"shape", "policy", "phase", "ns/round", "share"});
   for (const Shape& shape : zoo_shapes(quick)) {
     const std::vector<Packet> load = burst(shape.topology, packets, 11);
     for (const char* name : policies) {
@@ -177,12 +200,55 @@ int main(int argc, char** argv) {
           .value("rounds", static_cast<double>(median.rounds));
       table.add_row({shape.name, name, Table::fmt(median.rounds),
                      Table::fmt(median.ns_per_round, 1), Table::fmt(median.total_cost, 1)});
+
+      if (!phases) continue;
+      // Separate probe-ON drains: the gated rows above stay probe-OFF, and
+      // the probed run doubles as a schedule-invariance check (identical
+      // total_cost/rounds, or the probe perturbed the engine).
+      std::vector<DrainResult> probed;
+      probed.reserve(static_cast<std::size_t>(repetitions));
+      for (int rep = 0; rep < repetitions; ++rep) {
+        probed.push_back(drain_once(shape.topology, policy, load, /*probed=*/true));
+        if (probed.back().total_cost != median.total_cost ||
+            probed.back().rounds != median.rounds) {
+          std::fprintf(stderr,
+                       "bench_hotpath: %s/%s probe-on drain diverged from probe-off\n",
+                       shape.name, name);
+          return 3;
+        }
+      }
+      std::sort(probed.begin(), probed.end(),
+                [](const DrainResult& a, const DrainResult& b) {
+                  return a.ns_per_round < b.ns_per_round;
+                });
+      const DrainResult& probed_median = probed[probed.size() / 2];
+      const double rounds_d = static_cast<double>(probed_median.rounds);
+      for (std::size_t p = 0; p < kNumPhases; ++p) {
+        const char* phase_name = to_string(static_cast<Phase>(p));
+        const double self_ns =
+            static_cast<double>(probed_median.probe.phase_self_ns[p]);
+        const double per_round = rounds_d > 0.0 ? self_ns / rounds_d : 0.0;
+        const double share = probed_median.probe.wall_ns > 0
+                                 ? self_ns / static_cast<double>(probed_median.probe.wall_ns)
+                                 : 0.0;
+        report.add(name, probed_median.total_cost, probed_median.wall_ms)
+            .param("shape", std::string(shape.name))
+            .param("packets", static_cast<std::int64_t>(packets))
+            .param("phase", std::string(phase_name))
+            .value("phase_ns_per_round", per_round)
+            .value("phase_share", share);
+        phase_table.add_row({shape.name, name, phase_name, Table::fmt(per_round, 1),
+                             Table::fmt(share * 100.0, 1) + "%"});
+      }
     }
   }
   if (json_only) {
     for (const std::string& line : report.json_lines()) std::printf("%s\n", line.c_str());
   } else {
     table.print("EXP-P2: scheduling-round drain cost (median of repetitions)");
+    if (phases) {
+      phase_table.print("EXP-P2: per-phase self time (probe-on drains, median rep)");
+    }
     report.print();
   }
   return 0;

@@ -11,6 +11,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <ctime>
 #include <deque>
 #include <string>
 #include <utility>
@@ -126,6 +127,19 @@ class BenchReport {
 
   explicit BenchReport(std::string bench) : bench_(std::move(bench)) {}
 
+  /// Attaches a run-metadata line emitted before the rows:
+  ///   {"bench":"hotpath","meta":{"git":...,"build":...,"generated":...}}
+  /// perf_diff skips lines carrying a "meta" key, so metadata never
+  /// perturbs row matching; goldens that must be byte-stable are produced
+  /// with the benches' --no-meta flag instead.
+  void set_meta(std::string git, std::string build, std::string timestamp) {
+    meta_git_ = std::move(git);
+    meta_build_ = std::move(build);
+    meta_timestamp_ = std::move(timestamp);
+    has_meta_ = true;
+  }
+  void clear_meta() { has_meta_ = false; }
+
   Row& add(const std::string& name, double total_cost, double wall_ms) {
     rows_.emplace_back();
     rows_.back().name_ = name;
@@ -146,7 +160,14 @@ class BenchReport {
   /// The report as JSON lines (exposed so tests can parse every line).
   std::vector<std::string> json_lines() const {
     std::vector<std::string> lines;
-    lines.reserve(rows_.size());
+    lines.reserve(rows_.size() + (has_meta_ ? 1 : 0));
+    if (has_meta_) {
+      std::string line = "{\"bench\":\"" + json_escape(bench_) + "\"";
+      line += ",\"meta\":{\"git\":\"" + json_escape(meta_git_) + "\"";
+      line += ",\"build\":\"" + json_escape(meta_build_) + "\"";
+      line += ",\"generated\":\"" + json_escape(meta_timestamp_) + "\"}}";
+      lines.push_back(std::move(line));
+    }
     for (const Row& row : rows_) {
       std::string line = "{\"bench\":\"" + json_escape(bench_) + "\"";
       line += ",\"name\":\"" + json_escape(row.name_) + "\"";
@@ -178,6 +199,33 @@ class BenchReport {
  private:
   std::string bench_;
   std::deque<Row> rows_;  ///< deque: add() hands out stable Row references
+  bool has_meta_ = false;
+  std::string meta_git_;
+  std::string meta_build_;
+  std::string meta_timestamp_;
 };
+
+// CMake injects the configure-time `git describe --always --dirty` output
+// and build type into the bench targets; other consumers of this header
+// (the test suite) fall back to "unknown".
+#ifndef RDCN_GIT_DESCRIBE
+#define RDCN_GIT_DESCRIBE "unknown"
+#endif
+#ifndef RDCN_BUILD_TYPE
+#define RDCN_BUILD_TYPE "unknown"
+#endif
+
+/// Stamps the report's meta line from the build identity above plus the
+/// current UTC wall clock. Benches call this unless invoked with --no-meta
+/// (regenerating a committed BENCH_*.json golden needs deterministic bytes).
+inline void stamp_meta(BenchReport& report) {
+  char stamp[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  if (gmtime_r(&now, &utc) != nullptr) {
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  }
+  report.set_meta(RDCN_GIT_DESCRIBE, RDCN_BUILD_TYPE, stamp);
+}
 
 }  // namespace rdcn::bench

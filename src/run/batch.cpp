@@ -68,6 +68,7 @@ std::vector<ScenarioResult> BatchRunner::run() {
       result.cost.add(rep.total_cost);
       result.metric.add(rep.metric);
       result.wall_ms.add(rep.wall_ms);
+      merge_report(result.probe, rep.probe);
     }
     results.push_back(std::move(result));
   }

@@ -108,6 +108,7 @@ RepetitionOutcome ScenarioRunner::run_repetition(const PolicyFactory& policy,
   outcome.steps_simulated = run.steps_simulated;
   outcome.wall_ms = std::chrono::duration<double, std::milli>(stop - start).count();
   outcome.metric = metric ? metric(inst, run) : run.total_cost;
+  outcome.probe = run.probe;
   return outcome;
 }
 
@@ -121,6 +122,7 @@ ScenarioResult ScenarioRunner::run(const PolicyFactory& policy, RepMetric metric
     result.cost.add(rep.total_cost);
     result.metric.add(rep.metric);
     result.wall_ms.add(rep.wall_ms);
+    merge_report(result.probe, rep.probe);
   }
   return result;
 }

@@ -77,6 +77,7 @@ struct RepetitionOutcome {
   Time steps_simulated = 0;
   double wall_ms = 0.0;
   double metric = 0.0;  ///< custom metric (defaults to total_cost)
+  ProbeReport probe;    ///< enabled iff the spec's engine options probe
 };
 
 /// Aggregated outcome of scenario x policy.
@@ -87,6 +88,7 @@ struct ScenarioResult {
   Summary cost;     ///< total_cost across repetitions
   Summary metric;   ///< custom metric across repetitions
   Summary wall_ms;  ///< per-repetition engine wall clock
+  ProbeReport probe;  ///< merged across repetitions (phase times summed)
 };
 
 /// Optional per-repetition metric (e.g. ratio to a bound computed from the

@@ -135,12 +135,13 @@ StreamRepOutcome StreamRunner::run_repetition(const PolicyFactory& policy,
     }
     engine.finish_step();
     telemetry.on_step(engine.now(), arrivals_this_step, served_this_step,
-                      engine.in_flight());
+                      engine.in_flight(), engine.probe());
   }
   const auto stop = std::chrono::steady_clock::now();
   out.wall_ms = std::chrono::duration<double, std::milli>(stop - start).count();
 
   out.series = telemetry.finish();
+  if (engine.probe() != nullptr) out.probe = engine.probe()->report();
   const RunResult& aggregates = engine.aggregates();
   out.total_cost = aggregates.total_cost;
   out.makespan = aggregates.makespan;
@@ -181,6 +182,7 @@ StreamResult StreamRunner::aggregate(const PolicyFactory& policy,
     result.backlog.add(rep.mean_backlog);
     result.measured_rho.add(rep.measured_rho);
     result.wall_ms.add(rep.wall_ms);
+    merge_report(result.probe, rep.probe);
   }
   return result;
 }

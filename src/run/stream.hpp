@@ -81,6 +81,7 @@ struct StreamRepOutcome {
   double wall_ms = 0.0;
   LatencyHistogram latency;    ///< measured packets only (completion - arrival)
   std::vector<StreamWindow> series;
+  ProbeReport probe;  ///< enabled iff the spec's engine options probe
 };
 
 /// Aggregated outcome of stream x policy.
@@ -99,6 +100,7 @@ struct StreamResult {
   Summary backlog;     ///< mean_backlog across repetitions
   Summary measured_rho;
   Summary wall_ms;
+  ProbeReport probe;  ///< merged across repetitions (phase times summed)
 };
 
 /// Executes a StreamSpec: topology + source construction, the open-loop

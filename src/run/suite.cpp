@@ -329,6 +329,10 @@ EngineOptions parse_engine(Fields& fields) {
                      "extension is defined on the matching model)");
   }
   options.audit = fields.boolean("audit", options.audit);
+  // Observability: cells run with the engine probe on and their rows grow
+  // phase_<name>_ns metrics. Aggregates only -- no raw-span ring; the
+  // rdcn_cli profile subcommand is the trace-export front end.
+  options.probe.enabled = fields.boolean("profile", options.probe.enabled);
   return options;
 }
 
@@ -337,6 +341,7 @@ std::string default_engine_label(const EngineOptions& options) {
                       std::to_string(options.endpoint_capacity) + "r" +
                       std::to_string(options.reconfig_delay);
   if (options.audit) label += "-audit";
+  if (options.probe.enabled) label += "-profile";
   return label;
 }
 
@@ -660,6 +665,7 @@ json::Value engine_to_json(const SuiteEngine& engine) {
   object.emplace_back("reconfig_delay",
                       static_cast<std::int64_t>(engine.options.reconfig_delay));
   object.emplace_back("audit", engine.options.audit);
+  object.emplace_back("profile", engine.options.probe.enabled);
   return json::Value(std::move(object));
 }
 
@@ -841,6 +847,20 @@ std::vector<std::string> SuiteRunner::cell_names() const {
   return names;
 }
 
+namespace {
+
+/// "profile" cells: per-phase self time (summed across repetitions) as
+/// phase_<name>_ns metrics, so suite diffs can track where time went.
+void append_phase_metrics(json::Object& line, const ProbeReport& probe) {
+  if (!probe.enabled) return;
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    line.emplace_back(std::string("phase_") + to_string(static_cast<Phase>(i)) + "_ns",
+                      static_cast<std::int64_t>(probe.phase_self_ns[i]));
+  }
+}
+
+}  // namespace
+
 std::vector<std::string> SuiteRunner::run(std::size_t threads) const {
   const std::vector<CellAxes> axes = cell_axes(spec_);
   std::vector<std::string> lines;
@@ -864,6 +884,7 @@ std::vector<std::string> SuiteRunner::run(std::size_t threads) const {
       line.emplace_back("cost_stddev", result.cost.stddev());
       line.emplace_back("cost_min", result.cost.min());
       line.emplace_back("cost_max", result.cost.max());
+      append_phase_metrics(line, result.probe);
       lines.push_back(json::dump(json::Value(std::move(line))));
     }
     return lines;
@@ -896,6 +917,7 @@ std::vector<std::string> SuiteRunner::run(std::size_t threads) const {
     line.emplace_back("backlog", result.backlog.mean());
     line.emplace_back("truncated_reps", static_cast<std::int64_t>(result.truncated_reps));
     line.emplace_back("zero_demand", static_cast<std::int64_t>(result.zero_demand));
+    append_phase_metrics(line, result.probe);
     lines.push_back(json::dump(json::Value(std::move(line))));
   }
   return lines;

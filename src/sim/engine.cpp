@@ -109,6 +109,10 @@ void Engine::init(EngineOptions options) {
   selection_.mutable_indices().reserve(matching_bound);
   finished_scratch_.reserve(matching_bound);
   if (options_.audit) auditor_ = make_invariant_auditor();
+  if (options_.probe.enabled) {
+    probe_store_ = std::make_unique<Probe>(options_.probe);
+    probe_ = probe_store_.get();
+  }
 }
 
 bool Engine::work_left() const {
@@ -133,6 +137,7 @@ void Engine::append_slot(const Packet& packet) {
   peak_resident_ = std::max(peak_resident_, state_.size());
   ++in_flight_;
   ++dispatched_count_;
+  if (probe_) probe_->count(Counter::PacketsDispatched);
 }
 
 void Engine::retire_packet(PacketIndex packet) {
@@ -141,6 +146,7 @@ void Engine::retire_packet(PacketIndex packet) {
   state_[s].retired = true;
   --in_flight_;
   ++retired_count_;
+  if (probe_) probe_->count(Counter::PacketsRetired);
   if (sink_) {
     sink_(RetiredPacket{packet, state_[s].arrival, state_[s].weight,
                         std::move(outcomes_[s])});
@@ -235,6 +241,8 @@ void Engine::apply_route(const Packet& packet, const RouteDecision& route) {
 
 void Engine::merge_staged_candidates() {
   if (staged_.empty()) return;
+  Probe::Span span(probe_, Phase::MergeCompact);
+  if (probe_) probe_->count(Counter::CandidatesMerged, staged_.size());
   std::sort(staged_.begin(), staged_.end(), chunk_higher_priority);
   if (candidates_.empty()) {
     candidates_.swap(staged_);
@@ -251,6 +259,11 @@ void Engine::merge_staged_candidates() {
 }
 
 ImpactSplit Engine::impact_split(EdgeIndex e, double threshold) const {
+  // Timed at query granularity (rebuild + deferred-event flush + lookup):
+  // per-update spans inside add_chunks would cost more than the O(1)
+  // counter work they measure. Nests under Dispatch (or Select).
+  Probe::Span span(probe_, Phase::IndexMaintenance);
+  if (probe_) probe_->count(Counter::ImpactQueries);
   if (!impact_index_.weight_ready()) impact_index_.rebuild(candidates_, staged_);
   return impact_index_.edge_split(e, threshold);
 }
@@ -289,6 +302,8 @@ const ActiveEndpoints& Engine::active_endpoints(
 
 void Engine::dispatch_arrivals() {
   const auto& packets = instance_->packets();
+  if (next_arrival_ >= packets.size() || packets[next_arrival_].arrival != now_) return;
+  Probe::Span span(probe_, Phase::Dispatch);
   while (next_arrival_ < packets.size() && packets[next_arrival_].arrival == now_) {
     const Packet& packet = packets[next_arrival_];
     append_slot(packet);
@@ -301,6 +316,7 @@ void Engine::inject(const Packet& packet) {
   if (packet.arrival != now_) {
     throw std::logic_error("inject: packet.arrival must equal the current step");
   }
+  Probe::Span span(probe_, Phase::Dispatch);
   append_slot(packet);
   apply_route(packet, dispatcher_->dispatch(*this, packet));
 }
@@ -375,10 +391,26 @@ std::size_t Engine::schedule_round(bool record) {
     return 0;
   }
 
+  if (probe_) {
+    probe_->count(Counter::Rounds);
+    probe_->gauge(Gauge::PendingCandidates, candidates_.size());
+    probe_->gauge(Gauge::InFlight, in_flight_);
+    probe_->gauge(Gauge::TreapNodes, impact_index_.live_weight_nodes());
+    probe_->set(Counter::IndexRebuilds, impact_index_.rebuilds());
+  }
+
   ++select_serial_;  // invalidates the active-endpoint map of the last round
   selection_.clear();
-  scheduler_->select(*this, now_, candidates_, selection_);
+  {
+    Probe::Span span(probe_, Phase::Select);
+    scheduler_->select(*this, now_, candidates_, selection_);
+  }
   const std::vector<std::size_t>& selected = selection_.indices();
+  if (probe_ && active_serial_ == select_serial_) {
+    // The policy built the active-endpoint map this round; sample it.
+    probe_->gauge(Gauge::ActiveTransmitters, active_.transmitters.size());
+    probe_->gauge(Gauge::ActiveReceivers, active_.receivers.size());
+  }
 
   // The auditor validates first (independently), so a contract violation
   // under audit surfaces as AuditFailure, not as the engine's logic_error.
@@ -390,73 +422,79 @@ std::size_t Engine::schedule_round(bool record) {
   // single occupant for the trace path (capacity 1 there by construction).
   ++round_serial_;
   const std::uint64_t round = round_serial_;
-  chosen_round_.resize(std::max(chosen_round_.size(), candidates_.size()), 0);
-  for (std::size_t index : selected) {
-    if (index >= candidates_.size() || chosen_round_[index] == round) {
-      throw std::logic_error("scheduler returned an invalid candidate index");
+  {
+    Probe::Span validate_span(probe_, Phase::Validate);
+    chosen_round_.resize(std::max(chosen_round_.size(), candidates_.size()), 0);
+    for (std::size_t index : selected) {
+      if (index >= candidates_.size() || chosen_round_[index] == round) {
+        throw std::logic_error("scheduler returned an invalid candidate index");
+      }
+      chosen_round_[index] = round;
+      const Candidate& c = candidates_[index];
+      const auto e = static_cast<std::size_t>(c.edge);
+      const auto t = static_cast<std::size_t>(c.transmitter);
+      const auto r = static_cast<std::size_t>(c.receiver);
+      if (edge_used_round_[e] == round) {
+        throw std::logic_error("scheduler selected one edge twice");
+      }
+      edge_used_round_[e] = round;
+      if (load_t_round_[t] != round) {
+        load_t_round_[t] = round;
+        load_t_[t] = 0;
+      }
+      if (load_r_round_[r] != round) {
+        load_r_round_[r] = round;
+        load_r_[r] = 0;
+      }
+      if (++load_t_[t] > options_.endpoint_capacity ||
+          ++load_r_[r] > options_.endpoint_capacity) {
+        throw std::logic_error("scheduler selection exceeds endpoint capacity");
+      }
+      if (record) {
+        owner_t_[t] = c.packet;
+        owner_r_[r] = c.packet;
+      }
     }
-    chosen_round_[index] = round;
-    const Candidate& c = candidates_[index];
-    const auto e = static_cast<std::size_t>(c.edge);
-    const auto t = static_cast<std::size_t>(c.transmitter);
-    const auto r = static_cast<std::size_t>(c.receiver);
-    if (edge_used_round_[e] == round) {
-      throw std::logic_error("scheduler selected one edge twice");
-    }
-    edge_used_round_[e] = round;
-    if (load_t_round_[t] != round) {
-      load_t_round_[t] = round;
-      load_t_[t] = 0;
-    }
-    if (load_r_round_[r] != round) {
-      load_r_round_[r] = round;
-      load_r_[r] = 0;
-    }
-    if (++load_t_[t] > options_.endpoint_capacity ||
-        ++load_r_[r] > options_.endpoint_capacity) {
-      throw std::logic_error("scheduler selection exceeds endpoint capacity");
-    }
-    if (record) {
-      owner_t_[t] = c.packet;
-      owner_r_[r] = c.packet;
+
+    // Reconfiguration-delay extension: an endpoint only carries a chunk
+    // when it is already tuned to that edge; otherwise this selection
+    // starts (or retargets) its retuning and the chunk stays queued.
+    if (options_.reconfig_delay > 0) {
+      // Filter the selection in place: endpoints not yet tuned to their
+      // edge keep their chunk queued and drop out of this round's
+      // transmit set.
+      std::vector<std::size_t>& indices = selection_.mutable_indices();
+      std::size_t write = 0;
+      for (std::size_t index : indices) {
+        const Candidate& c = candidates_[index];
+        auto& tc = transmitter_config_[static_cast<std::size_t>(c.transmitter)];
+        auto& rc = receiver_config_[static_cast<std::size_t>(c.receiver)];
+        bool ready = true;
+        if (tc.target != c.edge) {
+          tc.target = c.edge;
+          tc.ready = now_ + options_.reconfig_delay;
+          ready = false;
+        } else if (now_ < tc.ready) {
+          ready = false;
+        }
+        if (rc.target != c.edge) {
+          rc.target = c.edge;
+          rc.ready = now_ + options_.reconfig_delay;
+          ready = false;
+        } else if (now_ < rc.ready) {
+          ready = false;
+        }
+        if (ready) {
+          indices[write++] = index;
+        } else {
+          chosen_round_[index] = 0;
+        }
+      }
+      indices.resize(write);
     }
   }
 
-  // Reconfiguration-delay extension: an endpoint only carries a chunk when
-  // it is already tuned to that edge; otherwise this selection starts (or
-  // retargets) its retuning and the chunk stays queued.
-  if (options_.reconfig_delay > 0) {
-    // Filter the selection in place: endpoints not yet tuned to their edge
-    // keep their chunk queued and drop out of this round's transmit set.
-    std::vector<std::size_t>& indices = selection_.mutable_indices();
-    std::size_t write = 0;
-    for (std::size_t index : indices) {
-      const Candidate& c = candidates_[index];
-      auto& tc = transmitter_config_[static_cast<std::size_t>(c.transmitter)];
-      auto& rc = receiver_config_[static_cast<std::size_t>(c.receiver)];
-      bool ready = true;
-      if (tc.target != c.edge) {
-        tc.target = c.edge;
-        tc.ready = now_ + options_.reconfig_delay;
-        ready = false;
-      } else if (now_ < tc.ready) {
-        ready = false;
-      }
-      if (rc.target != c.edge) {
-        rc.target = c.edge;
-        rc.ready = now_ + options_.reconfig_delay;
-        ready = false;
-      } else if (now_ < rc.ready) {
-        ready = false;
-      }
-      if (ready) {
-        indices[write++] = index;
-      } else {
-        chosen_round_[index] = 0;
-      }
-    }
-    indices.resize(write);
-  }
+  if (probe_) probe_->gauge(Gauge::SelectedPerRound, selected.size());
 
   if (auditor_) auditor_->on_round(*this, candidates_, selected);
 
@@ -469,6 +507,8 @@ std::size_t Engine::schedule_round(bool record) {
   // is updated in place on both the packet state and its candidate entry.
   std::vector<std::size_t>& finished_slots = finished_scratch_;
   finished_slots.clear();
+  Probe::Span service_span(probe_, Phase::Service);
+  if (probe_) probe_->count(Counter::ChunksTransmitted, selected.size());
   for (std::size_t index : selected) {
     Candidate& c = candidates_[index];
     auto& remaining = remaining_[slot(c.packet)];
@@ -537,6 +577,9 @@ std::size_t Engine::schedule_round(bool record) {
                        queue_pos_receiver_, c.packet);
       retire_packet(c.packet);
     }
+    // Compaction is a MergeCompact child of the surrounding Service span:
+    // self-time accounting keeps the two phases disjoint.
+    Probe::Span compact_span(probe_, Phase::MergeCompact);
     std::size_t write = finished_slots.front();
     std::size_t next_finished = 0;
     for (std::size_t read = write; read < candidates_.size(); ++read) {
@@ -588,6 +631,7 @@ RunResult Engine::run() {
     dispatch_arrivals();
     finish_step();
   }
+  if (probe_) result_.probe = probe_->report();
   return std::move(result_);
 }
 

@@ -73,6 +73,7 @@
 #include "sim/impact_index.hpp"
 #include "sim/observer.hpp"
 #include "sim/policy.hpp"
+#include "sim/probe.hpp"
 
 namespace rdcn {
 
@@ -109,6 +110,13 @@ struct EngineOptions {
   /// Works in both modes; costs a constant factor, so it is off by default
   /// and turned on by tests, golden replays and the fuzz driver.
   bool audit = false;
+  /// Observability (sim/probe.hpp): phase profiler + counter/gauge
+  /// registry over the scheduling round, optional raw-span ring for Chrome
+  /// trace export. Purely observational -- schedules are bit-for-bit
+  /// identical either way -- and allocation-free at steady state when on.
+  /// Both modes. (Last member so designated initializers of the options
+  /// above stay valid.)
+  ProbeConfig probe{};
 };
 
 /// Per-packet outcome of a run.
@@ -184,6 +192,7 @@ struct RunResult {
   Time makespan = 0;           ///< last completion time
   Time steps_simulated = 0;
   std::vector<StepRecord> trace;  ///< nonempty iff record_trace
+  ProbeReport probe;  ///< filled (enabled = true) iff EngineOptions::probe
 };
 
 class Engine {
@@ -291,6 +300,12 @@ class Engine {
   /// edge_load, pair grouping). Never enables the weight structures.
   const ImpactIndex& impact_index() const noexcept { return impact_index_; }
 
+  /// The observability probe; null unless EngineOptions::probe.enabled.
+  /// Streaming drivers read it live (telemetry windows diff its report);
+  /// batch mode also copies the final report into RunResult::probe.
+  const Probe* probe() const noexcept { return probe_; }
+  Probe* probe() noexcept { return probe_; }
+
   /// O(log n) |H_p(e)| / w(L_p(e)) split at `threshold` = w_p/d(e) -- the
   /// hot path behind impact_of. Enables (or rebuilds after decay) the
   /// index's weight structures on first use; `mutable` for the same reason
@@ -356,6 +371,10 @@ class Engine {
   EngineOptions options_;
   RetireSink sink_;  ///< set iff streaming mode
   std::unique_ptr<EngineObserver> auditor_;  ///< set iff options_.audit
+  std::unique_ptr<Probe> probe_store_;  ///< set iff options_.probe.enabled
+  /// Raw mirror of probe_store_: the hot-path sites branch on one pointer;
+  /// const views (impact_split) still time themselves through it.
+  Probe* probe_ = nullptr;
 
   /// Reconfiguration-delay state: what each endpoint is tuned (or tuning)
   /// to, and when it becomes usable. Only consulted when reconfig_delay > 0.

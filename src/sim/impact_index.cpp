@@ -289,6 +289,7 @@ void ImpactIndex::rebuild(const std::vector<Candidate>& merged,
                           const std::vector<Candidate>& staged) {
   decay();
   weight_ready_ = true;
+  ++rebuilds_;
   for (const std::vector<Candidate>* list : {&merged, &staged}) {
     for (const Candidate& c : *list) {
       if (c.remaining <= 0) continue;

@@ -241,6 +241,9 @@ class ImpactIndex {
   /// Test hooks.
   std::size_t deferred_events() const noexcept { return events_.size(); }
   std::size_t live_weight_nodes() const noexcept { return store_.live_nodes(); }
+  /// Times rebuild() ran (lazy enables + post-decay rebuilds) -- surfaced
+  /// as the probe's index_rebuilds counter.
+  std::uint64_t rebuilds() const noexcept { return rebuilds_; }
 
  private:
   struct Event {
@@ -266,6 +269,7 @@ class ImpactIndex {
   std::vector<std::int32_t> t_root_, r_root_, p_root_;
   std::vector<Event> events_;  ///< deferred while weight_ready_; capacity-bounded
   bool weight_ready_ = false;
+  std::uint64_t rebuilds_ = 0;
 };
 
 }  // namespace rdcn

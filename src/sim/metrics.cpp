@@ -141,8 +141,25 @@ StreamTelemetry::StreamTelemetry(Time window_steps) : window_steps_(window_steps
   if (window_steps < 1) throw std::invalid_argument("window_steps must be >= 1");
 }
 
+void StreamTelemetry::flush_window() {
+  current_.mean_backlog = backlog_sum_ / static_cast<double>(current_.steps);
+  if (probe_ != nullptr) {
+    // The probe's phase times are cumulative; each window keeps the delta
+    // against the previous flush.
+    for (std::size_t i = 0; i < kNumPhases; ++i) {
+      const std::uint64_t total = probe_->phase_self_ns(static_cast<Phase>(i));
+      current_.phase_ns[i] = total - phase_snapshot_[i];
+      phase_snapshot_[i] = total;
+    }
+  }
+  windows_.push_back(current_);
+  current_ = StreamWindow{};
+  backlog_sum_ = 0.0;
+}
+
 void StreamTelemetry::on_step(Time now, std::uint64_t arrivals, std::uint64_t served,
-                              std::size_t in_flight) {
+                              std::size_t in_flight, const Probe* probe) {
+  if (probe != nullptr) probe_ = probe;
   if (current_.steps == 0) current_.start = now;
   ++current_.steps;
   current_.arrivals += arrivals;
@@ -150,21 +167,11 @@ void StreamTelemetry::on_step(Time now, std::uint64_t arrivals, std::uint64_t se
   backlog_sum_ += static_cast<double>(in_flight);
   current_.peak_backlog = std::max(current_.peak_backlog,
                                    static_cast<std::uint64_t>(in_flight));
-  if (current_.steps >= window_steps_) {
-    current_.mean_backlog = backlog_sum_ / static_cast<double>(current_.steps);
-    windows_.push_back(current_);
-    current_ = StreamWindow{};
-    backlog_sum_ = 0.0;
-  }
+  if (current_.steps >= window_steps_) flush_window();
 }
 
 const std::vector<StreamWindow>& StreamTelemetry::finish() {
-  if (current_.steps > 0) {
-    current_.mean_backlog = backlog_sum_ / static_cast<double>(current_.steps);
-    windows_.push_back(current_);
-    current_ = StreamWindow{};
-    backlog_sum_ = 0.0;
-  }
+  if (current_.steps > 0) flush_window();
   return windows_;
 }
 

@@ -4,8 +4,11 @@
 // (used to cross-check the engine's incremental accounting), and summarize
 // schedules for the benchmark tables.
 
+#include <array>
+
 #include "net/instance.hpp"
 #include "sim/engine.hpp"
+#include "sim/probe.hpp"
 
 namespace rdcn {
 
@@ -56,6 +59,10 @@ struct StreamWindow {
   std::uint64_t served = 0;   ///< packets retired during the window
   double mean_backlog = 0.0;  ///< mean in-flight packets over the steps
   std::uint64_t peak_backlog = 0;
+  /// Per-phase self time spent during this window's steps (Phase order;
+  /// all-zero unless the engine runs with a probe and the driver passes it
+  /// to on_step) -- latency-vs-load curves ship with a time breakdown.
+  std::array<std::uint64_t, kNumPhases> phase_ns{};
 };
 
 /// Folds per-step observations of a streamed run into fixed-length
@@ -66,8 +73,11 @@ class StreamTelemetry {
  public:
   explicit StreamTelemetry(Time window_steps);
 
+  /// `probe`, when non-null, attributes the engine's per-phase time to
+  /// windows: each flushed window stores the delta of the probe's
+  /// cumulative phase_self_ns against the previous flush.
   void on_step(Time now, std::uint64_t arrivals, std::uint64_t served,
-               std::size_t in_flight);
+               std::size_t in_flight, const Probe* probe = nullptr);
   /// Flushes the open partial window (idempotent) and returns the series.
   const std::vector<StreamWindow>& finish();
 
@@ -75,9 +85,13 @@ class StreamTelemetry {
   Time window_steps() const noexcept { return window_steps_; }
 
  private:
+  void flush_window();
+
   Time window_steps_;
   StreamWindow current_{};
   double backlog_sum_ = 0.0;
+  const Probe* probe_ = nullptr;  ///< last probe seen by on_step
+  std::array<std::uint64_t, kNumPhases> phase_snapshot_{};
   std::vector<StreamWindow> windows_;
 };
 

@@ -1,0 +1,51 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rdcn::trace {
+
+namespace {
+
+/// Microseconds with nanosecond resolution preserved: the trace format's
+/// "ts"/"dur" are (fractional) microseconds.
+double to_us(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+}  // namespace
+
+json::Value chrome_trace(std::vector<TraceEvent> events, json::Object other_data) {
+  // Spans complete child-before-parent (RAII), so the ring arrives in end
+  // order; viewers want start order, longest (outermost) first on ties.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                     return a.dur_ns > b.dur_ns;
+                   });
+  json::Array trace_events;
+  trace_events.reserve(events.size());
+  for (const TraceEvent& event : events) {
+    json::Object entry;
+    entry.emplace_back("name", json::Value(std::string(event.name)));
+    entry.emplace_back("cat", json::Value("round"));
+    entry.emplace_back("ph", json::Value("X"));
+    entry.emplace_back("ts", json::Value(to_us(event.start_ns)));
+    entry.emplace_back("dur", json::Value(to_us(event.dur_ns)));
+    entry.emplace_back("pid", json::Value(std::int64_t{1}));
+    entry.emplace_back("tid", json::Value(std::int64_t{1}));
+    trace_events.emplace_back(std::move(entry));
+  }
+  json::Object document;
+  document.emplace_back("displayTimeUnit", json::Value("ms"));
+  document.emplace_back("traceEvents", json::Value(std::move(trace_events)));
+  if (!other_data.empty()) {
+    document.emplace_back("otherData", json::Value(std::move(other_data)));
+  }
+  return json::Value(std::move(document));
+}
+
+std::string chrome_trace_json(std::vector<TraceEvent> events, json::Object other_data,
+                              int indent) {
+  return json::dump(chrome_trace(std::move(events), std::move(other_data)), indent);
+}
+
+}  // namespace rdcn::trace

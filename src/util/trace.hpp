@@ -1,0 +1,40 @@
+#pragma once
+
+// Chrome trace-event export: turns a flat list of completed spans into the
+// catapult/Perfetto JSON trace format (load via ui.perfetto.dev or
+// chrome://tracing). Only the "complete event" subset ("ph":"X") is
+// emitted -- one object per span with microsecond start/duration -- which
+// every viewer nests by containment, so a single-threaded producer (the
+// engine probe) needs no begin/end pairing. The document is built on
+// util/json's DOM and serialized by its strict writer, so the output
+// round-trips through json::parse by construction.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace rdcn::trace {
+
+/// One completed span. `name` must point at static storage (the probe's
+/// phase names): events sit in a pre-sized ring that must not own strings.
+struct TraceEvent {
+  const char* name = "";
+  std::uint64_t start_ns = 0;  ///< relative to the producer's epoch
+  std::uint64_t dur_ns = 0;
+  std::uint32_t depth = 0;  ///< nesting depth when the span opened (0 = top)
+};
+
+/// Builds the trace document: {"displayTimeUnit":"ms","traceEvents":[...],
+/// "otherData":{...}}. Events are sorted by (start, -duration) so parents
+/// precede their children and timestamps are monotone regardless of the
+/// ring's completion order. `other_data` lands verbatim under "otherData"
+/// (the probe puts its counter/gauge registry there).
+json::Value chrome_trace(std::vector<TraceEvent> events, json::Object other_data = {});
+
+/// chrome_trace + json::dump in one call.
+std::string chrome_trace_json(std::vector<TraceEvent> events,
+                              json::Object other_data = {}, int indent = 0);
+
+}  // namespace rdcn::trace

@@ -168,6 +168,37 @@ TEST(EngineRegression, AllRegistryPoliciesMatchScheduleGoldensBatch) {
   }
 }
 
+TEST(EngineRegression, ProbeEnabledRunsReproduceScheduleGoldens) {
+  // ISSUE 7: the observability probe only observes -- enabling it (with an
+  // event ring small enough to wrap) must reproduce every policy's golden
+  // schedule hash bit-for-bit, while the report itself comes back coherent.
+  std::map<std::uint64_t, Instance> instances;
+  for (const PolicyGolden& golden : kPolicyGoldens) {
+    auto it = instances.find(golden.seed);
+    if (it == instances.end()) {
+      it = instances.emplace(golden.seed, testing::make_varied_instance(golden.seed)).first;
+    }
+    const PolicyFactory policy = named_policy(golden.policy);
+    auto dispatcher = policy.dispatcher();
+    auto scheduler = policy.scheduler(it->second.topology());
+    EngineOptions options;
+    options.audit = true;
+    options.probe.enabled = true;
+    options.probe.event_capacity = 64;
+    const RunResult run = simulate(it->second, *dispatcher, *scheduler, options);
+    EXPECT_EQ(schedule_hash(run.outcomes), golden.hash)
+        << golden.policy << " seed " << golden.seed << ": probe perturbed the schedule";
+    EXPECT_EQ(run.makespan, golden.makespan) << golden.policy << " seed " << golden.seed;
+    EXPECT_NEAR(run.total_cost, golden.total_cost, 1e-9 * (1.0 + golden.total_cost))
+        << golden.policy << " seed " << golden.seed;
+    ASSERT_TRUE(run.probe.enabled) << golden.policy;
+    const auto packets = static_cast<std::uint64_t>(it->second.num_packets());
+    EXPECT_EQ(run.probe.counters[static_cast<std::size_t>(Counter::PacketsRetired)],
+              packets)
+        << golden.policy << " seed " << golden.seed;
+  }
+}
+
 TEST(EngineRegression, AllRegistryPoliciesMatchScheduleGoldensStreamed) {
   // The same schedules must come out of the streaming engine mode fed the
   // recorded arrival sequence (audited): retired outcomes, reassembled in

@@ -121,6 +121,28 @@ TEST(HotPathAllocations, RegistrySchedulersDrainWithoutAllocating) {
   }
 }
 
+TEST(HotPathAllocations, ProbeOnDrainRemainsAllocationFree) {
+  // ISSUE 7: the observability layer's per-round work is fixed-slot
+  // counters, a fixed-depth span stack, and a pre-sized ring with
+  // drop-oldest overwrite -- enabling it must not change the zero-heap
+  // contract. Capacity 64 forces ring wraparound inside the measured
+  // window, so the drop-oldest path itself is pinned allocation-free too.
+  const Topology topology = hotpath_topology(3);
+  const PolicyFactory policy = named_policy("alg");
+  for (const std::size_t capacity : {std::size_t{0}, std::size_t{64}}) {
+    auto dispatcher = policy.dispatcher();
+    auto scheduler = policy.scheduler(topology);
+    EngineOptions options;
+    options.probe.enabled = true;
+    options.probe.event_capacity = capacity;
+    const auto [steps, allocations] =
+        measure_drain_allocations(*dispatcher, *scheduler, topology, 3, options);
+    EXPECT_GT(steps, 5);
+    EXPECT_EQ(allocations, 0u)
+        << "probe-on drain hit the heap (ring capacity " << capacity << ")";
+  }
+}
+
 TEST(HotPathAllocations, BMatchingExtensionDrainsWithoutAllocating) {
   // endpoint_capacity > 1 exercises StableMatchingScheduler's stamped
   // in-place capacitated greedy (the b-matching extension path).

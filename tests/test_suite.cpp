@@ -143,6 +143,28 @@ TEST(SuiteParse, StreamSuiteFullGrid) {
   EXPECT_EQ(grid[3].name, "zoo-stream/exp/oo/fast");
 }
 
+TEST(SuiteParse, ProfileKeyEnablesTheEngineProbe) {
+  // ISSUE 7: the "profile" engine key switches on the probe (aggregates
+  // only; the event ring stays with rdcn_cli profile) and survives the
+  // normalize -> reparse round trip like every other engine key.
+  const SuiteSpec suite = parse_suite(R"({
+    "suite": "probed",
+    "policies": ["alg"],
+    "engines": [{"profile": true}],
+    "topologies": [{"kind": "crossbar", "ports": 4}],
+    "workloads": [{"packets": 10, "rate": 2.0}]
+  })");
+  ASSERT_EQ(suite.engines.size(), 1u);
+  EXPECT_TRUE(suite.engines[0].options.probe.enabled);
+  EXPECT_EQ(suite.engines[0].label, "s1c1r0-profile");
+  const std::string normalized = suite_to_json(suite);
+  EXPECT_NE(normalized.find("\"profile\": true"), std::string::npos) << normalized;
+  const SuiteSpec reparsed = parse_suite(normalized);
+  ASSERT_EQ(reparsed.engines.size(), 1u);
+  EXPECT_TRUE(reparsed.engines[0].options.probe.enabled);
+  EXPECT_EQ(suite_to_json(reparsed), normalized);
+}
+
 TEST(SuiteParse, GoldenRoundTripIsAFixpoint) {
   for (const char* text : {kMinimalBatch, kZooStream}) {
     const SuiteSpec suite = parse_suite(text);

@@ -43,6 +43,14 @@ echo "== smoke perf diff =="
 "$build/bench/bench_suite" > "$build/suite_current.json"
 "$build/perf_diff" "$repo/BENCH_suite.json" "$build/suite_current.json" \
     --threshold 0.5 --warn-only
+# Per-phase rows (probe-on drains) diff warn-only against their own
+# baseline: phase self-times are noisier than end-to-end medians, so they
+# report rather than gate -- but the keys must still match, and the --json
+# report must come out as strict JSON (perf_diff re-parses before writing).
+"$build/bench/bench_hotpath" --quick --phases --json > "$build/hotpath_phases_current.json"
+"$build/perf_diff" "$repo/BENCH_hotpath_phases.json" "$build/hotpath_phases_current.json" \
+    --threshold 0.5 --warn-only --json "$build/hotpath_phases_diff.json"
+test -s "$build/hotpath_phases_diff.json"
 # Duplicate (bench, name, params) keys are an emitter bug; perf_diff must
 # refuse to match them (negative smoke: exit 2, not silent last-write-wins).
 head -n 1 "$build/hotpath_current.json" > "$build/dup_rows.json"
@@ -63,6 +71,11 @@ echo "== smoke cli =="
 "$build/rdcn_cli" record "$build/smoke_trace.inst" --packets 500 --rho 0.6 --seed 3 >/dev/null
 "$build/rdcn_cli" stream --trace "$build/smoke_trace.inst" --warmup 0 --packets 500 >/dev/null
 "$build/rdcn_cli" stream --rho 0.6 --warmup 200 --packets 2000 --seed 3 >/dev/null
+# Profile subcommand: per-phase table plus a Chrome trace; the command
+# itself strict-parses the written trace (nonzero exit on invalid JSON).
+"$build/rdcn_cli" profile --racks 16 --packets 500 \
+    --out "$build/profile_trace.json" >/dev/null
+test -s "$build/profile_trace.json"
 
 echo "== smoke suites =="
 "$build/rdcn_cli" suite "$repo/examples/suites/paper_baseline.json" >/dev/null

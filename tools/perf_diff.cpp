@@ -8,6 +8,7 @@
 // BENCH_*.json files and raw bench output diff cleanly.
 //
 //   perf_diff BASELINE CURRENT [--threshold F] [--metrics a,b] [--warn-only]
+//             [--json PATH]
 //
 //   --threshold F   relative regression gate on the gated metrics
 //                   (default 0.25 = +25%); exceeding it fails the run
@@ -16,6 +17,13 @@
 //                   containing "ns_per" -- the time-like, higher-is-worse
 //                   ones; other shared numeric metrics are reported only)
 //   --warn-only     report regressions but exit 0 (noisy CI runners)
+//   --json PATH     additionally write the per-row deltas as one strict
+//                   JSON document (rows/missing/new/summary; re-parsed
+//                   before writing so downstream tooling can rely on it)
+//
+// Lines carrying a "meta" key (BenchReport's run-metadata header) are
+// skipped: build identity and timestamps must never participate in row
+// matching.
 //
 // Duplicate (bench, name, params) keys within one input are an emitter
 // bug (two rows would silently shadow each other in the match map), so
@@ -84,6 +92,7 @@ std::vector<Row> load_rows(const std::string& path) {
                                error.what());
     }
     if (!object.is_object()) continue;
+    if (object.find("meta") != nullptr) continue;  // run-metadata header line
     Row row;
     row.key = row_key(object);
     for (const auto& [name, value] : object.as_object()) {
@@ -120,14 +129,28 @@ bool gated_by_default(const std::string& metric) {
 int usage() {
   std::fprintf(stderr,
                "usage: perf_diff BASELINE CURRENT [--threshold F] [--metrics a,b] "
-               "[--warn-only]\n");
+               "[--warn-only] [--json PATH]\n");
   return 2;
 }
+
+struct MetricDelta {
+  std::string metric;
+  double baseline = 0.0;
+  double current = 0.0;
+  double delta = 0.0;  ///< relative: (current - baseline) / |baseline|
+  bool gated = false;
+  bool regressed = false;
+};
+
+struct RowDiff {
+  std::string key;
+  std::vector<MetricDelta> metrics;
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string baseline_path, current_path;
+  std::string baseline_path, current_path, json_path;
   double threshold = 0.25;
   bool warn_only = false;
   std::vector<std::string> gate_metrics;
@@ -149,6 +172,9 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--warn-only") {
       warn_only = true;
+    } else if (arg == "--json") {
+      if (++i >= argc) return usage();
+      json_path = argv[i];
     } else if (baseline_path.empty()) {
       baseline_path = arg;
     } else if (current_path.empty()) {
@@ -182,13 +208,18 @@ int main(int argc, char** argv) {
   };
 
   std::size_t matched = 0, regressions = 0, missing = 0;
+  std::vector<RowDiff> diffs;
+  std::vector<std::string> new_keys;
   for (const Row& row : current) {
     const auto it = baseline_by_key.find(row.key);
     if (it == baseline_by_key.end()) {
       std::printf("NEW       %s\n", row.key.c_str());
+      new_keys.push_back(row.key);
       continue;
     }
     ++matched;
+    RowDiff diff;
+    diff.key = row.key;
     for (const auto& [metric, value] : row.metrics) {
       const auto base = std::find_if(
           it->second->metrics.begin(), it->second->metrics.end(),
@@ -197,22 +228,81 @@ int main(int argc, char** argv) {
       const double reference = base->second;
       const double delta =
           reference != 0.0 ? (value - reference) / std::abs(reference) : 0.0;
-      const bool regressed = gated(metric) && delta > threshold;
+      const bool is_gated = gated(metric);
+      const bool regressed = is_gated && delta > threshold;
       if (regressed) ++regressions;
       std::printf("%-9s %s :: %s  %.6g -> %.6g  (%+.1f%%)\n",
-                  regressed ? "REGRESSED" : (gated(metric) ? "ok" : "info"),
+                  regressed ? "REGRESSED" : (is_gated ? "ok" : "info"),
                   row.key.c_str(), metric.c_str(), reference, value, delta * 100.0);
+      diff.metrics.push_back(
+          MetricDelta{metric, reference, value, delta, is_gated, regressed});
     }
+    diffs.push_back(std::move(diff));
     baseline_by_key.erase(it);
   }
+  std::vector<std::string> missing_keys;
   for (const auto& [key, row] : baseline_by_key) {
     std::printf("MISSING   %s\n", key.c_str());
+    missing_keys.push_back(key);
     ++missing;
   }
   std::printf("perf_diff: %zu matched, %zu regressions (threshold +%.0f%%), "
               "%zu missing, %zu new\n",
               matched, regressions, threshold * 100.0, missing,
               current.size() - matched);
+
+  if (!json_path.empty()) {
+    namespace json = rdcn::json;
+    json::Array row_values;
+    for (const RowDiff& diff : diffs) {
+      json::Array metric_values;
+      for (const MetricDelta& m : diff.metrics) {
+        json::Object entry;
+        entry.emplace_back("metric", m.metric);
+        entry.emplace_back("baseline", m.baseline);
+        entry.emplace_back("current", m.current);
+        entry.emplace_back("delta", m.delta);
+        entry.emplace_back("gated", m.gated);
+        entry.emplace_back("regressed", m.regressed);
+        metric_values.emplace_back(std::move(entry));
+      }
+      json::Object row_object;
+      row_object.emplace_back("key", diff.key);
+      row_object.emplace_back("metrics", std::move(metric_values));
+      row_values.emplace_back(std::move(row_object));
+    }
+    const auto key_array = [](const std::vector<std::string>& keys) {
+      json::Array out;
+      for (const std::string& key : keys) out.emplace_back(key);
+      return out;
+    };
+    json::Object summary;
+    summary.emplace_back("matched", static_cast<std::int64_t>(matched));
+    summary.emplace_back("regressions", static_cast<std::int64_t>(regressions));
+    summary.emplace_back("missing", static_cast<std::int64_t>(missing));
+    summary.emplace_back("new", static_cast<std::int64_t>(new_keys.size()));
+    json::Object document;
+    document.emplace_back("baseline", baseline_path);
+    document.emplace_back("current", current_path);
+    document.emplace_back("threshold", threshold);
+    document.emplace_back("rows", std::move(row_values));
+    document.emplace_back("missing", key_array(missing_keys));
+    document.emplace_back("new", key_array(new_keys));
+    document.emplace_back("summary", std::move(summary));
+    const std::string text = json::dump(json::Value(std::move(document)), 1);
+    try {
+      json::parse(text);  // self-check: the emitted document must be strict JSON
+    } catch (const json::ParseError& error) {
+      std::fprintf(stderr, "perf_diff: emitted invalid JSON: %s\n", error.what());
+      return 2;
+    }
+    std::ofstream out(json_path);
+    out << text << '\n';
+    if (!out) {
+      std::fprintf(stderr, "perf_diff: cannot write '%s'\n", json_path.c_str());
+      return 2;
+    }
+  }
   if (matched == 0) {
     // A gate that matches nothing gates nothing -- if row keys drift (a
     // renamed param, a broken emitter) that must fail loudly, even under

@@ -39,15 +39,26 @@
 //       through the BatchRunner and prints one BenchReport JSON line per
 //       cell. --list prints the expanded cells without running. Parse
 //       errors name the offending JSON path and exit nonzero.
+//   profile [--policy <name>] [--racks N] [--packets N] [--seed S]
+//           [--reps N] [--events N] [--out trace.json]
+//       Runs the engine probe (sim/probe.hpp) over a BM_AlgEndToEnd-shaped
+//       batch run (bench/bench_scalability.cpp's generation, default
+//       64 racks / 2000 packets / seed 5), prints the per-phase time
+//       breakdown and the counter/gauge registry, and writes the raw span
+//       ring as Chrome trace-event JSON (load at ui.perfetto.dev or
+//       chrome://tracing). The written trace is re-read through the strict
+//       parser and sanity-checked; any violation exits nonzero.
 //
 // Instance files use the rdcn-instance v1 text format (Instance::save).
 // All execution routes through the run/ subsystem (the same ScenarioRunner
 // and StreamRunner the benches use).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 
@@ -58,6 +69,7 @@
 #include "run/suite.hpp"
 #include "sim/gantt.hpp"
 #include "sim/metrics.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -67,10 +79,10 @@ using namespace rdcn;
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: rdcn_cli <command> [file] [options]\n"
-               "commands: gen run certify show info policies record stream suite\n"
+               "commands: gen run certify show info policies record stream suite profile\n"
                "  gen/run/certify/show/info/record take an instance file;\n"
                "  suite takes a suite JSON file (see examples/suites/);\n"
-               "  stream and policies take options only.\n"
+               "  stream, policies and profile take options only.\n"
                "run with no options for defaults; see source header for flags\n");
   std::exit(2);
 }
@@ -412,6 +424,131 @@ int cmd_stream(const Args& args) {
   return 0;
 }
 
+/// Validates a written Chrome trace with the strict parser: the document
+/// must round-trip, carry a non-empty traceEvents array of complete
+/// events, and have monotone (sorted) timestamps. Returns an error
+/// message, empty on success.
+std::string validate_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "cannot re-open " + path;
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  json::Value document;
+  try {
+    document = json::parse(text);
+  } catch (const json::ParseError& error) {
+    return std::string("strict parse failed: ") + error.what();
+  }
+  const json::Value* events = document.find("traceEvents");
+  if (events == nullptr || !events->is_array()) return "missing traceEvents array";
+  if (events->as_array().empty()) return "traceEvents is empty";
+  double last_ts = -1.0;
+  for (const json::Value& event : events->as_array()) {
+    const json::Value* ph = event.find("ph");
+    const json::Value* ts = event.find("ts");
+    const json::Value* dur = event.find("dur");
+    const json::Value* name = event.find("name");
+    if (ph == nullptr || !ph->is_string() || ph->as_string() != "X") {
+      return "event is not a complete event (ph != \"X\")";
+    }
+    if (name == nullptr || !name->is_string()) return "event without a name";
+    if (ts == nullptr || !ts->is_number() || dur == nullptr || !dur->is_number()) {
+      return "event without numeric ts/dur";
+    }
+    if (ts->as_number() < last_ts) return "timestamps are not monotone";
+    last_ts = ts->as_number();
+  }
+  return "";
+}
+
+int cmd_profile(const Args& args) {
+  const PolicyFactory policy = policy_from(args);
+  const auto racks = static_cast<NodeIndex>(args.number("--racks", 64));
+  const auto packets = static_cast<std::size_t>(args.number("--packets", 2000));
+  const auto seed = static_cast<std::uint64_t>(args.number("--seed", 5));
+  const auto reps = std::max<std::size_t>(1, static_cast<std::size_t>(args.number("--reps", 1)));
+  const auto events = static_cast<std::size_t>(args.number("--events", 1 << 16));
+  const std::string out_path = args.value("--out", "profile_trace.json");
+
+  // BM_AlgEndToEnd's exact instance generation (bench/bench_scalability),
+  // so the phase shares speak to the committed BENCH_*.json trajectory.
+  Rng rng(seed);
+  TwoTierConfig net;
+  net.racks = racks;
+  net.lasers_per_rack = 2;
+  net.photodetectors_per_rack = 2;
+  net.density = 0.4;
+  net.max_edge_delay = 2;
+  const Topology topology = build_two_tier(net, rng);
+  WorkloadConfig traffic;
+  traffic.num_packets = packets;
+  traffic.arrival_rate = static_cast<double>(racks) / 2.0;
+  traffic.skew = PairSkew::Zipf;
+  traffic.weights = WeightDist::UniformInt;
+  traffic.seed = seed;
+  const Instance instance = generate_workload(topology, traffic);
+
+  EngineOptions options;
+  options.probe.enabled = true;
+  options.probe.event_capacity = events;
+
+  ProbeReport merged;
+  std::string trace_json;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    auto dispatcher = policy.dispatcher();
+    auto scheduler = policy.scheduler(instance.topology());
+    Engine engine(instance, *dispatcher, *scheduler, options);
+    const RunResult run = engine.run();
+    merge_report(merged, run.probe);
+    // The engine outlives run(): export the last repetition's span ring.
+    if (rep + 1 == reps) trace_json = engine.probe()->chrome_trace_json(1);
+  }
+
+  const double wall_ms = static_cast<double>(merged.wall_ns) / 1e6;
+  const double instr_ms = static_cast<double>(merged.instrumented_ns()) / 1e6;
+  Table phases({"phase", "calls", "self ms", "total ms", "share of wall"});
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    const double self_ms = static_cast<double>(merged.phase_self_ns[i]) / 1e6;
+    const double total_ms = static_cast<double>(merged.phase_total_ns[i]) / 1e6;
+    phases.add_row({to_string(static_cast<Phase>(i)),
+                    Table::fmt(static_cast<std::int64_t>(merged.phase_calls[i])),
+                    Table::fmt(self_ms, 3), Table::fmt(total_ms, 3),
+                    Table::fmt(100.0 * self_ms / wall_ms, 1) + "%"});
+  }
+  phases.add_row({"(instrumented)", "", Table::fmt(instr_ms, 3), "",
+                  Table::fmt(100.0 * instr_ms / wall_ms, 1) + "%"});
+  phases.print("per-phase breakdown: " + policy.name + " " + std::to_string(racks) +
+               " racks x " + std::to_string(packets) + " packets, " +
+               std::to_string(reps) + " rep(s), wall " + Table::fmt(wall_ms, 1) + " ms");
+
+  Table registry({"counter / gauge", "value", "max"});
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    registry.add_row({to_string(static_cast<Counter>(i)),
+                      Table::fmt(static_cast<std::int64_t>(merged.counters[i])), ""});
+  }
+  for (std::size_t i = 0; i < kNumGauges; ++i) {
+    registry.add_row({to_string(static_cast<Gauge>(i)),
+                      Table::fmt(static_cast<std::int64_t>(merged.gauge_last[i])),
+                      Table::fmt(static_cast<std::int64_t>(merged.gauge_max[i]))});
+  }
+  registry.print("counter / gauge registry (gauges: last, max)");
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << trace_json << "\n";
+  out.close();
+  const std::string error = validate_trace_file(out_path);
+  if (!error.empty()) {
+    std::fprintf(stderr, "trace validation FAILED: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("wrote Chrome trace to %s (validated; load at ui.perfetto.dev)\n",
+              out_path.c_str());
+  return 0;
+}
+
 int cmd_suite(const Args& args) {
   SuiteSpec spec;
   try {
@@ -461,6 +598,7 @@ int main(int argc, char** argv) {
     if (args.command == "record") return cmd_record(args);
     if (args.command == "stream") return cmd_stream(args);
     if (args.command == "suite") return cmd_suite(args);
+    if (args.command == "profile") return cmd_profile(args);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
