@@ -20,6 +20,7 @@
 #include "run/batch.hpp"
 #include "run/policies.hpp"
 #include "run/scenario.hpp"
+#include "util/json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -66,24 +67,12 @@ inline Summary sweep_seeds(std::size_t seeds,
 
 // --- machine-readable output ------------------------------------------------
 
-inline std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-
+// Report rendering goes through util/json (see json_lines below); this
+// numeric formatter remains public for benches that print ad-hoc numbers
+// outside a report. NaN / inf have no JSON representation ("nan" breaks
+// every parser); they reach here e.g. through Summary::min()/max() on an
+// empty summary -- util/json's dump() applies the same null mapping.
 inline std::string json_number(double value) {
-  // NaN / inf have no JSON representation ("nan" breaks every parser);
-  // they reach here e.g. through Summary::min()/max() on an empty summary.
   if (!std::isfinite(value)) return "null";
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.10g", value);
@@ -99,15 +88,15 @@ class BenchReport {
   class Row {
    public:
     Row& param(const std::string& key, const std::string& value) {
-      params_.emplace_back(key, "\"" + json_escape(value) + "\"");
+      params_.emplace_back(key, json::Value(value));
       return *this;
     }
     Row& param(const std::string& key, double value) {
-      params_.emplace_back(key, json_number(value));
+      params_.emplace_back(key, json::Value(value));
       return *this;
     }
     Row& param(const std::string& key, std::int64_t value) {
-      params_.emplace_back(key, std::to_string(value));
+      params_.emplace_back(key, json::Value(value));
       return *this;
     }
     /// Extra top-level metric next to total_cost / wall_ms.
@@ -119,7 +108,7 @@ class BenchReport {
    private:
     friend class BenchReport;
     std::string name_;
-    std::vector<std::pair<std::string, std::string>> params_;
+    json::Object params_;  ///< insertion order preserved in the output
     double total_cost_ = 0.0;
     double wall_ms_ = 0.0;
     std::vector<std::pair<std::string, double>> extra_;
@@ -158,34 +147,33 @@ class BenchReport {
   }
 
   /// The report as JSON lines (exposed so tests can parse every line).
+  /// Rendering goes through util/json: one json::Object per row, dumped
+  /// compact, so escaping / non-finite handling / number formatting have
+  /// exactly one implementation in the tree.
   std::vector<std::string> json_lines() const {
     std::vector<std::string> lines;
     lines.reserve(rows_.size() + (has_meta_ ? 1 : 0));
     if (has_meta_) {
-      std::string line = "{\"bench\":\"" + json_escape(bench_) + "\"";
-      line += ",\"meta\":{\"git\":\"" + json_escape(meta_git_) + "\"";
-      line += ",\"build\":\"" + json_escape(meta_build_) + "\"";
-      line += ",\"generated\":\"" + json_escape(meta_timestamp_) + "\"}}";
-      lines.push_back(std::move(line));
+      json::Object meta;
+      meta.emplace_back("git", json::Value(meta_git_));
+      meta.emplace_back("build", json::Value(meta_build_));
+      meta.emplace_back("generated", json::Value(meta_timestamp_));
+      json::Object line;
+      line.emplace_back("bench", json::Value(bench_));
+      line.emplace_back("meta", json::Value(std::move(meta)));
+      lines.push_back(json::dump(json::Value(std::move(line))));
     }
     for (const Row& row : rows_) {
-      std::string line = "{\"bench\":\"" + json_escape(bench_) + "\"";
-      line += ",\"name\":\"" + json_escape(row.name_) + "\"";
-      if (!row.params_.empty()) {
-        line += ",\"params\":{";
-        for (std::size_t i = 0; i < row.params_.size(); ++i) {
-          if (i) line += ",";
-          line += "\"" + json_escape(row.params_[i].first) + "\":" + row.params_[i].second;
-        }
-        line += "}";
-      }
-      line += ",\"total_cost\":" + json_number(row.total_cost_);
-      line += ",\"wall_ms\":" + json_number(row.wall_ms_);
+      json::Object line;
+      line.emplace_back("bench", json::Value(bench_));
+      line.emplace_back("name", json::Value(row.name_));
+      if (!row.params_.empty()) line.emplace_back("params", json::Value(row.params_));
+      line.emplace_back("total_cost", json::Value(row.total_cost_));
+      line.emplace_back("wall_ms", json::Value(row.wall_ms_));
       for (const auto& [key, value] : row.extra_) {
-        line += ",\"" + json_escape(key) + "\":" + json_number(value);
+        line.emplace_back(key, json::Value(value));
       }
-      line += "}";
-      lines.push_back(std::move(line));
+      lines.push_back(json::dump(json::Value(std::move(line))));
     }
     return lines;
   }

@@ -120,6 +120,7 @@ bool Engine::work_left() const {
          !staged_.empty();
 }
 
+// rdcn-lint: hot
 void Engine::append_slot(const Packet& packet) {
   if (packet.id != window_base_ + static_cast<PacketIndex>(state_.size())) {
     throw std::logic_error("packets must be dispatched in sequence-id order");
@@ -140,6 +141,7 @@ void Engine::append_slot(const Packet& packet) {
   if (probe_) probe_->count(Counter::PacketsDispatched);
 }
 
+// rdcn-lint: hot
 void Engine::retire_packet(PacketIndex packet) {
   const std::size_t s = slot(packet);
   if (auditor_) auditor_->on_retire(*this, packet, outcomes_[s]);
@@ -156,6 +158,7 @@ void Engine::retire_packet(PacketIndex packet) {
   compact_window();
 }
 
+// rdcn-lint: hot
 void Engine::compact_window() {
   while (front_retired_ < state_.size() && state_[front_retired_].retired) {
     ++front_retired_;
@@ -177,6 +180,7 @@ void Engine::compact_window() {
   front_retired_ = 0;
 }
 
+// rdcn-lint: hot
 void Engine::apply_route(const Packet& packet, const RouteDecision& route) {
   if (auditor_) auditor_->on_dispatch(*this, packet, route);
   const std::size_t s = slot(packet.id);
@@ -220,8 +224,8 @@ void Engine::apply_route(const Packet& packet, const RouteDecision& route) {
     auto& r_queue = pending_by_receiver_[static_cast<std::size_t>(edge.receiver)];
     queue_pos_transmitter_[s] = static_cast<std::int32_t>(t_queue.size());
     queue_pos_receiver_[s] = static_cast<std::int32_t>(r_queue.size());
-    t_queue.push_back(packet.id);
-    r_queue.push_back(packet.id);
+    t_queue.push_back(packet.id);  // rdcn-lint: allow(hot-alloc) -- pending_by_* seeded in init
+    r_queue.push_back(packet.id);  // rdcn-lint: allow(hot-alloc) -- pending_by_* seeded in init
     impact_index_.add_chunks(edge.transmitter, edge.receiver, route.edge, chunk_weight,
                              remaining);
 
@@ -233,12 +237,13 @@ void Engine::apply_route(const Packet& packet, const RouteDecision& route) {
     candidate.chunk_weight = chunk_weight;
     candidate.arrival = packet.arrival;
     candidate.remaining = remaining;
-    staged_.push_back(candidate);
+    staged_.push_back(candidate);  // rdcn-lint: allow(hot-alloc) -- settles at high-water capacity (see merge)
 
     outcome.chunk_transmit_steps.reserve(static_cast<std::size_t>(edge.delay));
   }
 }
 
+// rdcn-lint: hot
 void Engine::merge_staged_candidates() {
   if (staged_.empty()) return;
   Probe::Span span(probe_, Phase::MergeCompact);
@@ -258,6 +263,7 @@ void Engine::merge_staged_candidates() {
   }
 }
 
+// rdcn-lint: hot
 ImpactSplit Engine::impact_split(EdgeIndex e, double threshold) const {
   // Timed at query granularity (rebuild + deferred-event flush + lookup):
   // per-update spans inside add_chunks would cost more than the O(1)
@@ -268,6 +274,7 @@ ImpactSplit Engine::impact_split(EdgeIndex e, double threshold) const {
   return impact_index_.edge_split(e, threshold);
 }
 
+// rdcn-lint: hot
 const ActiveEndpoints& Engine::active_endpoints(
     const std::vector<Candidate>& candidates) const {
   // Round-stamped cache for the engine's own pending list; a foreign list
@@ -287,19 +294,20 @@ const ActiveEndpoints& Engine::active_endpoints(
     if (t_rank < 0 || static_cast<std::size_t>(t_rank) >= active_.transmitters.size() ||
         active_.transmitters[static_cast<std::size_t>(t_rank)] != c.transmitter) {
       active_.transmitter_rank_[t] = static_cast<std::int32_t>(active_.transmitters.size());
-      active_.transmitters.push_back(c.transmitter);
+      active_.transmitters.push_back(c.transmitter);  // rdcn-lint: allow(hot-alloc) -- grows to high-water endpoint count
     }
     const std::int32_t r_rank = active_.receiver_rank_[r];
     if (r_rank < 0 || static_cast<std::size_t>(r_rank) >= active_.receivers.size() ||
         active_.receivers[static_cast<std::size_t>(r_rank)] != c.receiver) {
       active_.receiver_rank_[r] = static_cast<std::int32_t>(active_.receivers.size());
-      active_.receivers.push_back(c.receiver);
+      active_.receivers.push_back(c.receiver);  // rdcn-lint: allow(hot-alloc) -- grows to high-water endpoint count
     }
   }
   active_serial_ = own ? select_serial_ : 0;
   return active_;
 }
 
+// rdcn-lint: hot
 void Engine::dispatch_arrivals() {
   const auto& packets = instance_->packets();
   if (next_arrival_ >= packets.size() || packets[next_arrival_].arrival != now_) return;
@@ -312,6 +320,7 @@ void Engine::dispatch_arrivals() {
   }
 }
 
+// rdcn-lint: hot
 void Engine::inject(const Packet& packet) {
   if (packet.arrival != now_) {
     throw std::logic_error("inject: packet.arrival must equal the current step");
@@ -321,6 +330,7 @@ void Engine::inject(const Packet& packet) {
   apply_route(packet, dispatcher_->dispatch(*this, packet));
 }
 
+// rdcn-lint: hot
 void Engine::erase_from_queue(std::vector<PacketIndex>& queue,
                               std::vector<std::int32_t>& position, PacketIndex packet) {
   // Swap-remove: every queue consumer (impact_of, JSQ load, membership
@@ -335,6 +345,7 @@ void Engine::erase_from_queue(std::vector<PacketIndex>& queue,
   queue.pop_back();
 }
 
+// rdcn-lint: hot
 void Engine::unlist_pending(PacketIndex packet) {
   const auto& ps = state_[slot(packet)];
   const ReconfigEdge& edge = topology_->edge(ps.route.edge);
@@ -384,10 +395,11 @@ void Engine::redispatch_queued_packets() {
   merge_staged_candidates();
 }
 
+// rdcn-lint: hot
 std::size_t Engine::schedule_round(bool record) {
   merge_staged_candidates();
   if (candidates_.empty()) {
-    if (record) result_.trace.push_back(StepRecord{now_, {}, 0});
+    if (record) result_.trace.push_back(StepRecord{now_, {}, 0});  // rdcn-lint: allow(hot-alloc) -- record mode only
     return 0;
   }
 
@@ -526,7 +538,7 @@ std::size_t Engine::schedule_round(bool record) {
     if (remaining == 0) {
       outcome.completion = completion;
       result_.makespan = std::max(result_.makespan, completion);
-      finished_slots.push_back(index);
+      finished_slots.push_back(index);  // rdcn-lint: allow(hot-alloc) -- ref to finished_scratch_, reserved in init
     }
   }
 
@@ -562,7 +574,7 @@ std::size_t Engine::schedule_round(bool record) {
       step.packets.push_back(rec);
     }
   }
-  if (record) result_.trace.push_back(std::move(step));
+  if (record) result_.trace.push_back(std::move(step));  // rdcn-lint: allow(hot-alloc) -- record mode only
 
   // Drop completed packets: one compaction pass over the candidate tail
   // plus scan-free removal from the per-endpoint queues, then retirement
@@ -594,6 +606,7 @@ std::size_t Engine::schedule_round(bool record) {
   return selected.size();
 }
 
+// rdcn-lint: hot
 void Engine::begin_step(const Time* next_arrival) {
   const Time previous = now_;
   if (candidates_.empty() && staged_.empty() && next_arrival != nullptr &&
@@ -609,6 +622,7 @@ void Engine::begin_step(const Time* next_arrival) {
   if (auditor_) auditor_->on_step_begin(*this, previous);
 }
 
+// rdcn-lint: hot
 void Engine::finish_step() {
   if (options_.redispatch_queued) redispatch_queued_packets();
   for (int round = 0; round < options_.speedup_rounds; ++round) {

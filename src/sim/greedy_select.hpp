@@ -11,6 +11,8 @@
 // candidate passes the extra remap pass costs more than compact bitsets
 // save; the remap pays off for matrix-shaped state -- MaxWeight, iSLIP.)
 
+// rdcn-lint: hot-file
+
 #include <cstdint>
 #include <vector>
 

@@ -32,7 +32,14 @@ using Object = std::vector<Member>;  ///< file order preserved
 
 class Value {
  public:
+  // The enumerators intentionally mirror the json::Array / json::Object
+  // alias names; being enum-class-scoped they can never be confused with
+  // the aliases, so the shadow warning is suppressed rather than the
+  // names mangled.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wshadow"
   enum class Type { Null, Bool, Number, String, Array, Object };
+#pragma GCC diagnostic pop
 
   Value() = default;  ///< null
   Value(bool value) : type_(Type::Bool), bool_(value) {}

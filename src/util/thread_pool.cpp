@@ -10,8 +10,20 @@ ThreadPool::ThreadPool(std::size_t threads) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   workers_.reserve(threads);
-  for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+  try {
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // A partially-constructed pool must still join the workers it did
+    // spawn: destroying a joinable std::thread is std::terminate.
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    task_ready_.notify_all();
+    for (auto& worker : workers_) worker.join();
+    throw;
   }
 }
 
@@ -21,6 +33,9 @@ ThreadPool::~ThreadPool() {
     stopping_ = true;
   }
   task_ready_.notify_all();
+  // Workers finish the task they are running and exit; the queue is torn
+  // down only after every worker has been joined, so no task is destroyed
+  // while a worker could still be dequeuing it.
   for (auto& worker : workers_) worker.join();
 }
 
@@ -36,6 +51,13 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_failure_) {
+    // Hand the failure to exactly one caller and stay usable afterwards.
+    std::exception_ptr failure;
+    std::swap(failure, first_failure_);
+    lock.unlock();
+    std::rethrow_exception(failure);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -44,14 +66,19 @@ void ThreadPool::worker_loop() {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
+      // Stop takes precedence over draining: queued-but-unstarted tasks
+      // are discarded at destruction (their closures may be invalid on
+      // exception paths), and the destructor joins us promptly.
+      if (stopping_) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_failure_) first_failure_ = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;
@@ -65,14 +92,23 @@ void parallel_for(ThreadPool& pool, std::size_t count,
   if (count == 0) return;
   // Chunked dynamic scheduling: workers grab the next index atomically so
   // unevenly sized iterations (different instance sizes) still balance.
+  // A thrown body stops the other workers from starting new iterations;
+  // the pool captures the exception and wait_idle rethrows it here.
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
   const std::size_t workers = std::min(count, pool.thread_count());
   for (std::size_t w = 0; w < workers; ++w) {
-    pool.submit([&next, count, &body] {
+    pool.submit([&next, &failed, count, &body] {
       for (;;) {
+        if (failed.load(std::memory_order_relaxed)) return;
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= count) return;
-        body(i);
+        try {
+          body(i);
+        } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
+          throw;  // captured by the pool, rethrown from wait_idle
+        }
       }
     });
   }

@@ -5,9 +5,19 @@
 // time loop), but experiment sweeps (seeds x epsilons x workloads) are
 // embarrassingly parallel; bench binaries use parallel_for to keep
 // wall-clock reasonable on laptop-class machines.
+//
+// Failure contract (ISSUE 8): tasks may throw. The pool catches every
+// escaping exception in the worker (an exception leaving a thread function
+// is std::terminate), keeps the first one, and rethrows it from the next
+// wait_idle() -- after every other in-flight task has finished, so callers
+// observe all-or-nothing completion. Destruction never executes pending
+// work: queued-but-unstarted tasks are discarded, because on exception
+// paths the closures may reference stack frames that are already being
+// unwound. wait_idle() is the only way to guarantee completion.
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -19,16 +29,25 @@ namespace rdcn {
 class ThreadPool {
  public:
   /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  /// Exception-safe: if a worker fails to spawn, the already-started ones
+  /// are joined before the exception propagates.
   explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins the workers after their current task; tasks still queued are
+  /// discarded, not run (see the failure contract above). A captured task
+  /// exception that was never collected by wait_idle() is dropped.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task; tasks must not throw (std::terminate otherwise).
+  /// Enqueues a task. Tasks may throw: the first escaping exception is
+  /// captured and rethrown by the next wait_idle().
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any of them threw (clearing it, so the pool stays
+  /// usable afterwards).
   void wait_idle();
 
   std::size_t thread_count() const noexcept { return workers_.size(); }
@@ -43,10 +62,13 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::exception_ptr first_failure_;
 };
 
 /// Runs body(i) for i in [0, count) across the pool, blocking until done.
-/// Iterations must be independent; exceptions must not escape the body.
+/// Iterations must be independent. If a body throws, workers stop picking
+/// up new iterations and the first exception propagates to the caller
+/// (which iterations ran beyond the throwing one is unspecified).
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body);
 

@@ -1,0 +1,28 @@
+// Fixture: the sanctioned hot-path patterns -- presize-to-high-water and
+// a justified allow() escape -- must pass hot-alloc with exit 0.
+
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct State {
+  std::vector<int> presized;
+  std::vector<int> high_water;
+};
+
+void init(State& state) {
+  state.presized.reserve(1024);
+}
+
+// rdcn-lint: hot
+void per_round(State& state, int value) {
+  state.presized.push_back(value);  // fine: presized in init()
+  // fine with a justification:
+  state.high_water.push_back(value);  // rdcn-lint: allow(hot-alloc) -- capacity pinned by caller
+}
+
+// Cold code may allocate freely.
+std::unique_ptr<State> make_state() { return std::make_unique<State>(); }
+
+}  // namespace fixture

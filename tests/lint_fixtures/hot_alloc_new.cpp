@@ -1,0 +1,16 @@
+// Fixture: `new` inside a hot-annotated function must trip hot-alloc.
+// Not part of the build -- scanned by rdcn_lint from test_lint.cpp.
+
+#include <cstddef>
+
+namespace fixture {
+
+// rdcn-lint: hot
+int* allocate_per_round(std::size_t n) {
+  return new int[n];  // planted: heap allocation in a hot region
+}
+
+// Outside the hot region: the same expression must NOT be flagged.
+int* allocate_cold(std::size_t n) { return new int[n]; }
+
+}  // namespace fixture

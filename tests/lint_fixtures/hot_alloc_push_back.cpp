@@ -1,0 +1,17 @@
+// Fixture: push_back on a never-presized container inside a hot region
+// must trip hot-alloc. Not part of the build -- scanned by rdcn_lint.
+
+#include <vector>
+
+namespace fixture {
+
+struct State {
+  std::vector<int> grows_unbounded;
+};
+
+// rdcn-lint: hot
+void per_round(State& state, int value) {
+  state.grows_unbounded.push_back(value);  // planted: no presize in file
+}
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: includes that bypass the src/-rooted public include path must
+// trip include-hygiene. Not part of the build -- scanned by rdcn_lint
+// (which never preprocesses, so these paths need not resolve).
+
+#include "src/sim/probe.hpp"     // planted: src/ prefix
+#include "../util/json.hpp"      // planted: relative escape
+#include "util/thread_pool.hpp"  // public path: must NOT be flagged
+
+namespace fixture {}

@@ -1,0 +1,18 @@
+// Fixture: hand-rolled JSON concatenation outside src/util/json must trip
+// json-concat. Not part of the build -- scanned by rdcn_lint.
+
+#include <string>
+
+namespace fixture {
+
+std::string render(double cost) {
+  // planted: JSON scaffolding glued together by hand
+  return std::string("{\"cost\":") + std::to_string(cost) + "}";
+}
+
+std::string fine_error_message(const std::string& mode) {
+  // An ordinary quoted word in an error message must NOT be flagged.
+  return "unknown mode \"" + mode + "\"; expected batch or stream";
+}
+
+}  // namespace fixture

@@ -1,0 +1,272 @@
+// Concurrency stress tests (ISSUE 8): the ThreadSanitizer workout the
+// sharded parallel engine will have to keep passing. Everything here runs
+// under the ordinary suite too, but the CI tsan job (RDCN_SANITIZE=thread,
+// ctest -L concurrency) is where these earn their keep: they hammer the
+// thread pool's submit/teardown/exception paths under contention, fan
+// BatchRunner / StreamRunner / SuiteRunner grids out over many workers,
+// and cross-check every parallel result against a sequential baseline --
+// both for races TSan flags directly and for the silent kind that only
+// shows up as nondeterministic numbers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "run/batch.hpp"
+#include "run/policies.hpp"
+#include "run/scenario.hpp"
+#include "run/stream.hpp"
+#include "run/suite.hpp"
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rdcn {
+namespace {
+
+ScenarioSpec stress_spec(std::size_t repetitions = 6) {
+  ScenarioSpec spec;
+  spec.name = "concurrency-stress";
+  auto& net = spec.topology.two_tier;
+  net.racks = 4;
+  net.lasers_per_rack = 2;
+  net.photodetectors_per_rack = 2;
+  net.density = 0.8;
+  net.max_edge_delay = 2;
+  spec.workload.num_packets = 40;
+  spec.workload.arrival_rate = 4.0;
+  spec.workload.weights = WeightDist::UniformInt;
+  spec.repetitions = repetitions;
+  // Probe on: every repetition carries a ProbeReport that the aggregation
+  // layer merges, so report plumbing is part of the race surface.
+  spec.engine.probe.enabled = true;
+  return spec;
+}
+
+// ------------------------------------------------------------ ThreadPool --
+
+TEST(ConcurrencyStress, ThreadPoolConcurrentSubmitters) {
+  // submit() racing from many external threads against the workers'
+  // dequeues: the queue, in_flight_ accounting, and both condition
+  // variables all see real contention here.
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  constexpr int kSubmitters = 4;
+  constexpr int kTasksEach = 200;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &sum, s] {
+      for (int t = 0; t < kTasksEach; ++t) {
+        pool.submit([&sum, s, t] {
+          sum.fetch_add(static_cast<std::uint64_t>(s * kTasksEach + t),
+                        std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& submitter : submitters) submitter.join();
+  pool.wait_idle();
+  const std::uint64_t n = kSubmitters * kTasksEach;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ConcurrencyStress, ThreadPoolRepeatedTeardownWhileBusy) {
+  // Construct, load, and destroy pools in a tight loop without wait_idle:
+  // the destructor races stopping_ against workers mid-dequeue. Some tasks
+  // are discarded by contract; the ones that did run must be complete
+  // (no torn increments), and teardown must never hang or terminate.
+  std::atomic<int> ran{0};
+  for (int round = 0; round < 50; ++round) {
+    ThreadPool pool(4);
+    for (int t = 0; t < 32; ++t) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // No wait_idle: the destructor joins current tasks and discards the
+    // rest of the queue.
+  }
+  EXPECT_GE(ran.load(), 0);
+}
+
+TEST(ConcurrencyStress, ThreadPoolExceptionStorm) {
+  // Half the tasks throw; the pool must capture exactly one failure per
+  // wait_idle, finish the other half, and stay reusable round after round.
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> survived{0};
+    for (int t = 0; t < 16; ++t) {
+      if (t % 2 == 0) {
+        pool.submit([] { throw std::runtime_error("storm"); });
+      } else {
+        pool.submit([&survived] { survived.fetch_add(1, std::memory_order_relaxed); });
+      }
+    }
+    EXPECT_THROW(pool.wait_idle(), std::runtime_error) << "round " << round;
+    EXPECT_EQ(survived.load(), 8) << "round " << round;
+    // The failure was collected; the next round starts clean.
+    EXPECT_NO_THROW(pool.wait_idle());
+  }
+}
+
+TEST(ConcurrencyStress, ParallelForManyWaves) {
+  ThreadPool pool(4);
+  std::vector<std::uint32_t> cells(512, 0);
+  for (int wave = 0; wave < 25; ++wave) {
+    parallel_for(pool, cells.size(), [&cells](std::size_t i) { ++cells[i]; });
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    ASSERT_EQ(cells[i], 25u) << "cell " << i;
+  }
+}
+
+// ----------------------------------------------------------- BatchRunner --
+
+TEST(ConcurrencyStress, BatchGridManyThreadsMatchesSequential) {
+  // Six policies x six repetitions across eight workers, probe enabled:
+  // every repetition runs a full engine in its own task and the merged
+  // ProbeReports ride the aggregation. Costs and merged counters must be
+  // bit-identical to the sequential baseline -- scheduling must not leak
+  // into results.
+  const std::vector<PolicyFactory> policies = {
+      named_policy("alg"),      named_policy("maxweight"), named_policy("fifo"),
+      named_policy("impact"),   named_policy("jsq"),       named_policy("random"),
+  };
+  BatchRunner batch(8);
+  batch.add_grid(stress_spec(), policies);
+  const auto parallel = batch.run();
+  ASSERT_EQ(parallel.size(), policies.size());
+
+  const ScenarioRunner runner(stress_spec());
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    const ScenarioResult sequential = runner.run(policies[p]);
+    ASSERT_EQ(parallel[p].repetitions.size(), sequential.repetitions.size());
+    for (std::size_t i = 0; i < sequential.repetitions.size(); ++i) {
+      EXPECT_EQ(parallel[p].repetitions[i].total_cost,
+                sequential.repetitions[i].total_cost)
+          << policies[p].name << " rep " << i;
+      EXPECT_EQ(parallel[p].repetitions[i].makespan, sequential.repetitions[i].makespan)
+          << policies[p].name << " rep " << i;
+    }
+    // Merged probe counters are sums of per-repetition monotone counters,
+    // so they are scheduling-independent too.
+    ASSERT_TRUE(parallel[p].probe.enabled);
+    EXPECT_EQ(parallel[p].probe.counters, sequential.probe.counters)
+        << policies[p].name;
+  }
+}
+
+TEST(ConcurrencyStress, BatchFailureUnderLoadRethrowsAndRecovers) {
+  // One poisoned cell among healthy ones, repeatedly, on a wide pool: the
+  // exception path (capture, all-or-nothing rethrow, queue clear) runs
+  // while sibling repetitions are still executing.
+  ScenarioSpec poison = stress_spec(4);
+  poison.name = "poisoned";
+  poison.make_instance = [](std::uint64_t rep_seed) -> Instance {
+    if (rep_seed == 3) throw std::runtime_error("poisoned repetition");
+    return ScenarioRunner(stress_spec(4)).instance(rep_seed);
+  };
+  BatchRunner batch(8);
+  for (int round = 0; round < 5; ++round) {
+    batch.add(stress_spec(4), named_policy("alg"));
+    batch.add(poison, named_policy("fifo"));
+    batch.add(stress_spec(4), named_policy("maxweight"));
+    EXPECT_THROW(batch.run(), std::runtime_error) << "round " << round;
+    EXPECT_EQ(batch.cells(), 0u);
+  }
+  // After five failure rounds the runner still produces correct results.
+  batch.add(stress_spec(4), named_policy("alg"));
+  const auto results = batch.run();
+  ASSERT_EQ(results.size(), 1u);
+  const ScenarioResult expected = ScenarioRunner(stress_spec(4)).run(named_policy("alg"));
+  EXPECT_DOUBLE_EQ(results.front().cost.mean(), expected.cost.mean());
+}
+
+// ---------------------------------------------------------- StreamRunner --
+
+TEST(ConcurrencyStress, StreamGridManyThreadsMatchesSequential) {
+  StreamSpec spec;
+  spec.name = "stream-stress";
+  auto& net = spec.topology.two_tier;
+  net.racks = 4;
+  net.lasers_per_rack = 2;
+  net.photodetectors_per_rack = 2;
+  net.density = 0.8;
+  net.max_edge_delay = 2;
+  spec.traffic.rho = 0.6;
+  spec.repetitions = 4;
+  spec.warmup_packets = 50;
+  spec.measure_packets = 300;
+  spec.engine.probe.enabled = true;
+
+  const std::vector<PolicyFactory> policies = {named_policy("alg"),
+                                               named_policy("fifo")};
+  BatchRunner batch(8);
+  batch.add_stream_grid(spec, policies);
+  const auto parallel = batch.run_streams();
+  ASSERT_EQ(parallel.size(), policies.size());
+
+  const StreamRunner runner(spec);
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    const StreamResult sequential = runner.run(policies[p]);
+    ASSERT_EQ(parallel[p].repetitions.size(), sequential.repetitions.size());
+    for (std::size_t i = 0; i < sequential.repetitions.size(); ++i) {
+      EXPECT_EQ(parallel[p].repetitions[i].served, sequential.repetitions[i].served);
+      EXPECT_EQ(parallel[p].repetitions[i].total_cost,
+                sequential.repetitions[i].total_cost)
+          << policies[p].name << " rep " << i;
+      EXPECT_EQ(parallel[p].repetitions[i].mean_latency,
+                sequential.repetitions[i].mean_latency)
+          << policies[p].name << " rep " << i;
+    }
+    EXPECT_EQ(parallel[p].probe.counters, sequential.probe.counters);
+  }
+}
+
+// ----------------------------------------------------------- SuiteRunner --
+
+TEST(ConcurrencyStress, SuiteRunnerParallelMatchesSingleThread) {
+  // The whole declarative path at once: JSON parse, grid expansion, the
+  // BatchRunner fan-out, probe merging ("profile": true), and JSON line
+  // rendering. Lines are compared metric by metric (wall-clock and phase
+  // self-times are measurements, not results, so only their presence is
+  // checked).
+  const std::string suite_json = R"({
+    "suite": "concurrency-suite",
+    "mode": "batch",
+    "seeds": {"base": 5, "repetitions": 3},
+    "policies": ["alg", "fifo"],
+    "engines": [{"name": "profiled", "profile": true}],
+    "topologies": [
+      {"name": "pod", "kind": "two_tier", "racks": 4, "lasers": 2,
+       "photodetectors": 2, "density": 0.8, "max_edge_delay": 2},
+      {"name": "xbar", "kind": "crossbar", "ports": 4}
+    ],
+    "workloads": [
+      {"name": "uniform", "packets": 40, "rate": 4.0, "skew": "uniform"},
+      {"name": "zipf", "packets": 40, "rate": 4.0, "skew": "zipf",
+       "zipf_exponent": 1.2}
+    ]
+  })";
+  const SuiteRunner suite(parse_suite(suite_json));
+  const std::vector<std::string> wide = suite.run(8);
+  const std::vector<std::string> narrow = suite.run(1);
+  ASSERT_EQ(wide.size(), narrow.size());
+  ASSERT_EQ(wide.size(), suite.cells());
+  for (std::size_t i = 0; i < wide.size(); ++i) {
+    const json::Value a = json::parse(wide[i]);
+    const json::Value b = json::parse(narrow[i]);
+    for (const auto& [key, value] : a.as_object()) {
+      const json::Value* other = b.find(key);
+      ASSERT_NE(other, nullptr) << "line " << i << " key " << key;
+      if (key == "wall_ms" || key.rfind("phase_", 0) == 0) continue;
+      EXPECT_EQ(json::dump(value), json::dump(*other)) << "line " << i << " key " << key;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rdcn

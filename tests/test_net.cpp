@@ -264,7 +264,9 @@ TEST(Oversubscribed, FixedLayerScaledByOversubscription) {
   // Hybrid layer present: every ordered rack pair is routable.
   for (NodeIndex s = 0; s < 4; ++s) {
     for (NodeIndex d = 0; d < 4; ++d) {
-      if (s != d) EXPECT_TRUE(g.routable(s, d)) << s << "->" << d;
+      if (s != d) {
+        EXPECT_TRUE(g.routable(s, d)) << s << "->" << d;
+      }
     }
   }
 }
@@ -279,7 +281,9 @@ TEST(Oversubscribed, RoutablePatchWithoutFixedLayer) {
   EXPECT_TRUE(g.fixed_links().empty());
   for (NodeIndex s = 0; s < 5; ++s) {
     for (NodeIndex d = 0; d < 5; ++d) {
-      if (s != d) EXPECT_TRUE(g.routable(s, d)) << s << "->" << d;
+      if (s != d) {
+        EXPECT_TRUE(g.routable(s, d)) << s << "->" << d;
+      }
     }
   }
 }
@@ -329,7 +333,9 @@ TEST(Expander, HybridFallbackGuaranteesRoutability) {
   const Topology g = build_expander(config, rng);
   for (NodeIndex s = 0; s < 8; ++s) {
     for (NodeIndex d = 0; d < 8; ++d) {
-      if (s != d) EXPECT_TRUE(g.routable(s, d)) << s << "->" << d;
+      if (s != d) {
+        EXPECT_TRUE(g.routable(s, d)) << s << "->" << d;
+      }
     }
   }
 }

@@ -2,22 +2,70 @@
 # Single entry point for local and CI verification:
 #   configure, build, run the full ctest suite, then one smoke bench.
 #
-#   $ tools/check.sh [build-dir]
+#   $ tools/check.sh [build-dir]        # full build + test + smokes
+#   $ tools/check.sh lint [build-dir]   # pre-PR static pass only:
+#                                       #   rdcn_lint (+ self-tests),
+#                                       #   clang-format / clang-tidy over
+#                                       #   changed files when installed
 #
+# RDCN_WERROR=ON in the environment turns warnings into errors (CI does).
 # Exit code is nonzero if any stage fails.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
+
+configure() {
+  cmake -B "$1" -S "$repo" -DRDCN_WERROR="${RDCN_WERROR:-OFF}" "${@:2}"
+}
+
+if [ "${1:-}" = "lint" ]; then
+  build="${2:-$repo/build}"
+  echo "== lint: rdcn_lint =="
+  configure "$build" >/dev/null
+  cmake --build "$build" -j"$(nproc)" --target rdcn_lint test_lint
+  ctest --test-dir "$build" --output-on-failure -R test_lint
+  "$build/rdcn_lint" --root "$repo"
+  # clang tools are optional locally (the CI lint job always has them);
+  # when present they run over the files this branch touches.
+  changed="$(git -C "$repo" diff --name-only --diff-filter=d origin/main...HEAD \
+               2>/dev/null | grep -E '\.(cpp|hpp)$' | grep -v '^tests/lint_fixtures/' \
+               || true)"
+  if command -v clang-format >/dev/null && [ -n "$changed" ]; then
+    echo "== lint: clang-format (changed files) =="
+    (cd "$repo" && echo "$changed" | xargs clang-format --dry-run -Werror)
+  else
+    echo "== lint: clang-format skipped (not installed or no changed files) =="
+  fi
+  if command -v clang-tidy >/dev/null && [ -n "$changed" ]; then
+    echo "== lint: clang-tidy (changed sources) =="
+    configure "$build" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    sources="$(echo "$changed" | grep -E '^(src|tools|bench)/.*\.cpp$' || true)"
+    if [ -n "$sources" ]; then
+      (cd "$repo" && echo "$sources" | xargs clang-tidy -p "$build" --quiet)
+    fi
+  else
+    echo "== lint: clang-tidy skipped (not installed or no changed files) =="
+  fi
+  echo "check.sh: lint passed"
+  exit 0
+fi
+
 build="${1:-$repo/build}"
 
 echo "== configure =="
-cmake -B "$build" -S "$repo"
+configure "$build"
 
 echo "== build =="
 cmake --build "$build" -j"$(nproc)"
 
 echo "== test =="
 ctest --test-dir "$build" --output-on-failure -j"$(nproc)"
+
+echo "== lint =="
+# Project-specific invariants (hot-alloc, json-concat, probe-registry,
+# include-hygiene); test_lint already validated the tool against its
+# fixtures as part of the suite above.
+"$build/rdcn_lint" --root "$repo"
 
 echo "== smoke bench =="
 if [ -x "$build/bench/bench_scalability" ]; then

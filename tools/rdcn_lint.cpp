@@ -1,0 +1,595 @@
+// rdcn_lint -- project-specific invariant checker (ISSUE 8). Generic
+// tools (clang-tidy, -Wall) cannot know this repo's contracts; this one
+// mechanically enforces the ones PRs 5-7 established by convention, so
+// they are caught at review time instead of by a failing dynamic test
+// three refactors later:
+//
+//   hot-alloc        No unbounded heap-allocation idioms inside regions
+//                    annotated hot (`// rdcn-lint: hot` before a function,
+//                    `// rdcn-lint: hot-file` anywhere in a file): `new`,
+//                    make_unique/make_shared, malloc, and push_back /
+//                    emplace_back on a container that is never presized
+//                    (no <container>.reserve/.resize/.assign anywhere in
+//                    the file). Presize-to-high-water is the sanctioned
+//                    pattern -- the dynamic zero-allocation contract is
+//                    pinned by test_hotpath; this catches violations
+//                    statically, at review time.
+//   json-concat      No hand-rolled JSON string concatenation outside
+//                    src/util/json and src/util/trace: a string literal
+//                    that looks like JSON scaffolding (contains `{"` or
+//                    `":`) on a line that concatenates (`+`, `<<`,
+//                    `.append`). Strict output goes through util/json so
+//                    escaping/NaN/duplicate-key bugs have one home.
+//   probe-registry   Probe span/counter/gauge names are a closed registry
+//                    (src/sim/probe.hpp enums + the to_string tables in
+//                    probe.cpp). Checks the tables are total (one name per
+//                    enumerator, kNum* matches, no duplicates) and that
+//                    every "phase_<name>_ns" string literal in the tree
+//                    refers to a registered phase.
+//   include-hygiene  Project headers are included by their public path
+//                    (the src/-rooted include dir): no "src/..." prefixes
+//                    and no "../" escapes that bypass it.
+//
+// Escape hatch: `// rdcn-lint: allow(<rule>) -- <why>` on the flagged
+// line suppresses that rule there; the justification is part of the
+// convention (an allow without a reason should not survive review).
+//
+//   rdcn_lint [--root DIR] [PATH...]
+//
+// PATHs (files or directories) default to src/ tools/ bench/ under the
+// root; the probe registry is read from <root>/src/sim/probe.{hpp,cpp}.
+// Exit codes: 0 clean, 1 violations, 2 usage or I/O failure.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// One source line after the scanner pass: code with comments removed and
+/// string-literal bodies blanked out, the extracted literal bodies, the
+/// lint directives found in its comments, and the raw text.
+struct ScannedLine {
+  std::string code;
+  std::vector<std::string> strings;  ///< unescaped literal bodies
+  std::vector<std::string> directives;
+  std::string raw;
+};
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Collects the `rdcn-lint: <directive>` marker from a comment chunk. The
+/// tag must open the comment (only whitespace before it), so prose that
+/// merely *mentions* the syntax -- like this tool's own documentation --
+/// is not an annotation.
+void extract_directives(const std::string& comment, std::vector<std::string>& out) {
+  const std::string tag = "rdcn-lint:";
+  const std::size_t at = comment.find_first_not_of(" \t");
+  if (at == std::string::npos || comment.compare(at, tag.size(), tag) != 0) return;
+  std::size_t start = at + tag.size();
+  while (start < comment.size() && comment[start] == ' ') ++start;
+  std::size_t end = start;
+  while (end < comment.size() && (ident_char(comment[end]) || comment[end] == '-' ||
+                                  comment[end] == '(' || comment[end] == ')')) {
+    ++end;
+  }
+  if (end > start) out.push_back(comment.substr(start, end - start));
+}
+
+/// Line-based scanner: strips // and /* */ comments (collecting lint
+/// directives from them), blanks string/char literals out of the code
+/// channel, and collects each string literal's unescaped body. Handles
+/// raw strings R"delim(...)delim" across lines.
+class Scanner {
+ public:
+  std::vector<ScannedLine> scan(const std::vector<std::string>& lines) {
+    std::vector<ScannedLine> out;
+    out.reserve(lines.size());
+    for (const std::string& raw : lines) {
+      ScannedLine scanned;
+      scanned.raw = raw;
+      std::string& code = scanned.code;
+      code.reserve(raw.size());
+      std::size_t i = 0;
+      while (i < raw.size()) {
+        if (in_block_comment_) {
+          const std::size_t end = raw.find("*/", i);
+          const std::size_t stop = end == std::string::npos ? raw.size() : end;
+          comment_buffer_.append(raw, i, stop - i);
+          if (end == std::string::npos) {
+            i = raw.size();
+          } else {
+            extract_directives(comment_buffer_, scanned.directives);
+            comment_buffer_.clear();
+            in_block_comment_ = false;
+            i = end + 2;
+          }
+          continue;
+        }
+        if (in_raw_string_) {
+          const std::string close = ")" + raw_delim_ + "\"";
+          const std::size_t end = raw.find(close, i);
+          if (end == std::string::npos) {
+            current_string_.append(raw, i, raw.size() - i);
+            current_string_ += '\n';
+            i = raw.size();
+          } else {
+            current_string_.append(raw, i, end - i);
+            scanned.strings.push_back(current_string_);
+            current_string_.clear();
+            in_raw_string_ = false;
+            code += "\"\"";  // placeholder so concatenation context survives
+            i = end + close.size();
+          }
+          continue;
+        }
+        const char c = raw[i];
+        if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '/') {
+          extract_directives(raw.substr(i + 2), scanned.directives);
+          break;  // rest of the line is comment
+        }
+        if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '*') {
+          in_block_comment_ = true;
+          comment_buffer_.clear();
+          i += 2;
+          continue;
+        }
+        if (c == 'R' && i + 1 < raw.size() && raw[i + 1] == '"' &&
+            (i == 0 || !ident_char(raw[i - 1]))) {
+          const std::size_t open = raw.find('(', i + 2);
+          if (open != std::string::npos) {
+            raw_delim_ = raw.substr(i + 2, open - (i + 2));
+            in_raw_string_ = true;
+            current_string_.clear();
+            i = open + 1;
+            continue;
+          }
+        }
+        if (c == '"') {
+          std::string body;
+          ++i;
+          while (i < raw.size() && raw[i] != '"') {
+            if (raw[i] == '\\' && i + 1 < raw.size()) {
+              // Keep the escaped character (so \" becomes "), which is
+              // what the json-concat heuristic needs to see.
+              body += raw[i + 1];
+              i += 2;
+            } else {
+              body += raw[i];
+              ++i;
+            }
+          }
+          if (i < raw.size()) ++i;  // closing quote
+          scanned.strings.push_back(std::move(body));
+          code += "\"\"";
+          continue;
+        }
+        if (c == '\'') {
+          ++i;
+          while (i < raw.size() && raw[i] != '\'') {
+            i += raw[i] == '\\' ? 2 : 1;
+          }
+          if (i < raw.size()) ++i;
+          code += "' '";
+          continue;
+        }
+        code += c;
+        ++i;
+      }
+      out.push_back(std::move(scanned));
+    }
+    return out;
+  }
+
+ private:
+  bool in_block_comment_ = false;
+  std::string comment_buffer_;
+  bool in_raw_string_ = false;
+  std::string raw_delim_;
+  std::string current_string_;
+};
+
+// ------------------------------------------------------- probe registry --
+
+struct ProbeRegistry {
+  bool loaded = false;
+  std::set<std::string> phases;
+  std::set<std::string> counters;
+  std::set<std::string> gauges;
+  std::vector<Violation> table_violations;  ///< totality/duplication issues
+};
+
+/// Number bound to `inline constexpr std::size_t kNum<What> = N;` in
+/// probe.hpp, or 0 when absent.
+std::size_t parse_registry_count(const std::string& text, const std::string& name) {
+  const std::size_t at = text.find(name);
+  if (at == std::string::npos) return 0;
+  std::size_t i = text.find('=', at);
+  if (i == std::string::npos) return 0;
+  ++i;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+  std::size_t value = 0;
+  while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+    value = value * 10 + static_cast<std::size_t>(text[i] - '0');
+    ++i;
+  }
+  return value;
+}
+
+/// Pulls the `case <Enum>::X: return "name";` table of one to_string
+/// overload out of probe.cpp. The switch is located by its parameter type.
+void parse_name_table(const std::vector<std::string>& lines, const std::string& enum_name,
+                      const std::string& file, std::size_t expected,
+                      std::set<std::string>& names, std::vector<Violation>& violations) {
+  const std::string needle = "case " + enum_name + "::";
+  std::size_t cases = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.find(needle) == std::string::npos) continue;
+    ++cases;
+    const std::size_t ret = line.find("return \"");
+    if (ret == std::string::npos) continue;
+    const std::size_t start = ret + 8;
+    const std::size_t end = line.find('"', start);
+    if (end == std::string::npos) continue;
+    const std::string name = line.substr(start, end - start);
+    if (!names.insert(name).second) {
+      violations.push_back({file, i + 1, "probe-registry",
+                            enum_name + " name \"" + name +
+                                "\" appears twice in the to_string table; registry "
+                                "names must be unique"});
+    }
+  }
+  if (expected != 0 && cases != expected) {
+    violations.push_back({file, 1, "probe-registry",
+                          "to_string(" + enum_name + ") covers " +
+                              std::to_string(cases) + " enumerators but kNum count is " +
+                              std::to_string(expected) +
+                              "; every registry slot needs a name"});
+  }
+}
+
+ProbeRegistry load_probe_registry(const fs::path& root) {
+  ProbeRegistry registry;
+  const fs::path hpp = root / "src" / "sim" / "probe.hpp";
+  const fs::path cpp = root / "src" / "sim" / "probe.cpp";
+  std::ifstream hpp_in(hpp), cpp_in(cpp);
+  if (!hpp_in || !cpp_in) return registry;
+  std::stringstream hpp_text;
+  hpp_text << hpp_in.rdbuf();
+  std::vector<std::string> cpp_lines;
+  std::string line;
+  while (std::getline(cpp_in, line)) cpp_lines.push_back(line);
+
+  const std::string cpp_name = cpp.generic_string();
+  parse_name_table(cpp_lines, "Phase", cpp_name,
+                   parse_registry_count(hpp_text.str(), "kNumPhases"), registry.phases,
+                   registry.table_violations);
+  parse_name_table(cpp_lines, "Counter", cpp_name,
+                   parse_registry_count(hpp_text.str(), "kNumCounters"), registry.counters,
+                   registry.table_violations);
+  parse_name_table(cpp_lines, "Gauge", cpp_name,
+                   parse_registry_count(hpp_text.str(), "kNumGauges"), registry.gauges,
+                   registry.table_violations);
+  registry.loaded = true;
+  return registry;
+}
+
+// --------------------------------------------------------------- checker --
+
+struct FileReport {
+  std::vector<Violation> violations;
+};
+
+bool has_allow(const ScannedLine& line, const std::string& rule) {
+  return std::find(line.directives.begin(), line.directives.end(), "allow(" + rule + ")") !=
+         line.directives.end();
+}
+
+/// Last identifier component of the expression ending right before
+/// `.push_back` -- `active_.transmitters.push_back` -> "transmitters".
+std::string container_token(const std::string& code, std::size_t dot) {
+  std::size_t end = dot;
+  std::size_t start = end;
+  while (start > 0 && ident_char(code[start - 1])) --start;
+  return code.substr(start, end - start);
+}
+
+bool path_is_under(const std::string& generic, const char* dir) {
+  return generic.find(dir) != std::string::npos;
+}
+
+FileReport check_file(const fs::path& path, const ProbeRegistry& registry) {
+  FileReport report;
+  std::ifstream in(path);
+  if (!in) {
+    report.violations.push_back(
+        {path.generic_string(), 0, "io", "cannot open file"});
+    return report;
+  }
+  std::vector<std::string> raw_lines;
+  std::string line;
+  while (std::getline(in, line)) raw_lines.push_back(line);
+  Scanner scanner;
+  const std::vector<ScannedLine> lines = scanner.scan(raw_lines);
+  const std::string file = path.generic_string();
+
+  // Pre-pass: which containers does this file ever presize, and where do
+  // the hot regions lie. Hot regions: from a `hot` directive, the function
+  // body opened by the next `{` until its matching `}` (brace depth).
+  std::set<std::string> presized;
+  for (const ScannedLine& scanned : lines) {
+    const std::string& code = scanned.code;
+    for (const char* call : {".reserve(", ".resize(", ".assign("}) {
+      std::size_t at = code.find(call);
+      while (at != std::string::npos) {
+        const std::string token = container_token(code, at);
+        if (!token.empty()) presized.insert(token);
+        at = code.find(call, at + 1);
+      }
+    }
+  }
+
+  bool hot_file = false;
+  for (const ScannedLine& scanned : lines) {
+    if (std::find(scanned.directives.begin(), scanned.directives.end(), "hot-file") !=
+        scanned.directives.end()) {
+      hot_file = true;
+    }
+  }
+
+  int depth = 0;
+  bool pending_hot = false;
+  std::size_t pending_hot_line = 0;
+  bool in_hot_region = false;
+  std::size_t hot_region_line = 0;
+  int hot_region_depth = 0;
+
+  const bool json_exempt =
+      path_is_under(file, "src/util/json") || path_is_under(file, "src/util/trace");
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const ScannedLine& scanned = lines[i];
+    const std::string& code = scanned.code;
+    const std::size_t line_no = i + 1;
+
+    if (std::find(scanned.directives.begin(), scanned.directives.end(), "hot") !=
+        scanned.directives.end()) {
+      pending_hot = true;
+      pending_hot_line = line_no;
+    }
+
+    const bool hot_now = hot_file || in_hot_region ||
+                         (pending_hot && code.find('{') != std::string::npos);
+
+    // --- hot-alloc ------------------------------------------------------
+    if (hot_now && !has_allow(scanned, "hot-alloc")) {
+      const std::size_t origin = hot_file ? 1 : (in_hot_region ? hot_region_line : pending_hot_line);
+      const std::string where =
+          hot_file ? "hot file" : "hot region (annotated at line " + std::to_string(origin) + ")";
+      for (const char* bad : {"make_unique", "make_shared", "malloc(", "calloc(", "realloc("}) {
+        if (code.find(bad) != std::string::npos) {
+          report.violations.push_back(
+              {file, line_no, "hot-alloc",
+               std::string(bad) + " in " + where +
+                   "; hot paths must reuse presized scratch (see README \"Static "
+                   "analysis & lint\")"});
+        }
+      }
+      std::size_t at = 0;
+      while ((at = code.find("new", at)) != std::string::npos) {
+        const bool word = (at == 0 || !ident_char(code[at - 1])) &&
+                          (at + 3 >= code.size() || !ident_char(code[at + 3]));
+        if (word) {
+          report.violations.push_back(
+              {file, line_no, "hot-alloc",
+               "'new' in " + where + "; hot paths must not heap-allocate"});
+        }
+        at += 3;
+      }
+      for (const char* grow : {".push_back(", ".emplace_back("}) {
+        at = 0;
+        while ((at = code.find(grow, at)) != std::string::npos) {
+          const std::string token = container_token(code, at);
+          if (presized.count(token) == 0) {
+            report.violations.push_back(
+                {file, line_no, "hot-alloc",
+                 "'" + token + "'" + grow +
+                     "...) in " + where + " without a presize (" + token +
+                     ".reserve/.resize/.assign) anywhere in this file"});
+          }
+          at += 1;
+        }
+      }
+    }
+
+    // --- json-concat ----------------------------------------------------
+    if (!json_exempt && !has_allow(scanned, "json-concat")) {
+      const bool concatenating = code.find('+') != std::string::npos ||
+                                 code.find("<<") != std::string::npos ||
+                                 code.find(".append(") != std::string::npos;
+      if (concatenating) {
+        for (const std::string& literal : scanned.strings) {
+          const bool jsonish = literal.find("{\"") != std::string::npos ||
+                               literal.find("\":") != std::string::npos;
+          if (jsonish) {
+            report.violations.push_back(
+                {file, line_no, "json-concat",
+                 "hand-rolled JSON fragment \"" + literal +
+                     "\" concatenated outside src/util/json; build a json::Value "
+                     "and dump() it instead"});
+            break;  // one per line is enough
+          }
+        }
+      }
+    }
+
+    // --- probe-registry -------------------------------------------------
+    if (registry.loaded && !has_allow(scanned, "probe-registry")) {
+      for (const std::string& literal : scanned.strings) {
+        if (literal.size() > 9 && literal.rfind("phase_", 0) == 0 &&
+            literal.compare(literal.size() - 3, 3, "_ns") == 0) {
+          const std::string name = literal.substr(6, literal.size() - 9);
+          if (registry.phases.count(name) == 0) {
+            report.violations.push_back(
+                {file, line_no, "probe-registry",
+                 "\"" + literal + "\" does not name a registered probe phase (known: " +
+                     [&registry] {
+                       std::string known;
+                       for (const std::string& phase : registry.phases) {
+                         if (!known.empty()) known += ", ";
+                         known += phase;
+                       }
+                       return known;
+                     }() +
+                     "); add the phase to sim/probe.hpp first"});
+          }
+        }
+      }
+    }
+
+    // --- include-hygiene ------------------------------------------------
+    if (!has_allow(scanned, "include-hygiene")) {
+      const std::string& raw = scanned.raw;
+      std::size_t hash = raw.find_first_not_of(" \t");
+      if (hash != std::string::npos && raw[hash] == '#') {
+        const std::size_t inc = raw.find("include", hash);
+        if (inc != std::string::npos) {
+          const std::size_t quote = raw.find('"', inc);
+          if (quote != std::string::npos) {
+            const std::string target = raw.substr(quote + 1, raw.find('"', quote + 1) -
+                                                                 (quote + 1));
+            if (target.rfind("src/", 0) == 0) {
+              report.violations.push_back(
+                  {file, line_no, "include-hygiene",
+                   "#include \"" + target +
+                       "\" bypasses the public include root; include \"" +
+                       target.substr(4) + "\" instead"});
+            } else if (target.rfind("../", 0) == 0) {
+              report.violations.push_back(
+                  {file, line_no, "include-hygiene",
+                   "#include \"" + target +
+                       "\" escapes the include root with a relative path; use the "
+                       "src/-rooted public path"});
+            }
+          }
+        }
+      }
+    }
+
+    // --- hot-region bookkeeping ----------------------------------------
+    for (char c : code) {
+      if (c == '{') {
+        if (pending_hot) {
+          in_hot_region = true;
+          hot_region_line = pending_hot_line;
+          hot_region_depth = depth;
+          pending_hot = false;
+        }
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+        if (in_hot_region && depth <= hot_region_depth) in_hot_region = false;
+      }
+    }
+  }
+  return report;
+}
+
+void collect_sources(const fs::path& path, std::vector<fs::path>& out) {
+  if (fs::is_regular_file(path)) {
+    out.push_back(path);
+    return;
+  }
+  if (!fs::is_directory(path)) return;
+  for (const auto& entry : fs::recursive_directory_iterator(path)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc") {
+      out.push_back(entry.path());
+    }
+  }
+}
+
+int usage() {
+  std::fprintf(stderr, "usage: rdcn_lint [--root DIR] [PATH...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (++i >= argc) return usage();
+      root = argv[i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (!fs::is_directory(root)) {
+    std::fprintf(stderr, "rdcn_lint: root '%s' is not a directory\n",
+                 root.generic_string().c_str());
+    return 2;
+  }
+  if (paths.empty()) paths = {"src", "tools", "bench"};
+
+  const ProbeRegistry registry = load_probe_registry(root);
+  if (!registry.loaded) {
+    std::fprintf(stderr,
+                 "rdcn_lint: note: %s not readable; probe-registry checks skipped\n",
+                 (root / "src/sim/probe.cpp").generic_string().c_str());
+  }
+
+  std::vector<fs::path> files;
+  for (const std::string& path : paths) {
+    const fs::path resolved = fs::path(path).is_absolute() ? fs::path(path) : root / path;
+    if (!fs::exists(resolved)) {
+      std::fprintf(stderr, "rdcn_lint: no such path: %s\n",
+                   resolved.generic_string().c_str());
+      return 2;
+    }
+    collect_sources(resolved, files);
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Violation> all = registry.table_violations;
+  for (const fs::path& file : files) {
+    FileReport report = check_file(file, registry);
+    all.insert(all.end(), report.violations.begin(), report.violations.end());
+  }
+  for (const Violation& violation : all) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", violation.file.c_str(), violation.line,
+                 violation.rule.c_str(), violation.message.c_str());
+  }
+  std::fprintf(stderr, "rdcn_lint: %zu file(s) scanned, %zu violation(s)\n",
+               files.size(), all.size());
+  return all.empty() ? 0 : 1;
+}
