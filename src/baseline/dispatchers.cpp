@@ -26,13 +26,13 @@ RouteDecision edge_route(EdgeIndex edge) {
 }  // namespace
 
 RouteDecision RandomDispatcher::dispatch(const Engine& engine, const Packet& packet) {
-  engine.topology().candidate_edges_into(packet.source, packet.destination, edges_);
+  engine.viable_edges_into(packet.source, packet.destination, edges_);
   if (edges_.empty()) return fixed_route(engine, packet);
   return edge_route(edges_[rng_.next_below(edges_.size())]);
 }
 
 RouteDecision RoundRobinDispatcher::dispatch(const Engine& engine, const Packet& packet) {
-  engine.topology().candidate_edges_into(packet.source, packet.destination, edges_);
+  engine.viable_edges_into(packet.source, packet.destination, edges_);
   if (edges_.empty()) return fixed_route(engine, packet);
   std::size_t& next = cursor_[{packet.source, packet.destination}];
   const EdgeIndex edge = edges_[next % edges_.size()];
@@ -41,7 +41,7 @@ RouteDecision RoundRobinDispatcher::dispatch(const Engine& engine, const Packet&
 }
 
 RouteDecision JsqDispatcher::dispatch(const Engine& engine, const Packet& packet) {
-  engine.topology().candidate_edges_into(packet.source, packet.destination, edges_);
+  engine.viable_edges_into(packet.source, packet.destination, edges_);
   if (edges_.empty()) return fixed_route(engine, packet);
   EdgeIndex best = edges_.front();
   std::int64_t best_load = std::numeric_limits<std::int64_t>::max();
@@ -61,7 +61,7 @@ RouteDecision JsqDispatcher::dispatch(const Engine& engine, const Packet& packet
 
 RouteDecision MinDelayDispatcher::dispatch(const Engine& engine, const Packet& packet) {
   const Topology& topology = engine.topology();
-  topology.candidate_edges_into(packet.source, packet.destination, edges_);
+  engine.viable_edges_into(packet.source, packet.destination, edges_);
   if (edges_.empty()) return fixed_route(engine, packet);
   EdgeIndex best = edges_.front();
   Delay best_delay = std::numeric_limits<Delay>::max();
@@ -85,7 +85,7 @@ RouteDecision DirectOnlyDispatcher::dispatch(const Engine& engine, const Packet&
   if (topology.fixed_link_delay(packet.source, packet.destination)) {
     return fixed_route(engine, packet);
   }
-  topology.candidate_edges_into(packet.source, packet.destination, edges_);
+  engine.viable_edges_into(packet.source, packet.destination, edges_);
   if (edges_.empty()) throw std::logic_error("packet has no route");
   return edge_route(edges_.front());
 }

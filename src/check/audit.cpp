@@ -52,9 +52,10 @@ void InvariantAuditor::on_dispatch(const Engine& engine, const Packet& packet,
   const Topology& topology = engine.topology();
   const auto existing = ledger_.find(packet.id);
   if (existing != ledger_.end()) {
-    // Only the restricted-migration ablation may route a packet twice, and
-    // only while none of its chunks has transmitted.
-    if (!engine.options().redispatch_queued) {
+    // Only the restricted-migration ablation and a stage mutation's
+    // announced requeue may route a packet twice, and only while none of
+    // its chunks has transmitted.
+    if (!engine.options().redispatch_queued && !existing->second.requeue_pending) {
       fail(engine, "packet " + std::to_string(packet.id) + " dispatched twice");
     }
     if (existing->second.use_fixed || existing->second.transmitted != 0) {
@@ -263,6 +264,65 @@ void InvariantAuditor::on_retire(const Engine& engine, PacketIndex packet,
   ++retired_;
 }
 
+void InvariantAuditor::on_drop(const Engine& engine, PacketIndex packet,
+                               const PacketOutcome& outcome) {
+  const std::string who = "packet " + std::to_string(packet);
+  if (!outcome.dropped) fail(engine, who + " dropped without the dropped flag");
+  if (outcome.completion != 0) {
+    fail(engine, who + " dropped but carries a completion time");
+  }
+  const auto it = ledger_.find(packet);
+  if (it == ledger_.end()) {
+    // Arrival-time drop: the pair had no surviving route, so the packet
+    // never reached the dispatcher. It still consumes the sequence id and
+    // counts as dispatched (the engine creates its window slot).
+    if (packet != next_id_) {
+      fail(engine, "arrival drop out of sequence: got " + std::to_string(packet) +
+                       ", expected " + std::to_string(next_id_));
+    }
+    ++next_id_;
+    ++dispatched_;
+    if (!outcome.chunk_transmit_steps.empty() || outcome.weighted_latency != 0.0) {
+      fail(engine, who + " dropped at arrival but carries transmit history");
+    }
+  } else {
+    const Ledger& ledger = it->second;
+    if (ledger.use_fixed) {
+      fail(engine, who + " dropped from the fixed layer (fixed links never die)");
+    }
+    if (outcome.route.use_fixed || outcome.route.edge != ledger.edge) {
+      fail(engine, who + " dropped with a route inconsistent with its dispatch");
+    }
+    if (ledger.transmitted >= ledger.total_chunks) {
+      fail(engine, who + " dropped after transmitting every chunk");
+    }
+    if (outcome.chunk_transmit_steps != ledger.transmit_steps) {
+      fail(engine, who + " dropped with a chunk transmit history that disagrees with "
+                   "the observed rounds");
+    }
+    if (!close(outcome.weighted_latency, ledger.expected_latency)) {
+      fail(engine, who + " dropped with weighted latency " +
+                       std::to_string(outcome.weighted_latency) + " != derived " +
+                       std::to_string(ledger.expected_latency));
+    }
+    ledger_.erase(it);
+    picked_round_.erase(packet);
+  }
+  ++dropped_;
+}
+
+void InvariantAuditor::on_requeue(const Engine& engine, PacketIndex packet) {
+  Ledger& ledger = entry(engine, packet, "requeue");
+  if (ledger.use_fixed) {
+    fail(engine, "packet " + std::to_string(packet) + " requeued off the fixed layer");
+  }
+  if (ledger.transmitted != 0) {
+    fail(engine, "packet " + std::to_string(packet) +
+                     " requeued after transmitting chunks");
+  }
+  ledger.requeue_pending = true;
+}
+
 void InvariantAuditor::on_step_end(const Engine& engine) {
   // The scheduling rounds merged every staged dispatch, so the engine's
   // candidate list must now cover exactly the ledger's pending packets --
@@ -278,13 +338,14 @@ void InvariantAuditor::on_step_end(const Engine& engine) {
                      std::to_string(engine.pending_candidates().size()) + " entries but " +
                      std::to_string(pending) + " packets are pending");
   }
-  if (dispatched_ != retired_ + ledger_.size()) {
+  if (dispatched_ != retired_ + dropped_ + ledger_.size()) {
     fail(engine, "auditor conservation broken: dispatched " + std::to_string(dispatched_) +
-                     " != retired " + std::to_string(retired_) + " + in flight " +
+                     " != retired " + std::to_string(retired_) + " + dropped " +
+                     std::to_string(dropped_) + " + in flight " +
                      std::to_string(ledger_.size()));
   }
   if (engine.packets_dispatched() != dispatched_ || engine.packets_retired() != retired_ ||
-      engine.in_flight() != ledger_.size()) {
+      engine.packets_dropped() != dropped_ || engine.in_flight() != ledger_.size()) {
     fail(engine, "engine counters disagree with the audit ledger (dispatched " +
                      std::to_string(engine.packets_dispatched()) + "/" +
                      std::to_string(dispatched_) + ", retired " +

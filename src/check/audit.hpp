@@ -15,8 +15,8 @@
 //    pending list is sorted by chunk_higher_priority, contains every
 //    pending reconfigurable packet exactly once, and each entry's
 //    (edge, chunk weight, arrival, remaining) agrees with the ledger;
-//  * conservation -- packets dispatched == in flight + retired, and the
-//    engine's in-flight count matches the ledger size;
+//  * conservation -- packets dispatched == in flight + retired + dropped,
+//    and the engine's in-flight count matches the ledger size;
 //  * monotone clocks -- the step clock strictly increases, transmissions
 //    never predate arrivals;
 //  * completion accounting -- at retirement, the packet's chunk count,
@@ -51,6 +51,9 @@ class InvariantAuditor final : public EngineObserver {
                 const std::vector<std::size_t>& transmitted) override;
   void on_retire(const Engine& engine, PacketIndex packet,
                  const PacketOutcome& outcome) override;
+  void on_drop(const Engine& engine, PacketIndex packet,
+               const PacketOutcome& outcome) override;
+  void on_requeue(const Engine& engine, PacketIndex packet) override;
   void on_step_end(const Engine& engine) override;
 
   std::uint64_t rounds_audited() const noexcept { return rounds_; }
@@ -67,6 +70,10 @@ class InvariantAuditor final : public EngineObserver {
     Time expected_completion = 0;
     double expected_latency = 0.0;
     std::vector<Time> transmit_steps;
+    /// A stage mutation killed this packet's edge with no chunk transmitted
+    /// and announced a re-dispatch (on_requeue); the next on_dispatch for
+    /// the id is the legal second routing, not a double dispatch.
+    bool requeue_pending = false;
   };
 
   [[noreturn]] void fail(const Engine& engine, const std::string& what) const;
@@ -76,6 +83,7 @@ class InvariantAuditor final : public EngineObserver {
   PacketIndex next_id_ = 0;  ///< next first-dispatch sequence id
   std::uint64_t dispatched_ = 0;
   std::uint64_t retired_ = 0;
+  std::uint64_t dropped_ = 0;  ///< failure-injection drops (StageMutation)
   std::uint64_t rounds_ = 0;
   bool clock_started_ = false;
 

@@ -116,6 +116,149 @@ std::vector<std::string> compare_batch_vs_stream(const Instance& instance,
   return mismatches;
 }
 
+/// A staged spec's arrival prefix and mutation schedule, reconstructed
+/// exactly as StreamRunner's staged drive derives them: one source per
+/// stage (seed mixed per stage index, traffic overrides applied, speedup
+/// tracking the engine's post-mutation options), arrivals rebased to the
+/// stage clock, draws past the stage end discarded, ids renumbered
+/// globally. The prefix is finite, so batch and stream replays of it
+/// share a horizon.
+struct StagedReplay {
+  std::vector<Packet> arrivals;
+  std::vector<TimedMutation> schedule;
+};
+
+StagedReplay build_staged_replay(const StreamSpec& spec, const Topology& topology,
+                                 std::uint64_t rep_seed, std::size_t max_packets) {
+  StagedReplay replay;
+  std::vector<Time> start(spec.stages.size());
+  Time t = 1;
+  for (std::size_t k = 0; k < spec.stages.size(); ++k) {
+    start[k] = t;
+    t += spec.stages[k].duration;
+  }
+  int speedup = spec.engine.speedup_rounds;
+  PacketIndex next_id = 0;
+  for (std::size_t k = 0; k < spec.stages.size(); ++k) {
+    const StageSpec& stage = spec.stages[k];
+    if (stage.mutation.speedup_rounds > 0) speedup = stage.mutation.speedup_rounds;
+    replay.schedule.push_back({start[k], stage.mutation});
+    TrafficConfig traffic = spec.traffic;
+    traffic.shape.seed =
+        rep_seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(k));
+    traffic.speedup_rounds = speedup;
+    if (stage.rho > 0.0) traffic.rho = stage.rho;
+    if (stage.on_stay > 0.0) traffic.on_stay = stage.on_stay;
+    if (stage.off_stay > 0.0) traffic.off_stay = stage.off_stay;
+    const auto source = make_source(topology, traffic);
+    const bool bounded = k + 1 < spec.stages.size();
+    while (replay.arrivals.size() < max_packets) {
+      std::optional<Packet> packet = source->next();
+      if (!packet) break;
+      packet->arrival += start[k] - 1;
+      // Arrivals are non-decreasing, so the first draw past the stage end
+      // ends the stage (the streamed drive discards it at stage entry).
+      if (bounded && packet->arrival > start[k + 1] - 1) break;
+      packet->id = next_id++;
+      replay.arrivals.push_back(*packet);
+    }
+    if (replay.arrivals.size() >= max_packets) break;
+  }
+  return replay;
+}
+
+/// Batch-vs-stream equivalence of a staged replay: Engine::run(schedule)
+/// against a streaming drive that applies the same mutations at the same
+/// step boundaries. Every aggregate, drop/requeue counter, and per-packet
+/// outcome (dropped flag included) must agree bit for bit.
+std::vector<std::string> compare_staged_batch_vs_stream(
+    const Instance& instance, const std::vector<TimedMutation>& schedule,
+    const PolicyFactory& policy, const EngineOptions& options, const RunResult& batch,
+    std::uint64_t batch_dropped, std::uint64_t batch_requeued) {
+  std::vector<std::string> mismatches;
+  auto dispatcher = policy.dispatcher();
+  auto scheduler = policy.scheduler(instance.topology());
+  std::vector<RetiredPacket> retired(instance.num_packets());
+  std::vector<bool> seen(instance.num_packets(), false);
+  Engine engine(instance.topology(), *dispatcher, *scheduler,
+                streamable(instance, options),
+                [&](RetiredPacket&& packet) {
+                  const auto index = static_cast<std::size_t>(packet.id);
+                  if (index >= seen.size() || seen[index]) {
+                    mismatches.push_back("stream retired unexpected packet " +
+                                         std::to_string(packet.id));
+                    return;
+                  }
+                  seen[index] = true;
+                  retired[index] = std::move(packet);
+                });
+  const auto& packets = instance.packets();
+  std::size_t next = 0;
+  std::size_t next_mutation = 0;
+  try {
+    while (next < packets.size() || engine.busy()) {
+      while (next_mutation < schedule.size() &&
+             schedule[next_mutation].at <= engine.now() + 1) {
+        engine.apply_mutation(schedule[next_mutation].mutation);
+        ++next_mutation;
+      }
+      // A mutation can drain the last in-flight packet (drop); mirror
+      // Engine::run(schedule), which re-checks for work before stepping.
+      if (next >= packets.size() && !engine.busy()) break;
+      const Time* upcoming = next < packets.size() ? &packets[next].arrival : nullptr;
+      Time stage_bound = 0;
+      if (next_mutation < schedule.size()) {
+        stage_bound = schedule[next_mutation].at - 1;
+        if (upcoming == nullptr || stage_bound < *upcoming) upcoming = &stage_bound;
+      }
+      engine.begin_step(upcoming);
+      while (next < packets.size() && packets[next].arrival == engine.now()) {
+        engine.inject(packets[next]);
+        ++next;
+      }
+      engine.finish_step();
+    }
+  } catch (const std::exception& error) {
+    mismatches.push_back(std::string("staged streamed replay threw: ") + error.what());
+    return mismatches;
+  }
+
+  const RunResult& aggregates = engine.aggregates();
+  if (aggregates.total_cost != batch.total_cost || aggregates.makespan != batch.makespan ||
+      aggregates.steps_simulated != batch.steps_simulated) {
+    mismatches.push_back("staged stream aggregates diverge from batch (cost " +
+                         std::to_string(aggregates.total_cost) + " vs " +
+                         std::to_string(batch.total_cost) + ")");
+  }
+  if (engine.packets_dropped() != batch_dropped ||
+      engine.packets_requeued() != batch_requeued) {
+    mismatches.push_back(
+        "staged stream drop/requeue counters diverge from batch (" +
+        std::to_string(engine.packets_dropped()) + "/" +
+        std::to_string(engine.packets_requeued()) + " vs " +
+        std::to_string(batch_dropped) + "/" + std::to_string(batch_requeued) + ")");
+  }
+  for (std::size_t i = 0; i < instance.num_packets(); ++i) {
+    if (!seen[i]) {
+      mismatches.push_back("packet " + std::to_string(i) +
+                           " never retired or dropped streaming");
+      continue;
+    }
+    const PacketOutcome& want = batch.outcomes[i];
+    const PacketOutcome& got = retired[i].outcome;
+    if (got.dropped != want.dropped || got.route.use_fixed != want.route.use_fixed ||
+        got.route.edge != want.route.edge || got.completion != want.completion ||
+        got.weighted_latency != want.weighted_latency ||
+        got.chunk_transmit_steps != want.chunk_transmit_steps) {
+      mismatches.push_back("packet " + std::to_string(i) +
+                           " outcome diverges between staged batch and stream "
+                           "(completion " + std::to_string(want.completion) + " vs " +
+                           std::to_string(got.completion) + ")");
+    }
+  }
+  return mismatches;
+}
+
 /// One policy's audited batch run plus the self-consistency and stream
 /// equivalence checks shared by the standard and variant passes. Returns
 /// the run's cost, or nothing if the engine threw.
@@ -186,7 +329,7 @@ class CrossCheckedImpactDispatcher final : public DispatchPolicy {
 
   RouteDecision dispatch(const Engine& engine, const Packet& packet) override {
     const Topology& topology = engine.topology();
-    topology.candidate_edges_into(packet.source, packet.destination, edges_);
+    engine.viable_edges_into(packet.source, packet.destination, edges_);
 
     double best_delta = std::numeric_limits<double>::infinity();
     EdgeIndex best_edge = kInvalidEdge;
@@ -509,9 +652,14 @@ DiffReport check_stream(const StreamSpec& spec, std::uint64_t rep_seed,
                                   std::to_string(out.served) + "/" +
                                   std::to_string(out.offered) + ")");
     }
-    if (!spec.make_trace && !out.truncated && out.measured != spec.measure_packets) {
+    // Staged runs retire the measure range as completions plus failure
+    // drops (ids are counted once either way); unstaged runs never drop,
+    // so this is the historical measured == measure_packets check there.
+    if (!spec.make_trace && !out.truncated &&
+        out.measured + out.dropped_measured != spec.measure_packets) {
       report.violations.push_back(name + ": un-truncated run measured " +
-                                  std::to_string(out.measured) + " of " +
+                                  std::to_string(out.measured) + " + dropped " +
+                                  std::to_string(out.dropped_measured) + " of " +
                                   std::to_string(spec.measure_packets) + " packets");
     }
     if (out.steps > 0 &&
@@ -545,11 +693,111 @@ DiffReport check_stream(const StreamSpec& spec, std::uint64_t rep_seed,
                                   std::to_string(window_steps) + "/" +
                                   std::to_string(out.steps) + ")");
     }
+    if (!spec.stages.empty()) {
+      ++report.checks;
+      if (out.served + out.dropped > out.offered) {
+        report.violations.push_back(name + ": served + dropped exceeds offered (" +
+                                    std::to_string(out.served) + " + " +
+                                    std::to_string(out.dropped) + " > " +
+                                    std::to_string(out.offered) + ")");
+      }
+      if (out.dropped_measured > out.dropped) {
+        report.violations.push_back(name + ": measured drops exceed total drops");
+      }
+      std::uint64_t stage_offered = 0, stage_served = 0, stage_dropped = 0;
+      for (const StageOutcome& stage : out.stages) {
+        stage_offered += stage.offered;
+        stage_served += stage.served;
+        stage_dropped += stage.dropped;
+        if (stage.drain_steps < -1) {
+          report.violations.push_back(name + ": negative stage drain time");
+        }
+      }
+      // Every event is attributed to exactly one stage.
+      if (stage_offered != out.offered || stage_served != out.served ||
+          stage_dropped != out.dropped) {
+        report.violations.push_back(
+            name + ": stage attribution does not cover the run (offered " +
+            std::to_string(stage_offered) + "/" + std::to_string(out.offered) +
+            ", served " + std::to_string(stage_served) + "/" +
+            std::to_string(out.served) + ", dropped " + std::to_string(stage_dropped) +
+            "/" + std::to_string(out.dropped) + ")");
+      }
+      // Bit-for-bit determinism in (spec, seed): the staged drive's stage
+      // re-seeding, mutation clocking and drop bookkeeping must replay
+      // identically.
+      ++report.checks;
+      const StreamRepOutcome again = runner->run_repetition(policy, rep_seed);
+      if (again.offered != out.offered || again.served != out.served ||
+          again.dropped != out.dropped || again.requeued != out.requeued ||
+          again.measured != out.measured || again.steps != out.steps ||
+          again.total_cost != out.total_cost ||
+          again.latency.count() != out.latency.count() ||
+          again.latency.mean() != out.latency.mean()) {
+        report.violations.push_back(name + ": staged repetition is not deterministic "
+                                    "(cost " + std::to_string(out.total_cost) + " vs " +
+                                    std::to_string(again.total_cost) + ")");
+      }
+    }
+  }
+
+  // Staged specs: reconstruct the staged arrival prefix plus mutation
+  // schedule and compare Engine::run(schedule) against a streaming drive
+  // applying the identical mutations -- per-packet outcomes, drop/requeue
+  // counters and aggregates must agree bit-for-bit.
+  if (calibrated && options.check_stream_equivalence && !spec.make_trace &&
+      !spec.stages.empty()) {
+    try {
+      const Topology topology = make_topology(spec.topology, rep_seed);
+      const StagedReplay replay = build_staged_replay(
+          spec, topology, rep_seed,
+          std::min(spec.warmup_packets + spec.measure_packets,
+                   options.stream_replay_packets));
+      if (!replay.arrivals.empty()) {
+        Instance recorded(topology, std::vector<Packet>(replay.arrivals));
+        EngineOptions engine_options = audited.engine;
+        std::vector<std::string> replay_policies = policy_list(options);
+        if (spec.engine.reconfig_delay > 0) {
+          std::erase_if(replay_policies, [&](const std::string& name) {
+            return std::find(options.variant_policies.begin(),
+                             options.variant_policies.end(),
+                             name) == options.variant_policies.end();
+          });
+        }
+        for (const std::string& name : replay_policies) {
+          const PolicyFactory policy = named_policy(name);
+          RunResult batch;
+          std::uint64_t batch_dropped = 0, batch_requeued = 0;
+          try {
+            auto dispatcher = policy.dispatcher();
+            auto scheduler = policy.scheduler(topology);
+            Engine engine(recorded, *dispatcher, *scheduler, engine_options);
+            batch = engine.run(replay.schedule);
+            batch_dropped = engine.packets_dropped();
+            batch_requeued = engine.packets_requeued();
+          } catch (const std::exception& error) {
+            report.violations.push_back("staged replay, " + name +
+                                        ": engine threw: " + error.what());
+            continue;
+          }
+          ++report.checks;
+          for (std::string& mismatch : compare_staged_batch_vs_stream(
+                   recorded, replay.schedule, policy, engine_options, batch,
+                   batch_dropped, batch_requeued)) {
+            report.violations.push_back("staged replay, " + name + ": " +
+                                        std::move(mismatch));
+          }
+        }
+      }
+    } catch (const std::invalid_argument& error) {
+      report.skipped.push_back(std::string("staged replay rejected: ") + error.what());
+    }
   }
 
   // Batch-vs-stream differential on a recorded arrival prefix from the
   // identical source: per-packet completions must agree bit-for-bit.
-  if (calibrated && options.check_stream_equivalence && !spec.make_trace) {
+  if (calibrated && options.check_stream_equivalence && !spec.make_trace &&
+      spec.stages.empty()) {
     try {
       const Topology topology = make_topology(spec.topology, rep_seed);
       TrafficConfig traffic = spec.traffic;

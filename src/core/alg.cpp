@@ -10,7 +10,7 @@ namespace rdcn {
 
 RouteDecision ImpactDispatcher::dispatch(const Engine& engine, const Packet& packet) {
   const Topology& topology = engine.topology();
-  topology.candidate_edges_into(packet.source, packet.destination, edges_);
+  engine.viable_edges_into(packet.source, packet.destination, edges_);
 
   double best_delta = std::numeric_limits<double>::infinity();
   EdgeIndex best_edge = kInvalidEdge;

@@ -134,6 +134,53 @@ StreamSpec random_stream_spec(std::uint64_t seed) {
   spec.step_cap_factor = 3.0;
   draw_engine(rng, spec.engine);
   spec.traffic.speedup_rounds = spec.engine.speedup_rounds;
+
+  // ~1 in 3 stream specs carries a time-staged schedule (failure injection
+  // and mid-run rewiring). Drawn after everything else so unstaged specs
+  // keep their historical derivation. Rack indices stay in {0, 1} -- every
+  // zoo family has at least two racks/ports -- and edge kills use low
+  // indices (a draw exceeding a sparse topology's edge count is rejected
+  // by Engine::apply_mutation and surfaces as a spec skip, not a failure).
+  if (rng.next_bool(0.35)) {
+    const std::int64_t num_stages = rng.next_int(2, 3);
+    NodeIndex killed_rack = -1;
+    EdgeIndex killed_edge = -1;
+    for (std::int64_t k = 0; k < num_stages; ++k) {
+      StageSpec stage;
+      const bool last = k + 1 == num_stages;
+      stage.duration = last && rng.next_bool(0.5) ? 0 : rng.next_int(20, 120);
+      if (rng.next_bool(0.3)) stage.rho = rng.next_double(0.3, 1.0);
+      if (spec.traffic.process == ArrivalProcess::OnOff && rng.next_bool(0.25)) {
+        stage.on_stay = rng.next_double(0.5, 0.95);
+        stage.off_stay = rng.next_double(0.3, 0.9);
+      }
+      stage.mutation.dead_policy =
+          rng.next_bool(0.5) ? DeadPolicy::Requeue : DeadPolicy::Drop;
+      // Heal earlier damage before (possibly) inflicting new damage, so
+      // schedules exercise the restore path and rarely strangle the run.
+      if (killed_rack >= 0 && rng.next_bool(0.8)) {
+        stage.mutation.restore_racks.push_back(killed_rack);
+        killed_rack = -1;
+      }
+      if (killed_edge >= 0 && rng.next_bool(0.8)) {
+        stage.mutation.restore_edges.push_back(killed_edge);
+        killed_edge = -1;
+      }
+      if (k > 0 && killed_rack < 0 && rng.next_bool(0.4)) {
+        killed_rack = static_cast<NodeIndex>(rng.next_int(0, 1));
+        stage.mutation.kill_racks.push_back(killed_rack);
+      }
+      if (k > 0 && killed_edge < 0 && rng.next_bool(0.4)) {
+        killed_edge = static_cast<EdgeIndex>(rng.next_int(0, 3));
+        stage.mutation.kill_edges.push_back(killed_edge);
+      }
+      if (rng.next_bool(0.15)) stage.mutation.speedup_rounds = rng.next_bool(0.5) ? 2 : 1;
+      if (spec.engine.reconfig_delay == 0 && rng.next_bool(0.15)) {
+        stage.mutation.endpoint_capacity = rng.next_bool(0.5) ? 2 : 1;
+      }
+      spec.stages.push_back(std::move(stage));
+    }
+  }
   return spec;
 }
 

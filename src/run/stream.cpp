@@ -29,6 +29,31 @@ StreamRunner::StreamRunner(StreamSpec spec) : spec_(std::move(spec)) {
         "set StreamSpec::max_steps (graceful truncation), not engine.max_steps "
         "(which would throw mid-run)");
   }
+  if (!spec_.stages.empty()) {
+    if (spec_.make_trace) {
+      throw std::invalid_argument(
+          "stages require generative traffic (staged trace replay goes through "
+          "Engine::run(schedule))");
+    }
+    for (std::size_t i = 0; i < spec_.stages.size(); ++i) {
+      const StageSpec& stage = spec_.stages[i];
+      if (stage.duration < 0) {
+        throw std::invalid_argument("stage duration must be >= 0");
+      }
+      if (stage.duration == 0 && i + 1 != spec_.stages.size()) {
+        throw std::invalid_argument(
+            "stage duration 0 (to end of run) is legal for the last stage only");
+      }
+      if (!(stage.rho > 0.0 || stage.rho == -1.0)) {
+        throw std::invalid_argument("stage rho must be > 0 (or -1 to inherit)");
+      }
+      if (!(stage.on_stay == -1.0 || (stage.on_stay > 0.0 && stage.on_stay < 1.0)) ||
+          !(stage.off_stay == -1.0 || (stage.off_stay > 0.0 && stage.off_stay < 1.0))) {
+        throw std::invalid_argument(
+            "stage on_stay/off_stay must lie in (0, 1) (or -1 to inherit)");
+      }
+    }
+  }
 }
 
 std::vector<std::uint64_t> StreamRunner::seeds() const {
@@ -46,6 +71,7 @@ StreamRepOutcome StreamRunner::run_repetition(const PolicyFactory& policy,
   out.seed = rep_seed;
 
   const bool replay = static_cast<bool>(spec_.make_trace);
+  const bool staged = !spec_.stages.empty();
   Topology topology;
   std::unique_ptr<TrafficSource> source;
   Time max_steps = spec_.max_steps;
@@ -54,6 +80,10 @@ StreamRepOutcome StreamRunner::run_repetition(const PolicyFactory& policy,
     Instance instance = spec_.make_trace(rep_seed);
     const std::string error = instance.validate();
     if (!error.empty()) throw std::invalid_argument("invalid trace: " + error);
+    // Trace replay: out.target_rate stays 0 by design, so the derived cap
+    // below (a division by the rate) must never be taken on this path --
+    // the cap is the batch engine's starvation bound instead, and the run
+    // drains the trace to completion.
     if (max_steps == 0) {
       max_steps = default_max_steps(instance, spec_.engine.reconfig_delay);
     }
@@ -65,8 +95,14 @@ StreamRepOutcome StreamRunner::run_repetition(const PolicyFactory& policy,
     traffic.shape.seed = rep_seed;
     traffic.speedup_rounds = spec_.engine.speedup_rounds;
     out.target_rate = calibrate_rate(topology, traffic);
-    source = make_source(topology, traffic);
+    // Staged runs build their source at each stage entry (stage 0 included)
+    // so per-stage overrides re-calibrate; an override-free stage 0 draws
+    // the identical sequence as this unstaged construction would.
+    if (!staged) source = make_source(topology, traffic);
     if (max_steps == 0) {
+      // calibrate_rate() > 0 by contract (it throws on zero-demand
+      // shapes), so the max() below is a pure division guard -- the
+      // target_rate == 0 trace path never reaches this branch.
       const auto total =
           static_cast<double>(spec_.warmup_packets + spec_.measure_packets);
       max_steps = static_cast<Time>(spec_.step_cap_factor * total /
@@ -82,14 +118,43 @@ StreamRepOutcome StreamRunner::run_repetition(const PolicyFactory& policy,
   const auto measure_end =
       static_cast<PacketIndex>(spec_.warmup_packets + spec_.measure_packets);
 
+  // Stage bookkeeping (all inert when the spec declares no stages).
+  std::size_t cur_stage = 0;
+  std::size_t next_stage = 0;
+  std::vector<Time> stage_start;
+  std::uint64_t stage_departed_base = 0;
+  if (staged) {
+    out.stages.resize(spec_.stages.size());
+    stage_start.reserve(spec_.stages.size());
+    Time t = 1;
+    for (const StageSpec& s : spec_.stages) {
+      stage_start.push_back(t);
+      t += s.duration;
+    }
+  }
+  PacketIndex next_id = 0;  ///< staged runs renumber per-stage source ids
+
   double latency_sum = 0.0;
   std::uint64_t served_this_step = 0;
   const auto sink = [&](RetiredPacket&& retired) {
+    if (retired.outcome.dropped) {
+      ++out.dropped;
+      if (retired.id >= measure_begin && retired.id < measure_end) {
+        ++out.dropped_measured;
+      }
+      if (staged) ++out.stages[cur_stage].dropped;
+      return;
+    }
     ++out.served;
     ++served_this_step;
+    const Time latency = retired.outcome.completion - retired.arrival;
+    if (staged) {
+      StageOutcome& stage = out.stages[cur_stage];
+      ++stage.served;
+      stage.latency.add(latency);
+    }
     if (retired.id >= measure_begin && retired.id < measure_end) {
       ++out.measured;
-      const Time latency = retired.outcome.completion - retired.arrival;
       out.latency.add(latency);
       latency_sum += static_cast<double>(latency);
     }
@@ -104,11 +169,58 @@ StreamRepOutcome StreamRunner::run_repetition(const PolicyFactory& policy,
   Time first_arrival = 0;
   Time last_arrival = 0;
 
+  std::optional<Packet> pending;
+  /// Pulls the next packet, rebasing a stage source's 1-based arrivals
+  /// onto the run clock (stage k's arrival a lands at T_k - 1 + a).
+  const auto pull = [&]() {
+    pending = source->next();
+    if (staged && pending) pending->arrival += stage_start[cur_stage] - 1;
+  };
+
+  /// Enters stage k at its edge: applies the mutation (drops flow through
+  /// the sink into this stage's counters), re-derives the traffic regime
+  /// with the stage's overrides, re-calibrates, and swaps the source. The
+  /// previous source's peeked packet is discarded -- the old regime ends
+  /// at the stage edge.
+  const auto enter_stage = [&](std::size_t k) {
+    cur_stage = k;
+    StageOutcome& stage = out.stages[k];
+    stage.start = stage_start[k];
+    const StageSpec& sspec = spec_.stages[k];
+    const MutationStats stats = engine.apply_mutation(sspec.mutation);
+    stage.edges_killed = stats.edges_killed;
+    stage.edges_restored = stats.edges_restored;
+    stage.requeued = stats.packets_requeued;
+    out.requeued += stats.packets_requeued;
+    TrafficConfig traffic = spec_.traffic;
+    // Per-stage seed: stage 0 keeps the repetition seed (an override-free
+    // stage 0 is bit-identical to the unstaged run); later stages fork.
+    traffic.shape.seed =
+        rep_seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(k));
+    traffic.speedup_rounds = engine.options().speedup_rounds;
+    if (sspec.rho > 0.0) traffic.rho = sspec.rho;
+    if (sspec.on_stay > 0.0) traffic.on_stay = sspec.on_stay;
+    if (sspec.off_stay > 0.0) traffic.off_stay = sspec.off_stay;
+    // Calibration runs against the full topology: rho is nominal load on
+    // the healthy fabric, failures are headwind the metrics expose.
+    stage.target_rate = calibrate_rate(topology, traffic);
+    source = make_source(topology, traffic);
+    pull();
+    stage.entry_backlog = engine.in_flight();
+    stage_departed_base = out.served + out.dropped;
+    if (stage.entry_backlog == 0) stage.drain_steps = 0;
+  };
+
   const auto start = std::chrono::steady_clock::now();
-  std::optional<Packet> pending = source->next();
+  if (source) pull();  // staged runs build their source at stage entry
   while (true) {
+    while (staged && next_stage < spec_.stages.size() &&
+           stage_start[next_stage] <= engine.now() + 1) {
+      enter_stage(next_stage);
+      ++next_stage;
+    }
     if (replay ? (!pending && !engine.busy())
-               : out.measured >= spec_.measure_packets) {
+               : out.measured + out.dropped_measured >= spec_.measure_packets) {
       break;
     }
     if (!pending && !engine.busy()) break;  // generative source dried up
@@ -117,9 +229,16 @@ StreamRepOutcome StreamRunner::run_repetition(const PolicyFactory& policy,
       break;
     }
     const Time* upcoming = pending ? &pending->arrival : nullptr;
+    Time stage_bound = 0;
+    if (staged && next_stage < spec_.stages.size()) {
+      // Clamp the idle jump to the step before the next stage edge so the
+      // loop head above applies its mutation and step T_k runs
+      // post-mutation (mirrors Engine::run(schedule)).
+      stage_bound = stage_start[next_stage] - 1;
+      if (upcoming == nullptr || stage_bound < *upcoming) upcoming = &stage_bound;
+    }
     engine.begin_step(upcoming);
     ++out.steps;
-    served_this_step = 0;
     std::uint64_t arrivals_this_step = 0;
     while (pending && pending->arrival == engine.now()) {
       if (out.offered == 0) first_arrival = pending->arrival;
@@ -130,16 +249,38 @@ StreamRepOutcome StreamRunner::run_repetition(const PolicyFactory& policy,
       offered_demand += static_cast<double>(demand);
       ++out.offered;
       ++arrivals_this_step;
+      if (staged) {
+        ++out.stages[cur_stage].offered;
+        pending->id = next_id;  // global sequence across stage sources
+      }
+      ++next_id;
       engine.inject(*pending);
-      pending = source->next();
+      pull();
     }
     engine.finish_step();
     telemetry.on_step(engine.now(), arrivals_this_step, served_this_step,
                       engine.in_flight(), engine.probe());
+    // Reset here, not after begin_step: a stage mutation at the next loop
+    // head can retire packets (requeue onto the fixed layer completes them
+    // inside apply_mutation), and those serves belong to the step the
+    // mutation governs -- resetting post-begin_step would wipe them and
+    // telemetry would under-count served.
+    served_this_step = 0;
+    if (staged) {
+      StageOutcome& stage = out.stages[cur_stage];
+      ++stage.steps;
+      if (stage.drain_steps < 0 &&
+          out.served + out.dropped - stage_departed_base >= stage.entry_backlog) {
+        stage.drain_steps = engine.now() - stage.start + 1;
+      }
+    }
   }
   const auto stop = std::chrono::steady_clock::now();
   out.wall_ms = std::chrono::duration<double, std::milli>(stop - start).count();
 
+  // A mutation applied right before a terminal break can retire packets
+  // after the last on_step; fold them into the trailing window.
+  telemetry.absorb_boundary(served_this_step);
   out.series = telemetry.finish();
   if (engine.probe() != nullptr) out.probe = engine.probe()->report();
   const RunResult& aggregates = engine.aggregates();
@@ -177,7 +318,16 @@ StreamResult StreamRunner::aggregate(const PolicyFactory& policy,
   for (const StreamRepOutcome& rep : result.repetitions) {
     if (rep.truncated) ++result.truncated_reps;
     result.zero_demand += rep.zero_demand;
-    result.latency.merge(rep.latency);
+    result.dropped += rep.dropped;
+    result.requeued += rep.requeued;
+    // Truncated repetitions carry censored latency samples (only the
+    // packets that retired before the cap); keep them out of the converged
+    // summary and merge them into the parallel histogram instead.
+    if (rep.truncated) {
+      result.latency_truncated.merge(rep.latency);
+    } else {
+      result.latency.merge(rep.latency);
+    }
     result.throughput.add(rep.throughput);
     result.backlog.add(rep.mean_backlog);
     result.measured_rho.add(rep.measured_rho);

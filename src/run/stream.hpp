@@ -25,6 +25,46 @@
 
 namespace rdcn {
 
+/// One stage of a time-staged dynamic scenario (gst-mprtp's PathStage
+/// pattern): traffic overrides held for `duration` steps plus an engine
+/// mutation applied atomically at the stage edge. Stage k begins at clock
+/// T_k = 1 + sum of the previous durations (stage 0 starts the run); its
+/// mutation and traffic regime govern every step with now() >= T_k.
+struct StageSpec {
+  /// Steps this stage holds; 0 = "to end of run", legal for the last stage
+  /// only. When every duration is finite and the run outlives the schedule,
+  /// the final stage's regime persists.
+  Time duration = 0;
+  /// Traffic overrides; negative = inherit the spec-level TrafficConfig.
+  /// Overrides re-calibrate the arrival rate at stage entry (against the
+  /// full healthy topology: rho is nominal load, failures are headwind).
+  double rho = -1.0;
+  double on_stay = -1.0;
+  double off_stay = -1.0;
+  /// Applied at stage entry (edge/rack kills and restores, speedup or
+  /// capacity scaling, drop-vs-requeue for stranded packets).
+  StageMutation mutation;
+};
+
+/// Per-stage recovery metrics of one staged repetition.
+struct StageOutcome {
+  Time start = 0;             ///< first step clock governed by this stage
+  Time steps = 0;             ///< steps the engine actually ran in-stage
+  std::uint64_t offered = 0;  ///< packets injected during the stage
+  std::uint64_t served = 0;   ///< packets retired (completed) during the stage
+  std::uint64_t dropped = 0;  ///< failure-injection drops during the stage
+  std::uint64_t requeued = 0;
+  std::size_t edges_killed = 0;    ///< at the stage edge (alive -> dead)
+  std::size_t edges_restored = 0;
+  std::size_t entry_backlog = 0;   ///< in-flight right after the mutation
+  /// Steps until the entry backlog fully departed (served + dropped since
+  /// entry >= entry_backlog): the time-to-drain recovery metric. -1 when
+  /// the stage (or run) ended first; 0 when the stage opened empty.
+  Time drain_steps = -1;
+  double target_rate = 0.0;   ///< stage's re-calibrated lambda; 0 in replay
+  LatencyHistogram latency;   ///< completions during the stage (warmup included)
+};
+
 struct StreamSpec {
   std::string name;
   TopologySpec topology{};
@@ -51,8 +91,14 @@ struct StreamSpec {
   double step_cap_factor = 8.0;
   /// Escape hatch for trace replay: when set, topology/traffic above are
   /// ignored and this supplies (topology, recorded packets) for a
-  /// repetition seed; the run then drains the trace to completion.
+  /// repetition seed; the run then drains the trace to completion
+  /// (target_rate stays 0 -- the step cap comes from default_max_steps,
+  /// never from a division by the calibrated rate). Incompatible with
+  /// `stages` (staged replay goes through Engine::run(schedule)).
   std::function<Instance(std::uint64_t rep_seed)> make_trace;
+  /// Time-staged dynamic scenario; empty = the classic single-regime run
+  /// (and the stage machinery costs nothing). See StageSpec.
+  std::vector<StageSpec> stages;
 };
 
 /// One streamed repetition's folded outcome.
@@ -79,8 +125,12 @@ struct StreamRepOutcome {
   std::uint64_t peak_backlog = 0;
   std::size_t peak_resident = 0;  ///< engine window peak: the memory bound
   double wall_ms = 0.0;
+  std::uint64_t dropped = 0;           ///< failure-injection drops, whole run
+  std::uint64_t dropped_measured = 0;  ///< drops inside the measure id range
+  std::uint64_t requeued = 0;          ///< packets re-dispatched off dead edges
   LatencyHistogram latency;    ///< measured packets only (completion - arrival)
   std::vector<StreamWindow> series;
+  std::vector<StageOutcome> stages;  ///< one per StageSpec; empty unstaged
   ProbeReport probe;  ///< enabled iff the spec's engine options probe
 };
 
@@ -90,12 +140,19 @@ struct StreamResult {
   std::string policy;
   std::vector<StreamRepOutcome> repetitions;
   /// Repetitions that hit the step cap before reaching their measurement
-  /// target (overload): their latency/throughput fold into the summaries
-  /// below like any other repetition, so a nonzero count flags that the
-  /// aggregates mix converged and truncated runs.
+  /// target (overload). Their latencies are kept apart: `latency` merges
+  /// converged repetitions only, `latency_truncated` merges the truncated
+  /// ones -- a truncated rep's histogram covers just the survivors that
+  /// retired before the cap (a censored sample biased low), so folding it
+  /// into the converged summary would silently flatter overloaded points.
+  /// Per-rep `truncated` flags are emitted in the JSON rows.
+  /// throughput/backlog/rho/wall summaries still fold every repetition.
   std::size_t truncated_reps = 0;
   std::uint64_t zero_demand = 0;  ///< summed across repetitions
-  LatencyHistogram latency;  ///< merged across repetitions
+  std::uint64_t dropped = 0;      ///< failure-injection drops, summed
+  std::uint64_t requeued = 0;     ///< summed across repetitions
+  LatencyHistogram latency;            ///< merged across converged repetitions
+  LatencyHistogram latency_truncated;  ///< merged across truncated repetitions
   Summary throughput;
   Summary backlog;     ///< mean_backlog across repetitions
   Summary measured_rho;

@@ -315,6 +315,97 @@ TrafficConfig parse_traffic(Fields& fields) {
   return config;
 }
 
+/// An optional array of non-negative indices (edge or rack lists of a
+/// stage mutation); element errors name "path.key[j]".
+template <typename Index>
+std::vector<Index> parse_index_array(Fields& fields, const char* key, std::int64_t hi) {
+  std::vector<Index> indices;
+  const json::Value* value = fields.member(key);
+  if (!value) return indices;
+  if (!value->is_array()) {
+    throw SuiteError(fields.path_of(key),
+                     std::string("expected an array, found ") + value->type_name());
+  }
+  const json::Array& entries = value->as_array();
+  indices.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const std::string path = fields.path_of(key) + "[" + std::to_string(i) + "]";
+    if (!entries[i].is_integer()) {
+      throw SuiteError(path,
+                       std::string("expected an integer, found ") + entries[i].type_name());
+    }
+    const std::int64_t parsed = entries[i].as_integer();
+    if (parsed < 0 || parsed > hi) {
+      throw SuiteError(path, std::to_string(parsed) + " is out of range [0, " +
+                                 std::to_string(hi) + "]");
+    }
+    indices.push_back(static_cast<Index>(parsed));
+  }
+  return indices;
+}
+
+/// "-1 inherits" traffic overrides: the range getter admits the sentinel,
+/// this rejects the dead zone in between.
+void check_override(const std::string& path, double value, const char* requirement) {
+  if (value != -1.0 && !(value > 0.0)) {
+    throw SuiteError(path, std::string(requirement) + ", or -1 to inherit the traffic axis");
+  }
+}
+
+StageSpec parse_stage(Fields& fields) {
+  StageSpec stage;
+  stage.duration =
+      static_cast<Time>(fields.integer("duration", 0, 0, 1'000'000'000'000));
+  stage.rho = fields.real("rho", -1.0, -1.0, 8.0);
+  check_override(fields.path_of("rho"), stage.rho, "must be positive");
+  stage.on_stay = fields.real("on_stay", -1.0, -1.0, 0.999);
+  check_override(fields.path_of("on_stay"), stage.on_stay, "must be in (0, 1)");
+  stage.off_stay = fields.real("off_stay", -1.0, -1.0, 0.999);
+  check_override(fields.path_of("off_stay"), stage.off_stay, "must be in (0, 1)");
+  // Index bounds against the topology come later (Engine::apply_mutation
+  // validates at run time -- the suite grid may span several topologies);
+  // the parse-time cap only rejects nonsense.
+  constexpr std::int64_t kMaxIndex = 100'000'000;
+  stage.mutation.kill_edges = parse_index_array<EdgeIndex>(fields, "kill_edges", kMaxIndex);
+  stage.mutation.restore_edges =
+      parse_index_array<EdgeIndex>(fields, "restore_edges", kMaxIndex);
+  stage.mutation.kill_racks = parse_index_array<NodeIndex>(fields, "kill_racks", kMaxRacks);
+  stage.mutation.restore_racks =
+      parse_index_array<NodeIndex>(fields, "restore_racks", kMaxRacks);
+  stage.mutation.speedup_rounds =
+      static_cast<int>(fields.integer("speedup", 0, 0, 16));
+  stage.mutation.endpoint_capacity =
+      static_cast<int>(fields.integer("capacity", 0, 0, 64));
+  stage.mutation.dead_policy = parse_enum<DeadPolicy>(
+      fields.path_of("dead"), fields.str("dead", "drop"),
+      {{"drop", DeadPolicy::Drop}, {"requeue", DeadPolicy::Requeue}});
+  return stage;
+}
+
+/// Shared by the suite "stages" key and the standalone schedule document.
+std::vector<StageSpec> parse_stage_entries(const json::Value& value,
+                                           const std::string& key) {
+  if (!value.is_array()) {
+    throw SuiteError(key, std::string("expected an array, found ") + value.type_name());
+  }
+  const json::Array& entries = value.as_array();
+  if (entries.empty()) throw SuiteError(key, "needs at least one stage");
+  std::vector<StageSpec> stages;
+  stages.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const std::string path = key + "[" + std::to_string(i) + "]";
+    Fields fields(entries[i], path);
+    StageSpec stage = parse_stage(fields);
+    fields.finish();
+    if (stage.duration == 0 && i + 1 != entries.size()) {
+      throw SuiteError(path + ".duration",
+                       "0 (run to the end) is legal for the last stage only");
+    }
+    stages.push_back(std::move(stage));
+  }
+  return stages;
+}
+
 EngineOptions parse_engine(Fields& fields) {
   EngineOptions options;
   options.speedup_rounds =
@@ -523,6 +614,14 @@ SuiteSpec parse_suite(const std::string& json_text) {
     fields.finish();
   }
 
+  if (const json::Value* stages = doc.member("stages")) {
+    if (suite.mode != SuiteSpec::Mode::Stream) {
+      throw SuiteError("stages", "only valid when mode is \"stream\" (a stage "
+                                 "schedule drives the open-loop StreamRunner)");
+    }
+    suite.stages = parse_stage_entries(*stages, "stages");
+  }
+
   doc.finish();
   return suite;
 }
@@ -537,6 +636,28 @@ SuiteSpec load_suite_file(const std::string& path) {
   } catch (const SuiteError& error) {
     // Re-wrap so the message leads with the file; the JSON path survives
     // inside what() (it prefixes the original message).
+    throw SuiteError("", path + ": " + error.what());
+  }
+}
+
+std::vector<StageSpec> parse_stages_json(const std::string& json_text) {
+  json::Value document;
+  try {
+    document = json::parse(json_text);
+  } catch (const json::ParseError& error) {
+    throw SuiteError("", std::string("malformed JSON: ") + error.what());
+  }
+  return parse_stage_entries(document, "stages");
+}
+
+std::vector<StageSpec> load_stages_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw SuiteError("", "cannot open stages file " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return parse_stages_json(text.str());
+  } catch (const SuiteError& error) {
     throw SuiteError("", path + ": " + error.what());
   }
 }
@@ -656,6 +777,31 @@ json::Value traffic_to_json(const SuiteTraffic& traffic) {
   return json::Value(std::move(object));
 }
 
+template <typename Index>
+json::Value indices_to_json(const std::vector<Index>& indices) {
+  json::Array array;
+  for (const Index index : indices) array.emplace_back(static_cast<std::int64_t>(index));
+  return json::Value(std::move(array));
+}
+
+json::Value stage_to_json(const StageSpec& stage) {
+  json::Object object;
+  object.emplace_back("duration", static_cast<std::int64_t>(stage.duration));
+  object.emplace_back("rho", stage.rho);
+  object.emplace_back("on_stay", stage.on_stay);
+  object.emplace_back("off_stay", stage.off_stay);
+  object.emplace_back("kill_edges", indices_to_json(stage.mutation.kill_edges));
+  object.emplace_back("restore_edges", indices_to_json(stage.mutation.restore_edges));
+  object.emplace_back("kill_racks", indices_to_json(stage.mutation.kill_racks));
+  object.emplace_back("restore_racks", indices_to_json(stage.mutation.restore_racks));
+  object.emplace_back("speedup", static_cast<std::int64_t>(stage.mutation.speedup_rounds));
+  object.emplace_back("capacity",
+                      static_cast<std::int64_t>(stage.mutation.endpoint_capacity));
+  object.emplace_back(
+      "dead", stage.mutation.dead_policy == DeadPolicy::Requeue ? "requeue" : "drop");
+  return json::Value(std::move(object));
+}
+
 json::Value engine_to_json(const SuiteEngine& engine) {
   json::Object object;
   object.emplace_back("name", engine.label);
@@ -715,6 +861,11 @@ std::string suite_to_json(const SuiteSpec& spec) {
     stream.emplace_back("max_steps", static_cast<std::int64_t>(spec.max_steps));
     stream.emplace_back("step_cap_factor", spec.step_cap_factor);
     document.emplace_back("stream", json::Value(std::move(stream)));
+    if (!spec.stages.empty()) {
+      json::Array stages;
+      for (const StageSpec& stage : spec.stages) stages.push_back(stage_to_json(stage));
+      document.emplace_back("stages", json::Value(std::move(stages)));
+    }
   }
   return json::dump(json::Value(std::move(document)), 2) + "\n";
 }
@@ -768,6 +919,7 @@ std::vector<StreamSpec> suite_stream_grid(const SuiteSpec& spec) {
         cell.telemetry_window = spec.telemetry_window;
         cell.max_steps = spec.max_steps;
         cell.step_cap_factor = spec.step_cap_factor;
+        cell.stages = spec.stages;
         grid.push_back(std::move(cell));
       }
     }
@@ -859,6 +1011,59 @@ void append_phase_metrics(json::Object& line, const ProbeReport& probe) {
   }
 }
 
+/// Staged cells: one "stages" array with per-stage recovery metrics
+/// aggregated across repetitions -- counts summed, entry backlog and
+/// time-to-drain averaged (drain only over the reps that did drain;
+/// drained_reps says how many that was), latency percentiles over the
+/// merged per-stage histograms (the -1 sentinel when nothing completed).
+void append_stage_metrics(json::Object& line, const StreamResult& result) {
+  if (result.repetitions.empty() || result.repetitions.front().stages.empty()) return;
+  const std::size_t num_stages = result.repetitions.front().stages.size();
+  const auto reps = static_cast<double>(result.repetitions.size());
+  json::Array stages;
+  for (std::size_t k = 0; k < num_stages; ++k) {
+    std::uint64_t offered = 0, served = 0, dropped = 0, requeued = 0;
+    double entry_backlog = 0.0, drain = 0.0;
+    std::int64_t drained_reps = 0;
+    LatencyHistogram latency;
+    for (const StreamRepOutcome& rep : result.repetitions) {
+      const StageOutcome& stage = rep.stages[k];
+      offered += stage.offered;
+      served += stage.served;
+      dropped += stage.dropped;
+      requeued += stage.requeued;
+      entry_backlog += static_cast<double>(stage.entry_backlog);
+      if (stage.drain_steps >= 0) {
+        drain += static_cast<double>(stage.drain_steps);
+        ++drained_reps;
+      }
+      latency.merge(stage.latency);
+    }
+    const StageOutcome& first = result.repetitions.front().stages[k];
+    json::Object object;
+    object.emplace_back("stage", static_cast<std::int64_t>(k));
+    object.emplace_back("start", static_cast<std::int64_t>(first.start));
+    object.emplace_back("edges_killed", static_cast<std::int64_t>(first.edges_killed));
+    object.emplace_back("edges_restored",
+                        static_cast<std::int64_t>(first.edges_restored));
+    object.emplace_back("offered", static_cast<std::int64_t>(offered));
+    object.emplace_back("served", static_cast<std::int64_t>(served));
+    object.emplace_back("dropped", static_cast<std::int64_t>(dropped));
+    object.emplace_back("requeued", static_cast<std::int64_t>(requeued));
+    object.emplace_back("entry_backlog_mean", entry_backlog / reps);
+    object.emplace_back("drained_reps", drained_reps);
+    object.emplace_back("drain_steps_mean",
+                        drained_reps > 0 ? drain / static_cast<double>(drained_reps)
+                                         : -1.0);
+    object.emplace_back("p50", latency.empty() ? std::int64_t{-1}
+                                               : static_cast<std::int64_t>(latency.p50()));
+    object.emplace_back("p99", latency.empty() ? std::int64_t{-1}
+                                               : static_cast<std::int64_t>(latency.p99()));
+    stages.push_back(json::Value(std::move(object)));
+  }
+  line.emplace_back("stages", json::Value(std::move(stages)));
+}
+
 }  // namespace
 
 std::vector<std::string> SuiteRunner::run(std::size_t threads) const {
@@ -910,13 +1115,28 @@ std::vector<std::string> SuiteRunner::run(std::size_t threads) const {
     line.emplace_back("wall_ms", result.wall_ms.mean());
     line.emplace_back("throughput", result.throughput.mean());
     line.emplace_back("measured_rho", result.measured_rho.mean());
+    // `latency` folds converged repetitions only (truncated reps are a
+    // censored sample, kept apart in latency_truncated); when every rep
+    // truncated, the percentiles have no sample and emit the -1 sentinel.
     line.emplace_back("mean_latency", result.latency.mean());
-    line.emplace_back("p50", static_cast<std::int64_t>(result.latency.p50()));
-    line.emplace_back("p95", static_cast<std::int64_t>(result.latency.p95()));
-    line.emplace_back("p99", static_cast<std::int64_t>(result.latency.p99()));
+    const bool has_latency = !result.latency.empty();
+    line.emplace_back("p50", has_latency ? static_cast<std::int64_t>(result.latency.p50())
+                                         : std::int64_t{-1});
+    line.emplace_back("p95", has_latency ? static_cast<std::int64_t>(result.latency.p95())
+                                         : std::int64_t{-1});
+    line.emplace_back("p99", has_latency ? static_cast<std::int64_t>(result.latency.p99())
+                                         : std::int64_t{-1});
     line.emplace_back("backlog", result.backlog.mean());
     line.emplace_back("truncated_reps", static_cast<std::int64_t>(result.truncated_reps));
+    {
+      json::Array flags;
+      for (const StreamRepOutcome& rep : result.repetitions) flags.emplace_back(rep.truncated);
+      line.emplace_back("rep_truncated", json::Value(std::move(flags)));
+    }
     line.emplace_back("zero_demand", static_cast<std::int64_t>(result.zero_demand));
+    line.emplace_back("dropped", static_cast<std::int64_t>(result.dropped));
+    line.emplace_back("requeued", static_cast<std::int64_t>(result.requeued));
+    append_stage_metrics(line, result);
     append_phase_metrics(line, result.probe);
     lines.push_back(json::dump(json::Value(std::move(line))));
   }

@@ -27,8 +27,19 @@
 //     "topologies": [{"kind": "two_tier", ...}, ...],   // required
 //     "workloads": [{...}, ...],          // batch mode: required
 //     "traffic": [{...}, ...],            // stream mode: required
-//     "stream": {"warmup": 1000, ...}     // stream mode run knobs
-//   }
+//     "stream": {"warmup": 1000, ...},    // stream mode run knobs
+//     "stages": [{"duration": 500, "kill_racks": [0], ...}, ...]
+//   }                                     // stream mode: optional schedule
+//
+// "stages" declares a time-staged dynamic scenario (run/stream.hpp
+// StageSpec): each entry holds traffic overrides (rho / on_stay /
+// off_stay, -1 inherits the traffic axis) plus an engine mutation
+// (kill_edges / restore_edges / kill_racks / restore_racks / speedup /
+// capacity / dead: drop|requeue) applied atomically at the stage edge.
+// The same schedule is copied into every grid cell, so edge indices must
+// be valid for every topology axis entry (rack indices are the portable
+// choice). A standalone schedule file (a bare JSON array of the same
+// stage objects) is the `rdcn_cli stream --stages` input.
 
 #include <cstdint>
 #include <stdexcept>
@@ -97,6 +108,10 @@ struct SuiteSpec {
   Time telemetry_window = 256;
   Time max_steps = 0;
   double step_cap_factor = 8.0;
+
+  /// Stream-mode stage schedule, copied into every grid cell (empty =
+  /// classic single-regime runs). See the "stages" schema note above.
+  std::vector<StageSpec> stages;
 };
 
 /// Parses and validates a suite document. Throws SuiteError (and never
@@ -105,6 +120,14 @@ SuiteSpec parse_suite(const std::string& json_text);
 
 /// Reads the file and parses it; file-system errors also throw SuiteError.
 SuiteSpec load_suite_file(const std::string& path);
+
+/// Parses a standalone stage schedule: a JSON array of stage objects, the
+/// exact schema of a suite's "stages" key (errors name "stages[i].key").
+/// This is the `rdcn_cli stream --stages` document.
+std::vector<StageSpec> parse_stages_json(const std::string& json_text);
+
+/// Reads and parses a stage-schedule file; also throws SuiteError.
+std::vector<StageSpec> load_stages_file(const std::string& path);
 
 /// The normalized document: every default materialized, keys in schema
 /// order. parse_suite(suite_to_json(s)) reproduces s exactly, and

@@ -89,6 +89,7 @@ void Engine::init(EngineOptions options) {
   active_.receiver_rank_.assign(num_r, -1);
   impact_index_.attach(*topology_);
   const auto num_edges = static_cast<std::size_t>(topology_->num_edges());
+  edge_alive_.assign(num_edges, 1);
   edge_meta_.resize(num_edges);
   for (std::size_t i = 0; i < num_edges; ++i) {
     const ReconfigEdge& edge = topology_->edge(static_cast<EdgeIndex>(i));
@@ -128,6 +129,8 @@ void Engine::append_slot(const Packet& packet) {
   PacketState ps;
   ps.arrival = packet.arrival;
   ps.weight = packet.weight;
+  ps.source = packet.source;
+  ps.destination = packet.destination;
   state_.push_back(ps);
   remaining_.push_back(0);
   chunk_weight_.push_back(0.0);
@@ -208,6 +211,9 @@ void Engine::apply_route(const Packet& packet, const RouteDecision& route) {
   } else {
     if (route.edge < 0 || route.edge >= topology_->num_edges()) {
       throw std::logic_error("dispatcher chose an invalid edge");
+    }
+    if (!edge_alive(route.edge)) {
+      throw std::logic_error("dispatcher chose an edge killed by a stage mutation");
     }
     const ReconfigEdge& edge = topology_->edge(route.edge);
     if (topology_->source_of(edge.transmitter) != packet.source ||
@@ -315,7 +321,11 @@ void Engine::dispatch_arrivals() {
   while (next_arrival_ < packets.size() && packets[next_arrival_].arrival == now_) {
     const Packet& packet = packets[next_arrival_];
     append_slot(packet);
-    apply_route(packet, dispatcher_->dispatch(*this, packet));
+    if (dead_edges_ != 0 && !has_viable_route(packet.source, packet.destination)) {
+      drop_packet(packet.id);  // pair severed by failures; nothing to route over
+    } else {
+      apply_route(packet, dispatcher_->dispatch(*this, packet));
+    }
     ++next_arrival_;
   }
 }
@@ -327,7 +337,11 @@ void Engine::inject(const Packet& packet) {
   }
   Probe::Span span(probe_, Phase::Dispatch);
   append_slot(packet);
-  apply_route(packet, dispatcher_->dispatch(*this, packet));
+  if (dead_edges_ != 0 && !has_viable_route(packet.source, packet.destination)) {
+    drop_packet(packet.id);  // pair severed by failures; nothing to route over
+  } else {
+    apply_route(packet, dispatcher_->dispatch(*this, packet));
+  }
 }
 
 // rdcn-lint: hot
@@ -369,6 +383,219 @@ void Engine::unlist_pending(PacketIndex packet) {
                    queue_pos_receiver_, packet);
   impact_index_.add_chunks(edge.transmitter, edge.receiver, ps.route.edge,
                            chunk_weight_[slot(packet)], -remaining_[slot(packet)]);
+}
+
+void Engine::drop_packet(PacketIndex packet) {
+  const std::size_t s = slot(packet);
+  outcomes_[s].dropped = true;
+  if (auditor_) auditor_->on_drop(*this, packet, outcomes_[s]);
+  state_[s].retired = true;
+  --in_flight_;
+  ++dropped_count_;
+  if (probe_) probe_->count(Counter::PacketsDropped);
+  if (sink_) {
+    sink_(RetiredPacket{packet, state_[s].arrival, state_[s].weight,
+                        std::move(outcomes_[s])});
+  } else {
+    result_.outcomes[static_cast<std::size_t>(packet)] = std::move(outcomes_[s]);
+  }
+  compact_window();
+}
+
+// rdcn-lint: hot
+void Engine::viable_edges_into(NodeIndex source, NodeIndex destination,
+                               std::vector<EdgeIndex>& out) const {
+  topology_->candidate_edges_into(source, destination, out);
+  if (dead_edges_ == 0) return;  // steady state: pure pass-through
+  std::size_t write = 0;
+  for (EdgeIndex e : out) {
+    if (edge_alive_[static_cast<std::size_t>(e)]) out[write++] = e;
+  }
+  out.resize(write);
+}
+
+bool Engine::has_viable_route(NodeIndex source, NodeIndex destination) const {
+  if (topology_->fixed_link_delay(source, destination)) return true;
+  topology_->candidate_edges_into(source, destination, route_scratch_);
+  if (dead_edges_ == 0) return !route_scratch_.empty();
+  for (EdgeIndex e : route_scratch_) {
+    if (edge_alive_[static_cast<std::size_t>(e)]) return true;
+  }
+  return false;
+}
+
+MutationStats Engine::apply_mutation(const StageMutation& mutation) {
+  if (step_open_) {
+    throw std::logic_error("apply_mutation: only valid at a step boundary");
+  }
+  if (options_.record_trace || options_.redispatch_queued) {
+    throw std::invalid_argument(
+        "stage mutations are incompatible with record_trace / redispatch_queued");
+  }
+  MutationStats stats;
+  merge_staged_candidates();  // unlist_pending needs the merged list
+
+  const auto num_edges = static_cast<std::size_t>(topology_->num_edges());
+  const auto valid_rack = [&](NodeIndex r) {
+    return r >= 0 && (r < topology_->num_sources() || r < topology_->num_destinations());
+  };
+  const auto rack_touches = [&](const ReconfigEdge& edge, NodeIndex r) {
+    return topology_->source_of(edge.transmitter) == r ||
+           topology_->destination_of(edge.receiver) == r;
+  };
+  const auto restore_edge = [&](EdgeIndex e) {
+    char& alive = edge_alive_[static_cast<std::size_t>(e)];
+    if (!alive) {
+      alive = 1;
+      --dead_edges_;
+      ++stats.edges_restored;
+    }
+  };
+  const auto kill_edge = [&](EdgeIndex e) {
+    char& alive = edge_alive_[static_cast<std::size_t>(e)];
+    if (alive) {
+      alive = 0;
+      ++dead_edges_;
+      ++stats.edges_killed;
+    }
+  };
+
+  // Restores before kills: an edge named by both stays dead.
+  for (EdgeIndex e : mutation.restore_edges) {
+    if (e < 0 || e >= topology_->num_edges()) {
+      throw std::invalid_argument("apply_mutation: restore_edges index out of range");
+    }
+    restore_edge(e);
+  }
+  for (NodeIndex r : mutation.restore_racks) {
+    if (!valid_rack(r)) {
+      throw std::invalid_argument("apply_mutation: restore_racks index out of range");
+    }
+    for (std::size_t i = 0; i < num_edges; ++i) {
+      const auto e = static_cast<EdgeIndex>(i);
+      if (rack_touches(topology_->edge(e), r)) restore_edge(e);
+    }
+  }
+  for (EdgeIndex e : mutation.kill_edges) {
+    if (e < 0 || e >= topology_->num_edges()) {
+      throw std::invalid_argument("apply_mutation: kill_edges index out of range");
+    }
+    kill_edge(e);
+  }
+  for (NodeIndex r : mutation.kill_racks) {
+    if (!valid_rack(r)) {
+      throw std::invalid_argument("apply_mutation: kill_racks index out of range");
+    }
+    for (std::size_t i = 0; i < num_edges; ++i) {
+      const auto e = static_cast<EdgeIndex>(i);
+      if (rack_touches(topology_->edge(e), r)) kill_edge(e);
+    }
+  }
+
+  // In-flight packets stranded on freshly-killed edges, in (arrival, id)
+  // order so requeue re-dispatch is deterministic and arrival-fair.
+  // Edges dead before this call carry no candidates, so scanning for any
+  // dead edge finds exactly the newly stranded set.
+  if (stats.edges_killed != 0) {
+    mutation_scratch_.clear();
+    for (const Candidate& c : candidates_) {
+      if (!edge_alive_[static_cast<std::size_t>(c.edge)]) {
+        mutation_scratch_.push_back(c.packet);
+      }
+    }
+    std::sort(mutation_scratch_.begin(), mutation_scratch_.end(),
+              [this](PacketIndex a, PacketIndex b) {
+                const Time aa = state_[slot(a)].arrival;
+                const Time ab = state_[slot(b)].arrival;
+                if (aa != ab) return aa < ab;
+                return a < b;
+              });
+    for (PacketIndex p : mutation_scratch_) {
+      const std::size_t s = slot(p);
+      const bool untouched =
+          remaining_[s] == topology_->edge(state_[s].route.edge).delay;
+      unlist_pending(p);
+      if (mutation.dead_policy == DeadPolicy::Requeue && untouched &&
+          has_viable_route(state_[s].source, state_[s].destination)) {
+        remaining_[s] = 0;
+        Packet packet;
+        packet.id = p;
+        packet.arrival = state_[s].arrival;
+        packet.weight = state_[s].weight;
+        packet.source = state_[s].source;
+        packet.destination = state_[s].destination;
+        if (auditor_) auditor_->on_requeue(*this, p);
+        ++requeued_count_;
+        ++stats.packets_requeued;
+        if (probe_) probe_->count(Counter::PacketsRequeued);
+        apply_route(packet, dispatcher_->dispatch(*this, packet));
+      } else {
+        drop_packet(p);
+        ++stats.packets_dropped;
+      }
+    }
+    merge_staged_candidates();
+  }
+
+  if (mutation.speedup_rounds != 0) {
+    if (mutation.speedup_rounds < 1) {
+      throw std::invalid_argument("apply_mutation: speedup_rounds must be >= 1");
+    }
+    options_.speedup_rounds = mutation.speedup_rounds;
+  }
+  if (mutation.endpoint_capacity != 0) {
+    if (mutation.endpoint_capacity < 1) {
+      throw std::invalid_argument("apply_mutation: endpoint_capacity must be >= 1");
+    }
+    if (options_.reconfig_delay > 0 && mutation.endpoint_capacity != 1) {
+      throw std::invalid_argument(
+          "apply_mutation: reconfig_delay requires endpoint_capacity == 1");
+    }
+    options_.endpoint_capacity = mutation.endpoint_capacity;
+    // The matching bound may have grown; keep the round loop off the heap.
+    const auto num_t = static_cast<std::size_t>(topology_->num_transmitters());
+    const auto num_r = static_cast<std::size_t>(topology_->num_receivers());
+    const std::size_t matching_bound =
+        std::min(num_t, num_r) * static_cast<std::size_t>(options_.endpoint_capacity);
+    selection_.mutable_indices().reserve(matching_bound);
+    finished_scratch_.reserve(matching_bound);
+  }
+
+  crosscheck_impact_index();
+  if (probe_) probe_->count(Counter::StageMutations);
+  return stats;
+}
+
+void Engine::crosscheck_impact_index() {
+  // Rebuild the index from the candidate list alone and require bitwise
+  // agreement: integer loads always, treap splits when the live index has
+  // its weight structures up (canonical hash-priority shape makes the
+  // incremental and rebuilt treaps structurally identical). Mutations are
+  // cold, so the O(n log n) rebuild is free at steady state.
+  ImpactIndex fresh;
+  fresh.attach(*topology_);
+  for (const Candidate& c : candidates_) {
+    fresh.add_chunks(c.transmitter, c.receiver, c.edge, c.chunk_weight, c.remaining);
+  }
+  const auto num_edges = static_cast<std::size_t>(topology_->num_edges());
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    const auto e = static_cast<EdgeIndex>(i);
+    if (impact_index_.edge_load(e) != fresh.edge_load(e)) {
+      throw std::logic_error(
+          "apply_mutation: impact index edge load diverged from rebuild");
+    }
+  }
+  if (impact_index_.weight_ready()) {
+    fresh.rebuild(candidates_, staged_);
+    for (const Candidate& c : candidates_) {
+      const ImpactSplit live = impact_index_.edge_split(c.edge, c.chunk_weight);
+      const ImpactSplit ref = fresh.edge_split(c.edge, c.chunk_weight);
+      if (live.heavier != ref.heavier || live.lighter_weight != ref.lighter_weight) {
+        throw std::logic_error(
+            "apply_mutation: impact index weight split diverged from rebuild");
+      }
+    }
+  }
 }
 
 void Engine::redispatch_queued_packets() {
@@ -619,6 +846,7 @@ void Engine::begin_step(const Time* next_arrival) {
   if (options_.max_steps > 0 && result_.steps_simulated > options_.max_steps) {
     throw std::runtime_error("engine exceeded max_steps; scheduler may be starving packets");
   }
+  step_open_ = true;
   if (auditor_) auditor_->on_step_begin(*this, previous);
 }
 
@@ -630,6 +858,7 @@ void Engine::finish_step() {
     schedule_round(options_.record_trace);
   }
   if (auditor_) auditor_->on_step_end(*this);
+  step_open_ = false;
 }
 
 RunResult Engine::run() {
@@ -641,6 +870,48 @@ RunResult Engine::run() {
   while (work_left()) {
     const Time* upcoming =
         next_arrival_ < packets.size() ? &packets[next_arrival_].arrival : nullptr;
+    begin_step(upcoming);
+    dispatch_arrivals();
+    finish_step();
+  }
+  if (probe_) result_.probe = probe_->report();
+  return std::move(result_);
+}
+
+RunResult Engine::run(const std::vector<TimedMutation>& schedule) {
+  if (instance_ == nullptr) {
+    throw std::logic_error("run() requires batch mode; streaming engines are step-driven");
+  }
+  if (options_.record_trace || options_.redispatch_queued) {
+    throw std::invalid_argument(
+        "staged runs are incompatible with record_trace / redispatch_queued");
+  }
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    if (schedule[i].at < schedule[i - 1].at) {
+      throw std::invalid_argument("stage schedule must be sorted by time");
+    }
+  }
+  const auto& packets = instance_->packets();
+  now_ = 0;
+  std::size_t next_stage = 0;
+  while (true) {
+    // A mutation at time T governs every step with now() >= T, so it is
+    // applied once the next step's clock (now()+1, barring idle jumps --
+    // which the clamp below caps at T-1) reaches it.
+    while (next_stage < schedule.size() && schedule[next_stage].at <= now_ + 1) {
+      apply_mutation(schedule[next_stage].mutation);
+      ++next_stage;
+    }
+    if (!work_left()) break;
+    const Time* upcoming =
+        next_arrival_ < packets.size() ? &packets[next_arrival_].arrival : nullptr;
+    Time stage_bound = 0;
+    if (next_stage < schedule.size()) {
+      // Clamp the idle jump to the step before the stage edge: the loop
+      // head then applies the mutation and step T runs post-mutation.
+      stage_bound = schedule[next_stage].at - 1;
+      if (upcoming == nullptr || stage_bound < *upcoming) upcoming = &stage_bound;
+    }
     begin_step(upcoming);
     dispatch_arrivals();
     finish_step();

@@ -126,6 +126,61 @@ struct PacketOutcome {
   ChunkSteps chunk_transmit_steps;
   Time completion = 0;          ///< time the last fraction reaches dest(p)
   double weighted_latency = 0;  ///< sum over fractions of w*x*(finish - a_p)
+  /// The packet never completed: its edge was killed by a StageMutation (or
+  /// it arrived for a pair with no surviving route). completion stays 0;
+  /// weighted_latency keeps the chunks already accounted (wasted service).
+  bool dropped = false;
+};
+
+/// What happens to in-flight packets whose assigned edge a StageMutation
+/// kills. Fixed-route packets retire at dispatch and are never affected.
+enum class DeadPolicy {
+  /// Retire immediately as dropped (outcome.dropped; partial latency kept).
+  Drop,
+  /// Packets with no transmitted chunk are handed back to the dispatcher
+  /// and may re-route over surviving edges or the fixed layer; packets
+  /// mid-transmit still drop (routing is non-migratory, Section II).
+  Requeue,
+};
+
+/// One atomic engine/topology mutation. Valid only at a step boundary
+/// (between finish_step() and the next begin_step()): the engine patches
+/// the candidate list, the per-endpoint queues, the impact index and the
+/// affected in-flight packets together, then cross-checks the index
+/// against a rebuild from scratch. Restores apply before kills, so an edge
+/// named by both ends up dead.
+struct StageMutation {
+  std::vector<EdgeIndex> kill_edges;
+  std::vector<EdgeIndex> restore_edges;
+  /// Rack granularity: index r kills/restores every reconfigurable edge
+  /// whose transmitter attaches to source r or whose receiver attaches to
+  /// destination r. Fixed direct links never die (the hybrid safety net).
+  std::vector<NodeIndex> kill_racks;
+  std::vector<NodeIndex> restore_racks;
+  int speedup_rounds = 0;     ///< scheduling rounds per step; 0 = keep current
+  int endpoint_capacity = 0;  ///< b-matching capacity; 0 = keep current
+  DeadPolicy dead_policy = DeadPolicy::Drop;
+
+  bool is_noop() const noexcept {
+    return kill_edges.empty() && restore_edges.empty() && kill_racks.empty() &&
+           restore_racks.empty() && speedup_rounds == 0 && endpoint_capacity == 0;
+  }
+};
+
+/// Effect summary of one Engine::apply_mutation call.
+struct MutationStats {
+  std::size_t edges_killed = 0;    ///< alive -> dead transitions
+  std::size_t edges_restored = 0;  ///< dead -> alive transitions
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t packets_requeued = 0;
+};
+
+/// A mutation pinned to a clock time: it takes effect for every step with
+/// now() >= at (drive loops apply it before the first such step begins,
+/// clamping idle jumps so no stage edge is skipped).
+struct TimedMutation {
+  Time at = 0;
+  StageMutation mutation;
 };
 
 /// What the streaming retirement sink receives when a packet completes
@@ -210,6 +265,41 @@ class Engine {
   /// Runs the full simulation to completion and returns the result.
   /// Batch mode only.
   RunResult run();
+
+  /// Batch-mode run under a stage schedule: mutations sorted by `at`
+  /// (nondecreasing) are applied at step boundaries so that every step
+  /// with now() >= at executes post-mutation. The idle jump is clamped to
+  /// the next stage edge, so schedules are honored even across arrival
+  /// gaps. Incompatible with record_trace and redispatch_queued.
+  RunResult run(const std::vector<TimedMutation>& schedule);
+
+  // --- stage mutations ----------------------------------------------------
+
+  /// Applies one mutation atomically at a step boundary (throws between
+  /// begin_step and finish_step). Patches candidates, endpoint queues and
+  /// the impact index together, drops or requeues in-flight packets on
+  /// dead edges, then cross-checks the index bit-for-bit against a rebuild
+  /// from scratch. Both modes.
+  MutationStats apply_mutation(const StageMutation& mutation);
+
+  /// False only for reconfigurable edges killed by a StageMutation.
+  bool edge_alive(EdgeIndex e) const noexcept {
+    return dead_edges_ == 0 || edge_alive_[static_cast<std::size_t>(e)] != 0;
+  }
+  std::size_t dead_edge_count() const noexcept { return dead_edges_; }
+
+  /// candidate_edges_into() restricted to alive edges -- what dispatchers
+  /// route over. The common no-failures case is a pass-through (zero-cost:
+  /// one integer compare).
+  void viable_edges_into(NodeIndex source, NodeIndex destination,
+                         std::vector<EdgeIndex>& out) const;
+
+  /// True if source->destination still has some way through: a fixed
+  /// direct link, or at least one alive reconfigurable edge.
+  bool has_viable_route(NodeIndex source, NodeIndex destination) const;
+
+  std::uint64_t packets_dropped() const noexcept { return dropped_count_; }
+  std::uint64_t packets_requeued() const noexcept { return requeued_count_; }
 
   // --- streaming interface ------------------------------------------------
   //
@@ -333,6 +423,11 @@ class Engine {
     RouteDecision route;
     Time arrival = 0;
     Weight weight = 0.0;
+    /// Endpoints kept per packet so stage mutations can re-dispatch or
+    /// route-check in-flight packets without an Instance (streaming mode
+    /// has no packet sequence to look them up in).
+    NodeIndex source = 0;
+    NodeIndex destination = 0;
     bool dispatched = false;
     bool retired = false;
   };
@@ -363,6 +458,14 @@ class Engine {
   /// One scheduling round; returns number of chunks transmitted.
   std::size_t schedule_round(bool record);
   bool work_left() const;
+  /// Retires `packet` without completion: marks the outcome dropped and
+  /// delivers it (sink / result_.outcomes) like a normal retirement.
+  void drop_packet(PacketIndex packet);
+  /// Verifies the incremental impact index against a rebuild from scratch
+  /// (integer loads always; treap splits when the weight structures are
+  /// live). Throws std::logic_error on any mismatch. Called after every
+  /// apply_mutation -- mutations are cold, rebuilds are O(n log n).
+  void crosscheck_impact_index();
 
   const Instance* instance_ = nullptr;  ///< null in streaming mode
   const Topology* topology_ = nullptr;
@@ -404,6 +507,20 @@ class Engine {
   std::size_t peak_resident_ = 0;
   std::uint64_t dispatched_count_ = 0;
   std::uint64_t retired_count_ = 0;
+  std::uint64_t dropped_count_ = 0;
+  std::uint64_t requeued_count_ = 0;
+
+  /// Stage-mutation state. dead_edges_ == 0 is the steady-state fast path:
+  /// edge_alive() and viable_edges_into() reduce to one compare, so runs
+  /// without mutations pay nothing. step_open_ guards the step-boundary
+  /// contract of apply_mutation.
+  std::vector<char> edge_alive_;
+  std::size_t dead_edges_ = 0;
+  bool step_open_ = false;
+  /// Mutation-path scratch (cold): packets affected by a kill, and the
+  /// route-check buffer behind has_viable_route.
+  std::vector<PacketIndex> mutation_scratch_;
+  mutable std::vector<EdgeIndex> route_scratch_;
 
   /// Pending candidates in decreasing chunk priority; the list handed to
   /// the scheduler. Maintained incrementally: same-step dispatches stage

@@ -142,7 +142,8 @@ StreamTelemetry::StreamTelemetry(Time window_steps) : window_steps_(window_steps
 }
 
 void StreamTelemetry::flush_window() {
-  current_.mean_backlog = backlog_sum_ / static_cast<double>(current_.steps);
+  current_.mean_backlog =
+      current_.steps > 0 ? backlog_sum_ / static_cast<double>(current_.steps) : 0.0;
   if (probe_ != nullptr) {
     // The probe's phase times are cumulative; each window keeps the delta
     // against the previous flush.
@@ -170,8 +171,17 @@ void StreamTelemetry::on_step(Time now, std::uint64_t arrivals, std::uint64_t se
   if (current_.steps >= window_steps_) flush_window();
 }
 
+void StreamTelemetry::absorb_boundary(std::uint64_t served) {
+  if (served == 0) return;
+  if (windows_.empty() || current_.steps > 0) {
+    current_.served += served;  // lands in the trailing partial window
+  } else {
+    windows_.back().served += served;
+  }
+}
+
 const std::vector<StreamWindow>& StreamTelemetry::finish() {
-  if (current_.steps > 0) flush_window();
+  if (current_.steps > 0 || current_.served > 0) flush_window();
   return windows_;
 }
 

@@ -78,6 +78,11 @@ class StreamTelemetry {
   /// cumulative phase_self_ns against the previous flush.
   void on_step(Time now, std::uint64_t arrivals, std::uint64_t served,
                std::size_t in_flight, const Probe* probe = nullptr);
+  /// Folds retirements that happen between steps (stage-boundary mutations
+  /// requeueing packets onto the fixed layer retire them inside the
+  /// mutation, outside any step bracket) into the trailing window so the
+  /// series served total matches the run's.
+  void absorb_boundary(std::uint64_t served);
   /// Flushes the open partial window (idempotent) and returns the series.
   const std::vector<StreamWindow>& finish();
 

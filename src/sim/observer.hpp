@@ -67,6 +67,23 @@ class EngineObserver {
   virtual void on_retire(const Engine& engine, PacketIndex packet,
                          const PacketOutcome& outcome) = 0;
 
+  /// `packet` was dropped by a stage mutation (its edge died, or it
+  /// arrived for a pair with no surviving route) and `outcome` -- with
+  /// outcome.dropped set and completion 0 -- is about to leave the engine.
+  /// For an arrival-time drop the packet was never seen by on_dispatch.
+  /// Default no-op so observers predating stage mutations stay valid.
+  virtual void on_drop(const Engine& engine, PacketIndex packet,
+                       const PacketOutcome& outcome) {
+    (void)engine, (void)packet, (void)outcome;
+  }
+
+  /// A stage mutation killed `packet`'s edge before any chunk transmitted
+  /// and the packet is about to be re-dispatched (an on_dispatch for the
+  /// same packet follows within the same apply_mutation call).
+  virtual void on_requeue(const Engine& engine, PacketIndex packet) {
+    (void)engine, (void)packet;
+  }
+
   /// All scheduling rounds of the step ran and retirements are applied.
   virtual void on_step_end(const Engine& engine) = 0;
 };

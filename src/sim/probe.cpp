@@ -26,6 +26,9 @@ const char* to_string(Counter counter) {
     case Counter::ImpactQueries: return "impact_queries";
     case Counter::IndexRebuilds: return "index_rebuilds";
     case Counter::DroppedEvents: return "dropped_events";
+    case Counter::PacketsDropped: return "packets_dropped";
+    case Counter::PacketsRequeued: return "packets_requeued";
+    case Counter::StageMutations: return "stage_mutations";
   }
   return "?";
 }

@@ -64,8 +64,11 @@ enum class Counter : std::uint8_t {
   ImpactQueries,
   IndexRebuilds,
   DroppedEvents,
+  PacketsDropped,   ///< failure-injection drops (StageMutation / dead routes)
+  PacketsRequeued,  ///< packets re-dispatched off a killed edge
+  StageMutations,   ///< apply_mutation calls
 };
-inline constexpr std::size_t kNumCounters = 8;
+inline constexpr std::size_t kNumCounters = 11;
 const char* to_string(Counter counter);
 
 /// Sampled gauges: last value and high-water mark. Sampled once per

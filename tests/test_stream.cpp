@@ -362,6 +362,299 @@ TEST(StreamRunner, RunMergesRepetitions) {
   EXPECT_EQ(result.throughput.count(), 3u);
 }
 
+// ----------------------------------------------------- staged mutations --
+
+/// Two disjoint reconfigurable routes for the pair (0, 0): a cheap edge a
+/// min-delay dispatcher always prefers and an expensive fallback that only
+/// matters once the cheap one is killed.
+Topology two_route_topology() {
+  Topology g;
+  g.add_sources(1);
+  g.add_destinations(1);
+  const NodeIndex t1 = g.add_transmitter(0);
+  const NodeIndex t2 = g.add_transmitter(0);
+  const NodeIndex r1 = g.add_receiver(0);
+  const NodeIndex r2 = g.add_receiver(0);
+  g.add_edge(t1, r1, 2);  // edge 0: preferred
+  g.add_edge(t2, r2, 6);  // edge 1: fallback
+  return g;
+}
+
+TEST(StageMutations, RequeueRedispatchesUntouchedPacketsOntoSurvivors) {
+  const Topology topology = two_route_topology();
+  const PolicyFactory policy = named_policy("min-delay");
+  auto dispatcher = policy.dispatcher();
+  auto scheduler = policy.scheduler(topology);
+  EngineOptions options;
+  options.audit = true;
+  std::uint64_t served = 0;
+  std::uint64_t dropped = 0;
+  Engine engine(topology, *dispatcher, *scheduler, options,
+                [&](RetiredPacket&& packet) {
+                  if (packet.outcome.dropped) {
+                    ++dropped;
+                  } else {
+                    ++served;
+                    EXPECT_EQ(packet.outcome.route.edge, 1) << "must finish on the fallback";
+                  }
+                });
+  // Both packets land on edge 0 (min delay); one step transmits a single
+  // chunk of the front packet, leaving the second untouched.
+  Packet p0{0, 1, 1.0, 0, 0};
+  Packet p1{1, 1, 1.0, 0, 0};
+  const Time first = 1;
+  engine.begin_step(&first);
+  engine.inject(p0);
+  engine.inject(p1);
+  engine.finish_step();
+
+  StageMutation mutation;
+  mutation.kill_edges = {0};
+  mutation.dead_policy = DeadPolicy::Requeue;
+  const MutationStats stats = engine.apply_mutation(mutation);
+  EXPECT_EQ(stats.edges_killed, 1u);
+  // The packet with a transmitted chunk can never be requeued (partial
+  // work is unrecoverable); the untouched one re-routes onto edge 1.
+  EXPECT_EQ(stats.packets_dropped, 1u);
+  EXPECT_EQ(stats.packets_requeued, 1u);
+  EXPECT_EQ(engine.packets_dropped(), 1u);
+  EXPECT_EQ(engine.packets_requeued(), 1u);
+
+  while (engine.busy()) {
+    engine.begin_step(nullptr);
+    engine.finish_step();
+  }
+  EXPECT_EQ(served, 1u);
+  EXPECT_EQ(dropped, 1u);
+}
+
+TEST(StageMutations, DropPolicyStrandsEveryPacketOnTheDeadEdge) {
+  const Topology topology = two_route_topology();
+  const PolicyFactory policy = named_policy("min-delay");
+  auto dispatcher = policy.dispatcher();
+  auto scheduler = policy.scheduler(topology);
+  EngineOptions options;
+  options.audit = true;
+  std::uint64_t dropped = 0;
+  Engine engine(topology, *dispatcher, *scheduler, options,
+                [&](RetiredPacket&& packet) { dropped += packet.outcome.dropped ? 1 : 0; });
+  Packet p0{0, 1, 1.0, 0, 0};
+  Packet p1{1, 1, 1.0, 0, 0};
+  const Time first = 1;
+  engine.begin_step(&first);
+  engine.inject(p0);
+  engine.inject(p1);
+  engine.finish_step();
+
+  StageMutation mutation;
+  mutation.kill_edges = {0};
+  mutation.dead_policy = DeadPolicy::Drop;
+  const MutationStats stats = engine.apply_mutation(mutation);
+  EXPECT_EQ(stats.packets_dropped, 2u);
+  EXPECT_EQ(stats.packets_requeued, 0u);
+  EXPECT_EQ(dropped, 2u);
+  EXPECT_FALSE(engine.busy());
+
+  // Restoring revives the edge for later arrivals.
+  StageMutation restore;
+  restore.restore_edges = {0};
+  EXPECT_EQ(engine.apply_mutation(restore).edges_restored, 1u);
+  EXPECT_TRUE(engine.edge_alive(0));
+}
+
+TEST(StageMutations, ValidatesBoundariesAndArguments) {
+  const Topology topology = two_route_topology();
+  const PolicyFactory policy = named_policy("min-delay");
+  auto dispatcher = policy.dispatcher();
+  auto scheduler = policy.scheduler(topology);
+  Engine engine(topology, *dispatcher, *scheduler, {}, [](RetiredPacket&&) {});
+
+  StageMutation bad_edge;
+  bad_edge.kill_edges = {99};
+  EXPECT_THROW(engine.apply_mutation(bad_edge), std::invalid_argument);
+
+  StageMutation kill;
+  kill.kill_edges = {0};
+  const Time first = 1;
+  engine.begin_step(&first);
+  EXPECT_THROW(engine.apply_mutation(kill), std::logic_error);  // mid-step
+  engine.finish_step();
+  EXPECT_EQ(engine.apply_mutation(kill).edges_killed, 1u);
+}
+
+// ----------------------------------------------------- staged StreamRunner --
+
+TEST(StreamRunner, OverrideFreeSingleStageMatchesUnstaged) {
+  // A one-stage schedule with no overrides and no mutation must be
+  // bit-for-bit the classic run: same arrivals, same schedule, same stats.
+  const StreamSpec plain = small_stream();
+  StreamSpec staged = plain;
+  staged.stages.emplace_back();  // duration 0 = to end, all inherit
+  const StreamRepOutcome a = StreamRunner(plain).run_repetition(alg_policy(), 4);
+  const StreamRepOutcome b = StreamRunner(staged).run_repetition(alg_policy(), 4);
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_EQ(a.measured, b.measured);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.total_cost, b.total_cost);
+  EXPECT_EQ(a.latency.count(), b.latency.count());
+  EXPECT_EQ(a.latency.p50(), b.latency.p50());
+  ASSERT_EQ(b.stages.size(), 1u);
+  EXPECT_EQ(b.stages[0].start, 1);
+  EXPECT_EQ(b.stages[0].offered, b.offered);
+  EXPECT_EQ(b.stages[0].entry_backlog, 0u);
+  EXPECT_EQ(b.stages[0].drain_steps, 0);
+}
+
+StreamSpec failure_recovery_stream() {
+  StreamSpec spec = small_stream();
+  spec.engine.audit = true;  // zero-tolerance invariant audit across stage edges
+  StageSpec healthy;
+  healthy.duration = 60;
+  StageSpec degraded;
+  degraded.duration = 60;
+  degraded.mutation.kill_edges = {0, 1};
+  degraded.mutation.dead_policy = DeadPolicy::Requeue;
+  degraded.rho = 0.4;
+  StageSpec recovered;  // duration 0 = to end of run
+  recovered.mutation.restore_edges = {0, 1};
+  spec.stages = {healthy, degraded, recovered};
+  return spec;
+}
+
+TEST(StreamRunner, StagedFailureAndRecoveryRunsUnderAudit) {
+  const StreamRunner runner(failure_recovery_stream());
+  const StreamRepOutcome out = runner.run_repetition(alg_policy(), 3);
+  ASSERT_EQ(out.stages.size(), 3u);
+  ASSERT_GT(out.steps, 121) << "run must outlive the whole schedule";
+  EXPECT_FALSE(out.truncated);
+  EXPECT_EQ(out.stages[0].start, 1);
+  EXPECT_EQ(out.stages[1].start, 61);
+  EXPECT_EQ(out.stages[2].start, 121);
+  EXPECT_EQ(out.stages[1].edges_killed, 2u);
+  EXPECT_EQ(out.stages[2].edges_restored, 2u);
+  EXPECT_GT(out.stages[1].entry_backlog, 0u);
+
+  // Every packet is attributed to exactly one stage.
+  std::uint64_t offered = 0;
+  std::uint64_t served = 0;
+  std::uint64_t dropped = 0;
+  Time steps = 0;
+  for (const StageOutcome& stage : out.stages) {
+    offered += stage.offered;
+    served += stage.served;
+    dropped += stage.dropped;
+    steps += stage.steps;
+  }
+  EXPECT_EQ(offered, out.offered);
+  EXPECT_EQ(served, out.served);
+  EXPECT_EQ(dropped, out.dropped);
+  EXPECT_EQ(steps, out.steps);
+  // Every measured id retired or dropped exactly once.
+  EXPECT_EQ(out.measured + out.dropped_measured, runner.spec().measure_packets);
+}
+
+TEST(StreamRunner, StagedRunsAreDeterministicPerSeed) {
+  const StreamRunner runner(failure_recovery_stream());
+  const StreamRepOutcome a = runner.run_repetition(alg_policy(), 7);
+  const StreamRepOutcome b = runner.run_repetition(alg_policy(), 7);
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.requeued, b.requeued);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.total_cost, b.total_cost);
+  EXPECT_EQ(a.latency.count(), b.latency.count());
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  for (std::size_t k = 0; k < a.stages.size(); ++k) {
+    EXPECT_EQ(a.stages[k].offered, b.stages[k].offered) << "stage " << k;
+    EXPECT_EQ(a.stages[k].served, b.stages[k].served) << "stage " << k;
+    EXPECT_EQ(a.stages[k].dropped, b.stages[k].dropped) << "stage " << k;
+    EXPECT_EQ(a.stages[k].drain_steps, b.stages[k].drain_steps) << "stage " << k;
+  }
+}
+
+TEST(StreamRunner, StagedSpecsRejectIllFormedSchedules) {
+  StreamSpec spec = small_stream();
+  spec.stages.emplace_back();
+  spec.stages.emplace_back();  // duration 0 before the last stage
+  EXPECT_THROW(StreamRunner{spec}, std::invalid_argument);
+  spec = small_stream();
+  spec.stages.emplace_back();
+  spec.stages.back().rho = 0.0;
+  EXPECT_THROW(StreamRunner{spec}, std::invalid_argument);
+  spec = small_stream();
+  spec.stages.emplace_back();
+  spec.stages.back().on_stay = 1.5;
+  EXPECT_THROW(StreamRunner{spec}, std::invalid_argument);
+  spec = small_stream();
+  spec.make_trace = [](std::uint64_t) { return golden_instance(10, 1); };
+  spec.stages.emplace_back();
+  EXPECT_THROW(StreamRunner{spec}, std::invalid_argument);  // stages need generative traffic
+}
+
+// -------------------------------------------------------------- satellites --
+
+TEST(StreamRunner, SlowTraceDrainsToCompletionDespiteZeroTargetRate) {
+  // The trace path keeps target_rate == 0 by design: the derived step cap
+  // (a division by the calibrated rate) must never be taken there, or a
+  // sparse trace would truncate instead of draining.
+  TwoTierConfig net;
+  net.racks = 4;
+  net.lasers_per_rack = 2;
+  net.photodetectors_per_rack = 2;
+  net.density = 0.9;
+  net.max_edge_delay = 2;
+  Rng rng(11);
+  const Topology topology = build_two_tier(net, rng);
+  WorkloadConfig workload;
+  workload.num_packets = 60;
+  workload.arrival_rate = 0.05;  // ~20 idle steps between arrivals
+  workload.seed = 11;
+  Instance instance = generate_workload(topology, workload);
+
+  StreamSpec spec;
+  spec.name = "sparse-replay";
+  spec.warmup_packets = 0;
+  spec.measure_packets = instance.num_packets();
+  spec.make_trace = [&](std::uint64_t) { return instance; };
+  const StreamRepOutcome out = StreamRunner(spec).run_repetition(alg_policy(), 1);
+  EXPECT_DOUBLE_EQ(out.target_rate, 0.0);
+  EXPECT_FALSE(out.truncated);
+  EXPECT_EQ(out.served, instance.num_packets());
+  EXPECT_EQ(out.measured, instance.num_packets());
+}
+
+TEST(StreamRunner, AggregationKeepsTruncatedLatencyApart) {
+  // A truncated repetition's histogram is a censored sample (only the
+  // survivors that retired before the cap); it must merge into
+  // latency_truncated, never into the converged summary.
+  StreamSpec spec = small_stream();
+  spec.repetitions = 2;
+  const StreamRunner runner(spec);
+  StreamRepOutcome converged;
+  converged.seed = 1;
+  converged.latency.add(10);
+  converged.latency.add(20);
+  StreamRepOutcome truncated;
+  truncated.seed = 2;
+  truncated.truncated = true;
+  truncated.latency.add(3);
+  truncated.dropped = 4;
+  truncated.requeued = 1;
+  std::vector<StreamRepOutcome> outcomes;
+  outcomes.push_back(std::move(converged));
+  outcomes.push_back(std::move(truncated));
+  const StreamResult result = runner.aggregate(alg_policy(), std::move(outcomes));
+  EXPECT_EQ(result.truncated_reps, 1u);
+  EXPECT_EQ(result.latency.count(), 2u);
+  EXPECT_EQ(result.latency.max(), 20);
+  EXPECT_EQ(result.latency_truncated.count(), 1u);
+  EXPECT_EQ(result.latency_truncated.max(), 3);
+  EXPECT_EQ(result.dropped, 4u);
+  EXPECT_EQ(result.requeued, 1u);
+}
+
 // ------------------------------------------------------------- BatchRunner --
 
 TEST(BatchRunner, StreamCellsMatchSequentialRuns) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "run/random.hpp"
+#include "run/stream.hpp"
 #include "run/suite.hpp"
 #include "util/json.hpp"
 #include "workload/generator.hpp"
@@ -165,8 +166,54 @@ TEST(SuiteParse, ProfileKeyEnablesTheEngineProbe) {
   EXPECT_EQ(suite_to_json(reparsed), normalized);
 }
 
+const char* kStagedStream = R"({
+  "suite": "staged",
+  "mode": "stream",
+  "policies": ["alg"],
+  "topologies": [{"kind": "two_tier", "racks": 5}],
+  "traffic": [{"rho": 0.6}],
+  "stream": {"warmup": 50, "measure": 400},
+  "stages": [
+    {"duration": 60},
+    {"duration": 60, "kill_edges": [1, 2], "kill_racks": [0],
+     "dead": "requeue", "rho": 0.4, "speedup": 2},
+    {"duration": 0, "restore_edges": [1, 2], "restore_racks": [0]}
+  ]
+})";
+
+TEST(SuiteParse, StagesParseIntoEveryStreamCell) {
+  const SuiteSpec suite = parse_suite(kStagedStream);
+  ASSERT_EQ(suite.stages.size(), 3u);
+  EXPECT_EQ(suite.stages[0].duration, 60);
+  EXPECT_DOUBLE_EQ(suite.stages[0].rho, -1.0);  // inherit
+  EXPECT_TRUE(suite.stages[0].mutation.is_noop());
+  EXPECT_EQ(suite.stages[1].mutation.kill_edges, (std::vector<EdgeIndex>{1, 2}));
+  EXPECT_EQ(suite.stages[1].mutation.kill_racks, (std::vector<NodeIndex>{0}));
+  EXPECT_EQ(suite.stages[1].mutation.dead_policy, DeadPolicy::Requeue);
+  EXPECT_EQ(suite.stages[1].mutation.speedup_rounds, 2);
+  EXPECT_DOUBLE_EQ(suite.stages[1].rho, 0.4);
+  EXPECT_EQ(suite.stages[2].duration, 0);
+  EXPECT_EQ(suite.stages[2].mutation.restore_edges, (std::vector<EdgeIndex>{1, 2}));
+  // The schedule is copied into every expanded grid cell.
+  const std::vector<StreamSpec> grid = suite_stream_grid(suite);
+  ASSERT_EQ(grid.size(), 1u);
+  ASSERT_EQ(grid[0].stages.size(), 3u);
+  EXPECT_EQ(grid[0].stages[1].mutation.kill_edges.size(), 2u);
+}
+
+TEST(SuiteParse, StandaloneStagesDocumentMatchesTheSuiteKey) {
+  const std::vector<StageSpec> stages = parse_stages_json(R"([
+    {"duration": 10},
+    {"duration": 0, "kill_edges": [0], "dead": "drop"}
+  ])");
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[1].mutation.kill_edges, (std::vector<EdgeIndex>{0}));
+  EXPECT_EQ(stages[1].mutation.dead_policy, DeadPolicy::Drop);
+  EXPECT_THROW(load_stages_file("/nonexistent/stages.json"), SuiteError);
+}
+
 TEST(SuiteParse, GoldenRoundTripIsAFixpoint) {
-  for (const char* text : {kMinimalBatch, kZooStream}) {
+  for (const char* text : {kMinimalBatch, kZooStream, kStagedStream}) {
     const SuiteSpec suite = parse_suite(text);
     const std::string normalized = suite_to_json(suite);
     const SuiteSpec reparsed = parse_suite(normalized);
@@ -306,6 +353,33 @@ TEST(SuiteParse, WrongModeAxesAreActionable) {
     "stream": {"warmup": 1},
     "workloads": [{"packets": 10}]
   })", "workloads", "only valid when mode is \"batch\"");
+}
+
+TEST(SuiteParse, StageErrorsNameTheExactPath) {
+  // Stages are a stream-mode axis.
+  expect_suite_error(R"({
+    "suite": "x", "policies": ["alg"],
+    "topologies": [{"kind": "crossbar"}],
+    "workloads": [{"packets": 10}],
+    "stages": [{"duration": 5}]
+  })", "stages", "only valid when mode is \"stream\"");
+  const std::string stream_prefix = R"({
+    "suite": "x", "mode": "stream", "policies": ["alg"],
+    "topologies": [{"kind": "crossbar"}],
+    "traffic": [{"rho": 0.5}],
+    "stream": {"measure": 100},)";
+  expect_suite_error(stream_prefix + R"("stages": []})",
+                     "stages", "at least one stage");
+  expect_suite_error(stream_prefix + R"("stages": [{"duration": 0}, {"duration": 5}]})",
+                     "stages[0].duration", "last stage only");
+  expect_suite_error(stream_prefix + R"("stages": [{"duration": 5, "rho": -0.3}]})",
+                     "stages[0].rho", "must be positive");
+  expect_suite_error(stream_prefix + R"("stages": [{"duration": 5, "kill_edges": [-1]}]})",
+                     "stages[0].kill_edges[0]", "out of range");
+  expect_suite_error(stream_prefix + R"("stages": [{"duration": 5, "dead": "panic"}]})",
+                     "stages[0].dead", "known:");
+  expect_suite_error(stream_prefix + R"("stages": [{"duration": 5, "durration": 6}]})",
+                     "stages[0].durration", "unknown key");
 }
 
 TEST(SuiteParse, CrossFieldConstraints) {
@@ -597,6 +671,32 @@ TEST(FuzzGrid, FirstHundredSeedsDrawEveryTopologyKind) {
   }
   EXPECT_EQ(batch_kinds.size(), 5u);
   EXPECT_EQ(stream_kinds.size(), 5u);
+}
+
+TEST(FuzzGrid, StreamSpecsDrawStagedSchedulesWithBothDeadPolicies) {
+  std::size_t staged = 0;
+  bool saw_drop = false;
+  bool saw_requeue = false;
+  bool saw_kill = false;
+  bool saw_restore = false;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const StreamSpec spec = random_stream_spec(seed);
+    if (spec.stages.empty()) continue;
+    ++staged;
+    StreamRunner{spec};  // every drawn schedule passes the runner's validation
+    for (const StageSpec& stage : spec.stages) {
+      saw_drop |= stage.mutation.dead_policy == DeadPolicy::Drop;
+      saw_requeue |= stage.mutation.dead_policy == DeadPolicy::Requeue;
+      saw_kill |= !stage.mutation.kill_edges.empty() || !stage.mutation.kill_racks.empty();
+      saw_restore |=
+          !stage.mutation.restore_edges.empty() || !stage.mutation.restore_racks.empty();
+    }
+  }
+  EXPECT_GT(staged, 15u);  // ~35% of 100 specs carry a schedule
+  EXPECT_TRUE(saw_drop);
+  EXPECT_TRUE(saw_requeue);
+  EXPECT_TRUE(saw_kill);
+  EXPECT_TRUE(saw_restore);
 }
 
 TEST(FuzzGrid, RandomSpecsProduceValidInstances) {

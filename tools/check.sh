@@ -113,12 +113,22 @@ echo "== smoke fuzz =="
 # topology zoo (two-tier, crossbar, oversubscribed, expander, rotor), so
 # every wiring family passes through the checker on every run.
 "$build/rdcn_fuzz" --seeds 15 --base 1 >/dev/null
+# Staged stream specs (failure injection / mid-run rewiring): seed 17
+# historically caught a telemetry served-count bug at stage boundaries.
+"$build/rdcn_fuzz" --seeds 10 --base 12 --mode stream >/dev/null
 
 echo "== smoke cli =="
 "$build/rdcn_cli" policies >/dev/null
 "$build/rdcn_cli" record "$build/smoke_trace.inst" --packets 500 --rho 0.6 --seed 3 >/dev/null
 "$build/rdcn_cli" stream --trace "$build/smoke_trace.inst" --warmup 0 --packets 500 >/dev/null
 "$build/rdcn_cli" stream --rho 0.6 --warmup 200 --packets 2000 --seed 3 >/dev/null
+# Time-staged run with failure injection, audited: kill two edges under
+# requeue, then restore them; the per-stage summary rows must appear.
+printf '[{"duration": 40},\n {"duration": 40, "kill_edges": [0, 1], "dead": "requeue"},\n {"duration": 0, "restore_edges": [0, 1]}]\n' \
+    > "$build/smoke_stages.json"
+"$build/rdcn_cli" stream --rho 0.6 --warmup 100 --packets 1500 --seed 3 \
+    --stages "$build/smoke_stages.json" --audit > "$build/smoke_staged.out"
+grep -q "stage 2" "$build/smoke_staged.out"
 # Profile subcommand: per-phase table plus a Chrome trace; the command
 # itself strict-parses the written trace (nonzero exit on invalid JSON).
 "$build/rdcn_cli" profile --racks 16 --packets 500 \
@@ -128,6 +138,7 @@ test -s "$build/profile_trace.json"
 echo "== smoke suites =="
 "$build/rdcn_cli" suite "$repo/examples/suites/paper_baseline.json" >/dev/null
 "$build/rdcn_cli" suite "$repo/examples/suites/skew_sweep.json" --list >/dev/null
+"$build/rdcn_cli" suite "$repo/examples/suites/failure_sweep.json" >/dev/null
 if "$build/rdcn_cli" suite "$repo/tests/suites/unknown_key.json" >/dev/null 2>&1; then
   echo "check.sh: bad suite file was not rejected" >&2
   exit 1

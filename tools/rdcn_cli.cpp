@@ -28,11 +28,18 @@
 //   stream [--policy <name>] [--rho F] [--source poisson|onoff]
 //          [--trace in.inst] [--warmup N] [--packets N] [--window N]
 //          [--capacity B] [--speedup K] [--reconfig D] [--seed S]
-//          [--max-steps N] [--cap-factor F] [topology/shape flags as gen]
+//          [--max-steps N] [--cap-factor F] [--stages stages.json]
+//          [--audit] [topology/shape flags as gen]
 //       Open-loop steady-state run: streams Poisson/on-off arrivals at
 //       target utilization rho (or replays a recorded trace) through the
 //       bounded-memory engine and prints latency percentiles, throughput
-//       and backlog after the warmup cutoff.
+//       and backlog after the warmup cutoff. --stages drives a time-staged
+//       dynamic scenario (a JSON array of stage objects -- per-stage
+//       traffic overrides plus edge/rack failure injection and mid-run
+//       rewiring, the suite "stages" schema); the summary then adds
+//       per-stage served/dropped/requeued and time-to-drain recovery rows.
+//       --audit runs the invariant auditor alongside (throws on violation).
+//       --stages is incompatible with --trace.
 //   suite <suite.json> [--threads N] [--list]
 //       Runs a declarative suite file (topology x workload/traffic x
 //       engine x policy grid, see run/suite.hpp and examples/suites/)
@@ -375,7 +382,15 @@ int cmd_stream(const Args& args) {
   spec.max_steps = static_cast<Time>(args.number("--max-steps", 0));
   spec.step_cap_factor = args.number("--cap-factor", 8.0);
 
+  spec.engine.audit = args.has("--audit");
+
   const std::string trace = args.value("--trace", "");
+  const std::string stages = args.value("--stages", "");
+  if (!stages.empty() && !trace.empty()) {
+    std::fprintf(stderr, "--stages is incompatible with --trace (staged replay goes "
+                         "through the batch Engine::run(schedule))\n");
+    return 2;
+  }
   if (!trace.empty()) {
     spec.name = trace;
     auto shared = std::make_shared<Instance>(load_instance(trace));
@@ -384,6 +399,14 @@ int cmd_stream(const Args& args) {
     spec.name = "stream";
     fill_two_tier(args, spec.topology.two_tier);
     spec.traffic = traffic_from(args);
+    if (!stages.empty()) {
+      try {
+        spec.stages = load_stages_file(stages);
+      } catch (const SuiteError& error) {
+        std::fprintf(stderr, "stages error: %s\n", error.what());
+        return 1;
+      }
+    }
   }
 
   const StreamRunner runner(spec);
@@ -419,6 +442,26 @@ int cmd_stream(const Args& args) {
   table.add_row({"peak resident slots",
                  Table::fmt(static_cast<std::uint64_t>(out.peak_resident))});
   table.add_row({"truncated", out.truncated ? "YES (hit step cap)" : "no"});
+  if (!spec.stages.empty()) {
+    table.add_row({"dropped / requeued",
+                   Table::fmt(out.dropped) + " / " + Table::fmt(out.requeued)});
+    for (std::size_t k = 0; k < out.stages.size(); ++k) {
+      const StageOutcome& stage = out.stages[k];
+      std::string row = "T=" + Table::fmt(static_cast<std::int64_t>(stage.start)) +
+                        ", offered " + Table::fmt(stage.offered) + ", served " +
+                        Table::fmt(stage.served) + ", dropped " +
+                        Table::fmt(stage.dropped) + ", requeued " +
+                        Table::fmt(stage.requeued);
+      if (stage.edges_killed != 0 || stage.edges_restored != 0) {
+        row += ", edges -" + Table::fmt(static_cast<std::uint64_t>(stage.edges_killed)) +
+               "/+" + Table::fmt(static_cast<std::uint64_t>(stage.edges_restored));
+      }
+      row += ", drain " + (stage.drain_steps < 0
+                               ? std::string("n/a")
+                               : Table::fmt(static_cast<std::int64_t>(stage.drain_steps)));
+      table.add_row({"stage " + std::to_string(k), row});
+    }
+  }
   table.add_row({"wall ms", Table::fmt(out.wall_ms, 1)});
   table.print("steady-state stream: " + spec.name);
   return 0;
