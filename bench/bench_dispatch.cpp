@@ -241,11 +241,14 @@ void run_probe_bench(BenchReport& report, bool json_only) {
 
 int main(int argc, char** argv) {
   bool json_only = false;
+  std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json_only = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: bench_dispatch [--json]\n");
+      std::fprintf(stderr, "usage: bench_dispatch [--json] [--out PATH]\n");
       return 2;
     }
   }
@@ -313,5 +316,7 @@ int main(int argc, char** argv) {
   } else {
     report.print();
   }
+  // Atomic baseline write: no truncated BENCH_dispatch.json on a kill.
+  if (!out_path.empty()) report.write_json(out_path);
   return 0;
 }

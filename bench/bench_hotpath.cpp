@@ -145,6 +145,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool phases = false;
   bool meta = true;
+  std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json_only = true;
@@ -154,9 +155,12 @@ int main(int argc, char** argv) {
       phases = true;
     } else if (std::strcmp(argv[i], "--no-meta") == 0) {
       meta = false;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: bench_hotpath [--json] [--quick] [--phases] [--no-meta]\n");
+                   "usage: bench_hotpath [--json] [--quick] [--phases] [--no-meta] "
+                   "[--out PATH]\n");
       return 2;
     }
   }
@@ -251,5 +255,8 @@ int main(int argc, char** argv) {
     }
     report.print();
   }
+  // Baselines are written atomically (write-temp-fsync-rename): a CI
+  // runner killed mid-bench can never corrupt BENCH_hotpath.json.
+  if (!out_path.empty()) report.write_json(out_path);
   return 0;
 }

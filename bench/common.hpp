@@ -20,6 +20,7 @@
 #include "run/batch.hpp"
 #include "run/policies.hpp"
 #include "run/scenario.hpp"
+#include "util/atomic_file.hpp"
 #include "util/json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -182,6 +183,19 @@ class BenchReport {
   void print() const {
     std::printf("\n--- machine-readable (JSON lines) ---\n");
     for (const std::string& line : json_lines()) std::printf("%s\n", line.c_str());
+  }
+
+  /// Writes the JSON lines to `path` via util/atomic_file's
+  /// write-temp-fsync-rename: a bench killed mid-write can never leave a
+  /// truncated or interleaved BENCH_*.json baseline behind (throws
+  /// std::runtime_error on I/O failure).
+  void write_json(const std::string& path) const {
+    std::string text;
+    for (const std::string& line : json_lines()) {
+      text += line;
+      text += '\n';
+    }
+    atomic_write_file(path, text);
   }
 
  private:

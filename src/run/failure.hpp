@@ -1,0 +1,68 @@
+#pragma once
+
+// Failure handling for the runner layer (BatchRunner / SuiteRunner):
+// the fail_fast-vs-isolate policy, the structured per-cell error record
+// isolate mode reports instead of rethrowing, the retry/deadline knobs,
+// and the test-only fault-injection hook that lets tests force chosen
+// cells to throw, hang (until their deadline cancels them) or crash --
+// the runner-level counterpart of PR 9's engine failure injection.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "util/fault.hpp"
+
+namespace rdcn {
+
+/// What a throwing cell does to its siblings.
+enum class FailurePolicy {
+  /// Historical behavior: the first failure (lowest cell, lowest
+  /// repetition) is rethrown after the pool drains. Additional failed
+  /// cells are counted in the rethrown message ("and N more cells
+  /// failed") and each suppressed message is logged to stderr.
+  FailFast,
+  /// A failing cell becomes a structured error record (CellError) on its
+  /// result; siblings are unaffected and their outcomes are bit-identical
+  /// to a fault-free run.
+  Isolate,
+};
+
+/// Structured failure record of one cell (ScenarioResult::error /
+/// StreamResult::error). When several repetitions fail, the lowest
+/// repetition's failure is reported, so the record is deterministic
+/// regardless of worker scheduling.
+struct CellError {
+  bool failed = false;
+  std::string type;     ///< demangled exception class ("rdcn::CancelledError")
+  std::string message;  ///< what() of the reported exception
+  std::size_t repetition = 0;  ///< repetition the reported failure came from
+  int attempts = 0;     ///< attempts consumed by that repetition (>= 1)
+};
+
+/// Test-only fault injection: invoked at the start of every repetition
+/// attempt with the cell name, repetition index, and the attempt's cancel
+/// token (null when no deadline is armed). Throwing from the hook fails
+/// the attempt exactly like the simulation throwing would.
+using FaultHook = std::function<void(const std::string& cell, std::size_t repetition,
+                                     const CancelToken* cancel)>;
+
+/// Per-run fault-tolerance configuration of a BatchRunner / SuiteRunner.
+struct RunPolicy {
+  FailurePolicy failure = FailurePolicy::FailFast;
+  /// Wall-clock deadline per repetition attempt (the cell-level bound:
+  /// a cell of R repetitions gets R independent deadlines). 0 = none.
+  /// Cancellation is cooperative -- the engine checks at step boundaries
+  /// -- so cells stop at the next step, not mid-step.
+  double deadline_ms = 0.0;
+  /// Total attempts per repetition for transient failures (deadline,
+  /// TransientError). Deterministic failures (logic_error, AuditFailure,
+  /// engine contract violations) never retry. Retries re-run the same
+  /// seed, so a successful retry is bit-identical to an untroubled run.
+  int max_attempts = 1;
+  /// Backoff before retry k is base * 2^(k-1) ms, capped at 1s.
+  double backoff_base_ms = 10.0;
+  FaultHook fault_hook;  ///< test-only; empty in production
+};
+
+}  // namespace rdcn

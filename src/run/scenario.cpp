@@ -90,13 +90,16 @@ void ScenarioRunner::each_instance(
 
 RepetitionOutcome ScenarioRunner::run_repetition(const PolicyFactory& policy,
                                                  std::uint64_t rep_seed,
-                                                 const RepMetric& metric) const {
+                                                 const RepMetric& metric,
+                                                 const CancelToken* cancel) const {
   const Instance inst = instance(rep_seed);
   auto dispatcher = policy.dispatcher();
   auto scheduler = policy.scheduler(inst.topology());
+  EngineOptions engine_options = spec_.engine;
+  engine_options.cancel = cancel;
 
   const auto start = std::chrono::steady_clock::now();
-  const RunResult run = simulate(inst, *dispatcher, *scheduler, spec_.engine);
+  const RunResult run = simulate(inst, *dispatcher, *scheduler, engine_options);
   const auto stop = std::chrono::steady_clock::now();
 
   RepetitionOutcome outcome;

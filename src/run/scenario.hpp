@@ -15,6 +15,7 @@
 
 #include "net/builders.hpp"
 #include "net/instance.hpp"
+#include "run/failure.hpp"
 #include "run/policies.hpp"
 #include "sim/engine.hpp"
 #include "util/stats.hpp"
@@ -89,6 +90,10 @@ struct ScenarioResult {
   Summary metric;   ///< custom metric across repetitions
   Summary wall_ms;  ///< per-repetition engine wall clock
   ProbeReport probe;  ///< merged across repetitions (phase times summed)
+  /// Set under FailurePolicy::Isolate when the cell failed; repetitions
+  /// and the summaries above are then empty (a partial aggregate would
+  /// silently misreport the cell).
+  CellError error;
 };
 
 /// Optional per-repetition metric (e.g. ratio to a bound computed from the
@@ -128,8 +133,12 @@ class ScenarioRunner {
 
  private:
   friend class BatchRunner;
+  /// `cancel` (nullable) is handed to the engine, which throws
+  /// CancelledError at the first step boundary after it fires -- the
+  /// BatchRunner deadline path; the spec's own engine.cancel is ignored.
   RepetitionOutcome run_repetition(const PolicyFactory& policy, std::uint64_t rep_seed,
-                                   const RepMetric& metric) const;
+                                   const RepMetric& metric,
+                                   const CancelToken* cancel = nullptr) const;
 
   ScenarioSpec spec_;
 };

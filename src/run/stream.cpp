@@ -66,7 +66,8 @@ std::vector<std::uint64_t> StreamRunner::seeds() const {
 }
 
 StreamRepOutcome StreamRunner::run_repetition(const PolicyFactory& policy,
-                                              std::uint64_t rep_seed) const {
+                                              std::uint64_t rep_seed,
+                                              const CancelToken* cancel) const {
   StreamRepOutcome out;
   out.seed = rep_seed;
 
@@ -162,7 +163,9 @@ StreamRepOutcome StreamRunner::run_repetition(const PolicyFactory& policy,
 
   // spec_.engine.max_steps is 0 (enforced by the constructor): the runner
   // truncates gracefully at its own cap instead of letting the engine throw.
-  Engine engine(topology, *dispatcher, *scheduler, spec_.engine, sink);
+  EngineOptions engine_options = spec_.engine;
+  engine_options.cancel = cancel;
+  Engine engine(topology, *dispatcher, *scheduler, engine_options, sink);
   StreamTelemetry telemetry(spec_.telemetry_window);
 
   double offered_demand = 0.0;
@@ -183,6 +186,12 @@ StreamRepOutcome StreamRunner::run_repetition(const PolicyFactory& policy,
   /// previous source's peeked packet is discarded -- the old regime ends
   /// at the stage edge.
   const auto enter_stage = [&](std::size_t k) {
+    // Stage entry does runner-side work (mutation, re-calibration, source
+    // rebuild) outside any engine step, so it honors the cancel token at
+    // the same boundary contract the engine does inside begin_step.
+    if (cancel != nullptr && cancel->cancelled()) {
+      throw CancelledError("stream run cancelled at stage entry (deadline exceeded)");
+    }
     cur_stage = k;
     StageOutcome& stage = out.stages[k];
     stage.start = stage_start[k];

@@ -158,6 +158,9 @@ struct StreamResult {
   Summary measured_rho;
   Summary wall_ms;
   ProbeReport probe;  ///< merged across repetitions (phase times summed)
+  /// Set under FailurePolicy::Isolate when the cell failed; repetitions
+  /// and the aggregates above are then empty. See ScenarioResult::error.
+  CellError error;
 };
 
 /// Executes a StreamSpec: topology + source construction, the open-loop
@@ -171,9 +174,11 @@ class StreamRunner {
   /// Repetition seeds of this spec, in order.
   std::vector<std::uint64_t> seeds() const;
 
-  /// Runs one repetition (deterministic in rep_seed).
-  StreamRepOutcome run_repetition(const PolicyFactory& policy,
-                                  std::uint64_t rep_seed) const;
+  /// Runs one repetition (deterministic in rep_seed). `cancel` (nullable)
+  /// is handed to the engine and honored at step boundaries and stage
+  /// entries; the spec's own engine.cancel is ignored.
+  StreamRepOutcome run_repetition(const PolicyFactory& policy, std::uint64_t rep_seed,
+                                  const CancelToken* cancel = nullptr) const;
 
   /// Runs every repetition under the policy and merges the statistics.
   StreamResult run(const PolicyFactory& policy) const;

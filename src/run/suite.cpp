@@ -4,11 +4,13 @@
 #include <cmath>
 #include <fstream>
 #include <limits>
+#include <mutex>
 #include <sstream>
 #include <utility>
 
 #include "run/batch.hpp"
 #include "run/policies.hpp"
+#include "util/atomic_file.hpp"
 #include "util/json.hpp"
 
 namespace rdcn {
@@ -1064,83 +1066,268 @@ void append_stage_metrics(json::Object& line, const StreamResult& result) {
   line.emplace_back("stages", json::Value(std::move(stages)));
 }
 
+/// Isolate-mode error row: the cell header plus the structured failure
+/// ("status": "failed", exception type + message, the losing repetition
+/// and how many attempts it got). Healthy rows carry no "status" key, so
+/// downstream strict parsers (perf_diff) reject mixed streams loudly
+/// instead of averaging error rows into metrics.
+std::string render_error_row(const SuiteSpec& spec, const CellAxes& axes,
+                             const std::string& policy, const std::string& scenario,
+                             const CellError& error) {
+  json::Object line = line_header(spec, axes, policy, scenario);
+  line.emplace_back("status", "failed");
+  line.emplace_back("error_type", error.type);
+  line.emplace_back("error_message", error.message);
+  line.emplace_back("repetition", static_cast<std::int64_t>(error.repetition));
+  line.emplace_back("attempts", static_cast<std::int64_t>(error.attempts));
+  return json::dump(json::Value(std::move(line)));
+}
+
+std::string render_batch_row(const SuiteSpec& spec, const CellAxes& axes,
+                             const ScenarioResult& result) {
+  if (result.error.failed) {
+    return render_error_row(spec, axes, result.policy, result.scenario, result.error);
+  }
+  json::Object line = line_header(spec, axes, result.policy, result.scenario);
+  line.emplace_back("total_cost", result.cost.mean());
+  line.emplace_back("wall_ms", result.wall_ms.mean());
+  line.emplace_back("cost_stddev", result.cost.stddev());
+  line.emplace_back("cost_min", result.cost.min());
+  line.emplace_back("cost_max", result.cost.max());
+  append_phase_metrics(line, result.probe);
+  return json::dump(json::Value(std::move(line)));
+}
+
+std::string render_stream_row(const SuiteSpec& spec, const CellAxes& axes,
+                              const StreamResult& result) {
+  if (result.error.failed) {
+    return render_error_row(spec, axes, result.policy, result.scenario, result.error);
+  }
+  json::Object line = line_header(spec, axes, result.policy, result.scenario);
+  double total_cost = 0.0;
+  for (const StreamRepOutcome& rep : result.repetitions) total_cost += rep.total_cost;
+  if (!result.repetitions.empty()) {
+    total_cost /= static_cast<double>(result.repetitions.size());
+  }
+  line.emplace_back("total_cost", total_cost);
+  line.emplace_back("wall_ms", result.wall_ms.mean());
+  line.emplace_back("throughput", result.throughput.mean());
+  line.emplace_back("measured_rho", result.measured_rho.mean());
+  // `latency` folds converged repetitions only (truncated reps are a
+  // censored sample, kept apart in latency_truncated); when every rep
+  // truncated, the percentiles have no sample and emit the -1 sentinel.
+  line.emplace_back("mean_latency", result.latency.mean());
+  const bool has_latency = !result.latency.empty();
+  line.emplace_back("p50", has_latency ? static_cast<std::int64_t>(result.latency.p50())
+                                       : std::int64_t{-1});
+  line.emplace_back("p95", has_latency ? static_cast<std::int64_t>(result.latency.p95())
+                                       : std::int64_t{-1});
+  line.emplace_back("p99", has_latency ? static_cast<std::int64_t>(result.latency.p99())
+                                       : std::int64_t{-1});
+  line.emplace_back("backlog", result.backlog.mean());
+  line.emplace_back("truncated_reps", static_cast<std::int64_t>(result.truncated_reps));
+  {
+    json::Array flags;
+    for (const StreamRepOutcome& rep : result.repetitions) flags.emplace_back(rep.truncated);
+    line.emplace_back("rep_truncated", json::Value(std::move(flags)));
+  }
+  line.emplace_back("zero_demand", static_cast<std::int64_t>(result.zero_demand));
+  line.emplace_back("dropped", static_cast<std::int64_t>(result.dropped));
+  line.emplace_back("requeued", static_cast<std::int64_t>(result.requeued));
+  append_stage_metrics(line, result);
+  append_phase_metrics(line, result.probe);
+  return json::dump(json::Value(std::move(line)));
+}
+
 }  // namespace
 
-std::vector<std::string> SuiteRunner::run(std::size_t threads) const {
-  const std::vector<CellAxes> axes = cell_axes(spec_);
+SuiteJournal load_suite_journal(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw SuiteError("", "cannot open journal file " + path);
   std::vector<std::string> lines;
-  lines.reserve(axes.size() * spec_.policies.size());
-  BatchRunner runner(threads);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  if (lines.empty()) throw SuiteError("", path + ": empty journal");
+
+  const auto parse_line = [&](const std::string& text, std::size_t index) {
+    try {
+      return json::parse(text);
+    } catch (const json::ParseError& error) {
+      throw SuiteError("", path + ": journal line " + std::to_string(index + 1) +
+                               " is not valid JSON: " + error.what());
+    }
+  };
+
+  const json::Value header_doc = parse_line(lines.front(), 0);
+  SuiteJournal journal;
+  std::int64_t declared_cells = 0;
+  try {
+    Fields header(header_doc, "");
+    const json::Value* tag = header.member("rdcn_suite_journal");
+    if (tag == nullptr || !tag->is_integer() || tag->as_integer() != 1) {
+      throw SuiteError("rdcn_suite_journal", "missing or unsupported journal version");
+    }
+    header.required_str("suite");  // informational; the spec text is authoritative
+    declared_cells = header.integer("cells", -1, -1,
+                                    std::numeric_limits<std::int64_t>::max());
+    if (declared_cells < 0) {
+      throw SuiteError("cells", "required key is missing");
+    }
+    journal.spec_json = header.required_str("spec");
+    header.finish();
+  } catch (const SuiteError& error) {
+    throw SuiteError("", path + ": " + error.what());
+  }
+
+  try {
+    journal.spec = parse_suite(journal.spec_json);
+  } catch (const SuiteError& error) {
+    throw SuiteError("", path + ": embedded spec is invalid: " + error.what());
+  }
+  const SuiteRunner probe(journal.spec);
+  const std::size_t total = probe.cells();
+  if (static_cast<std::size_t>(declared_cells) != total) {
+    throw SuiteError("", path + ": header declares " + std::to_string(declared_cells) +
+                             " cells but the embedded spec expands to " +
+                             std::to_string(total));
+  }
+  const std::vector<std::string> names = probe.cell_names();
+
+  journal.rows.assign(total, std::string());
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const json::Value entry_doc = parse_line(lines[i], i);
+    try {
+      Fields entry(entry_doc, "");
+      const std::int64_t cell =
+          entry.integer("cell", -1, -1, static_cast<std::int64_t>(total) - 1);
+      if (cell < 0) throw SuiteError("cell", "required key is missing or out of range");
+      const std::string name = entry.required_str("name");
+      const std::string row = entry.required_str("row");
+      entry.finish();
+      const auto index = static_cast<std::size_t>(cell);
+      if (name != names[index]) {
+        throw SuiteError("name", "cell " + std::to_string(cell) + " is named \"" +
+                                     names[index] + "\" in the spec, not \"" + name + "\"");
+      }
+      if (!journal.rows[index].empty()) {
+        throw SuiteError("cell", "cell " + std::to_string(cell) + " recorded twice");
+      }
+      json::parse(row);  // rows must themselves be strict JSON
+      journal.rows[index] = row;
+    } catch (const json::ParseError& error) {
+      throw SuiteError("", path + ": journal line " + std::to_string(i + 1) +
+                               " row is not valid JSON: " + error.what());
+    } catch (const SuiteError& error) {
+      throw SuiteError("", path + ": journal line " + std::to_string(i + 1) + ": " +
+                               error.what());
+    }
+  }
+  return journal;
+}
+
+std::vector<std::string> SuiteRunner::run(const SuiteRunOptions& options,
+                                          const SuiteJournal* resume) const {
+  const std::vector<CellAxes> axes = cell_axes(spec_);
+  const std::vector<std::string> names = cell_names();
+  const std::size_t policies = spec_.policies.size();
+  const std::size_t total = names.size();
+  const std::string spec_json = suite_to_json(spec_);
+
+  std::vector<std::string> rows(total);
+  if (resume != nullptr) {
+    if (resume->spec_json != spec_json) {
+      throw SuiteError("", "journal does not belong to this suite (normalized specs "
+                           "differ); resume refused");
+    }
+    if (resume->rows.size() != total) {
+      throw SuiteError("", "journal records " + std::to_string(resume->rows.size()) +
+                               " cells, suite has " + std::to_string(total));
+    }
+    rows = resume->rows;
+  }
+
+  // The journal is the whole manifest, rewritten via write-temp-fsync-
+  // rename after every completed cell: at any instant the file on disk is
+  // a complete, valid journal, so SIGKILL at any byte loses at most the
+  // in-flight cells. Rows are stored verbatim, which is what makes a
+  // resumed run's merged output bit-identical to an uninterrupted one.
+  std::mutex journal_mutex;
+  const auto write_journal = [&]() {
+    json::Object header;
+    header.emplace_back("rdcn_suite_journal", std::int64_t{1});
+    header.emplace_back("suite", spec_.name);
+    header.emplace_back("cells", static_cast<std::int64_t>(total));
+    header.emplace_back("spec", spec_json);
+    std::string text = json::dump(json::Value(std::move(header)));
+    text += '\n';
+    for (std::size_t i = 0; i < total; ++i) {
+      if (rows[i].empty()) continue;
+      json::Object entry;
+      entry.emplace_back("cell", static_cast<std::int64_t>(i));
+      entry.emplace_back("name", names[i]);
+      entry.emplace_back("row", rows[i]);
+      text += json::dump(json::Value(std::move(entry)));
+      text += '\n';
+    }
+    atomic_write_file(options.journal, text);
+  };
+  if (!options.journal.empty()) {
+    // Persist the header (plus any resumed rows) up front: a run killed
+    // before its first cell completes still leaves a resumable journal.
+    const std::lock_guard<std::mutex> lock(journal_mutex);
+    write_journal();
+  }
+  const auto record = [&](std::size_t global, std::string row) {
+    const std::lock_guard<std::mutex> lock(journal_mutex);
+    rows[global] = std::move(row);
+    if (!options.journal.empty()) write_journal();
+  };
+
+  BatchRunner runner(options.threads);
+  runner.set_policy(options.policy);
+  // Only cells the journal does not already record are enqueued;
+  // global_of maps the runner's dense cell index back to the suite index.
+  std::vector<std::size_t> global_of;
 
   if (spec_.mode == SuiteSpec::Mode::Batch) {
     const std::vector<ScenarioSpec> grid = suite_batch_grid(spec_);
-    for (const ScenarioSpec& cell : grid) {
-      for (const std::string& policy : spec_.policies) {
-        runner.add(cell, named_policy(policy));
+    for (std::size_t g = 0; g < grid.size(); ++g) {
+      for (std::size_t p = 0; p < policies; ++p) {
+        const std::size_t global = g * policies + p;
+        if (!rows[global].empty()) continue;
+        runner.add(grid[g], named_policy(spec_.policies[p]));
+        global_of.push_back(global);
       }
     }
-    const std::vector<ScenarioResult> results = runner.run();
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const ScenarioResult& result = results[i];
-      json::Object line =
-          line_header(spec_, axes[i / spec_.policies.size()], result.policy, result.scenario);
-      line.emplace_back("total_cost", result.cost.mean());
-      line.emplace_back("wall_ms", result.wall_ms.mean());
-      line.emplace_back("cost_stddev", result.cost.stddev());
-      line.emplace_back("cost_min", result.cost.min());
-      line.emplace_back("cost_max", result.cost.max());
-      append_phase_metrics(line, result.probe);
-      lines.push_back(json::dump(json::Value(std::move(line))));
+    runner.run([&](std::size_t cell, const ScenarioResult& result) {
+      const std::size_t global = global_of[cell];
+      record(global, render_batch_row(spec_, axes[global / policies], result));
+    });
+  } else {
+    const std::vector<StreamSpec> grid = suite_stream_grid(spec_);
+    for (std::size_t g = 0; g < grid.size(); ++g) {
+      for (std::size_t p = 0; p < policies; ++p) {
+        const std::size_t global = g * policies + p;
+        if (!rows[global].empty()) continue;
+        runner.add_stream(grid[g], named_policy(spec_.policies[p]));
+        global_of.push_back(global);
+      }
     }
-    return lines;
+    runner.run_streams([&](std::size_t cell, const StreamResult& result) {
+      const std::size_t global = global_of[cell];
+      record(global, render_stream_row(spec_, axes[global / policies], result));
+    });
   }
 
-  const std::vector<StreamSpec> grid = suite_stream_grid(spec_);
-  for (const StreamSpec& cell : grid) {
-    for (const std::string& policy : spec_.policies) {
-      runner.add_stream(cell, named_policy(policy));
+  for (std::size_t i = 0; i < total; ++i) {
+    if (rows[i].empty()) {
+      throw SuiteError("", "internal: cell " + std::to_string(i) + " (" + names[i] +
+                               ") produced no row");
     }
   }
-  const std::vector<StreamResult> results = runner.run_streams();
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const StreamResult& result = results[i];
-    const CellAxes& cell = axes[i / spec_.policies.size()];
-    json::Object line = line_header(spec_, cell, result.policy, result.scenario);
-    double total_cost = 0.0;
-    for (const StreamRepOutcome& rep : result.repetitions) total_cost += rep.total_cost;
-    if (!result.repetitions.empty()) {
-      total_cost /= static_cast<double>(result.repetitions.size());
-    }
-    line.emplace_back("total_cost", total_cost);
-    line.emplace_back("wall_ms", result.wall_ms.mean());
-    line.emplace_back("throughput", result.throughput.mean());
-    line.emplace_back("measured_rho", result.measured_rho.mean());
-    // `latency` folds converged repetitions only (truncated reps are a
-    // censored sample, kept apart in latency_truncated); when every rep
-    // truncated, the percentiles have no sample and emit the -1 sentinel.
-    line.emplace_back("mean_latency", result.latency.mean());
-    const bool has_latency = !result.latency.empty();
-    line.emplace_back("p50", has_latency ? static_cast<std::int64_t>(result.latency.p50())
-                                         : std::int64_t{-1});
-    line.emplace_back("p95", has_latency ? static_cast<std::int64_t>(result.latency.p95())
-                                         : std::int64_t{-1});
-    line.emplace_back("p99", has_latency ? static_cast<std::int64_t>(result.latency.p99())
-                                         : std::int64_t{-1});
-    line.emplace_back("backlog", result.backlog.mean());
-    line.emplace_back("truncated_reps", static_cast<std::int64_t>(result.truncated_reps));
-    {
-      json::Array flags;
-      for (const StreamRepOutcome& rep : result.repetitions) flags.emplace_back(rep.truncated);
-      line.emplace_back("rep_truncated", json::Value(std::move(flags)));
-    }
-    line.emplace_back("zero_demand", static_cast<std::int64_t>(result.zero_demand));
-    line.emplace_back("dropped", static_cast<std::int64_t>(result.dropped));
-    line.emplace_back("requeued", static_cast<std::int64_t>(result.requeued));
-    append_stage_metrics(line, result);
-    append_phase_metrics(line, result.probe);
-    lines.push_back(json::dump(json::Value(std::move(line))));
-  }
-  return lines;
+  return rows;
 }
 
 }  // namespace rdcn

@@ -46,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "run/failure.hpp"
 #include "run/scenario.hpp"
 #include "run/stream.hpp"
 
@@ -143,6 +144,37 @@ std::vector<ScenarioSpec> suite_batch_grid(const SuiteSpec& spec);
 /// naming. Throws SuiteError when spec.mode != Stream.
 std::vector<StreamSpec> suite_stream_grid(const SuiteSpec& spec);
 
+/// Fault-tolerance and journaling knobs of a suite run.
+struct SuiteRunOptions {
+  std::size_t threads = 0;  ///< BatchRunner pool width (0 = hardware)
+  /// Failure policy, per-repetition deadline, retry budget, fault hook.
+  RunPolicy policy;
+  /// Crash-safe journal path (empty = none): after every completed cell
+  /// the whole manifest is rewritten via atomic write-temp-fsync-rename,
+  /// so the file is a complete valid journal at every instant -- SIGKILL
+  /// at any byte loses at most the in-flight cells.
+  std::string journal;
+};
+
+/// A loaded suite journal: the embedded normalized spec plus the rows
+/// recorded so far (indexed by cell; empty string = not yet recorded).
+///
+/// On-disk format (JSON lines, every line strict JSON):
+///   {"rdcn_suite_journal":1,"suite":<name>,"cells":N,"spec":<normalized>}
+///   {"cell":i,"name":<cell name>,"row":<the emitted JSON row, verbatim>}
+/// The spec is embedded as suite_to_json text, so a journal alone can
+/// resume its suite; rows are stored verbatim, which is what makes the
+/// resumed output bit-identical to an uninterrupted run.
+struct SuiteJournal {
+  SuiteSpec spec;
+  std::string spec_json;           ///< normalized text, the resume digest
+  std::vector<std::string> rows;   ///< size = cells(); "" = missing
+};
+
+/// Reads and strictly validates a journal file (header tag, spec
+/// round-trip, cell indices/names, row JSON). Throws SuiteError.
+SuiteJournal load_suite_journal(const std::string& path);
+
 /// Executes a suite: expands the grid, fans every (cell, policy) through
 /// a BatchRunner, and renders one BenchReport-schema JSON line per cell
 /// ({"bench": <suite>, "name": <policy>, "params": {...}, "total_cost":
@@ -165,7 +197,19 @@ class SuiteRunner {
 
   /// Runs the whole grid on a BatchRunner (threads = 0: hardware
   /// concurrency) and returns the JSON lines in cell_names() order.
-  std::vector<std::string> run(std::size_t threads = 0) const;
+  std::vector<std::string> run(std::size_t threads = 0) const {
+    return run(SuiteRunOptions{threads, RunPolicy{}, std::string()}, nullptr);
+  }
+
+  /// Same with fault tolerance and journaling. With `resume`, cells the
+  /// journal already records are skipped and their rows merged back
+  /// verbatim, so the returned lines are bit-identical to an
+  /// uninterrupted run; the journal's normalized spec must match this
+  /// suite's exactly (SuiteError otherwise). Under isolate, failed cells
+  /// render a structured error row ("status": "failed", exception type +
+  /// message, attempt count) instead of poisoning their siblings.
+  std::vector<std::string> run(const SuiteRunOptions& options,
+                               const SuiteJournal* resume = nullptr) const;
 
  private:
   SuiteSpec spec_;

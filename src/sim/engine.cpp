@@ -835,6 +835,12 @@ std::size_t Engine::schedule_round(bool record) {
 
 // rdcn-lint: hot
 void Engine::begin_step(const Time* next_arrival) {
+  // Cooperative cancellation: null (no deadline armed) is one pointer
+  // test; armed is one extra relaxed load. Thrown here, never mid-step,
+  // so a cancelled run stops on the same step-edge contract as mutations.
+  if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+    throw CancelledError("run cancelled at step boundary (deadline exceeded)");
+  }
   const Time previous = now_;
   if (candidates_.empty() && staged_.empty() && next_arrival != nullptr &&
       *next_arrival > now_ + 1) {

@@ -70,6 +70,7 @@
 
 #include "net/instance.hpp"
 #include "sim/chunk_steps.hpp"
+#include "util/fault.hpp"
 #include "sim/impact_index.hpp"
 #include "sim/observer.hpp"
 #include "sim/policy.hpp"
@@ -114,9 +115,15 @@ struct EngineOptions {
   /// registry over the scheduling round, optional raw-span ring for Chrome
   /// trace export. Purely observational -- schedules are bit-for-bit
   /// identical either way -- and allocation-free at steady state when on.
-  /// Both modes. (Last member so designated initializers of the options
-  /// above stay valid.)
+  /// Both modes. (Kept after the scalar options so their designated
+  /// initializers stay valid.)
   ProbeConfig probe{};
+  /// Cooperative cancellation (util/fault.hpp): when set, begin_step
+  /// checks the token (one relaxed load) and throws CancelledError at the
+  /// first step boundary after it fires -- the same step-edge contract as
+  /// apply_mutation. Null (the default, when no deadline is armed) costs
+  /// one pointer test on the hot path. The token must outlive the run.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Per-packet outcome of a run.

@@ -1,0 +1,133 @@
+#pragma once
+
+// Fault-tolerance primitives for the runner layer: cooperative
+// cancellation (CancelToken + DeadlineWatchdog), the transient-vs-
+// deterministic failure taxonomy the retry machinery classifies against,
+// and exponential backoff. The engine checks a token with one relaxed
+// load at step boundaries (EngineOptions::cancel, null when no deadline
+// is armed), so the probe-off hot path pays a single pointer test.
+//
+// Taxonomy: TransientError marks infrastructure failures that a
+// seed-preserving re-run may clear (a deadline on a loaded pool, an
+// injected flake); CancelledError is the deadline flavor the engine
+// throws at the first step boundary after its token fires. Everything
+// else -- logic_error (AuditFailure included), runtime_error contract
+// violations -- is deterministic: the same seed would fail the same way,
+// so retrying only wastes the budget.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rdcn {
+
+/// Infrastructure failure a seed-preserving re-run may clear. Retry
+/// machinery (BatchRunner, rdcn_fuzz) retries these with backoff.
+class TransientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A cooperative cancellation fired (deadline): thrown by the engine at
+/// the first step boundary after its CancelToken is cancelled.
+class CancelledError : public TransientError {
+ public:
+  using TransientError::TransientError;
+};
+
+/// One-shot cancellation flag. cancel() is sticky; cancelled() is a
+/// single relaxed load, cheap enough for per-step checks.
+class CancelToken {
+ public:
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Shared deadline thread: arm() registers (token, wall-clock deadline)
+/// and returns a guard; the watchdog cancels tokens whose deadline passes
+/// before the guard disarms them. Tokens are only touched under the
+/// watchdog mutex, so a guard's destruction synchronizes with any
+/// in-flight cancel and the token may safely live on the caller's stack.
+class DeadlineWatchdog {
+ public:
+  DeadlineWatchdog();
+  ~DeadlineWatchdog();
+
+  DeadlineWatchdog(const DeadlineWatchdog&) = delete;
+  DeadlineWatchdog& operator=(const DeadlineWatchdog&) = delete;
+
+  /// Disarms its entry on destruction (no-op if the deadline already
+  /// fired). Movable so arm() can return it.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& other) noexcept : watchdog_(other.watchdog_), id_(other.id_) {
+      other.watchdog_ = nullptr;
+    }
+    Guard& operator=(Guard&& other) noexcept;
+    ~Guard() { disarm(); }
+
+   private:
+    friend class DeadlineWatchdog;
+    Guard(DeadlineWatchdog* watchdog, std::uint64_t id)
+        : watchdog_(watchdog), id_(id) {}
+    void disarm();
+
+    DeadlineWatchdog* watchdog_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+
+  /// Cancels `token` once `delay_ms` of wall clock elapses, unless the
+  /// returned guard is destroyed first.
+  Guard arm(CancelToken& token, double delay_ms);
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    std::chrono::steady_clock::time_point deadline;
+    CancelToken* token;
+  };
+
+  void loop();
+  void remove(std::uint64_t id);
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::vector<Entry> entries_;
+  std::uint64_t next_id_ = 1;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+/// Exponential backoff delay before retry `attempt` (1-based: the delay
+/// after the attempt that just failed): base * 2^(attempt-1), capped.
+double backoff_delay_ms(double base_ms, int attempt, double cap_ms = 1000.0);
+
+/// True when the exception is infrastructure-transient (TransientError,
+/// deadline cancellations included) and a seed-preserving retry is sound.
+bool is_transient_failure(const std::exception_ptr& failure);
+
+/// Human-readable (type, message) of an exception, for structured error
+/// rows: type is the demangled dynamic class name ("rdcn::CancelledError",
+/// "std::logic_error"), message is what() (non-std exceptions get a
+/// placeholder).
+struct FailureInfo {
+  std::string type;
+  std::string message;
+};
+FailureInfo describe_failure(const std::exception_ptr& failure);
+
+}  // namespace rdcn

@@ -1,6 +1,7 @@
 // Fixture: hand-rolled JSON concatenation outside src/util/json must trip
 // json-concat. Not part of the build -- scanned by rdcn_lint.
 
+#include <cstddef>
 #include <string>
 
 namespace fixture {
@@ -8,6 +9,14 @@ namespace fixture {
 std::string render(double cost) {
   // planted: JSON scaffolding glued together by hand
   return std::string("{\"cost\":") + std::to_string(cost) + "}";
+}
+
+std::string journal_header(const std::string& suite, std::size_t cells) {
+  // planted: a hand-rolled suite-journal manifest line. The real writer
+  // (run/suite.cpp) builds a json::Object and dump()s it; this pins that
+  // a regression back to string glue trips the rule.
+  return std::string("{\"rdcn_suite_journal\":1,\"suite\":\"") + suite +
+         "\",\"cells\":" + std::to_string(cells) + "}";
 }
 
 std::string fine_error_message(const std::string& mode) {

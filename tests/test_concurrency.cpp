@@ -11,11 +11,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/fault.hpp"
 
 #include "run/batch.hpp"
 #include "run/policies.hpp"
@@ -183,6 +186,125 @@ TEST(ConcurrencyStress, BatchFailureUnderLoadRethrowsAndRecovers) {
   ASSERT_EQ(results.size(), 1u);
   const ScenarioResult expected = ScenarioRunner(stress_spec(4)).run(named_policy("alg"));
   EXPECT_DOUBLE_EQ(results.front().cost.mean(), expected.cost.mean());
+}
+
+// --------------------------------------------- fault tolerance (PR 10) ---
+
+TEST(ConcurrencyStress, IsolateWideFanOutMatchesSequential) {
+  // Isolate mode on a wide pool with one poisoned cell per round: the
+  // FailureLedger, the per-cell countdown, and the healthy cells' result
+  // slots all see contention, and the healthy cells must still come out
+  // metric-for-metric identical to sequential runs (probes on).
+  ScenarioSpec poison = stress_spec(4);
+  poison.name = "poisoned";
+  poison.make_instance = [](std::uint64_t rep_seed) -> Instance {
+    if (rep_seed == 3) throw std::runtime_error("poisoned repetition");
+    return ScenarioRunner(stress_spec(4)).instance(rep_seed);
+  };
+  RunPolicy isolate;
+  isolate.failure = FailurePolicy::Isolate;
+  const std::vector<PolicyFactory> policies = {
+      named_policy("alg"), named_policy("maxweight"), named_policy("fifo"),
+      named_policy("jsq")};
+  BatchRunner batch(8);
+  batch.set_policy(isolate);
+  for (int round = 0; round < 3; ++round) {
+    batch.add_grid(stress_spec(4), policies);
+    batch.add(poison, named_policy("alg"));
+    const auto results = batch.run();
+    ASSERT_EQ(results.size(), policies.size() + 1) << "round " << round;
+    EXPECT_TRUE(results.back().error.failed) << "round " << round;
+    EXPECT_EQ(results.back().error.type, "std::runtime_error");
+    const ScenarioRunner runner(stress_spec(4));
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      ASSERT_FALSE(results[p].error.failed) << policies[p].name;
+      const ScenarioResult sequential = runner.run(policies[p]);
+      ASSERT_EQ(results[p].repetitions.size(), sequential.repetitions.size());
+      for (std::size_t i = 0; i < sequential.repetitions.size(); ++i) {
+        EXPECT_EQ(results[p].repetitions[i].total_cost,
+                  sequential.repetitions[i].total_cost)
+            << policies[p].name << " rep " << i;
+      }
+      EXPECT_EQ(results[p].probe.counters, sequential.probe.counters)
+          << policies[p].name;
+    }
+  }
+}
+
+TEST(ConcurrencyStress, DeadlineFiresWhileThePoolIsBusy) {
+  // The watchdog thread cancels tokens while eight workers are mid-run:
+  // the arm/disarm handshake, the token's atomic store, and the engine's
+  // step-boundary load all race under TSan here. One cell's fault hook
+  // stalls every repetition past the deadline; its siblings must finish
+  // healthy and the stalled cell must report CancelledError.
+  ScenarioSpec stalled = stress_spec(4);
+  stalled.name = "stalled";
+  RunPolicy policy;
+  policy.failure = FailurePolicy::Isolate;
+  // Generous enough that healthy repetitions never trip it, even under
+  // TSan's slowdown; the stalled cell's hook outwaits it by construction.
+  policy.deadline_ms = 150.0;
+  policy.fault_hook = [](const std::string& cell, std::size_t,
+                         const CancelToken* cancel) {
+    if (cell.find("stalled") == std::string::npos || cancel == nullptr) return;
+    const auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!cancel->cancelled() && std::chrono::steady_clock::now() < give_up) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  BatchRunner batch(8);
+  batch.set_policy(policy);
+  batch.add(stress_spec(4), named_policy("alg"));
+  batch.add(stalled, named_policy("fifo"));
+  batch.add(stress_spec(4), named_policy("maxweight"));
+  const auto results = batch.run();
+  ASSERT_EQ(results.size(), 3u);
+  ASSERT_TRUE(results[1].error.failed);
+  EXPECT_EQ(results[1].error.type, "rdcn::CancelledError");
+  EXPECT_FALSE(results[0].error.failed);
+  EXPECT_FALSE(results[2].error.failed);
+  const ScenarioResult expected =
+      ScenarioRunner(stress_spec(4)).run(named_policy("alg"));
+  ASSERT_EQ(results[0].repetitions.size(), expected.repetitions.size());
+  for (std::size_t i = 0; i < expected.repetitions.size(); ++i) {
+    EXPECT_EQ(results[0].repetitions[i].total_cost,
+              expected.repetitions[i].total_cost);
+  }
+}
+
+TEST(ConcurrencyStress, HungCellIsCancelledAndSiblingsDrain) {
+  // A hook that hangs until cancellation and then throws (the CLI's
+  // "hang" injection): the pool must drain every sibling repetition, the
+  // watchdog must reclaim the stuck worker, and repeated rounds must not
+  // leak tokens or watchdog state across runs.
+  RunPolicy policy;
+  policy.failure = FailurePolicy::Isolate;
+  policy.deadline_ms = 150.0;
+  policy.fault_hook = [](const std::string& cell, std::size_t,
+                         const CancelToken* cancel) {
+    if (cell.find("hung") == std::string::npos) return;
+    const auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (cancel != nullptr && !cancel->cancelled() &&
+           std::chrono::steady_clock::now() < give_up) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    throw CancelledError("hung cell cancelled");
+  };
+  ScenarioSpec hung = stress_spec(2);
+  hung.name = "hung";
+  BatchRunner batch(8);
+  batch.set_policy(policy);
+  for (int round = 0; round < 3; ++round) {
+    batch.add(hung, named_policy("alg"));
+    batch.add(stress_spec(2), named_policy("fifo"));
+    const auto results = batch.run();
+    ASSERT_EQ(results.size(), 2u) << "round " << round;
+    ASSERT_TRUE(results[0].error.failed) << "round " << round;
+    EXPECT_EQ(results[0].error.type, "rdcn::CancelledError");
+    EXPECT_EQ(results[0].error.message, "hung cell cancelled");
+    EXPECT_FALSE(results[1].error.failed) << "round " << round;
+    EXPECT_EQ(results[1].repetitions.size(), 2u);
+  }
 }
 
 // ---------------------------------------------------------- StreamRunner --

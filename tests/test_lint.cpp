@@ -64,8 +64,11 @@ TEST(RdcnLint, JsonConcatCatchesHandRolledFragments) {
   const LintRun run = run_lint(fixture("json_concat.cpp"));
   EXPECT_EQ(run.exit_code, 1) << run.output;
   EXPECT_NE(run.output.find("[json-concat]"), std::string::npos) << run.output;
-  // The quoted-word error message in the same file must not be flagged.
-  EXPECT_NE(run.output.find("1 violation(s)"), std::string::npos) << run.output;
+  // Every planted line trips: the generic fragment plus both lines of the
+  // hand-rolled suite-journal manifest (the shape run/suite.cpp's writer
+  // must never regress to). The quoted-word error message is not flagged.
+  EXPECT_NE(run.output.find("rdcn_suite_journal"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("3 violation(s)"), std::string::npos) << run.output;
 }
 
 TEST(RdcnLint, ProbeRegistryCatchesUnregisteredPhaseKey) {

@@ -7,7 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -500,6 +503,155 @@ TEST(SuiteRun, GridOrderIsDeterministic) {
   EXPECT_EQ(names_a, names_b);
   const std::vector<StreamSpec> grid = suite_stream_grid(suite);
   ASSERT_EQ(names_a.size(), grid.size() * suite.policies.size());
+}
+
+// --- fault tolerance, journal, resume ---------------------------------------
+
+const char* kJournalSuite = R"({
+  "suite": "journal-smoke",
+  "seeds": {"base": 1, "repetitions": 2},
+  "policies": ["alg", "fifo"],
+  "topologies": [{"kind": "crossbar", "ports": 4}],
+  "workloads": [
+    {"name": "a", "packets": 12, "rate": 3.0},
+    {"name": "b", "packets": 12, "rate": 3.0, "skew": "zipf"}
+  ]
+})";
+
+std::string journal_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+/// Wall-clock fields are measurements, not results: two runs of the same
+/// cell agree on every metric but never on wall_ms, so cross-run row
+/// comparisons strip it first (same convention as the check.sh smokes).
+std::string strip_wall(std::string row) {
+  const std::string key = "\"wall_ms\":";
+  const std::size_t at = row.find(key);
+  if (at == std::string::npos) return row;
+  std::size_t end = row.find_first_of(",}", at + key.size());
+  if (end != std::string::npos && row[end] == ',') ++end;
+  row.erase(at, end - at);
+  return row;
+}
+
+std::vector<std::string> strip_wall(std::vector<std::string> rows) {
+  for (std::string& row : rows) row = strip_wall(std::move(row));
+  return rows;
+}
+
+TEST(SuiteFault, JournalRecordsEveryCellAndLoadsBack) {
+  const SuiteSpec suite = parse_suite(kJournalSuite);
+  const SuiteRunner runner(suite);
+  SuiteRunOptions options;
+  options.threads = 2;
+  options.journal = journal_path("suite_roundtrip.journal");
+  const std::vector<std::string> rows = runner.run(options);
+  ASSERT_EQ(rows.size(), 4u);
+  const SuiteJournal journal = load_suite_journal(options.journal);
+  EXPECT_EQ(journal.spec_json, suite_to_json(suite));
+  EXPECT_EQ(journal.rows, rows);
+}
+
+TEST(SuiteFault, ResumeSkipsRecordedCellsAndMergesBitIdentical) {
+  const SuiteSpec suite = parse_suite(kJournalSuite);
+  const SuiteRunner runner(suite);
+  const std::vector<std::string> reference = runner.run(1);
+  SuiteRunOptions options;
+  options.threads = 1;
+  options.journal = journal_path("suite_resume.journal");
+  runner.run(options);
+  // Blank two rows to fake a run killed mid-suite, then resume: only the
+  // missing cells re-run and the merge is bit-identical to the reference.
+  SuiteJournal partial = load_suite_journal(options.journal);
+  partial.rows[1].clear();
+  partial.rows[3].clear();
+  const std::vector<std::string> merged = runner.run(options, &partial);
+  EXPECT_EQ(strip_wall(merged), strip_wall(reference));
+  // The journaled rows survive the merge verbatim -- the resumed cells'
+  // rows in the output ARE the journal's bytes, not re-runs.
+  EXPECT_EQ(merged[0], partial.rows[0]);
+  EXPECT_EQ(merged[2], partial.rows[2]);
+  // The journal on disk is complete again after the resumed run.
+  EXPECT_EQ(load_suite_journal(options.journal).rows, merged);
+}
+
+TEST(SuiteFault, ResumeRefusesAForeignJournal) {
+  const SuiteRunner runner(parse_suite(kJournalSuite));
+  SuiteRunOptions options;
+  options.threads = 1;
+  options.journal = journal_path("suite_foreign.journal");
+  runner.run(options);
+  const SuiteJournal journal = load_suite_journal(options.journal);
+  const SuiteRunner other(parse_suite(kMinimalBatch));
+  SuiteRunOptions plain;
+  plain.threads = 1;
+  EXPECT_THROW(other.run(plain, &journal), SuiteError);
+}
+
+TEST(SuiteFault, JournalLoaderIsStrict) {
+  EXPECT_THROW(load_suite_journal("/nonexistent/file.journal"), SuiteError);
+  const std::string garbage = journal_path("suite_garbage.journal");
+  {
+    std::ofstream out(garbage);
+    out << "this is not json\n";
+  }
+  EXPECT_THROW(load_suite_journal(garbage), SuiteError);
+  const std::string untagged = journal_path("suite_untagged.journal");
+  {
+    std::ofstream out(untagged);
+    out << R"({"x": 1})" << "\n";
+  }
+  EXPECT_THROW(load_suite_journal(untagged), SuiteError);
+}
+
+TEST(SuiteFault, IsolateRendersStructuredErrorRows) {
+  const SuiteSpec suite = parse_suite(kJournalSuite);
+  const SuiteRunner runner(suite);
+  const std::vector<std::string> reference = runner.run(1);
+  SuiteRunOptions options;
+  options.threads = 2;
+  options.policy.failure = FailurePolicy::Isolate;
+  options.policy.fault_hook = [](const std::string& cell, std::size_t,
+                                 const CancelToken*) {
+    if (cell.find(" x fifo") != std::string::npos) {
+      throw std::runtime_error("injected suite fault");
+    }
+  };
+  const std::vector<std::string> rows = runner.run(options);
+  const std::vector<std::string> names = runner.cell_names();
+  ASSERT_EQ(rows.size(), names.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (names[i].find(" x fifo") != std::string::npos) {
+      const json::Value parsed = json::parse(rows[i]);
+      EXPECT_EQ(parsed.find("status")->as_string(), "failed");
+      EXPECT_EQ(parsed.find("error_type")->as_string(), "std::runtime_error");
+      EXPECT_EQ(parsed.find("error_message")->as_string(), "injected suite fault");
+      EXPECT_EQ(parsed.find("attempts")->as_integer(), 1);
+      // The reported repetition is the lowest failing one -- deterministic
+      // regardless of worker scheduling.
+      EXPECT_EQ(parsed.find("repetition")->as_integer(), 0);
+      EXPECT_EQ(parsed.find("total_cost"), nullptr);
+    } else {
+      // Healthy cells match the fault-free run on every metric.
+      EXPECT_EQ(strip_wall(rows[i]), strip_wall(reference[i])) << names[i];
+    }
+  }
+}
+
+TEST(SuiteFault, FailFastAbortsTheSuite) {
+  const SuiteRunner runner(parse_suite(kJournalSuite));
+  SuiteRunOptions options;
+  options.threads = 2;
+  options.policy.fault_hook = [](const std::string& cell, std::size_t,
+                                 const CancelToken*) {
+    if (cell.find(" x fifo") != std::string::npos) {
+      throw std::runtime_error("injected suite fault");
+    }
+  };
+  EXPECT_THROW(runner.run(options), std::runtime_error);
 }
 
 // --- make_topology across the extended TopologySpec grid --------------------

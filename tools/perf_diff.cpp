@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "util/atomic_file.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -296,10 +297,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "perf_diff: emitted invalid JSON: %s\n", error.what());
       return 2;
     }
-    std::ofstream out(json_path);
-    out << text << '\n';
-    if (!out) {
-      std::fprintf(stderr, "perf_diff: cannot write '%s'\n", json_path.c_str());
+    try {
+      // Atomic write-temp-fsync-rename: downstream tooling either sees
+      // the previous document or this one, never a truncated mix.
+      rdcn::atomic_write_file(json_path, text + '\n');
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "perf_diff: cannot write '%s': %s\n", json_path.c_str(),
+                   error.what());
       return 2;
     }
   }

@@ -40,12 +40,29 @@
 //       per-stage served/dropped/requeued and time-to-drain recovery rows.
 //       --audit runs the invariant auditor alongside (throws on violation).
 //       --stages is incompatible with --trace.
-//   suite <suite.json> [--threads N] [--list]
+//   suite [suite.json] [--threads N] [--list] [--journal out.journal]
+//         [--resume in.journal] [--isolate] [--deadline-ms F]
+//         [--attempts N] [--backoff-ms F]
 //       Runs a declarative suite file (topology x workload/traffic x
 //       engine x policy grid, see run/suite.hpp and examples/suites/)
 //       through the BatchRunner and prints one BenchReport JSON line per
 //       cell. --list prints the expanded cells without running. Parse
 //       errors name the offending JSON path and exit nonzero.
+//       Fault tolerance (README "Fault tolerance & resume"): --journal
+//       rewrites a crash-safe manifest (atomic write-temp-fsync-rename)
+//       after every completed cell; --resume loads such a journal (the
+//       spec travels inside it, so the positional file is optional and,
+//       when given, must normalize identically), skips recorded cells and
+//       prints merged output bit-identical to an uninterrupted run.
+//       --isolate turns a failing cell into a structured error row
+//       ("status": "failed") instead of aborting the suite; --deadline-ms
+//       bounds each repetition's wall clock (cancelled cooperatively at
+//       the next step boundary); --attempts N retries transient failures
+//       (deadline/TransientError) with exponential backoff, same seed.
+//       RDCN_SUITE_FAULT="kind@cell-substring" (test-only) injects faults
+//       into matching cells: throw | transient (fires once per rep, so a
+//       retry succeeds) | hang (spins until deadline cancellation) |
+//       crash (SIGKILL, for the resume smoke) | sleep:MS.
 //   profile [--policy <name>] [--racks N] [--packets N] [--seed S]
 //           [--reps N] [--events N] [--out trace.json]
 //       Runs the engine probe (sim/probe.hpp) over a BM_AlgEndToEnd-shaped
@@ -61,13 +78,19 @@
 // and StreamRunner the benches use).
 
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iterator>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
+#include <thread>
+#include <utility>
 
 #include "core/charging.hpp"
 #include "core/dual_witness.hpp"
@@ -88,7 +111,8 @@ using namespace rdcn;
                "usage: rdcn_cli <command> [file] [options]\n"
                "commands: gen run certify show info policies record stream suite profile\n"
                "  gen/run/certify/show/info/record take an instance file;\n"
-               "  suite takes a suite JSON file (see examples/suites/);\n"
+               "  suite takes a suite JSON file (see examples/suites/), or\n"
+               "    just --resume <journal> (the spec travels in the journal);\n"
                "  stream, policies and profile take options only.\n"
                "run with no options for defaults; see source header for flags\n");
   std::exit(2);
@@ -592,10 +616,89 @@ int cmd_profile(const Args& args) {
   return 0;
 }
 
+/// Test-only fault injection, from RDCN_SUITE_FAULT="kind@cell-substring".
+/// Kinds: throw (deterministic failure, every attempt), transient (fires
+/// once per (cell, repetition), so a retry budget >= 2 recovers
+/// bit-identically), hang (spins until the deadline watchdog cancels the
+/// repetition; hangs forever without --deadline-ms, which is the point),
+/// crash (raise(SIGKILL) -- the resume smoke's mid-flight kill), sleep:MS
+/// (slows matching cells down so a kill lands mid-suite deterministically).
+FaultHook fault_hook_from_env() {
+  const char* env = std::getenv("RDCN_SUITE_FAULT");
+  if (env == nullptr || *env == '\0') return nullptr;
+  const std::string spec(env);
+  const std::size_t at = spec.find('@');
+  if (at == std::string::npos) {
+    std::fprintf(stderr, "RDCN_SUITE_FAULT must be kind@cell-substring, got '%s'\n", env);
+    std::exit(2);
+  }
+  const std::string kind = spec.substr(0, at);
+  const std::string needle = spec.substr(at + 1);
+  double sleep_ms = 0.0;
+  if (kind.rfind("sleep:", 0) == 0) {
+    sleep_ms = std::strtod(kind.c_str() + 6, nullptr);
+  } else if (kind != "throw" && kind != "transient" && kind != "hang" && kind != "crash") {
+    std::fprintf(stderr,
+                 "RDCN_SUITE_FAULT kind '%s' unknown (throw|transient|hang|crash|sleep:MS)\n",
+                 kind.c_str());
+    std::exit(2);
+  }
+  // Transient faults fire once per (cell, repetition): the shared ledger
+  // below remembers what already fired, so the retried attempt succeeds.
+  auto fired = std::make_shared<std::set<std::pair<std::string, std::size_t>>>();
+  auto fired_mutex = std::make_shared<std::mutex>();
+  return [kind, needle, sleep_ms, fired, fired_mutex](
+             const std::string& cell, std::size_t rep, const CancelToken* cancel) {
+    if (cell.find(needle) == std::string::npos) return;
+    if (kind == "throw") {
+      throw std::runtime_error("injected fault in " + cell);
+    }
+    if (kind == "transient") {
+      const std::lock_guard<std::mutex> lock(*fired_mutex);
+      if (fired->insert({cell, rep}).second) {
+        throw TransientError("injected transient fault in " + cell);
+      }
+      return;
+    }
+    if (kind == "crash") {
+      std::raise(SIGKILL);
+      return;
+    }
+    if (kind == "hang") {
+      while (cancel == nullptr || !cancel->cancelled()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      throw CancelledError("injected hang cancelled (deadline exceeded)");
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(sleep_ms));
+  };
+}
+
 int cmd_suite(const Args& args) {
+  const std::string resume_path = args.value("--resume", "");
+  const bool resuming = !resume_path.empty();
   SuiteSpec spec;
+  SuiteJournal journal;
   try {
-    spec = load_suite_file(args.file);
+    if (resuming) {
+      journal = load_suite_journal(resume_path);
+      if (!args.file.empty()) {
+        // Optional cross-check: a suite file given alongside --resume must
+        // normalize to exactly the journal's embedded spec.
+        if (suite_to_json(load_suite_file(args.file)) != journal.spec_json) {
+          std::fprintf(stderr, "suite error: %s does not match the journal %s\n",
+                       args.file.c_str(), resume_path.c_str());
+          return 1;
+        }
+      }
+      spec = journal.spec;
+    } else {
+      if (args.file.empty()) {
+        std::fprintf(stderr, "suite: need a suite file (or --resume <journal>)\n");
+        return 2;
+      }
+      spec = load_suite_file(args.file);
+    }
   } catch (const SuiteError& error) {
     std::fprintf(stderr, "suite error: %s\n", error.what());
     return 1;
@@ -608,8 +711,27 @@ int cmd_suite(const Args& args) {
     for (const std::string& name : runner.cell_names()) std::printf("%s\n", name.c_str());
     return 0;
   }
-  const auto threads = static_cast<std::size_t>(args.number("--threads", 0));
-  for (const std::string& line : runner.run(threads)) std::printf("%s\n", line.c_str());
+
+  SuiteRunOptions options;
+  options.threads = static_cast<std::size_t>(args.number("--threads", 0));
+  // --resume keeps journaling to the same file unless --journal overrides.
+  options.journal = args.value("--journal", resuming ? resume_path : "");
+  options.policy.failure =
+      args.has("--isolate") ? FailurePolicy::Isolate : FailurePolicy::FailFast;
+  options.policy.deadline_ms = args.number("--deadline-ms", 0.0);
+  options.policy.max_attempts = static_cast<int>(args.number("--attempts", 1));
+  options.policy.backoff_base_ms = args.number("--backoff-ms", 10.0);
+  options.policy.fault_hook = fault_hook_from_env();
+
+  if (resuming) {
+    std::size_t recorded = 0;
+    for (const std::string& row : journal.rows) recorded += row.empty() ? 0 : 1;
+    std::fprintf(stderr, "resume: %zu/%zu cells already recorded in %s\n", recorded,
+                 journal.rows.size(), resume_path.c_str());
+  }
+  const std::vector<std::string> lines =
+      runner.run(options, resuming ? &journal : nullptr);
+  for (const std::string& line : lines) std::printf("%s\n", line.c_str());
   return 0;
 }
 
@@ -620,14 +742,22 @@ int main(int argc, char** argv) {
   Args args;
   args.command = argv[1];
   // stream and policies take no positional file; everything else does.
+  // suite's is optional (flag-shaped argv[2] means none): --resume carries
+  // the spec inside the journal.
   const bool takes_file = args.command == "gen" || args.command == "run" ||
                           args.command == "certify" || args.command == "show" ||
                           args.command == "info" || args.command == "record" ||
                           args.command == "suite";
-  const int rest_from = takes_file ? 3 : 2;
+  const bool file_optional = args.command == "suite";
+  int rest_from = takes_file ? 3 : 2;
   if (takes_file) {
-    if (argc < 3) usage();
-    args.file = argv[2];
+    if (argc >= 3 && (!file_optional || argv[2][0] != '-')) {
+      args.file = argv[2];
+    } else if (file_optional) {
+      rest_from = 2;
+    } else {
+      usage();
+    }
   }
   for (int i = rest_from; i < argc; ++i) args.rest.emplace_back(argv[i]);
 

@@ -12,18 +12,30 @@
 //
 //   rdcn_fuzz [--seeds N] [--base S] [--mode batch|stream|both]
 //             [--policies a,b,...] [--minimize 0|1] [--verbose]
+//             [--inject-transient N]
+//
+// Failure classification (util/fault.hpp): transient infrastructure
+// failures (TransientError / CancelledError) are retried once with the
+// same seed before reporting -- a fuzz sweep on a flaky box should not
+// burn a whole run on one hiccup -- while deterministic check failures
+// (report violations, logic_error, anything else) are never retried:
+// retrying a proven bug would just hide it. --inject-transient N makes
+// the first N checks throw a TransientError (test hook for the retry
+// path; with retry, a clean sweep stays clean).
 //
 // Exit status: 0 = clean sweep, 1 = violations found, 2 = usage error.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "check/minimize.hpp"
 #include "run/policies.hpp"
+#include "util/fault.hpp"
 
 namespace {
 
@@ -32,7 +44,8 @@ using namespace rdcn;
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: rdcn_fuzz [--seeds N] [--base S] [--mode batch|stream|both]\n"
-               "                 [--policies a,b,...] [--minimize 0|1] [--verbose]\n");
+               "                 [--policies a,b,...] [--minimize 0|1] [--verbose]\n"
+               "                 [--inject-transient N]\n");
   std::exit(2);
 }
 
@@ -64,7 +77,39 @@ struct Totals {
   std::size_t checks = 0;
   std::size_t skipped = 0;
   std::size_t failures = 0;
+  std::size_t transient_retries = 0;
 };
+
+/// --inject-transient budget: the first N checks throw before running.
+std::uint64_t inject_transient = 0;
+
+/// Runs one differential check, retrying a transient infrastructure
+/// failure once with the same seed. Deterministic failures -- check
+/// violations inside the report, logic_error, any other exception --
+/// are never retried; non-transient exceptions propagate and crash the
+/// sweep loudly (they are bugs in the harness, not in the policies).
+template <typename CheckFn>
+check::DiffReport run_check(const char* kind, std::uint64_t seed, Totals& totals,
+                            const CheckFn& check) {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      if (inject_transient > 0) {
+        --inject_transient;
+        throw TransientError("injected transient infrastructure failure");
+      }
+      return check();
+    } catch (...) {
+      const std::exception_ptr failure = std::current_exception();
+      if (!is_transient_failure(failure) || attempt >= 2) throw;
+      const FailureInfo info = describe_failure(failure);
+      std::fprintf(stderr,
+                   "rdcn_fuzz: transient failure on %s seed %llu (%s: %s); retrying\n",
+                   kind, static_cast<unsigned long long>(seed), info.type.c_str(),
+                   info.message.c_str());
+      ++totals.transient_retries;
+    }
+  }
+}
 
 void report_failure(const char* kind, std::uint64_t seed, const check::DiffReport& report,
                     bool minimize, const check::DiffOptions& options) {
@@ -128,6 +173,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--minimize") {
       minimize = next() != "0";
+    } else if (arg == "--inject-transient") {
+      inject_transient = parse_count(next());
     } else if (arg == "--verbose") {
       verbose = true;
     } else {
@@ -143,7 +190,9 @@ int main(int argc, char** argv) {
   Totals totals;
   for (std::uint64_t seed = base; seed < base + seeds; ++seed) {
     if (mode != "stream") {
-      const check::DiffReport report = check::check_scenario_seed(seed, 0, options);
+      const check::DiffReport report = run_check("batch", seed, totals, [&]() {
+        return check::check_scenario_seed(seed, 0, options);
+      });
       ++totals.scenarios;
       totals.checks += report.checks;
       totals.skipped += report.skipped.size();
@@ -156,7 +205,9 @@ int main(int argc, char** argv) {
       }
     }
     if (mode != "batch") {
-      const check::DiffReport report = check::check_stream_seed(seed, 0, true, options);
+      const check::DiffReport report = run_check("stream", seed, totals, [&]() {
+        return check::check_stream_seed(seed, 0, true, options);
+      });
       ++totals.scenarios;
       totals.checks += report.checks;
       totals.skipped += report.skipped.size();
@@ -171,7 +222,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("\nrdcn_fuzz: %zu scenarios, %zu cross-checks, %zu spec skips, %zu failures\n",
-              totals.scenarios, totals.checks, totals.skipped, totals.failures);
+  std::printf(
+      "\nrdcn_fuzz: %zu scenarios, %zu cross-checks, %zu spec skips, %zu failures, "
+      "%zu transient retries\n",
+      totals.scenarios, totals.checks, totals.skipped, totals.failures,
+      totals.transient_retries);
   return totals.failures == 0 ? 0 : 1;
 }
